@@ -1,0 +1,29 @@
+//! Crypto microbenchmarks: the data-plane primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scion_crypto::cmac::Cmac;
+use scion_crypto::mac::{HopKey, HopMacInput};
+use scion_crypto::sha256::sha256;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let cmac = Cmac::new(&[7u8; 16]);
+    let hop_key = HopKey::derive(b"as-secret", 1);
+    let input = HopMacInput {
+        beta: 0x1234,
+        timestamp: 1_700_000_000,
+        exp_time: 63,
+        cons_ingress: 3,
+        cons_egress: 7,
+    };
+    let mac = hop_key.mac(&input);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hop_mac_verify", |b| b.iter(|| assert!(hop_key.verify(&input, &mac))));
+    g.bench_function("aes_cmac_16B", |b| b.iter(|| cmac.tag(&[0u8; 16])));
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("sha256_1500B", |b| b.iter(|| sha256(&[0u8; 1500])));
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Fig. 10c: impact of random link failures on AS connectivity.
+
+use sciera_measure::resilience::fig10c;
+
+fn main() {
+    println!("=== Fig. 10c: connectivity under random link failures ===");
+    let runs = if sciera_bench::full_scale() { 100 } else { 40 };
+    let f = fig10c(runs, 9, sciera_bench::full_scale());
+    println!("{}", f.to_table());
+    let p20 = f.at(0.2);
+    println!(
+        "at 20% links removed: multipath {:.0}% vs single-path {:.0}% (paper: ~90% vs ~50%)",
+        p20.multipath_connectivity * 100.0,
+        p20.singlepath_connectivity * 100.0
+    );
+}

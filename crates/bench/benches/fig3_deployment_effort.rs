@@ -1,0 +1,19 @@
+//! Fig. 3: SCIERA deployment effort over time.
+
+use scion_orchestrator::effort::EffortModel;
+use sciera_topology::timeline::deployment_timeline;
+
+fn main() {
+    println!("=== Fig. 3: deployment and estimated effort over time ===");
+    let events = deployment_timeline();
+    let efforts = EffortModel::default().evaluate(&events);
+    println!("{:<12}{:>7}{:>12}", "site", "month", "effort (h)");
+    for (e, h) in events.iter().zip(&efforts) {
+        println!("{:<12}{:>7}{:>12.0}  {}", e.name, e.month, h, "#".repeat((h / 15.0).ceil() as usize));
+    }
+    // The paper's claim: comparable later setups took considerably less
+    // effort.
+    let geant = efforts[0];
+    let kisti_hk = efforts[events.iter().position(|e| e.name == "KISTI HK").unwrap()];
+    println!("\ncore buildouts: GEANT {geant:.0} h (first) vs KISTI HK {kisti_hk:.0} h (2025) — {:.0}x cheaper", geant / kisti_hk);
+}

@@ -1,0 +1,14 @@
+//! Fig. 4: end-host bootstrapping latency per platform and hint mechanism.
+
+use sciera_measure::bootstrapx::fig4;
+
+fn main() {
+    println!("=== Fig. 4: bootstrap latency (30 runs per cell) ===");
+    let f = fig4(30, 4);
+    println!("{}", f.to_table());
+    println!(
+        "worst total median across platforms/mechanisms: {:.1} ms (paper: median < 150 ms)",
+        f.worst_total_median_ms()
+    );
+    assert!(f.worst_total_median_ms() < 150.0);
+}

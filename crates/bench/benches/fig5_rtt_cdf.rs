@@ -1,0 +1,16 @@
+//! Fig. 5: CDF of ping latency for SCION and IP.
+
+use sciera_measure::analysis::{fig5, fig5_report};
+
+fn main() {
+    let store = sciera_bench::run_campaign("fig5");
+    let f = fig5(&store);
+    println!("=== Fig. 5: CDF of ping RTT, SCION vs IP ===");
+    println!("{}\n", fig5_report(&f));
+    println!("{:>10} {:>10} {:>10}", "RTT (ms)", "SCION F(x)", "IP F(x)");
+    for i in (0..f.scion.points.len()).step_by(6) {
+        let (x, fs) = f.scion.points[i];
+        let fi = f.ip.points[i].1;
+        println!("{x:>10.0} {fs:>10.3} {fi:>10.3}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Fig. 7: the SCION/IP RTT ratio over time with maintenance events.
+
+use sciera_measure::analysis::fig7;
+
+fn main() {
+    let store = sciera_bench::run_campaign("fig7");
+    let f = fig7(&store);
+    println!("=== Fig. 7: RTT ratio SCION/IP over time ===");
+    for (day, r) in f.daily_ratio.iter().enumerate() {
+        println!("day {day:>3}: {r:>6.3} {}", "#".repeat((r * 50.0) as usize));
+    }
+    println!("\ninjected incidents: {:?}", f.incidents);
+}

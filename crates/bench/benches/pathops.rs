@@ -1,0 +1,39 @@
+//! Control-plane macrobenchmarks: beaconing the SCIERA graph and combining
+//! paths for the richest pair.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scion_control::beacon::{BeaconConfig, BeaconEngine};
+use scion_control::combine::combine_paths;
+use scion_proto::addr::ia;
+use sciera_topology::links::build_control_graph;
+
+fn bench_pathops(c: &mut Criterion) {
+    let built = build_control_graph();
+    let mut g = c.benchmark_group("control_plane");
+    g.sample_size(20);
+    g.bench_function("beacon_sciera_k8", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                BeaconEngine::new(&built.graph, 1_700_000_000, BeaconConfig::default())
+                    .run()
+                    .unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let store = BeaconEngine::new(
+        &built.graph,
+        1_700_000_000,
+        BeaconConfig { candidates_per_origin: 32, ..Default::default() },
+    )
+    .run()
+    .unwrap();
+    g.bench_function("combine_uva_ufms", |b| {
+        b.iter(|| combine_paths(&store, ia("71-225"), ia("71-2:0:5c"), 300))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pathops);
+criterion_main!(benches);

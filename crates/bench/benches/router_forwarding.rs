@@ -1,0 +1,60 @@
+//! Border-router forwarding microbenchmarks: the per-packet cost of hop
+//! verification + header rewrite (the §2 "efficient symmetric
+//! cryptographic operation").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scion_control::fullpath::{Direction, FullPath, PathKind, SegmentUse};
+use scion_control::segment::{AsSecrets, SegmentBuilder, SegmentType};
+use scion_dataplane::router::{BorderRouter, Decision};
+use scion_proto::addr::{ia, HostAddr, ScionAddr};
+use scion_proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
+
+fn setup() -> (BorderRouter, ScionPacket) {
+    let mk = |s: &str| AsSecrets::derive(ia(s));
+    let mut b = SegmentBuilder::originate(SegmentType::UpDown, 1_700_000_000, 0x42);
+    b.extend(&mk("71-1"), 0, 11, &[]);
+    b.extend(&mk("71-10"), 21, 22, &[]);
+    b.extend(&mk("71-100"), 31, 0, &[]);
+    let seg = b.finish();
+    let path = FullPath::assemble(
+        ia("71-100"),
+        ia("71-1"),
+        PathKind::SingleSegment,
+        vec![SegmentUse::whole(seg, Direction::AgainstCons)],
+    )
+    .unwrap();
+    let pkt = ScionPacket::new(
+        ScionAddr::new(ia("71-100"), HostAddr::v4(10, 0, 0, 1)),
+        ScionAddr::new(ia("71-1"), HostAddr::v4(10, 0, 0, 2)),
+        L4Protocol::Udp,
+        DataPlanePath::Scion(path.to_dataplane().unwrap()),
+        vec![0u8; 1000],
+    );
+    let sec = mk("71-100");
+    (BorderRouter::new(sec.ia, sec.hop_key), pkt)
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let (mut router, pkt) = setup();
+    let mut g = c.benchmark_group("border_router");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("verify_and_forward", |b| {
+        b.iter(|| {
+            let p = pkt.clone();
+            match router.process(p, 0, 1_700_000_100).unwrap() {
+                Decision::Forward { ifid, .. } => assert_eq!(ifid, 31),
+                _ => unreachable!(),
+            }
+        })
+    });
+    g.bench_function("encode_decode_1000B", |b| {
+        b.iter(|| {
+            let wire = pkt.encode().unwrap();
+            ScionPacket::decode(&wire).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forwarding);
+criterion_main!(benches);

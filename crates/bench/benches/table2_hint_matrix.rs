@@ -1,0 +1,9 @@
+//! Table 2: hinting mechanisms vs network technologies.
+
+use scion_bootstrap::matrix::render_table2;
+
+fn main() {
+    println!("=== Table 2: preferred hinting mechanisms ===");
+    println!("{}", render_table2());
+    println!("Y = available, M = available in combination, N = not applicable.");
+}

@@ -1,0 +1,8 @@
+//! §5.6: the operator survey statistics.
+
+use sciera_measure::survey::{aggregate, report, respondents};
+
+fn main() {
+    println!("=== §5.6: operator survey ===");
+    println!("{}", report(&aggregate(&respondents())));
+}

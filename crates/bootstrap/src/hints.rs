@@ -1,0 +1,182 @@
+//! Hint discovery mechanisms (Appendix A).
+//!
+//! Each mechanism piggybacks the bootstrap server's address on a protocol
+//! the network already runs, so no new zero-conf infrastructure is needed
+//! — the paper's answer to the rogue-server, privacy and load concerns of
+//! §4.1.1.
+
+use serde::{Deserialize, Serialize};
+
+use scion_proto::encap::UnderlayAddr;
+
+/// A hinting mechanism the bootstrapper can try.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HintMechanism {
+    /// DHCP Vendor-Identifying Vendor Option (RFC 3925) carrying IP + port.
+    DhcpVivo,
+    /// DHCPv6 Vendor-Specific Information Option (RFC 3315).
+    Dhcpv6Vsio,
+    /// The DHCP "Default WWW server" option (field 72), IP only.
+    DhcpOption72,
+    /// IPv6 NDP router advertisements carrying DNS configuration (RFC 6106).
+    Ipv6NdpRa,
+    /// DNS SRV record `_sciondiscovery._tcp` under the search domain.
+    DnsSrv,
+    /// DNS NAPTR record `x-sciondiscovery:TCP`.
+    DnsNaptr,
+    /// DNS-based service discovery (PTR → SRV, RFC 6763).
+    DnsSd,
+    /// Multicast DNS in the local broadcast domain (RFC 6762).
+    Mdns,
+}
+
+impl HintMechanism {
+    /// All mechanisms in the bootstrapper's default preference order:
+    /// link-local options first (no resolver needed), then DNS.
+    pub fn all() -> &'static [HintMechanism] {
+        &[
+            HintMechanism::DhcpVivo,
+            HintMechanism::Dhcpv6Vsio,
+            HintMechanism::DhcpOption72,
+            HintMechanism::Ipv6NdpRa,
+            HintMechanism::DnsSrv,
+            HintMechanism::DnsNaptr,
+            HintMechanism::DnsSd,
+            HintMechanism::Mdns,
+        ]
+    }
+
+    /// The mechanisms evaluated in Fig. 4 / listed in Table 2 (the paper
+    /// folds the two DHCPv4 options into "DHCP").
+    pub fn table2_rows() -> &'static [HintMechanism] {
+        &[
+            HintMechanism::DhcpVivo,
+            HintMechanism::Dhcpv6Vsio,
+            HintMechanism::Ipv6NdpRa,
+            HintMechanism::DnsSrv,
+            HintMechanism::DnsSd,
+            HintMechanism::Mdns,
+            HintMechanism::DnsNaptr,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HintMechanism::DhcpVivo => "DHCP-VIVO",
+            HintMechanism::Dhcpv6Vsio => "DHCPv6-VSIO",
+            HintMechanism::DhcpOption72 => "DHCP-opt72",
+            HintMechanism::Ipv6NdpRa => "IPv6-NDP",
+            HintMechanism::DnsSrv => "DNS-SRV",
+            HintMechanism::DnsNaptr => "DNS-NAPTR",
+            HintMechanism::DnsSd => "DNS-SD",
+            HintMechanism::Mdns => "mDNS",
+        }
+    }
+
+    /// Number of request/response exchanges the mechanism needs on the
+    /// local network (drives the Fig. 4 timing model): DHCP re-queries the
+    /// lease options, DNS-SD chases PTR → SRV → A, etc.
+    pub fn round_trips(&self) -> u32 {
+        match self {
+            HintMechanism::DhcpVivo | HintMechanism::Dhcpv6Vsio | HintMechanism::DhcpOption72 => 2,
+            HintMechanism::Ipv6NdpRa => 1,
+            HintMechanism::DnsSrv | HintMechanism::DnsNaptr => 2, // SRV/NAPTR then A
+            HintMechanism::DnsSd => 3,                            // PTR, SRV, A
+            HintMechanism::Mdns => 1,
+        }
+    }
+}
+
+impl core::fmt::Display for HintMechanism {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The zero-conf technologies present in a target network — the columns of
+/// Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkProfile {
+    /// Statically configured IPs only (no DHCP, no RAs, no search domain).
+    StaticIpsOnly,
+    /// Dynamic DHCP(v4) leases.
+    DynDhcpLeases,
+    /// Dynamic DHCPv6 leases.
+    DynDhcpv6Lease,
+    /// IPv6 router advertisements.
+    Ipv6Ras,
+    /// A local DNS search domain is configured.
+    LocalDnsSearchDomain,
+}
+
+impl NetworkProfile {
+    /// All Table 2 columns, in paper order.
+    pub fn all() -> &'static [NetworkProfile] {
+        &[
+            NetworkProfile::StaticIpsOnly,
+            NetworkProfile::DynDhcpLeases,
+            NetworkProfile::DynDhcpv6Lease,
+            NetworkProfile::Ipv6Ras,
+            NetworkProfile::LocalDnsSearchDomain,
+        ]
+    }
+
+    /// Column header as printed in Table 2.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkProfile::StaticIpsOnly => "Static IPs only",
+            NetworkProfile::DynDhcpLeases => "dyn. DHCP leases",
+            NetworkProfile::DynDhcpv6Lease => "dyn. DHCPv6 lease",
+            NetworkProfile::Ipv6Ras => "IPv6 RAs",
+            NetworkProfile::LocalDnsSearchDomain => "local DNS search domain",
+        }
+    }
+}
+
+/// A discovered hint: where to fetch the configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hint {
+    /// Bootstrap server endpoint. Mechanisms with space only for an IP
+    /// (e.g. DHCP option 72) imply the default port.
+    pub server: UnderlayAddr,
+    /// Which mechanism produced it.
+    pub mechanism: HintMechanism,
+}
+
+/// Default bootstrap server port when the hint can only carry an IP.
+pub const DEFAULT_BOOTSTRAP_PORT: u16 = 8041;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_mechanisms_named_uniquely() {
+        let names: Vec<&str> = HintMechanism::all().iter().map(|m| m.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn table2_rows_match_paper() {
+        assert_eq!(HintMechanism::table2_rows().len(), 7);
+        assert_eq!(NetworkProfile::all().len(), 5);
+    }
+
+    #[test]
+    fn round_trip_counts_ordered_sensibly() {
+        // mDNS and RA are single-exchange; DNS-SD chases three records.
+        assert_eq!(HintMechanism::Mdns.round_trips(), 1);
+        assert_eq!(HintMechanism::Ipv6NdpRa.round_trips(), 1);
+        assert!(HintMechanism::DnsSd.round_trips() > HintMechanism::DnsSrv.round_trips());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(HintMechanism::DnsNaptr.to_string(), "DNS-NAPTR");
+    }
+}

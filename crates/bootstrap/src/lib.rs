@@ -1,0 +1,62 @@
+//! SCION end-host bootstrapping (§4.1, Appendix A).
+//!
+//! Joining SCIERA must "just work": before a host can send a single SCION
+//! packet it needs the local AS topology (border-router and control-service
+//! underlay addresses) and the ISD's trust anchor (TRC). The bootstrapping
+//! system gets it there in three moves:
+//!
+//! 1. **Hint discovery** ([`hints`]): a *bootstrapping hint* — usually just
+//!    the bootstrap server's IP — is carried in protocols that already run
+//!    on every network: DHCP options, IPv6 router advertisements, DNS
+//!    records, or multicast DNS. [`matrix`] reproduces Table 2, mapping
+//!    each mechanism to the network technologies it works on.
+//! 2. **Configuration retrieval** ([`server`], [`client`]): an HTTP GET to
+//!    the hint address's `/topology` endpoint returns the signed topology
+//!    document and the TRCs.
+//! 3. **Verification** ([`client`]): the initial TRC is trusted out-of-band
+//!    (TLS or manual validation, §4.1.2); the topology signature is checked
+//!    against the AS certificate chain, and future TRCs chain from the
+//!    first.
+//!
+//! The client is a poll-free state machine driven through a
+//! [`client::BootstrapEnv`], so the same code runs against the simulator
+//! (Fig. 4 timing evaluation) and unit tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod hints;
+pub mod matrix;
+pub mod server;
+
+pub use client::{BootstrapClient, BootstrapEnv, BootstrapOutcome, BootstrapTiming};
+pub use hints::{HintMechanism, NetworkProfile};
+pub use matrix::{availability, Availability};
+pub use server::{BootstrapServer, TopologyDocument};
+
+/// Errors from bootstrapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BootstrapError {
+    /// No hint mechanism produced a bootstrap server address.
+    NoHint,
+    /// The server did not answer or returned garbage.
+    FetchFailed(String),
+    /// The topology document failed verification.
+    BadTopology(String),
+    /// TRC processing failed.
+    BadTrc(String),
+}
+
+impl core::fmt::Display for BootstrapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BootstrapError::NoHint => write!(f, "no bootstrapping hint discovered"),
+            BootstrapError::FetchFailed(s) => write!(f, "configuration fetch failed: {s}"),
+            BootstrapError::BadTopology(s) => write!(f, "bad topology document: {s}"),
+            BootstrapError::BadTrc(s) => write!(f, "bad TRC: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BootstrapError {}

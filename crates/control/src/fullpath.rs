@@ -1,0 +1,588 @@
+//! Combined end-to-end paths.
+//!
+//! A [`FullPath`] is the product of the combinator: an ordered list of
+//! segment uses (which segment, which entry range, which traversal
+//! direction, whether a peer hop substitutes the junction hop) plus derived
+//! AS-level hops for analysis. [`FullPath::to_dataplane`] assembles the
+//! verifiable wire path: per-segment info fields with the correct
+//! construction-direction flag, peering flag and segment-identifier
+//! initialisation, and the hop fields exactly as MACed during beaconing.
+
+use serde::{Deserialize, Serialize};
+
+use scion_proto::addr::IsdAsn;
+use scion_proto::path::{HopField, InfoField, ScionPath};
+
+use crate::segment::PathSegment;
+use crate::ControlError;
+
+/// Traversal direction of a segment use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Along construction direction (down segments, peering down parts).
+    Cons,
+    /// Against construction direction (up and core segments).
+    AgainstCons,
+}
+
+/// How one segment contributes to a full path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentUse {
+    /// The segment (owned copy; segments are immutable once registered).
+    pub segment: PathSegment,
+    /// Traversal direction.
+    pub dir: Direction,
+    /// First used entry (construction-order index, inclusive).
+    pub from_idx: usize,
+    /// Last used entry (construction-order index, inclusive).
+    pub to_idx: usize,
+    /// If set, the entry at the *junction end* is replaced by its peer hop
+    /// toward this peer AS: for `AgainstCons` the entry at `from_idx`
+    /// (traversed last), for `Cons` the entry at `from_idx` (traversed
+    /// first).
+    pub peer_with: Option<IsdAsn>,
+}
+
+impl SegmentUse {
+    /// A full-segment use with no truncation or peering.
+    pub fn whole(segment: PathSegment, dir: Direction) -> Self {
+        let to_idx = segment.len() - 1;
+        SegmentUse { segment, dir, from_idx: 0, to_idx, peer_with: None }
+    }
+
+    /// Number of hop fields this use contributes.
+    pub fn hop_count(&self) -> usize {
+        self.to_idx - self.from_idx + 1
+    }
+
+    /// Entry indices in traversal order.
+    fn traversal_indices(&self) -> Vec<usize> {
+        match self.dir {
+            Direction::Cons => (self.from_idx..=self.to_idx).collect(),
+            Direction::AgainstCons => (self.from_idx..=self.to_idx).rev().collect(),
+        }
+    }
+
+    /// The hop field for entry `idx`, honouring peer substitution.
+    fn hop_field_at(&self, idx: usize) -> Result<HopField, ControlError> {
+        let entry = &self.segment.entries[idx];
+        if idx == self.from_idx {
+            if let Some(peer) = self.peer_with {
+                let pe = entry
+                    .peers
+                    .iter()
+                    .find(|p| p.peer == peer)
+                    .ok_or_else(|| {
+                        ControlError::BadSegment(format!(
+                            "{} has no peer entry toward {}",
+                            entry.ia, peer
+                        ))
+                    })?;
+                return Ok(pe.hop);
+            }
+        }
+        Ok(entry.hop)
+    }
+
+    /// The initial segment identifier for the info field.
+    ///
+    /// * `Cons` without peering: `beta_{from_idx}` — hops verify then chain.
+    /// * `Cons` with a peer first hop: `beta_{from_idx+1}` — the peer hop's
+    ///   MAC is computed over the *next* beta and does not chain.
+    /// * `AgainstCons`: `beta_{to_idx+1}` — each hop un-chains its own MAC
+    ///   before verifying.
+    fn seg_id_init(&self) -> u16 {
+        match (self.dir, self.peer_with.is_some()) {
+            (Direction::Cons, false) => self.segment.beta_at(self.from_idx),
+            (Direction::Cons, true) => self.segment.beta_at(self.from_idx + 1),
+            (Direction::AgainstCons, _) => self.segment.beta_at(self.to_idx + 1),
+        }
+    }
+
+    /// Builds the info field for this use.
+    fn info_field(&self) -> InfoField {
+        InfoField {
+            peering: self.peer_with.is_some(),
+            cons_dir: self.dir == Direction::Cons,
+            seg_id: self.seg_id_init(),
+            timestamp: self.segment.timestamp,
+        }
+    }
+}
+
+/// How the path was combined (for analysis and policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathKind {
+    /// up + core + down.
+    CoreTransit,
+    /// up + down joined at a shared core AS.
+    SameCore,
+    /// Truncated up + down joined at a shared non-core AS.
+    Shortcut,
+    /// up + down joined over a peering link.
+    Peering,
+    /// A single segment (src or dst is a core AS, or core-to-core).
+    SingleSegment,
+    /// up + core (destination is a core AS) or core + down.
+    CoreEnd,
+}
+
+/// One AS-level hop of a combined path, in traversal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathHop {
+    /// The AS.
+    pub ia: IsdAsn,
+    /// Interface the packet enters through (0 at the source AS).
+    pub ingress: u16,
+    /// Interface the packet leaves through (0 at the destination AS).
+    pub egress: u16,
+}
+
+/// A combined end-to-end path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FullPath {
+    /// Source AS.
+    pub src: IsdAsn,
+    /// Destination AS.
+    pub dst: IsdAsn,
+    /// Combination shape.
+    pub kind: PathKind,
+    /// Segment uses in traversal order.
+    pub uses: Vec<SegmentUse>,
+    /// Derived AS-level hops in traversal order (junction ASes merged).
+    pub hops: Vec<PathHop>,
+}
+
+impl FullPath {
+    /// Builds a path from segment uses, deriving and validating the AS-level
+    /// hop sequence (adjacent uses must join at the same AS).
+    pub fn assemble(
+        src: IsdAsn,
+        dst: IsdAsn,
+        kind: PathKind,
+        uses: Vec<SegmentUse>,
+    ) -> Result<Self, ControlError> {
+        if uses.is_empty() || uses.len() > 3 {
+            return Err(ControlError::BadSegment(format!(
+                "a path uses 1..=3 segments, got {}",
+                uses.len()
+            )));
+        }
+        // Per-use traversal hop lists of (ia, traversal-ingress,
+        // traversal-egress) triples.
+        let mut per_use: Vec<Vec<(IsdAsn, u16, u16)>> = Vec::with_capacity(uses.len());
+        for u in &uses {
+            if u.from_idx > u.to_idx || u.to_idx >= u.segment.len() {
+                return Err(ControlError::BadSegment(format!(
+                    "entry range {}..={} out of bounds for segment of {} entries",
+                    u.from_idx,
+                    u.to_idx,
+                    u.segment.len()
+                )));
+            }
+            let mut list = Vec::with_capacity(u.hop_count());
+            for idx in u.traversal_indices() {
+                let hf = u.hop_field_at(idx)?;
+                let (ing, eg) = match u.dir {
+                    Direction::Cons => (hf.cons_ingress, hf.cons_egress),
+                    Direction::AgainstCons => (hf.cons_egress, hf.cons_ingress),
+                };
+                list.push((u.segment.entries[idx].ia, ing, eg));
+            }
+            per_use.push(list);
+        }
+        // Merge at segment boundaries: when two adjacent uses join at the
+        // same AS, the packet crosses that AS internally — it enters via the
+        // previous use's ingress and leaves via the next use's egress; the
+        // boundary-facing interfaces of the two hop fields are not used for
+        // forwarding. Peering junctions cross a link between two *different*
+        // ASes and are not merged.
+        let mut hops: Vec<PathHop> = Vec::new();
+        for list in per_use {
+            let mut iter = list.into_iter();
+            if let Some((ia, ing, eg)) = iter.next() {
+                match hops.last_mut() {
+                    Some(last) if last.ia == ia => last.egress = eg,
+                    _ => hops.push(PathHop { ia, ingress: ing, egress: eg }),
+                }
+            }
+            for (ia, ing, eg) in iter {
+                hops.push(PathHop { ia, ingress: ing, egress: eg });
+            }
+        }
+        // The path's end points never use their outward-facing interfaces.
+        if let Some(first) = hops.first_mut() {
+            first.ingress = 0;
+        }
+        if let Some(last) = hops.last_mut() {
+            last.egress = 0;
+        }
+        if hops.first().map(|h| h.ia) != Some(src) {
+            return Err(ControlError::BadSegment(format!(
+                "path does not start at {src}"
+            )));
+        }
+        if hops.last().map(|h| h.ia) != Some(dst) {
+            return Err(ControlError::BadSegment(format!("path does not end at {dst}")));
+        }
+        // No AS may appear twice (loop freedom).
+        let mut seen: Vec<IsdAsn> = hops.iter().map(|h| h.ia).collect();
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        if seen.len() != before {
+            return Err(ControlError::BadSegment("path visits an AS twice".into()));
+        }
+        Ok(FullPath { src, dst, kind, uses, hops })
+    }
+
+    /// Number of AS-level hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the path is empty (never true for assembled paths).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// All globally-unique interface identifiers `(ISD-AS, ifid)` touched by
+    /// the path — the §5.4 disjointness universe.
+    pub fn interfaces(&self) -> Vec<(IsdAsn, u16)> {
+        let mut out = Vec::with_capacity(self.hops.len() * 2);
+        for h in &self.hops {
+            if h.ingress != 0 {
+                out.push((h.ia, h.ingress));
+            }
+            if h.egress != 0 {
+                out.push((h.ia, h.egress));
+            }
+        }
+        out
+    }
+
+    /// A short stable fingerprint (hex) identifying the path by its
+    /// interface sequence — the paper's "path identifier".
+    pub fn fingerprint(&self) -> String {
+        let mut bytes = Vec::with_capacity(self.hops.len() * 12);
+        for h in &self.hops {
+            bytes.extend_from_slice(&h.ia.to_u64().to_be_bytes());
+            bytes.extend_from_slice(&h.ingress.to_be_bytes());
+            bytes.extend_from_slice(&h.egress.to_be_bytes());
+        }
+        let d = scion_crypto::sha256::sha256(&bytes);
+        scion_crypto::sha256::to_hex(&d[..8])
+    }
+
+    /// Earliest expiry over all used segments (Unix seconds).
+    pub fn expiry(&self) -> u64 {
+        self.uses.iter().map(|u| u.segment.expiry()).min().unwrap_or(0)
+    }
+
+    /// Assembles the data-plane path header. Hop fields appear in traversal
+    /// order per segment; info fields carry direction, peering flag and the
+    /// correct initial segment identifier, so border routers can verify
+    /// every hop MAC.
+    pub fn to_dataplane(&self) -> Result<ScionPath, ControlError> {
+        let mut segments = Vec::with_capacity(self.uses.len());
+        for u in &self.uses {
+            let mut hops = Vec::with_capacity(u.hop_count());
+            for idx in u.traversal_indices() {
+                hops.push(u.hop_field_at(idx)?);
+            }
+            segments.push((u.info_field(), hops));
+        }
+        ScionPath::from_segments(segments)
+            .map_err(|e| ControlError::BadSegment(format!("assembly failed: {e}")))
+    }
+
+    /// The ordered list of on-path ASes.
+    pub fn ases(&self) -> Vec<IsdAsn> {
+        self.hops.iter().map(|h| h.ia).collect()
+    }
+}
+
+/// Symmetric-difference disjointness: `1 − 2·|A∩B| / (|A|+|B|)` over the
+/// two paths' globally-unique interface sets — 1.0 for fully disjoint
+/// paths, 0.0 for identical ones ("having only 30 % of links in common"
+/// reads as 0.7 under this metric). Used for path *selection*.
+pub fn disjointness(a: &FullPath, b: &FullPath) -> f64 {
+    let ia = a.interfaces();
+    let ib = b.interfaces();
+    if ia.is_empty() && ib.is_empty() {
+        return 0.0;
+    }
+    let shared = ia.iter().filter(|x| ib.contains(x)).count()
+        + ib.iter().filter(|x| ia.contains(x)).count();
+    1.0 - shared as f64 / (ia.len() + ib.len()) as f64
+}
+
+/// The paper's Fig. 10b formula taken literally: "dividing the number of
+/// distinct interfaces by the total number of interfaces for both paths",
+/// i.e. `|A∪B| / (|A|+|B|)` — 1.0 for fully disjoint paths, 0.5 for
+/// identical ones. (§5.5's parenthetical gloss matches
+/// [`disjointness`] instead; EXPERIMENTS.md discusses the ambiguity.)
+pub fn paper_disjointness(a: &FullPath, b: &FullPath) -> f64 {
+    let ia = a.interfaces();
+    let ib = b.interfaces();
+    let total = ia.len() + ib.len();
+    if total == 0 {
+        return 0.5;
+    }
+    let mut distinct: Vec<(IsdAsn, u16)> = ia.iter().chain(ib.iter()).copied().collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    distinct.len() as f64 / total as f64
+}
+
+/// Number of interfaces `a` shares with `b` (the §5.4 most-disjoint-path
+/// selection metric).
+pub fn shared_interfaces(a: &FullPath, b: &FullPath) -> usize {
+    let ib = b.interfaces();
+    a.interfaces().iter().filter(|x| ib.contains(x)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{AsSecrets, SegmentBuilder, SegmentType};
+    use scion_proto::addr::ia;
+
+    /// Up segment: core 71-1 -> mid 71-10 -> leaf 71-100.
+    fn up_segment() -> PathSegment {
+        let mut b = SegmentBuilder::originate(SegmentType::UpDown, 1_700_000_000, 0xaaaa);
+        b.extend(&AsSecrets::derive(ia("71-1")), 0, 11, &[]);
+        b.extend(&AsSecrets::derive(ia("71-10")), 21, 22, &[(ia("71-20"), 29, 39)]);
+        b.extend(&AsSecrets::derive(ia("71-100")), 31, 0, &[]);
+        b.finish()
+    }
+
+    /// Down segment: core 71-2 -> mid 71-20 -> leaf 71-200.
+    fn down_segment() -> PathSegment {
+        let mut b = SegmentBuilder::originate(SegmentType::UpDown, 1_700_000_000, 0xbbbb);
+        b.extend(&AsSecrets::derive(ia("71-2")), 0, 12, &[]);
+        b.extend(&AsSecrets::derive(ia("71-20")), 23, 24, &[(ia("71-10"), 39, 29)]);
+        b.extend(&AsSecrets::derive(ia("71-200")), 33, 0, &[]);
+        b.finish()
+    }
+
+    /// Core segment constructed 71-2 -> 71-1 (usable from 71-1 to 71-2).
+    fn core_segment() -> PathSegment {
+        let mut b = SegmentBuilder::originate(SegmentType::Core, 1_700_000_000, 0xcccc);
+        b.extend(&AsSecrets::derive(ia("71-2")), 0, 41, &[]);
+        b.extend(&AsSecrets::derive(ia("71-1")), 42, 0, &[]);
+        b.finish()
+    }
+
+    fn core_transit() -> FullPath {
+        FullPath::assemble(
+            ia("71-100"),
+            ia("71-200"),
+            PathKind::CoreTransit,
+            vec![
+                SegmentUse::whole(up_segment(), Direction::AgainstCons),
+                SegmentUse::whole(core_segment(), Direction::AgainstCons),
+                SegmentUse::whole(down_segment(), Direction::Cons),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn core_transit_hops() {
+        let p = core_transit();
+        assert_eq!(
+            p.ases(),
+            vec![ia("71-100"), ia("71-10"), ia("71-1"), ia("71-2"), ia("71-20"), ia("71-200")]
+        );
+        // Source has no ingress; destination has no egress.
+        assert_eq!(p.hops.first().unwrap().ingress, 0);
+        assert_eq!(p.hops.last().unwrap().egress, 0);
+        // Junction core ASes merged: 71-1 enters from child link, leaves on core.
+        let h1 = p.hops[2];
+        assert_eq!(h1.ia, ia("71-1"));
+        assert_eq!(h1.ingress, 11);
+        assert_eq!(h1.egress, 42);
+    }
+
+    #[test]
+    fn dataplane_assembly_counts() {
+        let p = core_transit();
+        let dp = p.to_dataplane().unwrap();
+        assert_eq!(dp.meta.seg_len, [3, 2, 3]);
+        assert_eq!(dp.info.len(), 3);
+        assert!(!dp.info[0].cons_dir);
+        assert!(!dp.info[1].cons_dir);
+        assert!(dp.info[2].cons_dir);
+        // Against-cons segments init seg_id to beta_{end+1}; cons to beta_0.
+        let up = up_segment();
+        assert_eq!(dp.info[0].seg_id, up.beta_at(3));
+        let down = down_segment();
+        assert_eq!(dp.info[2].seg_id, down.beta_at(0));
+    }
+
+    #[test]
+    fn shortcut_truncates_segments() {
+        // Join at common mid AS: pretend 71-10 appears in both segments.
+        let up = up_segment();
+        let mut b = SegmentBuilder::originate(SegmentType::UpDown, 1_700_000_000, 0xdddd);
+        b.extend(&AsSecrets::derive(ia("71-1")), 0, 11, &[]);
+        b.extend(&AsSecrets::derive(ia("71-10")), 21, 25, &[]);
+        b.extend(&AsSecrets::derive(ia("71-300")), 35, 0, &[]);
+        let down = b.finish();
+        let p = FullPath::assemble(
+            ia("71-100"),
+            ia("71-300"),
+            PathKind::Shortcut,
+            vec![
+                SegmentUse { segment: up, dir: Direction::AgainstCons, from_idx: 1, to_idx: 2, peer_with: None },
+                SegmentUse { segment: down, dir: Direction::Cons, from_idx: 1, to_idx: 2, peer_with: None },
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.ases(), vec![ia("71-100"), ia("71-10"), ia("71-300")]);
+        let dp = p.to_dataplane().unwrap();
+        assert_eq!(dp.meta.seg_len, [2, 2, 0]);
+    }
+
+    #[test]
+    fn peering_path_uses_peer_hops() {
+        let p = FullPath::assemble(
+            ia("71-100"),
+            ia("71-200"),
+            PathKind::Peering,
+            vec![
+                SegmentUse {
+                    segment: up_segment(),
+                    dir: Direction::AgainstCons,
+                    from_idx: 1,
+                    to_idx: 2,
+                    peer_with: Some(ia("71-20")),
+                },
+                SegmentUse {
+                    segment: down_segment(),
+                    dir: Direction::Cons,
+                    from_idx: 1,
+                    to_idx: 2,
+                    peer_with: Some(ia("71-10")),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.ases(), vec![ia("71-100"), ia("71-10"), ia("71-20"), ia("71-200")]);
+        // Peering junction crosses 71-10 ifid 29 <-> 71-20 ifid 39.
+        assert_eq!(p.hops[1].egress, 29);
+        assert_eq!(p.hops[2].ingress, 39);
+        let dp = p.to_dataplane().unwrap();
+        assert!(dp.info[0].peering);
+        assert!(dp.info[1].peering);
+        // Peering info fields init seg_id with beta_{idx+1} semantics.
+        let up = up_segment();
+        assert_eq!(dp.info[1].seg_id, down_segment().beta_at(2));
+        assert_eq!(dp.info[0].seg_id, up.beta_at(3));
+    }
+
+    #[test]
+    fn missing_peer_entry_rejected() {
+        let r = FullPath::assemble(
+            ia("71-100"),
+            ia("71-200"),
+            PathKind::Peering,
+            vec![
+                SegmentUse {
+                    segment: up_segment(),
+                    dir: Direction::AgainstCons,
+                    from_idx: 1,
+                    to_idx: 2,
+                    peer_with: Some(ia("71-404")),
+                },
+                SegmentUse::whole(down_segment(), Direction::Cons),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn wrong_endpoints_rejected() {
+        let r = FullPath::assemble(
+            ia("71-999"),
+            ia("71-200"),
+            PathKind::CoreTransit,
+            vec![SegmentUse::whole(up_segment(), Direction::AgainstCons)],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn loops_rejected() {
+        // up then the same segment down again would visit ASes twice.
+        let r = FullPath::assemble(
+            ia("71-100"),
+            ia("71-100"),
+            PathKind::SameCore,
+            vec![
+                SegmentUse::whole(up_segment(), Direction::AgainstCons),
+                SegmentUse::whole(up_segment(), Direction::Cons),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn interfaces_and_fingerprint() {
+        let p = core_transit();
+        let ifs = p.interfaces();
+        // 6 hops, ends have one interface each, middles two.
+        assert_eq!(ifs.len(), 10);
+        assert!(ifs.contains(&(ia("71-1"), 11)));
+        assert_eq!(p.fingerprint(), p.fingerprint());
+        assert_eq!(p.fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn paper_disjointness_bounds() {
+        let p = core_transit();
+        assert_eq!(paper_disjointness(&p, &p), 0.5);
+        let other = FullPath::assemble(
+            ia("71-100"),
+            ia("71-1"),
+            PathKind::SingleSegment,
+            vec![SegmentUse::whole(up_segment(), Direction::AgainstCons)],
+        )
+        .unwrap();
+        let d = paper_disjointness(&p, &other);
+        assert!(d > 0.5 && d < 1.0, "partial overlap: {d}");
+    }
+
+    #[test]
+    fn disjointness_metric() {
+        let p = core_transit();
+        assert_eq!(disjointness(&p, &p), 0.0);
+        // A path sharing nothing: single-segment path elsewhere.
+        let other = FullPath::assemble(
+            ia("71-100"),
+            ia("71-1"),
+            PathKind::SingleSegment,
+            vec![SegmentUse::whole(up_segment(), Direction::AgainstCons)],
+        )
+        .unwrap();
+        let d = disjointness(&p, &other);
+        assert!(d > 0.0 && d < 1.0, "partially overlapping: {d}");
+        assert_eq!(shared_interfaces(&p, &p), p.interfaces().len());
+    }
+
+    #[test]
+    fn single_segment_path() {
+        let p = FullPath::assemble(
+            ia("71-100"),
+            ia("71-1"),
+            PathKind::SingleSegment,
+            vec![SegmentUse::whole(up_segment(), Direction::AgainstCons)],
+        )
+        .unwrap();
+        assert_eq!(p.ases(), vec![ia("71-100"), ia("71-10"), ia("71-1")]);
+        let dp = p.to_dataplane().unwrap();
+        assert_eq!(dp.meta.seg_len, [3, 0, 0]);
+        assert_eq!(p.expiry(), 1_700_000_000 + 21_600);
+    }
+}

@@ -1,0 +1,310 @@
+//! The control-plane view of the inter-AS topology.
+//!
+//! Every AS owns a set of numbered interfaces; each interface attaches to a
+//! neighbour AS's interface over one of three SCION link types. Interface
+//! identifiers are AS-scoped 16-bit values; the pair `(ISD-AS, ifid)` is the
+//! globally unique interface ID the paper's §5.4 uses for disjointness.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use scion_proto::addr::IsdAsn;
+
+use crate::ControlError;
+
+/// The SCION relationship a link expresses, from this AS's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkType {
+    /// Core link between two core ASes (intra- or inter-ISD).
+    Core,
+    /// Link toward a parent (provider) AS — beacons arrive over this.
+    Parent,
+    /// Link toward a child (customer) AS — beacons are propagated here.
+    Child,
+    /// Peering link between non-core ASes (or core–noncore peering).
+    Peer,
+}
+
+impl LinkType {
+    /// The link type the neighbour sees.
+    pub fn reciprocal(&self) -> LinkType {
+        match self {
+            LinkType::Core => LinkType::Core,
+            LinkType::Parent => LinkType::Child,
+            LinkType::Child => LinkType::Parent,
+            LinkType::Peer => LinkType::Peer,
+        }
+    }
+}
+
+/// One interface of an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interface {
+    /// AS-scoped interface identifier (non-zero).
+    pub id: u16,
+    /// The AS on the far end.
+    pub neighbor: IsdAsn,
+    /// The far end's interface identifier.
+    pub neighbor_ifid: u16,
+    /// Relationship to the neighbour.
+    pub link_type: LinkType,
+}
+
+/// One AS in the control-plane graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsNode {
+    /// The AS identifier.
+    pub ia: IsdAsn,
+    /// Whether this is a core AS of its ISD.
+    pub core: bool,
+    /// All interfaces, keyed by interface ID.
+    pub interfaces: Vec<Interface>,
+}
+
+impl AsNode {
+    /// Looks up an interface by ID.
+    pub fn interface(&self, ifid: u16) -> Option<&Interface> {
+        self.interfaces.iter().find(|i| i.id == ifid)
+    }
+
+    /// All interfaces of a given link type.
+    pub fn interfaces_of_type(&self, lt: LinkType) -> impl Iterator<Item = &Interface> {
+        self.interfaces.iter().filter(move |i| i.link_type == lt)
+    }
+}
+
+/// The whole inter-AS graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ControlGraph {
+    ases: BTreeMap<IsdAsn, AsNode>,
+    next_ifid: BTreeMap<IsdAsn, u16>,
+}
+
+impl ControlGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an AS.
+    pub fn add_as(&mut self, ia: IsdAsn, core: bool) {
+        self.ases.entry(ia).or_insert(AsNode { ia, core, interfaces: Vec::new() });
+        self.next_ifid.entry(ia).or_insert(1);
+    }
+
+    /// Connects two ASes with a link of type `lt` (as seen from `a`),
+    /// auto-assigning fresh interface IDs on both sides. Returns
+    /// `(ifid_at_a, ifid_at_b)`.
+    pub fn connect(
+        &mut self,
+        a: IsdAsn,
+        b: IsdAsn,
+        lt: LinkType,
+    ) -> Result<(u16, u16), ControlError> {
+        if !self.ases.contains_key(&a) {
+            return Err(ControlError::UnknownAs(a.to_string()));
+        }
+        if !self.ases.contains_key(&b) {
+            return Err(ControlError::UnknownAs(b.to_string()));
+        }
+        let ifid_a = {
+            let n = self.next_ifid.get_mut(&a).unwrap();
+            let v = *n;
+            *n += 1;
+            v
+        };
+        let ifid_b = {
+            let n = self.next_ifid.get_mut(&b).unwrap();
+            let v = *n;
+            *n += 1;
+            v
+        };
+        self.ases.get_mut(&a).unwrap().interfaces.push(Interface {
+            id: ifid_a,
+            neighbor: b,
+            neighbor_ifid: ifid_b,
+            link_type: lt,
+        });
+        self.ases.get_mut(&b).unwrap().interfaces.push(Interface {
+            id: ifid_b,
+            neighbor: a,
+            neighbor_ifid: ifid_a,
+            link_type: lt.reciprocal(),
+        });
+        Ok((ifid_a, ifid_b))
+    }
+
+    /// Looks up an AS.
+    pub fn as_node(&self, ia: IsdAsn) -> Option<&AsNode> {
+        self.ases.get(&ia)
+    }
+
+    /// Iterates over all ASes (sorted by ISD-AS).
+    pub fn ases(&self) -> impl Iterator<Item = &AsNode> {
+        self.ases.values()
+    }
+
+    /// All core ASes.
+    pub fn core_ases(&self) -> Vec<IsdAsn> {
+        self.ases.values().filter(|a| a.core).map(|a| a.ia).collect()
+    }
+
+    /// Number of ASes.
+    pub fn as_count(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// Number of links (each counted once).
+    pub fn link_count(&self) -> usize {
+        self.ases.values().map(|a| a.interfaces.len()).sum::<usize>() / 2
+    }
+
+    /// Validates structural invariants: reciprocity of every interface and
+    /// of every link type, no self-loops, and parent/child relationships
+    /// not involving two core ASes.
+    pub fn validate(&self) -> Result<(), ControlError> {
+        for node in self.ases.values() {
+            for intf in &node.interfaces {
+                if intf.neighbor == node.ia {
+                    return Err(ControlError::BadTopology(format!(
+                        "{} has a self-loop on interface {}",
+                        node.ia, intf.id
+                    )));
+                }
+                let peer = self.ases.get(&intf.neighbor).ok_or_else(|| {
+                    ControlError::BadTopology(format!(
+                        "{} interface {} points at unknown AS {}",
+                        node.ia, intf.id, intf.neighbor
+                    ))
+                })?;
+                let back = peer.interface(intf.neighbor_ifid).ok_or_else(|| {
+                    ControlError::BadTopology(format!(
+                        "{} interface {} has no reciprocal on {}",
+                        node.ia, intf.id, intf.neighbor
+                    ))
+                })?;
+                if back.neighbor != node.ia || back.neighbor_ifid != intf.id {
+                    return Err(ControlError::BadTopology(format!(
+                        "interface reciprocity violated between {} and {}",
+                        node.ia, intf.neighbor
+                    )));
+                }
+                if back.link_type != intf.link_type.reciprocal() {
+                    return Err(ControlError::BadTopology(format!(
+                        "link type reciprocity violated between {} and {}",
+                        node.ia, intf.neighbor
+                    )));
+                }
+                if intf.link_type == LinkType::Core && (!node.core || !peer.core) {
+                    return Err(ControlError::BadTopology(format!(
+                        "core link between non-core ASes {} and {}",
+                        node.ia, intf.neighbor
+                    )));
+                }
+                if matches!(intf.link_type, LinkType::Parent | LinkType::Child)
+                    && node.ia.isd != peer.ia.isd
+                {
+                    return Err(ControlError::BadTopology(format!(
+                        "inter-ISD parent-child link {} -> {} (only core links cross ISDs)",
+                        node.ia, intf.neighbor
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The neighbour reached by leaving `ia` via `ifid`.
+    pub fn neighbor_of(&self, ia: IsdAsn, ifid: u16) -> Option<(IsdAsn, u16)> {
+        let intf = self.ases.get(&ia)?.interface(ifid)?;
+        Some((intf.neighbor, intf.neighbor_ifid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_proto::addr::ia;
+
+    fn small_graph() -> ControlGraph {
+        let mut g = ControlGraph::new();
+        g.add_as(ia("71-1"), true);
+        g.add_as(ia("71-2"), true);
+        g.add_as(ia("71-10"), false);
+        g.add_as(ia("71-11"), false);
+        g.connect(ia("71-1"), ia("71-2"), LinkType::Core).unwrap();
+        g.connect(ia("71-1"), ia("71-10"), LinkType::Child).unwrap();
+        g.connect(ia("71-2"), ia("71-11"), LinkType::Child).unwrap();
+        g.connect(ia("71-10"), ia("71-11"), LinkType::Peer).unwrap();
+        g
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = small_graph();
+        assert_eq!(g.as_count(), 4);
+        assert_eq!(g.link_count(), 4);
+        assert_eq!(g.core_ases(), vec![ia("71-1"), ia("71-2")]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn reciprocity() {
+        let g = small_graph();
+        let leaf = g.as_node(ia("71-10")).unwrap();
+        let up = leaf.interfaces_of_type(LinkType::Parent).next().unwrap();
+        assert_eq!(up.neighbor, ia("71-1"));
+        let (nbr, nbr_if) = g.neighbor_of(ia("71-10"), up.id).unwrap();
+        assert_eq!(nbr, ia("71-1"));
+        let back = g.as_node(nbr).unwrap().interface(nbr_if).unwrap();
+        assert_eq!(back.neighbor, ia("71-10"));
+        assert_eq!(back.link_type, LinkType::Child);
+    }
+
+    #[test]
+    fn connect_unknown_as_fails() {
+        let mut g = ControlGraph::new();
+        g.add_as(ia("71-1"), true);
+        assert!(g.connect(ia("71-1"), ia("71-404"), LinkType::Core).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_core_link_to_leaf() {
+        let mut g = ControlGraph::new();
+        g.add_as(ia("71-1"), true);
+        g.add_as(ia("71-10"), false);
+        g.connect(ia("71-1"), ia("71-10"), LinkType::Core).unwrap();
+        assert!(matches!(g.validate(), Err(ControlError::BadTopology(_))));
+    }
+
+    #[test]
+    fn validate_rejects_broken_reciprocity() {
+        let mut g = small_graph();
+        // Corrupt: flip one side's link type.
+        let node = g.ases.get_mut(&ia("71-10")).unwrap();
+        node.interfaces[0].link_type = LinkType::Peer;
+        assert!(matches!(g.validate(), Err(ControlError::BadTopology(_))));
+    }
+
+    #[test]
+    fn ifids_unique_per_as() {
+        let g = small_graph();
+        for node in g.ases() {
+            let mut ids: Vec<u16> = node.interfaces.iter().map(|i| i.id).collect();
+            let before = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "duplicate ifid in {}", node.ia);
+            assert!(ids.iter().all(|&i| i > 0));
+        }
+    }
+
+    #[test]
+    fn link_type_reciprocal() {
+        assert_eq!(LinkType::Core.reciprocal(), LinkType::Core);
+        assert_eq!(LinkType::Parent.reciprocal(), LinkType::Child);
+        assert_eq!(LinkType::Child.reciprocal(), LinkType::Parent);
+        assert_eq!(LinkType::Peer.reciprocal(), LinkType::Peer);
+    }
+}

@@ -1,0 +1,184 @@
+//! The path-server segment database.
+//!
+//! Path segments are registered and looked up by `<ISD-AS>` tuples exactly
+//! as §2 describes: up segments at the leaf's local path server, down
+//! segments and core segments at core path servers. This store models the
+//! merged view a resolver assembles after querying local and core servers.
+
+use std::collections::BTreeMap;
+
+use scion_proto::addr::IsdAsn;
+
+use crate::segment::{PathSegment, SegmentType};
+
+/// A database of registered path segments.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentStore {
+    /// Core segments keyed by (origin, terminus).
+    core: BTreeMap<(IsdAsn, IsdAsn), Vec<PathSegment>>,
+    /// Up/down segments keyed by the non-core terminus.
+    up_down: BTreeMap<IsdAsn, Vec<PathSegment>>,
+}
+
+impl SegmentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a core segment.
+    pub fn register_core(&mut self, seg: PathSegment) {
+        debug_assert_eq!(seg.seg_type, SegmentType::Core);
+        let key = (seg.origin(), seg.terminus());
+        let slot = self.core.entry(key).or_default();
+        if !slot.iter().any(|s| s.id() == seg.id()) {
+            slot.push(seg);
+        }
+    }
+
+    /// Registers an up/down segment (terminating at a non-core AS).
+    pub fn register_up_down(&mut self, seg: PathSegment) {
+        debug_assert_eq!(seg.seg_type, SegmentType::UpDown);
+        let slot = self.up_down.entry(seg.terminus()).or_default();
+        if !slot.iter().any(|s| s.id() == seg.id()) {
+            slot.push(seg);
+        }
+    }
+
+    /// Core segments usable to travel *from* `from` *to* `to`.
+    ///
+    /// A core segment is constructed origin→terminus and traversed against
+    /// construction direction, so travelling from `from` to `to` uses
+    /// segments with origin `to` and terminus `from`.
+    pub fn core_between(&self, from: IsdAsn, to: IsdAsn) -> Vec<&PathSegment> {
+        self.core
+            .get(&(to, from))
+            .map(|v| v.iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Up segments of a non-core AS (traversed leaf→core).
+    pub fn up_segments(&self, leaf: IsdAsn) -> Vec<&PathSegment> {
+        self.up_down.get(&leaf).map(|v| v.iter().collect()).unwrap_or_default()
+    }
+
+    /// Down segments toward a non-core AS (traversed core→leaf). The same
+    /// registered segments as [`SegmentStore::up_segments`], used in the
+    /// opposite direction.
+    pub fn down_segments(&self, leaf: IsdAsn) -> Vec<&PathSegment> {
+        self.up_segments(leaf)
+    }
+
+    /// All registered segments.
+    pub fn all_segments(&self) -> impl Iterator<Item = &PathSegment> {
+        self.core.values().flatten().chain(self.up_down.values().flatten())
+    }
+
+    /// Total number of registered segments.
+    pub fn len(&self) -> usize {
+        self.core.values().map(Vec::len).sum::<usize>()
+            + self.up_down.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops segments whose hop fields have expired by `now` (Unix secs).
+    pub fn expire(&mut self, now: u64) -> usize {
+        let mut removed = 0;
+        for v in self.core.values_mut() {
+            let before = v.len();
+            v.retain(|s| s.expiry() > now);
+            removed += before - v.len();
+        }
+        for v in self.up_down.values_mut() {
+            let before = v.len();
+            v.retain(|s| s.expiry() > now);
+            removed += before - v.len();
+        }
+        removed
+    }
+
+    /// The core ASes that appear as an origin or terminus of any core
+    /// segment (a proxy for "known core ASes").
+    pub fn known_cores(&self) -> Vec<IsdAsn> {
+        let mut out: Vec<IsdAsn> = self
+            .core
+            .keys()
+            .flat_map(|(a, b)| [*a, *b])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{AsSecrets, SegmentBuilder};
+    use scion_proto::addr::ia;
+
+    fn core_seg(from: &str, to: &str, ts: u32) -> PathSegment {
+        let mut b = SegmentBuilder::originate(SegmentType::Core, ts, 1);
+        b.extend(&AsSecrets::derive(ia(from)), 0, 1, &[]);
+        b.extend(&AsSecrets::derive(ia(to)), 2, 0, &[]);
+        b.finish()
+    }
+
+    fn up_seg(core: &str, leaf: &str, ts: u32) -> PathSegment {
+        let mut b = SegmentBuilder::originate(SegmentType::UpDown, ts, 1);
+        b.extend(&AsSecrets::derive(ia(core)), 0, 1, &[]);
+        b.extend(&AsSecrets::derive(ia(leaf)), 2, 0, &[]);
+        b.finish()
+    }
+
+    #[test]
+    fn core_lookup_is_reverse_of_construction() {
+        let mut store = SegmentStore::new();
+        store.register_core(core_seg("71-2", "71-1", 100));
+        // Constructed 2 -> 1 means usable from 1 to 2.
+        assert_eq!(store.core_between(ia("71-1"), ia("71-2")).len(), 1);
+        assert!(store.core_between(ia("71-2"), ia("71-1")).is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_ignored() {
+        let mut store = SegmentStore::new();
+        let s = core_seg("71-2", "71-1", 100);
+        store.register_core(s.clone());
+        store.register_core(s);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn up_and_down_views_agree() {
+        let mut store = SegmentStore::new();
+        store.register_up_down(up_seg("71-1", "71-10", 100));
+        assert_eq!(store.up_segments(ia("71-10")).len(), 1);
+        assert_eq!(store.down_segments(ia("71-10")).len(), 1);
+        assert!(store.up_segments(ia("71-11")).is_empty());
+    }
+
+    #[test]
+    fn expiry_removes_old_segments() {
+        let mut store = SegmentStore::new();
+        store.register_core(core_seg("71-2", "71-1", 100));
+        store.register_up_down(up_seg("71-1", "71-10", 100));
+        // Segments expire at ts + 21600 (DEFAULT_EXP_TIME).
+        assert_eq!(store.expire(100 + 21_000), 0);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.expire(100 + 22_000), 2);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn known_cores() {
+        let mut store = SegmentStore::new();
+        store.register_core(core_seg("71-2", "71-1", 100));
+        store.register_core(core_seg("71-3", "71-1", 100));
+        assert_eq!(store.known_cores(), vec![ia("71-1"), ia("71-2"), ia("71-3")]);
+    }
+}

@@ -1,0 +1,271 @@
+//! §3.3 — SCIERA ISD evolution: the regional split.
+//!
+//! "Looking ahead, transitioning to more narrowly scoped ISDs, such as
+//! regionally scoped ISDs, offers clear benefits … establishing dedicated
+//! domains such as SCIERA-NA (North America) or SCIERA-EU (Europe) would
+//! enhance fault isolation by containing failures within specific
+//! geographic regions", with per-region TRC governance.
+//!
+//! The paper describes this as future work; this module implements it:
+//! [`RegionalSplit::plan`] derives the five regional ISDs from the Fig. 1
+//! regions, promotes WACREN to the SCIERA-AF core (the paper already calls
+//! it "similar to a Tier-1 entity"), reclassifies every inter-regional
+//! parent-child link as a core link (only core links may cross ISDs), and
+//! rebuilds a valid multi-ISD control graph with one TRC per region. The
+//! evaluation functions quantify the §3.3 claims: connectivity is
+//! preserved, governance quorums shrink, and the blast radius of an
+//! ISD-level trust incident drops from the whole network to one region.
+
+use std::collections::BTreeMap;
+
+use scion_control::beacon::{BeaconConfig, BeaconEngine};
+use scion_control::combine::combine_paths;
+use scion_control::graph::{ControlGraph, LinkType};
+use scion_control::store::SegmentStore;
+use scion_proto::addr::{IsdAsn, IsdNumber};
+use sciera_topology::ases::{all_ases, AsInfo, Region};
+use sciera_topology::links::link_inventory;
+
+/// The regional ISD numbers of the §3.3 vision.
+pub fn isd_for_region(region: Region) -> IsdNumber {
+    IsdNumber(match region {
+        Region::NorthAmerica => 72,
+        Region::Europe => 73,
+        Region::Asia => 74,
+        Region::SouthAmerica => 75,
+        Region::Africa => 76,
+    })
+}
+
+/// Human label for a regional ISD.
+pub fn isd_label(isd: IsdNumber) -> &'static str {
+    match isd.0 {
+        72 => "SCIERA-NA",
+        73 => "SCIERA-EU",
+        74 => "SCIERA-AS",
+        75 => "SCIERA-SA",
+        76 => "SCIERA-AF",
+        64 => "Swiss production ISD",
+        71 => "SCIERA (unified)",
+        _ => "unknown",
+    }
+}
+
+/// The derived split.
+pub struct RegionalSplit {
+    /// Old ISD-AS → new ISD-AS.
+    pub mapping: BTreeMap<IsdAsn, IsdAsn>,
+    /// ASes promoted to core to keep the multi-ISD structure valid
+    /// (inter-ISD links must be core-core).
+    pub promoted_cores: Vec<IsdAsn>,
+    /// Parent-child links reclassified as core links because they now
+    /// cross an ISD boundary.
+    pub reclassified_links: Vec<(IsdAsn, IsdAsn)>,
+    /// The rebuilt control graph.
+    pub graph: ControlGraph,
+    /// Members per regional ISD (new numbering).
+    pub members: BTreeMap<IsdNumber, Vec<IsdAsn>>,
+}
+
+impl RegionalSplit {
+    /// Derives and validates the regional split from the deployed topology.
+    pub fn plan() -> RegionalSplit {
+        let ases = all_ases();
+        // New identity per AS: regional ISD, same AS number. ISD 64 stays.
+        let mut mapping = BTreeMap::new();
+        for a in &ases {
+            let new = if a.ia.isd.0 == 64 {
+                a.ia
+            } else {
+                IsdAsn { isd: isd_for_region(a.region), asn: a.ia.asn }
+            };
+            mapping.insert(a.ia, new);
+        }
+        let new_ia = |old: IsdAsn| mapping[&old];
+        let info = |old: IsdAsn| -> &AsInfo { ases.iter().find(|a| a.ia == old).unwrap() };
+
+        // Core status: original cores stay core; additionally, every AS on
+        // either end of a link that now crosses ISDs must be core.
+        let mut core: BTreeMap<IsdAsn, bool> = ases.iter().map(|a| (a.ia, a.core)).collect();
+        let inventory = link_inventory();
+        let mut reclassified = Vec::new();
+        for l in &inventory {
+            let cross = new_ia(l.a).isd != new_ia(l.b).isd;
+            if cross && l.link_type != LinkType::Core {
+                reclassified.push((l.a, l.b));
+                core.insert(l.a, true);
+                core.insert(l.b, true);
+            }
+        }
+        let promoted_cores: Vec<IsdAsn> = core
+            .iter()
+            .filter(|(ia, &is_core)| is_core && !info(**ia).core)
+            .map(|(ia, _)| *ia)
+            .collect();
+
+        // Each regional ISD needs at least one core AS.
+        let mut members: BTreeMap<IsdNumber, Vec<IsdAsn>> = BTreeMap::new();
+        for a in &ases {
+            members.entry(new_ia(a.ia).isd).or_default().push(new_ia(a.ia));
+        }
+
+        // Rebuild the graph under the new numbering.
+        let mut graph = ControlGraph::new();
+        for a in &ases {
+            graph.add_as(new_ia(a.ia), core[&a.ia]);
+        }
+        for l in &inventory {
+            let (na, nb) = (new_ia(l.a), new_ia(l.b));
+            let lt = if na.isd != nb.isd { LinkType::Core } else { l.link_type };
+            // Intra-ISD links between two cores must also be core links.
+            let lt = if core[&l.a] && core[&l.b] && lt == LinkType::Child {
+                LinkType::Core
+            } else {
+                lt
+            };
+            graph.add_as(na, core[&l.a]);
+            graph.add_as(nb, core[&l.b]);
+            graph.connect(na, nb, lt).expect("inventory ASes exist");
+        }
+        graph.validate().expect("regional split yields a valid multi-ISD graph");
+        RegionalSplit { mapping, promoted_cores, reclassified_links: reclassified, graph, members }
+    }
+
+    /// Beacons the split network and returns the segment store.
+    pub fn beacon(&self) -> SegmentStore {
+        BeaconEngine::new(&self.graph, 1_700_000_000, BeaconConfig::default())
+            .run()
+            .expect("beaconing over the split network succeeds")
+    }
+
+    /// Fraction of ordered AS pairs (across all SCIERA regions) that still
+    /// have at least one end-to-end path after the split.
+    pub fn connectivity(&self, store: &SegmentStore) -> f64 {
+        let ases: Vec<IsdAsn> = self
+            .mapping
+            .values()
+            .copied()
+            .filter(|ia| ia.isd.0 != 64)
+            .collect();
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        for &s in &ases {
+            for &d in &ases {
+                if s == d {
+                    continue;
+                }
+                total += 1;
+                if !combine_paths(store, s, d, 8).is_empty() {
+                    ok += 1;
+                }
+            }
+        }
+        ok as f64 / total as f64
+    }
+
+    /// The §3.3 fault-isolation metric: how many ASes an ISD-level trust
+    /// incident (TRC compromise, botched TRC ceremony, ISD-wide
+    /// misconfiguration) can affect, before and after the split.
+    pub fn blast_radius(&self) -> (usize, BTreeMap<IsdNumber, usize>) {
+        let before = self.mapping.keys().filter(|ia| ia.isd.0 == 71).count();
+        let mut after = BTreeMap::new();
+        for (isd, members) in &self.members {
+            if isd.0 != 64 {
+                after.insert(*isd, members.len());
+            }
+        }
+        (before, after)
+    }
+
+    /// Governance quorums per regional ISD (majority of regional cores) —
+    /// the "more efficient and autonomous governance" of §3.3.
+    pub fn quorums(&self) -> BTreeMap<IsdNumber, usize> {
+        let mut out = BTreeMap::new();
+        for (isd, members) in &self.members {
+            if isd.0 == 64 {
+                continue;
+            }
+            let cores = members
+                .iter()
+                .filter(|ia| self.graph.as_node(**ia).map(|n| n.core).unwrap_or(false))
+                .count();
+            out.insert(*isd, cores / 2 + 1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_proto::addr::ia;
+
+    #[test]
+    fn split_is_structurally_valid() {
+        let split = RegionalSplit::plan();
+        // Five regional ISDs plus the Swiss one.
+        let mut isds: Vec<u16> = split.mapping.values().map(|ia| ia.isd.0).collect();
+        isds.sort_unstable();
+        isds.dedup();
+        assert_eq!(isds, vec![64, 72, 73, 74, 75, 76]);
+        // WACREN got promoted (its GEANT uplink now crosses ISDs).
+        assert!(split
+            .promoted_cores
+            .contains(&ia("71-37288")), "WACREN must become the SCIERA-AF core");
+        assert!(!split.reclassified_links.is_empty());
+        // Every regional ISD has at least one core.
+        for (isd, q) in split.quorums() {
+            assert!(q >= 1, "ISD {isd} has no cores");
+        }
+    }
+
+    #[test]
+    fn connectivity_preserved_after_split() {
+        let split = RegionalSplit::plan();
+        let store = split.beacon();
+        let connectivity = split.connectivity(&store);
+        assert!(
+            connectivity > 0.999,
+            "regional split must not orphan anyone: {connectivity}"
+        );
+    }
+
+    #[test]
+    fn blast_radius_shrinks() {
+        let split = RegionalSplit::plan();
+        let (before, after) = split.blast_radius();
+        assert_eq!(before, 27, "unified ISD 71 spans the whole deployment");
+        let max_region = after.values().max().copied().unwrap_or(0);
+        assert!(
+            max_region * 2 < before,
+            "largest region ({max_region}) must be far below the unified blast radius ({before})"
+        );
+        assert_eq!(after.len(), 5);
+        // Regions partition the membership.
+        assert_eq!(after.values().sum::<usize>(), before);
+    }
+
+    #[test]
+    fn known_assignments() {
+        let split = RegionalSplit::plan();
+        assert_eq!(split.mapping[&ia("71-20965")], ia("73-20965")); // GEANT -> SCIERA-EU
+        assert_eq!(split.mapping[&ia("71-2:0:35")], ia("72-2:0:35")); // BRIDGES -> NA
+        assert_eq!(split.mapping[&ia("71-1916")], ia("75-1916")); // RNP -> SA
+        assert_eq!(split.mapping[&ia("64-559")], ia("64-559")); // Swiss ISD untouched
+        assert_eq!(isd_label(IsdNumber(73)), "SCIERA-EU");
+    }
+
+    #[test]
+    fn cross_region_paths_use_core_segments_only_at_boundaries() {
+        let split = RegionalSplit::plan();
+        let store = split.beacon();
+        // OVGU (EU) -> UFMS (SA) must cross exactly the EU and SA ISDs.
+        let paths = combine_paths(&store, ia("73-2:0:42"), ia("75-2:0:5c"), 32);
+        assert!(!paths.is_empty());
+        for p in &paths {
+            let isds: Vec<u16> = p.ases().iter().map(|a| a.isd.0).collect();
+            assert_eq!(isds.first(), Some(&73));
+            assert_eq!(isds.last(), Some(&75));
+        }
+    }
+}

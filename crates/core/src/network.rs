@@ -1,0 +1,638 @@
+//! The assembled network.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use scion_bootstrap::server::{BootstrapServer, TopologyDocument};
+use scion_control::beacon::{BeaconConfig, BeaconEngine};
+use scion_control::combine::combine_paths;
+use scion_control::fullpath::FullPath;
+use scion_control::segment::AsSecrets;
+use scion_control::store::SegmentStore;
+use scion_cppki::ca::{CaService, ClientProfile};
+use scion_cppki::cert::{CertType, Certificate};
+use scion_cppki::trc::{Trc, TrcKeyEntry};
+use scion_dataplane::router::{BorderRouter, Decision};
+use scion_daemon::trust::TrustStore;
+use scion_orchestrator::renewal::{bootstrap_driver, RenewalDriver};
+use scion_proto::addr::{IsdAsn, IsdNumber, ScionAddr};
+use scion_proto::encap::UnderlayAddr;
+use scion_proto::packet::ScionPacket;
+use sciera_topology::ases::{all_ases, AsInfo};
+use sciera_topology::links::{build_control_graph, BuiltTopology};
+
+/// Errors from network operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A router refused the packet.
+    Dropped(String),
+    /// The packet was forwarded onto a link that is administratively down.
+    LinkDown {
+        /// The AS whose egress link is down.
+        at: IsdAsn,
+        /// The dead egress interface.
+        ifid: u16,
+    },
+    /// The packet looped or exceeded the hop budget.
+    HopBudgetExceeded,
+    /// Unknown AS or interface.
+    Unknown(String),
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::Dropped(s) => write!(f, "dropped: {s}"),
+            NetError::LinkDown { at, ifid } => write!(f, "link down at {at} interface {ifid}"),
+            NetError::HopBudgetExceeded => write!(f, "hop budget exceeded"),
+            NetError::Unknown(s) => write!(f, "unknown: {s}"),
+        }
+    }
+}
+
+/// A successful packet delivery.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// The packet as delivered (headers rewritten along the way).
+    pub packet: ScionPacket,
+    /// The AS-level route actually taken.
+    pub route: Vec<IsdAsn>,
+    /// One-way latency accumulated over the crossed links, ms.
+    pub latency_ms: f64,
+}
+
+/// Configuration for building the network.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Beacon retention per origin.
+    pub candidates_per_origin: usize,
+    /// Unix time of the build (certificates/TRCs anchor here).
+    pub now_unix: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig { candidates_per_origin: 8, now_unix: 1_700_000_000 }
+    }
+}
+
+struct Inner {
+    topo: BuiltTopology,
+    routers: BTreeMap<IsdAsn, BorderRouter>,
+    link_down: Vec<bool>,
+    now_unix: u64,
+    /// Host inboxes keyed by (AS, host address bytes).
+    inboxes: BTreeMap<ScionAddr, VecDeque<ScionPacket>>,
+}
+
+/// The assembled deployment.
+pub struct SciEraNetwork {
+    /// Registered path segments (the merged path-server view).
+    pub store: SegmentStore,
+    /// Per-AS secrets (hop keys + signing keys).
+    pub secrets: BTreeMap<IsdAsn, AsSecrets>,
+    /// The end-host trust store, primed with both ISD TRCs and every AS's
+    /// verified chain.
+    pub trust: TrustStore,
+    /// Certificate renewal drivers per AS (the orchestrator would tick
+    /// these in production).
+    pub renewal: BTreeMap<IsdAsn, RenewalDriver>,
+    /// The ISD 71 CA (at GEANT).
+    pub ca71: CaService,
+    /// Bootstrap servers per AS.
+    pub bootstrap_servers: BTreeMap<IsdAsn, BootstrapServer>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl SciEraNetwork {
+    /// Builds the full deployment. Panics only on internal inconsistency —
+    /// the topology and PKI wiring are fixed data.
+    pub fn build(config: NetworkConfig) -> Self {
+        let topo = build_control_graph();
+        let now = config.now_unix;
+
+        // --- Control plane: beaconing + segment registration.
+        let mut engine = BeaconEngine::new(
+            &topo.graph,
+            now as u32,
+            BeaconConfig { candidates_per_origin: config.candidates_per_origin, ..Default::default() },
+        );
+        let store = engine.run().expect("beaconing over SCIERA succeeds");
+        let secrets = engine.secrets().clone();
+
+        // --- PKI: one TRC per ISD, a CA per ISD, chains for every AS.
+        let trust = TrustStore::new();
+        let mut cas: BTreeMap<u16, CaService> = BTreeMap::new();
+        for isd in [71u16, 64] {
+            let cores: Vec<AsInfo> = all_ases()
+                .into_iter()
+                .filter(|a| a.ia.isd.0 == isd && a.core)
+                .collect();
+            let core_ias: Vec<IsdAsn> = cores.iter().map(|a| a.ia).collect();
+            let root_keys: Vec<TrcKeyEntry> = core_ias
+                .iter()
+                .map(|&ia| TrcKeyEntry {
+                    holder: ia,
+                    key: scion_crypto::sign::SigningKey::from_seed(
+                        format!("root-{ia}").as_bytes(),
+                    )
+                    .verifying_key(),
+                })
+                .collect();
+            let trc = Trc {
+                isd: IsdNumber(isd),
+                base: 1,
+                serial: 1,
+                valid_from: now - 86_400,
+                valid_until: now + 5 * 365 * 86_400,
+                core_ases: core_ias.clone(),
+                authoritative_ases: core_ias.clone(),
+                voting_keys: root_keys.clone(),
+                root_keys,
+                quorum: core_ias.len() / 2 + 1,
+                votes: vec![],
+            };
+            trust.trust_base_trc(trc);
+
+            // The ISD CA lives at the first core AS (GEANT for 71, SWITCH
+            // for 64) and is signed by that core's root key.
+            let ca_as = core_ias[0];
+            let root_key =
+                scion_crypto::sign::SigningKey::from_seed(format!("root-{ca_as}").as_bytes());
+            let ca_key =
+                scion_crypto::sign::SigningKey::from_seed(format!("ca-{ca_as}").as_bytes());
+            let ca_cert = Certificate::issue(
+                CertType::Ca,
+                ca_as,
+                ca_key.verifying_key(),
+                now - 86_400,
+                now + 2 * 365 * 86_400,
+                ca_as,
+                1,
+                &root_key,
+            );
+            cas.insert(isd, CaService::new(ca_as, ca_key, ca_cert));
+        }
+
+        // Issue and verify a chain for every AS; keep the renewal drivers.
+        let mut renewal = BTreeMap::new();
+        for a in all_ases() {
+            let ca = cas.get_mut(&a.ia.isd.0).expect("CA per ISD");
+            let profile = if a.name.contains("KISTI") || a.ia.isd.0 == 64 {
+                // KREONET and the production network run Anapaya CORE
+                // (§4.5); everyone else runs the open-source stack.
+                ClientProfile::AnapayaCore
+            } else {
+                ClientProfile::OpenSource
+            };
+            let driver = bootstrap_driver(ca, a.ia, profile, now).expect("issuance succeeds");
+            trust.verify_chain(&driver.chain, now).expect("chain verifies against TRC");
+            renewal.insert(a.ia, driver);
+        }
+
+        // The control-plane signing keys of the simulation are the per-AS
+        // `AsSecrets`; register them as verified (they are what PCBs are
+        // signed with). In production the beacon keys are the AS-cert keys;
+        // our AsSecrets::derive plays that role.
+        // Verify every registered segment end to end.
+        let keys = |ia: IsdAsn| secrets.get(&ia).map(|s| s.signing.verifying_key());
+        let hops = |ia: IsdAsn| secrets.get(&ia).map(|s| s.hop_key.clone());
+        for seg in store.all_segments() {
+            seg.verify(&keys, &hops).expect("registered segment verifies");
+        }
+
+        // --- Data plane.
+        let routers: BTreeMap<IsdAsn, BorderRouter> = secrets
+            .iter()
+            .map(|(ia, s)| (*ia, BorderRouter::new(*ia, s.hop_key.clone())))
+            .collect();
+
+        // --- Bootstrap servers: one per AS, serving a signed topology.
+        let mut bootstrap_servers = BTreeMap::new();
+        for (i, a) in all_ases().iter().enumerate() {
+            let octet = (i as u8).wrapping_add(10);
+            let doc = TopologyDocument {
+                ia: a.ia,
+                border_routers: vec![UnderlayAddr::new([10, octet, 0, 1], 30042)],
+                control_service: UnderlayAddr::new([10, octet, 0, 2], 30252),
+                timestamp: now,
+                mtu: 1472,
+            };
+            let driver = &renewal[&a.ia];
+            // The topology is signed with the AS certificate key held by
+            // the renewal driver's chain; we reuse the simulation secret.
+            let as_key =
+                scion_crypto::sign::SigningKey::from_seed(format!("as-{}", a.ia).as_bytes());
+            let srv = BootstrapServer::new(doc, &as_key, driver.chain.clone(), Vec::new());
+            bootstrap_servers.insert(a.ia, srv);
+        }
+
+        let n_links = topo.links.len();
+        SciEraNetwork {
+            store,
+            secrets,
+            trust,
+            renewal,
+            ca71: cas.remove(&71).expect("ISD 71 CA"),
+            bootstrap_servers,
+            inner: Arc::new(Mutex::new(Inner {
+                topo,
+                routers,
+                link_down: vec![false; n_links],
+                now_unix: now,
+                inboxes: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Combined paths from `src` to `dst` honouring current link state.
+    pub fn paths(&self, src: IsdAsn, dst: IsdAsn) -> Vec<FullPath> {
+        let inner = self.inner.lock();
+        combine_paths(&self.store, src, dst, 200)
+            .into_iter()
+            .filter(|p| {
+                let down = |i: usize| inner.link_down[i];
+                inner.topo.path_alive(p, &down)
+            })
+            .collect()
+    }
+
+    /// Sets the administrative state of every link whose label contains
+    /// `label_substring`; returns how many links matched.
+    pub fn set_links(&self, label_substring: &str, up: bool) -> usize {
+        let mut inner = self.inner.lock();
+        let mut n = 0;
+        for i in 0..inner.topo.links.len() {
+            if inner.topo.links[i].spec.label.contains(label_substring) {
+                inner.link_down[i] = !up;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Current Unix time of the simulation.
+    pub fn now_unix(&self) -> u64 {
+        self.inner.lock().now_unix
+    }
+
+    /// Advances simulated wall-clock time.
+    pub fn advance_time(&self, secs: u64) {
+        self.inner.lock().now_unix += secs;
+    }
+
+    /// Walks a packet through the data plane from its source AS. Returns
+    /// the delivery or the error; on a dead egress link, an SCMP
+    /// `ExternalInterfaceDown` is queued to the source host's inbox.
+    pub fn walk_packet(&self, packet: ScionPacket) -> Result<Delivery, NetError> {
+        let mut inner = self.inner.lock();
+        inner.walk(packet)
+    }
+
+    /// SCMP traceroute (the `scion traceroute` tool): probes every hop of
+    /// the shortest live path from `src` to `dst`, returning the answering
+    /// AS, the reported interface and the probe's round-trip latency.
+    pub fn traceroute(&self, src: ScionAddr, dst: IsdAsn) -> Vec<(IsdAsn, u64, f64)> {
+        let paths = self.paths(src.ia, dst);
+        let Some(path) = paths.first() else { return Vec::new() };
+        let Ok(dp) = path.to_dataplane() else { return Vec::new() };
+        let mut out = Vec::new();
+        for hop in 0..dp.hops.len() {
+            let mut probe_path = dp.clone();
+            probe_path.hops[hop].ingress_alert = true;
+            probe_path.hops[hop].egress_alert = true;
+            let probe = ScionPacket::new(
+                src,
+                scion_proto::addr::ScionAddr::new(dst, scion_proto::addr::HostAddr::v4(0, 0, 0, 1)),
+                scion_proto::packet::L4Protocol::Scmp,
+                scion_proto::packet::DataPlanePath::Scion(probe_path),
+                scion_proto::scmp::ScmpMessage::TracerouteRequest { id: 7, seq: hop as u16 }
+                    .encode(),
+            );
+            let mut inner = self.inner.lock();
+            if let Some((ia, ifid, rtt)) = inner.walk_traceroute(probe) {
+                out.push((ia, ifid, rtt));
+            }
+        }
+        out
+    }
+
+    /// Attaches a host in `ia`, returning its handle.
+    pub fn attach_host(&self, addr: ScionAddr) -> HostHandle {
+        {
+            let mut inner = self.inner.lock();
+            inner.inboxes.entry(addr).or_default();
+        }
+        HostHandle { addr, net: Arc::clone(&self.inner), store: self.store.clone() }
+    }
+}
+
+impl Inner {
+    /// Walks a traceroute probe until an alerted router answers; returns
+    /// (answering AS, interface, probe RTT in ms).
+    fn walk_traceroute(&mut self, packet: ScionPacket) -> Option<(IsdAsn, u64, f64)> {
+        let mut current = packet.src.ia;
+        let mut ingress = 0u16;
+        let mut pkt = packet;
+        let mut latency = 0.0f64;
+        for _ in 0..64 {
+            let router = self.routers.get(&current)?;
+            if let Some(reply) = router.traceroute_probe(&pkt, ingress) {
+                let msg = scion_proto::scmp::ScmpMessage::decode(&reply.payload).ok()?;
+                if let scion_proto::scmp::ScmpMessage::TracerouteReply { ia, interface, .. } = msg
+                {
+                    // The reply retraces the probe's links.
+                    return Some((ia, interface, 2.0 * latency));
+                }
+                return None;
+            }
+            let router = self.routers.get_mut(&current)?;
+            match router.process(pkt, ingress, self.now_unix).ok()? {
+                Decision::Deliver(_) => return None, // no alerted hop answered
+                Decision::Forward { ifid, packet: p } => {
+                    let li = self.topo.link_index_of(current, ifid)?;
+                    if self.link_down[li] {
+                        return None;
+                    }
+                    latency += self.topo.links[li].spec.latency_ms;
+                    let l = &self.topo.links[li];
+                    let (next, next_if) = if l.spec.a == current {
+                        (l.spec.b, l.ifid_b)
+                    } else {
+                        (l.spec.a, l.ifid_a)
+                    };
+                    current = next;
+                    ingress = next_if;
+                    pkt = p;
+                }
+            }
+        }
+        None
+    }
+
+    fn walk(&mut self, packet: ScionPacket) -> Result<Delivery, NetError> {
+        let src_host = packet.src;
+        let mut current = packet.src.ia;
+        let mut ingress = 0u16;
+        let mut pkt = packet;
+        let mut route = vec![current];
+        let mut latency = 0.0f64;
+        for _hop in 0..64 {
+            let router = self
+                .routers
+                .get_mut(&current)
+                .ok_or_else(|| NetError::Unknown(format!("no router for {current}")))?;
+            match router.process(pkt, ingress, self.now_unix) {
+                Ok(Decision::Deliver(p)) => {
+                    let dst = p.dst;
+                    self.inboxes.entry(dst).or_default().push_back(p.clone());
+                    return Ok(Delivery { packet: p, route, latency_ms: latency });
+                }
+                Ok(Decision::Forward { ifid, packet: p }) => {
+                    let li = self
+                        .topo
+                        .link_index_of(current, ifid)
+                        .ok_or_else(|| NetError::Unknown(format!("{current} ifid {ifid}")))?;
+                    if self.link_down[li] {
+                        // Fast failure notification back to the source.
+                        let router = self.routers.get(&current).unwrap();
+                        if let Some(scmp) = router.external_interface_down(&p, ifid) {
+                            self.inboxes.entry(src_host).or_default().push_back(scmp);
+                        }
+                        return Err(NetError::LinkDown { at: current, ifid });
+                    }
+                    latency += self.topo.links[li].spec.latency_ms;
+                    let (next, next_if) = {
+                        let l = &self.topo.links[li];
+                        if l.spec.a == current {
+                            (l.spec.b, l.ifid_b)
+                        } else {
+                            (l.spec.a, l.ifid_a)
+                        }
+                    };
+                    route.push(next);
+                    current = next;
+                    ingress = next_if;
+                    pkt = p;
+                }
+                Err(e) => return Err(NetError::Dropped(format!("{current}: {e:?}"))),
+            }
+        }
+        Err(NetError::HopBudgetExceeded)
+    }
+}
+
+/// A host attached to the network.
+pub struct HostHandle {
+    /// The host's SCION address.
+    pub addr: ScionAddr,
+    net: Arc<Mutex<Inner>>,
+    store: SegmentStore,
+}
+
+impl HostHandle {
+    /// A PAN transport for this host (plug into `PanSocket::bind`).
+    pub fn transport(&self) -> SimTransport {
+        SimTransport { local: self.addr, net: Arc::clone(&self.net), store: self.store.clone() }
+    }
+}
+
+/// A `scion-pan` transport backed by the packet-level network.
+pub struct SimTransport {
+    local: ScionAddr,
+    net: Arc<Mutex<Inner>>,
+    store: SegmentStore,
+}
+
+impl scion_pan::socket::PanTransport for SimTransport {
+    fn send_packet(&mut self, packet: ScionPacket) {
+        let mut inner = self.net.lock();
+        // Delivery failures surface as SCMP to the sender's inbox (link
+        // down) or silent drops (bad MAC etc.) — like a real network.
+        let _ = inner.walk(packet);
+    }
+
+    fn recv_packet(&mut self) -> Option<ScionPacket> {
+        let mut inner = self.net.lock();
+        inner.inboxes.get_mut(&self.local)?.pop_front()
+    }
+
+    fn now_unix(&self) -> u64 {
+        self.net.lock().now_unix
+    }
+
+    fn lookup_paths(&mut self, dst: IsdAsn) -> Vec<FullPath> {
+        let inner = self.net.lock();
+        combine_paths(&self.store, self.local.ia, dst, 200)
+            .into_iter()
+            .filter(|p| {
+                let down = |i: usize| inner.link_down[i];
+                inner.topo.path_alive(p, &down)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_pan::socket::PanSocket;
+    use scion_proto::addr::{ia, HostAddr};
+
+    fn network() -> SciEraNetwork {
+        SciEraNetwork::build(NetworkConfig::default())
+    }
+
+    fn host(net: &SciEraNetwork, ia_str: &str, last: u8) -> HostHandle {
+        net.attach_host(ScionAddr::new(ia(ia_str), HostAddr::v4(10, 0, 0, last)))
+    }
+
+    #[test]
+    fn build_verifies_everything() {
+        let net = network();
+        // Both ISDs trusted, all ASes chained.
+        assert!(net.trust.trc_serial(IsdNumber(71)).is_some());
+        assert!(net.trust.trc_serial(IsdNumber(64)).is_some());
+        assert_eq!(net.trust.verified_as_count(), all_ases().len());
+        assert!(net.store.len() > 100, "segments registered: {}", net.store.len());
+    }
+
+    #[test]
+    fn pan_sockets_talk_across_the_world() {
+        let net = network();
+        let ovgu = host(&net, "71-2:0:42", 1);
+        let ufms = host(&net, "71-2:0:5c", 2);
+
+        let mut client = PanSocket::bind(ovgu.addr, 40001, ovgu.transport());
+        let mut server = PanSocket::bind(ufms.addr, 8080, ufms.transport());
+
+        client.connect(ufms.addr, 8080).unwrap();
+        client.send(b"hello from Magdeburg").unwrap();
+
+        let (payload, from, sport) = server.poll_recv().expect("datagram crosses 4 continents");
+        assert_eq!(payload, b"hello from Magdeburg");
+        assert_eq!(from.ia, ia("71-2:0:42"));
+        assert_eq!(sport, 40001);
+
+        // And the reply flows back over the reversed path.
+        server.send_to(b"oi de Campo Grande", from, sport).unwrap();
+        let (reply, rfrom, _) = client.poll_recv().expect("reply delivered");
+        assert_eq!(reply, b"oi de Campo Grande");
+        assert_eq!(rfrom.ia, ia("71-2:0:5c"));
+    }
+
+    #[test]
+    fn walk_latency_matches_analytic_rtt() {
+        let net = network();
+        let src = ia("71-225");
+        let dst = ia("71-2:0:3b");
+        let paths = net.paths(src, dst);
+        assert!(!paths.is_empty());
+        let p = &paths[0];
+        let pkt = ScionPacket::new(
+            ScionAddr::new(src, HostAddr::v4(10, 0, 0, 1)),
+            ScionAddr::new(dst, HostAddr::v4(10, 0, 0, 2)),
+            scion_proto::packet::L4Protocol::Udp,
+            scion_proto::packet::DataPlanePath::Scion(p.to_dataplane().unwrap()),
+            scion_proto::udp::UdpDatagram::new(1, 2, b"x".to_vec()).encode(),
+        );
+        let delivery = net.walk_packet(pkt).unwrap();
+        assert_eq!(delivery.route, p.ases(), "data plane follows the combined path");
+        // Packet-level one-way latency x2 (+ per-AS processing) equals the
+        // analytic RTT used by the measurement campaign.
+        let analytic = {
+            let inner = net.inner.lock();
+            let down = |i: usize| inner.link_down[i];
+            inner.topo.path_rtt_ms(p, &down).unwrap()
+        };
+        let packet_level =
+            2.0 * (delivery.latency_ms + p.len() as f64 * sciera_topology::links::PER_AS_OVERHEAD_MS);
+        assert!(
+            (analytic - packet_level).abs() < 1e-6,
+            "analytic {analytic} vs packet-level {packet_level}"
+        );
+    }
+
+    #[test]
+    fn link_cut_triggers_scmp_and_failover() {
+        let net = network();
+        let uva = host(&net, "71-225", 1);
+        let princeton = host(&net, "71-88", 2);
+
+        let mut client = PanSocket::bind(uva.addr, 40002, uva.transport());
+        client.connect(princeton.addr, 9000).unwrap();
+        client.send(b"one").unwrap();
+
+        // Princeton's only uplink dies.
+        assert_eq!(net.set_links("BRIDGES-Princeton", false), 1);
+        client.send(b"two").unwrap(); // walks into the dead link; SCMP comes back
+        // Poll: consumes the SCMP, kills the path.
+        assert!(client.poll_recv().is_none());
+        // With the single uplink dead there is no alternative path left.
+        assert!(client.send(b"three").is_err());
+
+        // Link restored and paths refreshed: traffic flows again.
+        net.set_links("BRIDGES-Princeton", true);
+        let fresh = uva.transport();
+        let mut client2 = PanSocket::bind(uva.addr, 40003, fresh);
+        client2.connect(princeton.addr, 9000).unwrap();
+        client2.send(b"four").unwrap();
+        let mut server = PanSocket::bind(princeton.addr, 9000, princeton.transport());
+        let got: Vec<Vec<u8>> = std::iter::from_fn(|| server.poll_recv().map(|(p, _, _)| p)).collect();
+        assert!(got.contains(&b"one".to_vec()));
+        assert!(got.contains(&b"four".to_vec()));
+        assert!(!got.contains(&b"two".to_vec()));
+    }
+
+    #[test]
+    fn expired_certificates_would_fail_verification() {
+        let net = network();
+        // Far in the future the AS certs (3-day lifetime) are dead.
+        let driver = &net.renewal[&ia("71-2:0:42")];
+        assert!(driver.certificate_valid(net.now_unix()));
+        assert!(!driver.certificate_valid(net.now_unix() + 10 * 86_400));
+    }
+
+    #[test]
+    fn paths_respect_link_state() {
+        let net = network();
+        let before = net.paths(ia("71-2:0:3b"), ia("71-2:0:3d")).len();
+        net.set_links("Daejeon-Singapore direct", false);
+        let after = net.paths(ia("71-2:0:3b"), ia("71-2:0:3d")).len();
+        assert!(after < before, "cable cut must remove paths ({before} -> {after})");
+        assert!(after >= 1, "ring still provides connectivity");
+    }
+}
+
+#[cfg(test)]
+mod traceroute_tests {
+    use super::*;
+    use scion_proto::addr::{ia, HostAddr};
+
+    #[test]
+    fn traceroute_names_every_on_path_as_in_order() {
+        let net = SciEraNetwork::build(NetworkConfig::default());
+        let src = ScionAddr::new(ia("71-2:0:42"), HostAddr::v4(10, 0, 0, 9));
+        let dst = ia("71-2:0:5c");
+        let expected: Vec<IsdAsn> = net.paths(src.ia, dst)[0].ases();
+        let hops = net.traceroute(src, dst);
+        assert_eq!(hops.len(), expected.len(), "one answer per AS-level hop");
+        let answered: Vec<IsdAsn> = hops.iter().map(|(ia, _, _)| *ia).collect();
+        assert_eq!(answered, expected);
+        // RTT grows (weakly) with hop depth, and interfaces are reported.
+        for w in hops.windows(2) {
+            assert!(w[0].2 <= w[1].2 + 1e-9, "rtt must not shrink with depth");
+        }
+        assert!(hops.last().unwrap().2 > 0.0);
+    }
+
+    #[test]
+    fn traceroute_without_path_is_empty() {
+        let net = SciEraNetwork::build(NetworkConfig::default());
+        net.set_links("RNP-UFMS", false);
+        let src = ScionAddr::new(ia("71-2:0:5c"), HostAddr::v4(10, 0, 0, 9));
+        assert!(net.traceroute(src, ia("71-20965")).is_empty());
+    }
+}

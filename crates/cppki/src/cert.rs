@@ -1,0 +1,328 @@
+//! Certificates and chain verification.
+//!
+//! The hierarchy mirrors production SCION: a *root* certificate is pinned in
+//! the TRC via its key; a *CA* certificate is signed by a root; an *AS*
+//! certificate — the short-lived credential used to sign beacons and
+//! topology documents — is signed by a CA. Chain verification walks
+//! AS → CA → root and checks the root key against the TRC.
+
+use scion_crypto::sign::{Signature, SigningKey, VerifyingKey};
+use scion_proto::addr::IsdAsn;
+
+use crate::trc::Trc;
+use crate::PkiError;
+
+/// The role of a certificate in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertType {
+    /// Root certificate (key pinned in the TRC).
+    Root,
+    /// Intermediate CA certificate.
+    Ca,
+    /// End-entity AS certificate (signs beacons; short-lived).
+    As,
+}
+
+/// A certificate binding a subject AS to a public key.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Subject AS.
+    pub subject: IsdAsn,
+    /// Role in the hierarchy.
+    pub cert_type: CertType,
+    /// The certified public key.
+    pub public_key: VerifyingKey,
+    /// Validity start (Unix seconds).
+    pub valid_from: u64,
+    /// Validity end (Unix seconds). AS certificates are valid for days only
+    /// (§4.5), forcing automated renewal.
+    pub valid_until: u64,
+    /// Issuer AS (== subject for self-signed roots).
+    pub issuer: IsdAsn,
+    /// Monotonic serial number assigned by the issuer.
+    pub serial: u64,
+    /// Signature by the issuer key over [`Certificate::signed_bytes`].
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// Canonical byte encoding covered by the signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96);
+        out.extend_from_slice(b"scion-cert-v1");
+        out.push(match self.cert_type {
+            CertType::Root => 0,
+            CertType::Ca => 1,
+            CertType::As => 2,
+        });
+        out.extend_from_slice(&self.subject.to_u64().to_be_bytes());
+        out.extend_from_slice(&self.public_key.key_id());
+        out.extend_from_slice(&self.valid_from.to_be_bytes());
+        out.extend_from_slice(&self.valid_until.to_be_bytes());
+        out.extend_from_slice(&self.issuer.to_u64().to_be_bytes());
+        out.extend_from_slice(&self.serial.to_be_bytes());
+        out
+    }
+
+    /// Builds and signs a certificate in one step.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue(
+        cert_type: CertType,
+        subject: IsdAsn,
+        public_key: VerifyingKey,
+        valid_from: u64,
+        valid_until: u64,
+        issuer: IsdAsn,
+        serial: u64,
+        issuer_key: &SigningKey,
+    ) -> Self {
+        let mut cert = Certificate {
+            subject,
+            cert_type,
+            public_key,
+            valid_from,
+            valid_until,
+            issuer,
+            serial,
+            signature: Signature([0u8; 32]),
+        };
+        cert.signature = issuer_key.sign(&cert.signed_bytes());
+        cert
+    }
+
+    /// Checks the validity window at `now`.
+    pub fn check_validity(&self, now: u64) -> Result<(), PkiError> {
+        if now < self.valid_from {
+            return Err(PkiError::NotYetValid {
+                what: format!("certificate of {}", self.subject),
+                valid_from: self.valid_from,
+                now,
+            });
+        }
+        if now > self.valid_until {
+            return Err(PkiError::Expired {
+                what: format!("certificate of {}", self.subject),
+                valid_until: self.valid_until,
+                now,
+            });
+        }
+        Ok(())
+    }
+
+    /// Verifies the signature with the claimed issuer key.
+    pub fn verify_signature(&self, issuer_key: &VerifyingKey) -> Result<(), PkiError> {
+        issuer_key
+            .verify(&self.signed_bytes(), &self.signature)
+            .map_err(|_| PkiError::BadSignature(format!("certificate of {}", self.subject)))
+    }
+
+    /// Remaining lifetime at `now` in seconds (0 if already expired).
+    pub fn remaining_lifetime(&self, now: u64) -> u64 {
+        self.valid_until.saturating_sub(now)
+    }
+}
+
+/// An AS certificate together with its issuing CA certificate.
+#[derive(Debug, Clone)]
+pub struct CertificateChain {
+    /// The end-entity AS certificate.
+    pub as_cert: Certificate,
+    /// The CA certificate that issued it.
+    pub ca_cert: Certificate,
+}
+
+impl CertificateChain {
+    /// Verifies the full chain at time `now` against `trc`:
+    ///
+    /// 1. the AS certificate is an `As` cert within validity, signed by the
+    ///    CA certificate's key;
+    /// 2. the CA certificate is a `Ca` cert within validity, signed by a
+    ///    root key pinned in the TRC for the CA cert's issuer;
+    /// 3. the TRC itself is within validity.
+    pub fn verify(&self, trc: &Trc, now: u64) -> Result<(), PkiError> {
+        trc.check_validity(now)?;
+        if self.as_cert.cert_type != CertType::As {
+            return Err(PkiError::BadChain("leaf is not an AS certificate".into()));
+        }
+        if self.ca_cert.cert_type != CertType::Ca {
+            return Err(PkiError::BadChain("intermediate is not a CA certificate".into()));
+        }
+        self.as_cert.check_validity(now)?;
+        self.ca_cert.check_validity(now)?;
+        if self.as_cert.issuer != self.ca_cert.subject {
+            return Err(PkiError::BadChain(format!(
+                "AS cert issued by {}, CA cert subject is {}",
+                self.as_cert.issuer, self.ca_cert.subject
+            )));
+        }
+        self.as_cert.verify_signature(&self.ca_cert.public_key)?;
+        let root_key = trc.root_key_of(self.ca_cert.issuer).ok_or_else(|| {
+            PkiError::BadChain(format!("no TRC root key for {}", self.ca_cert.issuer))
+        })?;
+        self.ca_cert.verify_signature(root_key)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trc::{Trc, TrcKeyEntry};
+    use scion_proto::addr::{ia, IsdNumber};
+
+    struct Pki {
+        trc: Trc,
+        root_key: SigningKey,
+        ca_key: SigningKey,
+        as_key: SigningKey,
+        chain: CertificateChain,
+    }
+
+    fn setup() -> Pki {
+        let root_key = SigningKey::from_seed(b"root-geant");
+        let ca_key = SigningKey::from_seed(b"ca-geant");
+        let as_key = SigningKey::from_seed(b"as-ovgu");
+        let core = ia("71-20965");
+        let trc = Trc {
+            isd: IsdNumber(71),
+            base: 1,
+            serial: 1,
+            valid_from: 0,
+            valid_until: 10_000_000,
+            core_ases: vec![core],
+            authoritative_ases: vec![core],
+            voting_keys: vec![TrcKeyEntry { holder: core, key: root_key.verifying_key() }],
+            root_keys: vec![TrcKeyEntry { holder: core, key: root_key.verifying_key() }],
+            quorum: 1,
+            votes: vec![],
+        };
+        let ca_cert = Certificate::issue(
+            CertType::Ca,
+            core,
+            ca_key.verifying_key(),
+            0,
+            5_000_000,
+            core,
+            1,
+            &root_key,
+        );
+        let as_cert = Certificate::issue(
+            CertType::As,
+            ia("71-2:0:42"),
+            as_key.verifying_key(),
+            0,
+            259_200, // 3 days — the short lifetime of §4.5
+            core,
+            7,
+            &ca_key,
+        );
+        Pki { trc, root_key, ca_key, as_key, chain: CertificateChain { as_cert, ca_cert } }
+    }
+
+    #[test]
+    fn valid_chain_verifies() {
+        let pki = setup();
+        pki.chain.verify(&pki.trc, 1000).unwrap();
+    }
+
+    #[test]
+    fn expired_as_cert_rejected() {
+        let pki = setup();
+        assert!(matches!(
+            pki.chain.verify(&pki.trc, 259_201),
+            Err(PkiError::Expired { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_as_cert_rejected() {
+        let mut pki = setup();
+        pki.chain.as_cert.valid_until += 1;
+        assert!(matches!(pki.chain.verify(&pki.trc, 1000), Err(PkiError::BadSignature(_))));
+    }
+
+    #[test]
+    fn ca_cert_signed_by_wrong_root_rejected() {
+        let mut pki = setup();
+        let rogue_root = SigningKey::from_seed(b"rogue");
+        pki.chain.ca_cert = Certificate::issue(
+            CertType::Ca,
+            ia("71-20965"),
+            pki.ca_key.verifying_key(),
+            0,
+            5_000_000,
+            ia("71-20965"),
+            1,
+            &rogue_root,
+        );
+        assert!(matches!(pki.chain.verify(&pki.trc, 1000), Err(PkiError::BadSignature(_))));
+    }
+
+    #[test]
+    fn issuer_subject_mismatch_rejected() {
+        let mut pki = setup();
+        pki.chain.as_cert = Certificate::issue(
+            CertType::As,
+            ia("71-2:0:42"),
+            pki.as_key.verifying_key(),
+            0,
+            259_200,
+            ia("71-999"), // claims a different issuer than the CA cert subject
+            7,
+            &pki.ca_key,
+        );
+        assert!(matches!(pki.chain.verify(&pki.trc, 1000), Err(PkiError::BadChain(_))));
+    }
+
+    #[test]
+    fn wrong_cert_types_rejected() {
+        let mut pki = setup();
+        std::mem::swap(&mut pki.chain.as_cert, &mut pki.chain.ca_cert);
+        assert!(matches!(pki.chain.verify(&pki.trc, 1000), Err(PkiError::BadChain(_))));
+    }
+
+    #[test]
+    fn unknown_root_rejected() {
+        let mut pki = setup();
+        pki.trc.root_keys.clear();
+        assert!(matches!(pki.chain.verify(&pki.trc, 1000), Err(PkiError::BadChain(_))));
+    }
+
+    #[test]
+    fn expired_trc_rejected() {
+        let pki = setup();
+        assert!(matches!(
+            pki.chain.verify(&pki.trc, 10_000_001),
+            Err(PkiError::Expired { .. })
+        ));
+    }
+
+    #[test]
+    fn remaining_lifetime() {
+        let pki = setup();
+        assert_eq!(pki.chain.as_cert.remaining_lifetime(0), 259_200);
+        assert_eq!(pki.chain.as_cert.remaining_lifetime(259_100), 100);
+        assert_eq!(pki.chain.as_cert.remaining_lifetime(300_000), 0);
+    }
+
+    #[test]
+    fn signature_covers_every_field() {
+        let pki = setup();
+        let base = pki.chain.as_cert.clone();
+        let mutations: Vec<Certificate> = vec![
+            Certificate { subject: ia("71-1"), ..base.clone() },
+            Certificate { cert_type: CertType::Ca, ..base.clone() },
+            Certificate { valid_from: base.valid_from + 1, ..base.clone() },
+            Certificate { valid_until: base.valid_until + 1, ..base.clone() },
+            Certificate { issuer: ia("71-1"), ..base.clone() },
+            Certificate { serial: base.serial + 1, ..base.clone() },
+            Certificate { public_key: pki.root_key.verifying_key(), ..base.clone() },
+        ];
+        for m in mutations {
+            assert!(
+                m.verify_signature(&pki.ca_key.verifying_key()).is_err(),
+                "mutation not covered by signature"
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The SCION end-host daemon.
+//!
+//! "The daemon acts as the core of this stack, handling all end host
+//! interactions with the SCION control plane. It consolidates critical
+//! tasks, such as path lookup and selection, caching path information,
+//! providing information about the AS-local SCION services, and
+//! maintaining local databases for SCION's public-key infrastructure"
+//! (§2). This crate implements exactly that:
+//!
+//! * [`daemon`] — path lookup against a [`daemon::PathProvider`] with a
+//!   TTL- and expiry-aware cache shared by all applications on the host
+//!   (the benefit the bootstrapper-dependent/standalone library modes of
+//!   §4.2.1 give up).
+//! * [`trust`] — the local PKI databases: the TRC store with update
+//!   chaining and topology/segment verification helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod trust;
+
+pub use daemon::{Daemon, DaemonConfig, PathProvider};
+pub use trust::TrustStore;

@@ -1,0 +1,193 @@
+//! The daemon's trust databases.
+//!
+//! Wraps the CP-PKI building blocks into the daemon-facing operations: hold
+//! TRCs (base + chained updates), verify certificate chains, verify signed
+//! topology documents from the bootstrapper, and verify path segments'
+//! AS signatures.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use scion_cppki::cert::CertificateChain;
+use scion_cppki::trc::{Trc, TrcStore};
+use scion_cppki::PkiError;
+use scion_crypto::sign::{Signature, VerifyingKey};
+use scion_proto::addr::{IsdAsn, IsdNumber};
+
+/// The trust store: TRCs plus a directory of verified AS keys.
+pub struct TrustStore {
+    trcs: RwLock<TrcStore>,
+    /// AS → verified signing key, populated from verified chains.
+    verified_keys: RwLock<HashMap<IsdAsn, VerifyingKey>>,
+}
+
+impl Default for TrustStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrustStore {
+    /// Creates an empty trust store.
+    pub fn new() -> Self {
+        TrustStore {
+            trcs: RwLock::new(TrcStore::new()),
+            verified_keys: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Installs a base TRC obtained out-of-band (§4.1.2).
+    pub fn trust_base_trc(&self, trc: Trc) {
+        self.trcs.write().trust_base(trc);
+    }
+
+    /// Applies a TRC update received in-band; must chain from the stored
+    /// TRC.
+    pub fn apply_trc_update(&self, trc: Trc) -> Result<(), PkiError> {
+        self.trcs.write().apply_update(trc)
+    }
+
+    /// The latest TRC serial for an ISD, if trusted.
+    pub fn trc_serial(&self, isd: IsdNumber) -> Option<u32> {
+        self.trcs.read().latest(isd).map(|t| t.serial)
+    }
+
+    /// Verifies a certificate chain against the stored TRC and, on
+    /// success, records the AS key in the directory.
+    pub fn verify_chain(&self, chain: &CertificateChain, now: u64) -> Result<(), PkiError> {
+        let trcs = self.trcs.read();
+        let trc = trcs
+            .latest(chain.as_cert.subject.isd)
+            .ok_or_else(|| PkiError::NotFound(format!("TRC for ISD {}", chain.as_cert.subject.isd)))?;
+        chain.verify(trc, now)?;
+        self.verified_keys
+            .write()
+            .insert(chain.as_cert.subject, chain.as_cert.public_key.clone());
+        Ok(())
+    }
+
+    /// Verifies an arbitrary signed blob against a previously verified AS
+    /// key (the primitive behind topology and segment verification).
+    pub fn verify_as_signature(
+        &self,
+        ia: IsdAsn,
+        message: &[u8],
+        signature: &Signature,
+    ) -> Result<(), PkiError> {
+        let keys = self.verified_keys.read();
+        let key = keys
+            .get(&ia)
+            .ok_or_else(|| PkiError::NotFound(format!("no verified key for {ia}")))?;
+        key.verify(message, signature)
+            .map_err(|_| PkiError::BadSignature(format!("signature by {ia}")))
+    }
+
+    /// The verified key of an AS, if known.
+    pub fn key_of(&self, ia: IsdAsn) -> Option<VerifyingKey> {
+        self.verified_keys.read().get(&ia).cloned()
+    }
+
+    /// Number of ASes with verified keys.
+    pub fn verified_as_count(&self) -> usize {
+        self.verified_keys.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_cppki::cert::{CertType, Certificate};
+    use scion_cppki::trc::TrcKeyEntry;
+    use scion_crypto::sign::SigningKey;
+    use scion_proto::addr::ia;
+
+    struct Setup {
+        store: TrustStore,
+        as_key: SigningKey,
+        chain: CertificateChain,
+        root_key: SigningKey,
+        base_trc: Trc,
+    }
+
+    fn setup() -> Setup {
+        let root_key = SigningKey::from_seed(b"root");
+        let ca_key = SigningKey::from_seed(b"ca");
+        let as_key = SigningKey::from_seed(b"as");
+        let core = ia("71-20965");
+        let trc = Trc {
+            isd: IsdNumber(71),
+            base: 1,
+            serial: 1,
+            valid_from: 0,
+            valid_until: 1 << 40,
+            core_ases: vec![core],
+            authoritative_ases: vec![core],
+            voting_keys: vec![TrcKeyEntry { holder: core, key: root_key.verifying_key() }],
+            root_keys: vec![TrcKeyEntry { holder: core, key: root_key.verifying_key() }],
+            quorum: 1,
+            votes: vec![],
+        };
+        let ca_cert = Certificate::issue(
+            CertType::Ca, core, ca_key.verifying_key(), 0, 1 << 39, core, 1, &root_key,
+        );
+        let as_cert = Certificate::issue(
+            CertType::As, ia("71-88"), as_key.verifying_key(), 0, 259_200, core, 2, &ca_key,
+        );
+        let store = TrustStore::new();
+        store.trust_base_trc(trc.clone());
+        Setup { store, as_key, chain: CertificateChain { as_cert, ca_cert }, root_key, base_trc: trc }
+    }
+
+    #[test]
+    fn chain_verification_populates_directory() {
+        let s = setup();
+        assert_eq!(s.store.verified_as_count(), 0);
+        s.store.verify_chain(&s.chain, 100).unwrap();
+        assert_eq!(s.store.verified_as_count(), 1);
+        assert!(s.store.key_of(ia("71-88")).is_some());
+    }
+
+    #[test]
+    fn signature_verification_uses_directory() {
+        let s = setup();
+        s.store.verify_chain(&s.chain, 100).unwrap();
+        let sig = s.as_key.sign(b"topology bytes");
+        s.store.verify_as_signature(ia("71-88"), b"topology bytes", &sig).unwrap();
+        assert!(s.store.verify_as_signature(ia("71-88"), b"tampered", &sig).is_err());
+        assert!(matches!(
+            s.store.verify_as_signature(ia("71-99"), b"topology bytes", &sig),
+            Err(PkiError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_isd_rejected() {
+        let s = setup();
+        let mut chain = s.chain.clone();
+        chain.as_cert.subject = ia("99-88");
+        assert!(matches!(s.store.verify_chain(&chain, 100), Err(PkiError::NotFound(_))));
+    }
+
+    #[test]
+    fn trc_update_chain_applies() {
+        let s = setup();
+        let mut next = s.base_trc.clone();
+        next.serial = 2;
+        next.votes.clear();
+        next.add_vote(ia("71-20965"), &s.root_key);
+        s.store.apply_trc_update(next).unwrap();
+        assert_eq!(s.store.trc_serial(IsdNumber(71)), Some(2));
+    }
+
+    #[test]
+    fn unchained_trc_update_rejected() {
+        let s = setup();
+        let mut next = s.base_trc.clone();
+        next.serial = 3; // skips 2
+        next.votes.clear();
+        next.add_vote(ia("71-20965"), &s.root_key);
+        assert!(s.store.apply_trc_update(next).is_err());
+        assert_eq!(s.store.trc_serial(IsdNumber(71)), Some(1));
+    }
+}

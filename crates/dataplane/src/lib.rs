@@ -1,0 +1,27 @@
+//! The SCION data plane.
+//!
+//! * [`router`] — the border router: verifies the current hop field's
+//!   AES-CMAC (the "efficient symmetric cryptographic operation" of §2),
+//!   checks interfaces and expiry, advances the path pointers, handles
+//!   segment crossings and peering hops, and builds SCMP notifications for
+//!   failures.
+//! * [`dispatcher`] — the legacy shared end-host dispatcher of §4.8: one
+//!   fixed UDP underlay port, demultiplexing to applications — a faithful
+//!   recreation of a kernel socket in user space, and a deliberate
+//!   bottleneck kept for the ablation benchmark.
+//! * [`hostnet`] — the dispatcherless datapath §4.8 migrated to: each
+//!   socket owns its own underlay port, so flows spread over receive queues
+//!   (RSS) with no shared choke point.
+//! * [`lightningfilter`] — the LightningFilter of §4.7.1/§4.9: line-rate
+//!   per-AS packet authentication and rate limiting in front of a
+//!   Science-DMZ.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dispatcher;
+pub mod hostnet;
+pub mod lightningfilter;
+pub mod router;
+
+pub use router::{BorderRouter, Decision, DropReason};

@@ -1,0 +1,681 @@
+//! The border router.
+//!
+//! Processing follows the SCION specification's data-plane algorithm:
+//!
+//! * **Construction direction** (`cons_dir = 1`): verify the current hop
+//!   field's MAC against the info field's segment identifier, then chain
+//!   `seg_id ^= mac[0..2]` when leaving the hop. If the segment has the
+//!   peering flag and the hop is the segment's construction-order first,
+//!   the MAC was computed over the *next* beta, so it verifies against the
+//!   unmodified `seg_id` and does not chain.
+//! * **Against construction direction**: first un-chain
+//!   `seg_id ^= mac[0..2]`, verify against the result, and leave the
+//!   un-chained value in place; the peering-flagged construction-first hop
+//!   verifies against the current `seg_id` without un-chaining.
+//!
+//! A failed MAC, an interface mismatch, or an expired hop drops the packet
+//! — this is what makes path authorisation enforceable hop by hop.
+
+use scion_crypto::mac::{HopKey, HopMacInput};
+use scion_proto::addr::IsdAsn;
+use scion_proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
+use scion_proto::path::ScionPath;
+use scion_proto::scmp::ScmpMessage;
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DropReason {
+    /// The hop-field MAC did not verify.
+    BadMac,
+    /// The packet arrived on a different interface than the hop field says.
+    IngressMismatch {
+        /// Interface in the hop field.
+        expected: u16,
+        /// Interface the packet actually arrived on.
+        actual: u16,
+    },
+    /// The current hop field has expired.
+    Expired,
+    /// The destination AS of a delivered packet isn't this AS.
+    WrongDestination,
+    /// Structural problem with the path (pointers, segments).
+    MalformedPath(String),
+    /// The packet carries a path type this router cannot process.
+    UnsupportedPath,
+}
+
+/// The router's verdict on a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Deliver the (possibly rewritten) packet to the local destination host.
+    Deliver(ScionPacket),
+    /// Forward the rewritten packet out of the given local interface.
+    Forward {
+        /// Egress interface identifier.
+        ifid: u16,
+        /// The rewritten packet.
+        packet: ScionPacket,
+    },
+}
+
+/// Per-AS border router state.
+#[derive(Clone)]
+pub struct BorderRouter {
+    /// The AS this router serves.
+    pub ia: IsdAsn,
+    hop_key: HopKey,
+    /// Packets processed (for the forwarding throughput bench).
+    pub processed: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+}
+
+impl BorderRouter {
+    /// Creates a router with the AS's hop key.
+    pub fn new(ia: IsdAsn, hop_key: HopKey) -> Self {
+        BorderRouter { ia, hop_key, processed: 0, dropped: 0 }
+    }
+
+    /// Processes a packet arriving on `ingress_ifid` (0 = from a host or
+    /// service inside this AS) at Unix time `now`.
+    pub fn process(
+        &mut self,
+        mut packet: ScionPacket,
+        ingress_ifid: u16,
+        now: u64,
+    ) -> Result<Decision, DropReason> {
+        self.processed += 1;
+        let result = match &mut packet.path {
+            DataPlanePath::Empty => {
+                // AS-local packet: deliverable iff we are the destination AS.
+                if packet.dst.ia == self.ia {
+                    Ok(None)
+                } else {
+                    Err(DropReason::WrongDestination)
+                }
+            }
+            DataPlanePath::Scion(path) => {
+                Self::process_scion_path(&self.hop_key, path, ingress_ifid, now)
+            }
+            DataPlanePath::OneHop { .. } => Err(DropReason::UnsupportedPath),
+        };
+        match result {
+            Ok(Some(ifid)) => Ok(Decision::Forward { ifid, packet }),
+            Ok(None) => {
+                if packet.dst.ia != self.ia {
+                    self.dropped += 1;
+                    return Err(DropReason::WrongDestination);
+                }
+                Ok(Decision::Deliver(packet))
+            }
+            Err(e) => {
+                self.dropped += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Core path processing; returns `Some(egress ifid)` to forward or
+    /// `None` to deliver locally. Rewrites `path` in place (seg_id chaining
+    /// and pointer advancement).
+    fn process_scion_path(
+        hop_key: &HopKey,
+        path: &mut ScionPath,
+        ingress_ifid: u16,
+        now: u64,
+    ) -> Result<Option<u16>, DropReason> {
+        // Verify the current hop (ours).
+        Self::verify_current_hop(hop_key, path, now)?;
+
+        // Ingress check: packets from inside the AS (ifid 0) skip it.
+        if ingress_ifid != 0 {
+            let expected = path.current_ingress();
+            if expected != ingress_ifid {
+                return Err(DropReason::IngressMismatch { expected, actual: ingress_ifid });
+            }
+        }
+
+        // Chain seg_id when leaving a cons-dir hop (not for peer hops).
+        Self::chain_on_egress(path);
+
+        if path.at_last_hop() {
+            return Ok(None); // Destination AS: deliver.
+        }
+
+        // A non-peering segment end is an *internal* crossing: the next
+        // segment's first hop field belongs to this same AS. A peering
+        // segment end instead leaves over the peering link (the peer hop's
+        // egress interface), so it falls through to normal forwarding.
+        if Self::at_segment_traversal_end(path) && !path.current_info().peering {
+            // Segment crossing inside this AS: the next segment's first hop
+            // field also belongs to us; it determines the real egress. Its
+            // own interfaces facing the junction are not used.
+            path.advance().map_err(|e| DropReason::MalformedPath(e.to_string()))?;
+            Self::verify_current_hop(hop_key, path, now)?;
+            Self::chain_on_egress(path);
+            if path.at_last_hop() {
+                return Ok(None);
+            }
+        }
+
+        let egress = path.current_egress();
+        if egress == 0 {
+            return Err(DropReason::MalformedPath(
+                "interior hop without an egress interface".into(),
+            ));
+        }
+        path.advance().map_err(|e| DropReason::MalformedPath(e.to_string()))?;
+        Ok(Some(egress))
+    }
+
+    /// Whether the current hop is the last hop of its segment in traversal
+    /// order — the point where the packet crosses to the next segment
+    /// inside this AS.
+    fn at_segment_traversal_end(path: &ScionPath) -> bool {
+        // Hop fields are laid out in traversal order, so the traversal end
+        // of a segment is its last stored hop regardless of direction.
+        let seg = path.meta.curr_inf as usize;
+        let seg_start: usize = path.meta.seg_len[..seg].iter().map(|&l| l as usize).sum();
+        let seg_len = path.meta.seg_len[seg] as usize;
+        path.meta.curr_hf as usize == seg_start + seg_len - 1
+    }
+
+    /// Whether the current hop is the construction-order first hop of its
+    /// segment (where a peering-flagged hop field lives).
+    fn at_segment_cons_start(path: &ScionPath) -> bool {
+        let seg = path.meta.curr_inf as usize;
+        let seg_start: usize = path.meta.seg_len[..seg].iter().map(|&l| l as usize).sum();
+        let seg_len = path.meta.seg_len[seg] as usize;
+        let idx = path.meta.curr_hf as usize;
+        if path.current_info().cons_dir {
+            idx == seg_start
+        } else {
+            idx == seg_start + seg_len - 1
+        }
+    }
+
+    fn verify_current_hop(
+        hop_key: &HopKey,
+        path: &mut ScionPath,
+        now: u64,
+    ) -> Result<(), DropReason> {
+        let info = *path.current_info();
+        let hf = *path.current_hop();
+        if hf.expiry_unix(info.timestamp) < now {
+            return Err(DropReason::Expired);
+        }
+        let is_peer_hop = info.peering && Self::at_segment_cons_start(path);
+        let mac2 = u16::from_be_bytes([hf.mac[0], hf.mac[1]]);
+        let beta = if info.cons_dir || is_peer_hop {
+            info.seg_id
+        } else {
+            // Against construction: un-chain our own MAC first.
+            let unchained = info.seg_id ^ mac2;
+            path.info[path.meta.curr_inf as usize].seg_id = unchained;
+            unchained
+        };
+        let input = HopMacInput {
+            beta,
+            timestamp: info.timestamp,
+            exp_time: hf.exp_time,
+            cons_ingress: hf.cons_ingress,
+            cons_egress: hf.cons_egress,
+        };
+        if !hop_key.verify(&input, &hf.mac) {
+            return Err(DropReason::BadMac);
+        }
+        Ok(())
+    }
+
+    fn chain_on_egress(path: &mut ScionPath) {
+        let info = *path.current_info();
+        if !info.cons_dir {
+            return; // already un-chained during verification
+        }
+        if info.peering && Self::at_segment_cons_start(path) {
+            return; // peer hops do not chain
+        }
+        let hf = path.current_hop();
+        let mac2 = u16::from_be_bytes([hf.mac[0], hf.mac[1]]);
+        path.info[path.meta.curr_inf as usize].seg_id ^= mac2;
+    }
+
+    /// Builds the SCMP `ExternalInterfaceDown` error a router sends back to
+    /// the source when asked to forward over a dead link. Returns `None`
+    /// when the triggering packet's path cannot be reversed.
+    pub fn external_interface_down(
+        &self,
+        trigger: &ScionPacket,
+        ifid: u16,
+    ) -> Option<ScionPacket> {
+        let (src, dst, path) = trigger.reply_template()?;
+        let msg = ScmpMessage::ExternalInterfaceDown { ia: self.ia, interface: ifid as u64 };
+        Some(ScionPacket::new(src, dst, L4Protocol::Scmp, path, msg.encode()))
+    }
+}
+
+impl core::fmt::Debug for BorderRouter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "BorderRouter({}, processed: {}, dropped: {})",
+            self.ia, self.processed, self.dropped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_control::fullpath::{Direction, FullPath, PathKind, SegmentUse};
+    use scion_control::segment::{AsSecrets, SegmentBuilder, SegmentType};
+    use scion_proto::addr::{ia, HostAddr, ScionAddr};
+
+    const TS: u32 = 1_700_000_000;
+    const NOW: u64 = 1_700_000_100;
+
+    fn secrets(s: &str) -> AsSecrets {
+        AsSecrets::derive(ia(s))
+    }
+
+    fn router(s: &str) -> BorderRouter {
+        let sec = secrets(s);
+        BorderRouter::new(sec.ia, sec.hop_key)
+    }
+
+    /// Up segment: core 71-1 (eg 11) -> mid 71-10 (in 21, eg 22, peer to
+    /// 71-20 via 29/39) -> leaf 71-100 (in 31).
+    fn up_segment() -> scion_control::segment::PathSegment {
+        let mut b = SegmentBuilder::originate(SegmentType::UpDown, TS, 0x1001);
+        b.extend(&secrets("71-1"), 0, 11, &[]);
+        b.extend(&secrets("71-10"), 21, 22, &[(ia("71-20"), 29, 39)]);
+        b.extend(&secrets("71-100"), 31, 0, &[]);
+        b.finish()
+    }
+
+    /// Down segment: core 71-2 (eg 12) -> mid 71-20 (in 23, eg 24, peer to
+    /// 71-10 via 39/29) -> leaf 71-200 (in 33).
+    fn down_segment() -> scion_control::segment::PathSegment {
+        let mut b = SegmentBuilder::originate(SegmentType::UpDown, TS, 0x2002);
+        b.extend(&secrets("71-2"), 0, 12, &[]);
+        b.extend(&secrets("71-20"), 23, 24, &[(ia("71-10"), 39, 29)]);
+        b.extend(&secrets("71-200"), 33, 0, &[]);
+        b.finish()
+    }
+
+    /// Core segment constructed 71-2 (eg 41) -> 71-1 (in 42).
+    fn core_segment() -> scion_control::segment::PathSegment {
+        let mut b = SegmentBuilder::originate(SegmentType::Core, TS, 0x3003);
+        b.extend(&secrets("71-2"), 0, 41, &[]);
+        b.extend(&secrets("71-1"), 42, 0, &[]);
+        b.finish()
+    }
+
+    fn full_transit_path() -> FullPath {
+        FullPath::assemble(
+            ia("71-100"),
+            ia("71-200"),
+            PathKind::CoreTransit,
+            vec![
+                SegmentUse::whole(up_segment(), Direction::AgainstCons),
+                SegmentUse::whole(core_segment(), Direction::AgainstCons),
+                SegmentUse::whole(down_segment(), Direction::Cons),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn packet_with(path: ScionPath) -> ScionPacket {
+        packet_to(path, "71-200")
+    }
+
+    fn packet_to(path: ScionPath, dst: &str) -> ScionPacket {
+        ScionPacket::new(
+            ScionAddr::new(ia("71-100"), HostAddr::v4(10, 0, 0, 1)),
+            ScionAddr::new(ia(dst), HostAddr::v4(10, 0, 0, 2)),
+            L4Protocol::Udp,
+            DataPlanePath::Scion(path),
+            b"payload".to_vec(),
+        )
+    }
+
+    /// Walks a packet through a list of (router, ingress ifid) stations and
+    /// returns the delivered packet.
+    fn walk(
+        mut packet: ScionPacket,
+        stations: &[(&str, u16)],
+        expect_egress: &[u16],
+    ) -> ScionPacket {
+        for (i, ((as_str, ingress), want_eg)) in
+            stations.iter().zip(expect_egress.iter()).enumerate()
+        {
+            let mut r = router(as_str);
+            match r.process(packet, *ingress, NOW) {
+                Ok(Decision::Forward { ifid, packet: p }) => {
+                    assert_eq!(ifid, *want_eg, "station {i} ({as_str}) egress");
+                    packet = p;
+                }
+                Ok(Decision::Deliver(p)) => {
+                    assert_eq!(*want_eg, 0, "station {i} ({as_str}) delivered early");
+                    return p;
+                }
+                Err(e) => panic!("station {i} ({as_str}) dropped: {e:?}"),
+            }
+        }
+        panic!("packet was never delivered");
+    }
+
+    #[test]
+    fn end_to_end_core_transit_forwarding() {
+        let dp = full_transit_path().to_dataplane().unwrap();
+        let pkt = packet_with(dp);
+        // 71-100 (host->BR, leaves via 31) -> 71-10 (in 22, out 21)
+        // -> 71-1 (in 11, out 42) -> 71-2 (in 41, out 12)
+        // -> 71-20 (in 23, out 24) -> 71-200 (in 33, deliver)
+        let delivered = walk(
+            pkt,
+            &[("71-100", 0), ("71-10", 22), ("71-1", 11), ("71-2", 41), ("71-20", 23), ("71-200", 33)],
+            &[31, 21, 42, 12, 24, 0],
+        );
+        assert_eq!(delivered.payload, b"payload");
+    }
+
+    #[test]
+    fn peering_path_forwards_over_peer_link() {
+        let p = FullPath::assemble(
+            ia("71-100"),
+            ia("71-200"),
+            PathKind::Peering,
+            vec![
+                SegmentUse {
+                    segment: up_segment(),
+                    dir: Direction::AgainstCons,
+                    from_idx: 1,
+                    to_idx: 2,
+                    peer_with: Some(ia("71-20")),
+                },
+                SegmentUse {
+                    segment: down_segment(),
+                    dir: Direction::Cons,
+                    from_idx: 1,
+                    to_idx: 2,
+                    peer_with: Some(ia("71-10")),
+                },
+            ],
+        )
+        .unwrap();
+        let pkt = packet_with(p.to_dataplane().unwrap());
+        let delivered = walk(
+            pkt,
+            &[("71-100", 0), ("71-10", 22), ("71-20", 39), ("71-200", 33)],
+            &[31, 29, 24, 0],
+        );
+        assert_eq!(delivered.dst.ia, ia("71-200"));
+    }
+
+    #[test]
+    fn shortcut_path_forwards() {
+        // Down segment sharing mid AS 71-10: core 71-1 -> 71-10 -> 71-300.
+        let mut b = SegmentBuilder::originate(SegmentType::UpDown, TS, 0x4004);
+        b.extend(&secrets("71-1"), 0, 11, &[]);
+        b.extend(&secrets("71-10"), 21, 25, &[]);
+        b.extend(&secrets("71-300"), 35, 0, &[]);
+        let down = b.finish();
+        let p = FullPath::assemble(
+            ia("71-100"),
+            ia("71-300"),
+            PathKind::Shortcut,
+            vec![
+                SegmentUse {
+                    segment: up_segment(),
+                    dir: Direction::AgainstCons,
+                    from_idx: 1,
+                    to_idx: 2,
+                    peer_with: None,
+                },
+                SegmentUse {
+                    segment: down,
+                    dir: Direction::Cons,
+                    from_idx: 1,
+                    to_idx: 2,
+                    peer_with: None,
+                },
+            ],
+        )
+        .unwrap();
+        let pkt = packet_to(p.to_dataplane().unwrap(), "71-300");
+        // 71-10 receives on 22 (from leaf), crosses segments, leaves via 25.
+        let delivered =
+            walk(pkt, &[("71-100", 0), ("71-10", 22), ("71-300", 35)], &[31, 25, 0]);
+        assert_eq!(delivered.payload, b"payload");
+    }
+
+    #[test]
+    fn tampered_mac_dropped() {
+        let dp = full_transit_path().to_dataplane().unwrap();
+        let mut pkt = packet_with(dp);
+        if let DataPlanePath::Scion(p) = &mut pkt.path {
+            p.hops[0].mac[3] ^= 1;
+        }
+        let mut r = router("71-100");
+        assert_eq!(r.process(pkt, 0, NOW), Err(DropReason::BadMac));
+        assert_eq!(r.dropped, 1);
+    }
+
+    #[test]
+    fn tampered_interface_dropped() {
+        let dp = full_transit_path().to_dataplane().unwrap();
+        let mut pkt = packet_with(dp);
+        if let DataPlanePath::Scion(p) = &mut pkt.path {
+            // Redirect the first hop's egress: MAC no longer matches.
+            p.hops[0].cons_ingress = 99;
+        }
+        let mut r = router("71-100");
+        assert_eq!(r.process(pkt, 0, NOW), Err(DropReason::BadMac));
+    }
+
+    #[test]
+    fn wrong_ingress_interface_dropped() {
+        let dp = full_transit_path().to_dataplane().unwrap();
+        let pkt = packet_with(dp);
+        let mut r100 = router("71-100");
+        let Decision::Forward { packet, .. } = r100.process(pkt, 0, NOW).unwrap() else {
+            panic!("expected forward");
+        };
+        // 71-10 expects ingress 22 but the packet shows up on 27.
+        let mut r10 = router("71-10");
+        assert_eq!(
+            r10.process(packet, 27, NOW),
+            Err(DropReason::IngressMismatch { expected: 22, actual: 27 })
+        );
+    }
+
+    #[test]
+    fn expired_hop_dropped() {
+        let dp = full_transit_path().to_dataplane().unwrap();
+        let pkt = packet_with(dp);
+        let mut r = router("71-100");
+        // DEFAULT_EXP_TIME = 63 -> 6 h lifetime.
+        let too_late = TS as u64 + 22_000;
+        assert_eq!(r.process(pkt, 0, too_late), Err(DropReason::Expired));
+    }
+
+    #[test]
+    fn wrong_as_key_cannot_forward() {
+        let dp = full_transit_path().to_dataplane().unwrap();
+        let pkt = packet_with(dp);
+        // A router with some other AS's key tries to process hop 0.
+        let mut r = router("71-31337");
+        assert_eq!(r.process(pkt, 0, NOW), Err(DropReason::BadMac));
+    }
+
+    #[test]
+    fn empty_path_local_delivery() {
+        let pkt = ScionPacket::new(
+            ScionAddr::new(ia("71-100"), HostAddr::v4(10, 0, 0, 1)),
+            ScionAddr::new(ia("71-100"), HostAddr::v4(10, 0, 0, 2)),
+            L4Protocol::Udp,
+            DataPlanePath::Empty,
+            b"local".to_vec(),
+        );
+        let mut r = router("71-100");
+        match r.process(pkt, 0, NOW) {
+            Ok(Decision::Deliver(p)) => assert_eq!(p.payload, b"local"),
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        // And a foreign destination with an empty path is dropped.
+        let pkt2 = ScionPacket::new(
+            ScionAddr::new(ia("71-100"), HostAddr::v4(10, 0, 0, 1)),
+            ScionAddr::new(ia("71-200"), HostAddr::v4(10, 0, 0, 2)),
+            L4Protocol::Udp,
+            DataPlanePath::Empty,
+            vec![],
+        );
+        assert_eq!(r.process(pkt2, 0, NOW), Err(DropReason::WrongDestination));
+    }
+
+    #[test]
+    fn reverse_path_also_verifies() {
+        // Deliver forward, then send the reply along the reversed path.
+        let dp = full_transit_path().to_dataplane().unwrap();
+        let pkt = packet_with(dp);
+        let delivered = walk(
+            pkt,
+            &[("71-100", 0), ("71-10", 22), ("71-1", 11), ("71-2", 41), ("71-20", 23), ("71-200", 33)],
+            &[31, 21, 42, 12, 24, 0],
+        );
+        let (src, dst, path) = delivered.reply_template().unwrap();
+        let reply = ScionPacket::new(src, dst, L4Protocol::Udp, path, b"pong".to_vec());
+        let back = walk(
+            reply,
+            &[("71-200", 0), ("71-20", 24), ("71-2", 12), ("71-1", 42), ("71-10", 21), ("71-100", 31)],
+            &[33, 23, 41, 11, 22, 0],
+        );
+        assert_eq!(back.payload, b"pong");
+        assert_eq!(back.dst.ia, ia("71-100"));
+    }
+
+    #[test]
+    fn scmp_external_interface_down_reverses_path() {
+        let dp = full_transit_path().to_dataplane().unwrap();
+        let pkt = packet_with(dp);
+        let r = router("71-10");
+        let scmp = r.external_interface_down(&pkt, 21).unwrap();
+        assert_eq!(scmp.dst.ia, ia("71-100"));
+        assert_eq!(scmp.next_hdr, L4Protocol::Scmp);
+        let msg = ScmpMessage::decode(&scmp.payload).unwrap();
+        assert_eq!(msg, ScmpMessage::ExternalInterfaceDown { ia: ia("71-10"), interface: 21 });
+    }
+}
+
+impl BorderRouter {
+    /// SCMP traceroute handling: when the current hop field carries a
+    /// router-alert flag for the interface the packet arrived on (or will
+    /// leave by) and the payload is a `TracerouteRequest`, the router
+    /// answers with a `TracerouteReply` naming itself and the interface,
+    /// and consumes the probe.
+    ///
+    /// Alert flags are deliberately *outside* the hop-field MAC (as in the
+    /// SCION specification), so the prober can set them on a path it
+    /// received without invalidating it.
+    pub fn traceroute_probe(&self, packet: &ScionPacket, ingress_ifid: u16) -> Option<ScionPacket> {
+        if packet.next_hdr != L4Protocol::Scmp {
+            return None;
+        }
+        let DataPlanePath::Scion(path) = &packet.path else { return None };
+        let hf = path.current_hop();
+        // Traversal-direction mapping: the ingress alert refers to the
+        // construction-direction ingress interface.
+        let cons_dir = path.current_info().cons_dir;
+        let (ingress_alerted, egress_alerted) = if cons_dir {
+            (hf.ingress_alert, hf.egress_alert)
+        } else {
+            (hf.egress_alert, hf.ingress_alert)
+        };
+        if !(ingress_alerted || egress_alerted) {
+            return None;
+        }
+        let msg = ScmpMessage::decode(&packet.payload).ok()?;
+        let ScmpMessage::TracerouteRequest { id, seq } = msg else { return None };
+        let interface = if ingress_alerted { ingress_ifid } else { path.current_egress() };
+        let (src, dst, rpath) = packet.reply_template()?;
+        let reply = ScmpMessage::TracerouteReply { id, seq, ia: self.ia, interface: interface as u64 };
+        Some(ScionPacket::new(src, dst, L4Protocol::Scmp, rpath, reply.encode()))
+    }
+}
+
+#[cfg(test)]
+mod traceroute_tests {
+    use super::*;
+    use scion_control::fullpath::{Direction, FullPath, PathKind, SegmentUse};
+    use scion_control::segment::{AsSecrets, SegmentBuilder, SegmentType};
+    use scion_proto::addr::{ia, HostAddr, ScionAddr};
+
+    fn probe_packet(alert_hop: usize) -> ScionPacket {
+        let mk = |s: &str| AsSecrets::derive(ia(s));
+        let mut b = SegmentBuilder::originate(SegmentType::UpDown, 1_700_000_000, 0x99);
+        b.extend(&mk("71-1"), 0, 11, &[]);
+        b.extend(&mk("71-10"), 21, 22, &[]);
+        b.extend(&mk("71-100"), 31, 0, &[]);
+        let path = FullPath::assemble(
+            ia("71-100"),
+            ia("71-1"),
+            PathKind::SingleSegment,
+            vec![SegmentUse::whole(b.finish(), Direction::AgainstCons)],
+        )
+        .unwrap();
+        let mut dp = path.to_dataplane().unwrap();
+        dp.hops[alert_hop].ingress_alert = true;
+        dp.hops[alert_hop].egress_alert = true;
+        ScionPacket::new(
+            ScionAddr::new(ia("71-100"), HostAddr::v4(1, 1, 1, 1)),
+            ScionAddr::new(ia("71-1"), HostAddr::v4(2, 2, 2, 2)),
+            L4Protocol::Scmp,
+            DataPlanePath::Scion(dp),
+            ScmpMessage::TracerouteRequest { id: 9, seq: 3 }.encode(),
+        )
+    }
+
+    #[test]
+    fn alerted_hop_answers() {
+        // Walk the probe to hop 1 (71-10) and let it answer.
+        let sec100 = AsSecrets::derive(ia("71-100"));
+        let mut r100 = BorderRouter::new(sec100.ia, sec100.hop_key);
+        let pkt = probe_packet(1);
+        // The source's own hop is not alerted in this probe's target.
+        assert!(r100.traceroute_probe(&pkt, 0).is_none() == (1 != 0));
+        let Decision::Forward { packet, .. } = r100.process(pkt, 0, 1_700_000_100).unwrap() else {
+            panic!("expected forward");
+        };
+        let sec10 = AsSecrets::derive(ia("71-10"));
+        let r10 = BorderRouter::new(sec10.ia, sec10.hop_key);
+        let reply = r10.traceroute_probe(&packet, 22).expect("alerted hop answers");
+        assert_eq!(reply.dst.ia, ia("71-100"));
+        let msg = ScmpMessage::decode(&reply.payload).unwrap();
+        assert_eq!(
+            msg,
+            ScmpMessage::TracerouteReply { id: 9, seq: 3, ia: ia("71-10"), interface: 22 }
+        );
+    }
+
+    #[test]
+    fn unalerted_hop_stays_silent() {
+        let sec100 = AsSecrets::derive(ia("71-100"));
+        let r100 = BorderRouter::new(sec100.ia, sec100.hop_key.clone());
+        let pkt = probe_packet(1); // alert on hop 1, not hop 0
+        assert!(r100.traceroute_probe(&pkt, 0).is_none());
+        // Non-SCMP packets never trigger replies even with alerts set.
+        let mut udp = probe_packet(0);
+        udp.next_hdr = L4Protocol::Udp;
+        assert!(r100.traceroute_probe(&udp, 0).is_none());
+    }
+
+    #[test]
+    fn alert_flags_do_not_break_mac_verification() {
+        // The MAC must not cover the alert bits: the probe still forwards.
+        let sec100 = AsSecrets::derive(ia("71-100"));
+        let mut r100 = BorderRouter::new(sec100.ia, sec100.hop_key);
+        let pkt = probe_packet(0);
+        assert!(r100.process(pkt, 0, 1_700_000_100).is_ok());
+    }
+}

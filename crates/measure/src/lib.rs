@@ -1,0 +1,33 @@
+//! The SCIERA measurement campaign and experiment harness (§5).
+//!
+//! Reproduces the `scion-go-multiping` methodology of §5.4 over the
+//! simulated deployment and computes every figure of the evaluation:
+//!
+//! * [`campaign`] — the measurement engine: per-interval SCMP pings over
+//!   three SCION paths (shortest / fastest / most disjoint) plus ICMP over
+//!   the BGP baseline, full path probes, the tool's hourly *stall*
+//!   behaviour and the §5.4 exclusion rule, fault injection for the real
+//!   incidents (KR–SG cable cut, BRIDGES instabilities, UFMS detour,
+//!   January maintenance, new EU–US links).
+//! * [`analysis`] — Fig. 5 (RTT CDFs), Fig. 6 (per-pair RTT-ratio CDF),
+//!   Fig. 7 (ratio over time).
+//! * [`paths`] — Fig. 8 (max active paths), Fig. 9 (median deviation),
+//!   Fig. 10a (latency inflation), Fig. 10b (disjointness CDF).
+//! * [`resilience`] — Fig. 10c (random link-failure sweep, multipath vs
+//!   single path).
+//! * [`bootstrapx`] — Fig. 4 (bootstrapping latency across OSes and hint
+//!   mechanisms).
+//! * [`survey`] — §5.6 operator survey: the synthetic respondent table and
+//!   the aggregate statistics the paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bootstrapx;
+pub mod campaign;
+pub mod paths;
+pub mod resilience;
+pub mod survey;
+
+pub use campaign::{Campaign, CampaignConfig, MeasurementStore};

@@ -1,0 +1,225 @@
+//! The §5.6 operator survey.
+//!
+//! The paper surveyed the eight SCIERA operators on deployment experience,
+//! CAPEX and OPEX. We encode a synthetic respondent table that matches
+//! every marginal the paper reports, and the aggregation code computes the
+//! same statistics — so the analysis pipeline, not just the numbers, is
+//! reproduced.
+
+use serde::{Deserialize, Serialize};
+
+/// One survey respondent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Respondent {
+    /// Anonymised id.
+    pub id: u8,
+    /// Years of networking/security experience.
+    pub experience_years: u8,
+    /// Role: true = hands-on network engineer, false = researcher.
+    pub engineer: bool,
+    /// Months from kickoff to working native SCION setup.
+    pub setup_months: f64,
+    /// Completed the software deployment without vendor support.
+    pub no_vendor_support_needed: bool,
+    /// Hardware spend, USD.
+    pub hardware_usd: u32,
+    /// Paid software licensing (Anapaya) rather than open source only.
+    pub paid_licensing: bool,
+    /// Needed additional hiring/training.
+    pub extra_hiring: bool,
+    /// Rates SCIERA OPEX as comparable-or-lower than existing infra.
+    pub opex_comparable_or_lower: bool,
+    /// SCIERA tasks below 10 % of overall operational workload.
+    pub workload_below_10pct: bool,
+    /// Vendor-support contacts per year.
+    pub vendor_contacts_per_year: u8,
+    /// Reported primary cost drivers.
+    pub cost_drivers: Vec<CostDriver>,
+}
+
+/// Operational cost drivers offered in the questionnaire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostDriver {
+    /// Hardware maintenance.
+    HardwareMaintenance,
+    /// Staff workload.
+    StaffWorkload,
+    /// Monitoring and troubleshooting.
+    Monitoring,
+    /// Power consumption.
+    Power,
+}
+
+/// The eight-respondent dataset, constructed to match §5.6's marginals.
+pub fn respondents() -> Vec<Respondent> {
+    use CostDriver::*;
+    let r = |id: u8,
+             experience_years: u8,
+             engineer: bool,
+             setup_months: f64,
+             no_vendor: bool,
+             hardware_usd: u32,
+             paid_licensing: bool,
+             extra_hiring: bool,
+             opex_ok: bool,
+             workload_ok: bool,
+             contacts: u8,
+             cost_drivers: Vec<CostDriver>| Respondent {
+        id,
+        experience_years,
+        engineer,
+        setup_months,
+        no_vendor_support_needed: no_vendor,
+        hardware_usd,
+        paid_licensing,
+        extra_hiring,
+        opex_comparable_or_lower: opex_ok,
+        workload_below_10pct: workload_ok,
+        vendor_contacts_per_year: contacts,
+        cost_drivers,
+    };
+    vec![
+        r(1, 15, true, 0.8, true, 6_500, false, false, true, true, 0, vec![HardwareMaintenance, StaffWorkload]),
+        r(2, 12, true, 1.0, true, 12_000, false, false, true, true, 1, vec![HardwareMaintenance]),
+        r(3, 11, false, 0.9, false, 18_000, true, false, true, true, 2, vec![HardwareMaintenance, Monitoring]),
+        r(4, 14, true, 4.0, true, 9_000, false, false, true, true, 1, vec![StaffWorkload]),
+        r(5, 6, false, 5.0, true, 15_000, false, false, true, true, 2, vec![HardwareMaintenance, StaffWorkload, Power]),
+        r(6, 8, false, 6.0, false, 25_000, true, true, false, true, 5, vec![StaffWorkload, Monitoring]),
+        r(7, 5, true, 5.5, false, 14_000, true, false, true, true, 4, vec![HardwareMaintenance]),
+        r(8, 9, false, 9.0, true, 30_000, false, true, false, false, 3, vec![]),
+    ]
+}
+
+/// Aggregated survey statistics (the numbers §5.6 reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveyStats {
+    /// Respondents.
+    pub n: usize,
+    /// Fraction with over a decade of experience (paper: 50 %).
+    pub decade_experience: f64,
+    /// Fraction of hands-on engineers (paper: 50 %).
+    pub engineers: f64,
+    /// Fraction finishing setup within one month (paper: 37.5 %).
+    pub setup_within_month: f64,
+    /// Fraction finishing within six months (cumulative; paper: 87.5 %).
+    pub setup_within_six_months: f64,
+    /// Fraction deploying without vendor support (paper: 62.5 %).
+    pub no_vendor_support: f64,
+    /// Fraction spending under $20k on hardware (paper: 75 %).
+    pub hardware_under_20k: f64,
+    /// Fraction with zero licensing cost (paper: 62.5 %).
+    pub no_licensing_cost: f64,
+    /// Fraction needing no extra hiring/training (paper: 75 %).
+    pub no_extra_hiring: f64,
+    /// Fraction rating OPEX comparable or lower (paper: 75 %).
+    pub opex_comparable_or_lower: f64,
+    /// Fraction with SCIERA below 10 % of workload (paper: 87.5 %).
+    pub workload_below_10pct: f64,
+    /// Fraction needing vendor support fewer than 3×/year (paper: 62.5 %).
+    pub vendor_under_3_per_year: f64,
+    /// Fraction naming each cost driver (paper: 62.5 / 50 / 25 / 12.5 %).
+    pub cost_driver_fracs: [f64; 4],
+}
+
+/// Computes the aggregate statistics.
+pub fn aggregate(rs: &[Respondent]) -> SurveyStats {
+    let n = rs.len();
+    let frac = |pred: &dyn Fn(&Respondent) -> bool| {
+        rs.iter().filter(|r| pred(r)).count() as f64 / n as f64
+    };
+    let driver = |d: CostDriver| frac(&|r: &Respondent| r.cost_drivers.contains(&d));
+    SurveyStats {
+        n,
+        decade_experience: frac(&|r| r.experience_years > 10),
+        engineers: frac(&|r| r.engineer),
+        setup_within_month: frac(&|r| r.setup_months <= 1.0),
+        setup_within_six_months: frac(&|r| r.setup_months <= 6.0),
+        no_vendor_support: frac(&|r| r.no_vendor_support_needed),
+        hardware_under_20k: frac(&|r| r.hardware_usd < 20_000),
+        no_licensing_cost: frac(&|r| !r.paid_licensing),
+        no_extra_hiring: frac(&|r| !r.extra_hiring),
+        opex_comparable_or_lower: frac(&|r| r.opex_comparable_or_lower),
+        workload_below_10pct: frac(&|r| r.workload_below_10pct),
+        vendor_under_3_per_year: frac(&|r| r.vendor_contacts_per_year < 3),
+        cost_driver_fracs: [
+            driver(CostDriver::HardwareMaintenance),
+            driver(CostDriver::StaffWorkload),
+            driver(CostDriver::Monitoring),
+            driver(CostDriver::Power),
+        ],
+    }
+}
+
+/// Renders the survey report.
+pub fn report(stats: &SurveyStats) -> String {
+    format!(
+        "Operator survey (n={}) — paper values in parentheses\n\
+         over a decade of experience: {:.1}% (50%)\n\
+         hands-on network engineers:  {:.1}% (50%)\n\
+         native setup within 1 month: {:.1}% (37.5%)\n\
+         native setup within 6 months:{:.1}% (87.5%)\n\
+         deployed w/o vendor support: {:.1}% (62.5%)\n\
+         hardware under $20k:         {:.1}% (75%)\n\
+         zero licensing cost:         {:.1}% (62.5%)\n\
+         no extra hiring/training:    {:.1}% (75%)\n\
+         OPEX comparable or lower:    {:.1}% (75%)\n\
+         SCIERA < 10% of workload:    {:.1}% (87.5%)\n\
+         vendor support < 3x/year:    {:.1}% (62.5%)\n\
+         cost drivers hw/staff/mon/pwr: {:.1}/{:.1}/{:.1}/{:.1}% (62.5/50/25/12.5%)",
+        stats.n,
+        stats.decade_experience * 100.0,
+        stats.engineers * 100.0,
+        stats.setup_within_month * 100.0,
+        stats.setup_within_six_months * 100.0,
+        stats.no_vendor_support * 100.0,
+        stats.hardware_under_20k * 100.0,
+        stats.no_licensing_cost * 100.0,
+        stats.no_extra_hiring * 100.0,
+        stats.opex_comparable_or_lower * 100.0,
+        stats.workload_below_10pct * 100.0,
+        stats.vendor_under_3_per_year * 100.0,
+        stats.cost_driver_fracs[0] * 100.0,
+        stats.cost_driver_fracs[1] * 100.0,
+        stats.cost_driver_fracs[2] * 100.0,
+        stats.cost_driver_fracs[3] * 100.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginals_match_paper_exactly() {
+        let s = aggregate(&respondents());
+        assert_eq!(s.n, 8);
+        assert_eq!(s.decade_experience, 0.5);
+        assert_eq!(s.engineers, 0.5);
+        assert_eq!(s.setup_within_month, 0.375);
+        // 37.5% within a month + 50% up to six months = 87.5%.
+        assert_eq!(s.setup_within_six_months, 0.875);
+        assert_eq!(s.no_vendor_support, 0.625);
+        assert_eq!(s.hardware_under_20k, 0.75);
+        assert_eq!(s.no_licensing_cost, 0.625);
+        assert_eq!(s.no_extra_hiring, 0.75);
+        assert_eq!(s.opex_comparable_or_lower, 0.75);
+        assert_eq!(s.workload_below_10pct, 0.875);
+        assert_eq!(s.vendor_under_3_per_year, 0.625);
+        assert_eq!(s.cost_driver_fracs, [0.625, 0.5, 0.25, 0.125]);
+    }
+
+    #[test]
+    fn report_renders_every_line() {
+        let r = report(&aggregate(&respondents()));
+        assert_eq!(r.lines().count(), 13);
+        assert!(r.contains("87.5%"));
+    }
+
+    #[test]
+    fn respondent_table_is_consistent() {
+        for r in respondents() {
+            assert!(r.setup_months > 0.0);
+            assert!(r.hardware_usd >= 5_000, "even lean setups cost something");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Fault injection schedules.
+//!
+//! The paper's measurement period contained real incidents — a submarine
+//! cable cut between Korea and Singapore, BRIDGES routing instabilities, and
+//! scheduled maintenance in late January (§5.4, Fig. 7). This module lets an
+//! experiment express such incidents declaratively as a [`FaultSchedule`]
+//! and apply them to a [`crate::World`] or query them analytically.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::LinkId;
+use crate::time::{SimDuration, SimTime};
+use crate::world::{Node, World};
+
+/// A single fault episode affecting one link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEpisode {
+    /// Affected link.
+    pub link: LinkId,
+    /// Start of the outage.
+    pub start: SimTime,
+    /// End of the outage (exclusive); the link recovers at this instant.
+    pub end: SimTime,
+    /// Human-readable label ("KR-SG submarine cable cut", "Jan 21 maintenance").
+    pub label: String,
+}
+
+impl FaultEpisode {
+    /// Whether the link is down at `t` because of this episode.
+    pub fn is_active(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// A collection of fault episodes plus periodic flapping definitions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// One-off outage episodes.
+    pub episodes: Vec<FaultEpisode>,
+    /// Flapping links: (link, period, downtime-per-period, label).
+    pub flapping: Vec<FlapSpec>,
+}
+
+/// Periodic instability on a link: within every `period`, the link is down
+/// for the first `down_for`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlapSpec {
+    /// Affected link.
+    pub link: LinkId,
+    /// Length of a full flap cycle.
+    pub period: SimDuration,
+    /// How long the link is down at the start of each cycle.
+    pub down_for: SimDuration,
+    /// Phase offset of the first cycle.
+    pub phase: SimDuration,
+    /// Human-readable label ("BRIDGES instability").
+    pub label: String,
+}
+
+impl FlapSpec {
+    /// Whether this flap keeps the link down at `t`.
+    pub fn is_down(&self, t: SimTime) -> bool {
+        let t_ns = t.as_nanos();
+        let phase_ns = self.phase.as_nanos();
+        if t_ns < phase_ns {
+            return false;
+        }
+        let in_cycle = (t_ns - phase_ns) % self.period.as_nanos().max(1);
+        in_cycle < self.down_for.as_nanos()
+    }
+}
+
+impl FaultSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a one-off outage.
+    pub fn outage(&mut self, link: LinkId, start: SimTime, end: SimTime, label: &str) -> &mut Self {
+        self.episodes.push(FaultEpisode { link, start, end, label: label.to_string() });
+        self
+    }
+
+    /// Adds a flapping definition.
+    pub fn flap(
+        &mut self,
+        link: LinkId,
+        period: SimDuration,
+        down_for: SimDuration,
+        phase: SimDuration,
+        label: &str,
+    ) -> &mut Self {
+        self.flapping.push(FlapSpec {
+            link,
+            period,
+            down_for,
+            phase,
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Whether `link` is down at `t` under this schedule (analytic query,
+    /// used by the fast measurement path).
+    pub fn link_down_at(&self, link: LinkId, t: SimTime) -> bool {
+        self.episodes.iter().any(|e| e.link == link && e.is_active(t))
+            || self.flapping.iter().any(|f| f.link == link && f.is_down(t))
+    }
+
+    /// Materialises the schedule into scheduled events on a [`World`].
+    ///
+    /// Flapping is expanded into discrete up/down events until `horizon`.
+    pub fn apply_to_world<N: Node>(&self, world: &mut World<N>, horizon: SimTime) {
+        for e in &self.episodes {
+            world.schedule_link_state(e.start, e.link, false);
+            world.schedule_link_state(e.end, e.link, true);
+        }
+        for f in &self.flapping {
+            let mut t = SimTime::ZERO + f.phase;
+            while t < horizon {
+                world.schedule_link_state(t, f.link, false);
+                world.schedule_link_state(t + f.down_for, f.link, true);
+                t += f.period;
+            }
+        }
+    }
+
+    /// All distinct labels, for experiment reporting.
+    pub fn labels(&self) -> Vec<&str> {
+        let mut labels: Vec<&str> = self
+            .episodes
+            .iter()
+            .map(|e| e.label.as_str())
+            .chain(self.flapping.iter().map(|f| f.label.as_str()))
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(secs: u64) -> SimTime {
+        SimTime::from_nanos(secs * 1_000_000_000)
+    }
+
+    #[test]
+    fn outage_window() {
+        let mut sched = FaultSchedule::new();
+        sched.outage(LinkId(3), s(10), s(20), "cable cut");
+        assert!(!sched.link_down_at(LinkId(3), s(9)));
+        assert!(sched.link_down_at(LinkId(3), s(10)));
+        assert!(sched.link_down_at(LinkId(3), s(19)));
+        assert!(!sched.link_down_at(LinkId(3), s(20)));
+        assert!(!sched.link_down_at(LinkId(4), s(15)));
+    }
+
+    #[test]
+    fn flap_cycles() {
+        let f = FlapSpec {
+            link: LinkId(0),
+            period: SimDuration::from_secs(10),
+            down_for: SimDuration::from_secs(2),
+            phase: SimDuration::from_secs(5),
+            label: "flappy".into(),
+        };
+        assert!(!f.is_down(s(0)));
+        assert!(!f.is_down(s(4)));
+        assert!(f.is_down(s(5)));
+        assert!(f.is_down(s(6)));
+        assert!(!f.is_down(s(7)));
+        assert!(f.is_down(s(15)));
+        assert!(!f.is_down(s(17)));
+    }
+
+    #[test]
+    fn labels_deduplicated() {
+        let mut sched = FaultSchedule::new();
+        sched.outage(LinkId(0), s(1), s(2), "maintenance");
+        sched.outage(LinkId(1), s(1), s(2), "maintenance");
+        sched.outage(LinkId(2), s(3), s(4), "cable cut");
+        assert_eq!(sched.labels(), vec!["cable cut", "maintenance"]);
+    }
+
+    #[test]
+    fn apply_to_world_round_trips_through_events() {
+        use crate::link::LinkQuality;
+        use crate::world::{NodeCtx, NodeId};
+
+        struct Nop;
+        impl Node for Nop {
+            fn on_frame(&mut self, _: &mut NodeCtx<'_>, _: LinkId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _: &mut NodeCtx<'_>, _: u64) {}
+        }
+
+        let mut w: World<Nop> = World::new(1);
+        let a = w.add_node(Nop);
+        let b = w.add_node(Nop);
+        let l = w.add_link(a, b, LinkQuality::default());
+        assert_eq!(a, NodeId(0));
+
+        let mut sched = FaultSchedule::new();
+        sched.outage(l, s(10), s(20), "cut");
+        sched.apply_to_world(&mut w, s(100));
+
+        w.run_until(s(15));
+        assert!(!w.link(l).up);
+        w.run_until(s(25));
+        assert!(w.link(l).up);
+    }
+
+    #[test]
+    fn flap_expansion_bounded_by_horizon() {
+        use crate::link::LinkQuality;
+        use crate::world::NodeCtx;
+
+        struct Nop;
+        impl Node for Nop {
+            fn on_frame(&mut self, _: &mut NodeCtx<'_>, _: LinkId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _: &mut NodeCtx<'_>, _: u64) {}
+        }
+        let mut w: World<Nop> = World::new(1);
+        let a = w.add_node(Nop);
+        let b = w.add_node(Nop);
+        let l = w.add_link(a, b, LinkQuality::default());
+        let mut sched = FaultSchedule::new();
+        sched.flap(l, SimDuration::from_secs(10), SimDuration::from_secs(1), SimDuration::ZERO, "x");
+        sched.apply_to_world(&mut w, s(35));
+        let events = w.run_to_completion();
+        // 4 cycles fit before 35 s (at 0, 10, 20, 30) => 8 state changes.
+        assert_eq!(events, 8);
+    }
+}

@@ -1,0 +1,222 @@
+//! Point-to-point links.
+//!
+//! A [`Link`] connects two nodes and models the properties that matter for
+//! the paper's evaluation: propagation latency (the dominant term for a
+//! global research network), serialisation delay at a configured bandwidth,
+//! random jitter and loss, an MTU, and administrative state (for cable cuts
+//! and maintenance windows).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+use crate::world::NodeId;
+
+/// Identifier of a link within a [`crate::world::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+/// Transmission quality parameters of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkQuality {
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Bandwidth in bits per second; `0` means unconstrained.
+    pub bandwidth_bps: u64,
+    /// Packet loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Relative jitter: each delivery is delayed by up to `jitter × latency`
+    /// extra, sampled uniformly.
+    pub jitter: f64,
+    /// Maximum frame size in bytes; larger frames are dropped.
+    pub mtu: usize,
+}
+
+impl Default for LinkQuality {
+    fn default() -> Self {
+        LinkQuality {
+            latency: SimDuration::from_millis(1),
+            bandwidth_bps: 0,
+            loss: 0.0,
+            jitter: 0.0,
+            mtu: 9000,
+        }
+    }
+}
+
+impl LinkQuality {
+    /// A clean link with the given one-way latency and no other impairment.
+    pub fn with_latency(latency: SimDuration) -> Self {
+        LinkQuality { latency, ..Default::default() }
+    }
+
+    /// Serialisation delay for a frame of `bytes` at this bandwidth.
+    pub fn serialization_delay(&self, bytes: usize) -> SimDuration {
+        if self.bandwidth_bps == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps as f64)
+        }
+    }
+}
+
+/// A bidirectional point-to-point link between two nodes.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Quality parameters.
+    pub quality: LinkQuality,
+    /// Administrative/operational state.
+    pub up: bool,
+    /// Earliest time the a→b direction is free (serialisation queueing).
+    pub(crate) free_ab: SimTime,
+    /// Earliest time the b→a direction is free.
+    pub(crate) free_ba: SimTime,
+}
+
+impl Link {
+    /// Creates an up link between `a` and `b`.
+    pub fn new(a: NodeId, b: NodeId, quality: LinkQuality) -> Self {
+        Link { a, b, quality, up: true, free_ab: SimTime::ZERO, free_ba: SimTime::ZERO }
+    }
+
+    /// The peer of `node` on this link, if `node` is an endpoint.
+    pub fn peer_of(&self, node: NodeId) -> Option<NodeId> {
+        if node == self.a {
+            Some(self.b)
+        } else if node == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Computes the delivery time for a frame entering the link at `now`
+    /// from `from`, or `None` if the frame is dropped (link down, over-MTU,
+    /// or random loss). Updates the per-direction queueing state.
+    pub fn transmit<R: Rng>(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        bytes: usize,
+        rng: &mut R,
+    ) -> Option<SimTime> {
+        if !self.up {
+            return None;
+        }
+        if bytes > self.quality.mtu {
+            return None;
+        }
+        if self.quality.loss > 0.0 && rng.gen::<f64>() < self.quality.loss {
+            return None;
+        }
+        let free = if from == self.a { &mut self.free_ab } else { &mut self.free_ba };
+        let start = if *free > now { *free } else { now };
+        let ser = self.quality.serialization_delay(bytes);
+        *free = start + ser;
+        let mut delay = self.quality.latency;
+        if self.quality.jitter > 0.0 {
+            let extra = self.quality.latency.mul_f64(rng.gen::<f64>() * self.quality.jitter);
+            delay = delay + extra;
+        }
+        Some(start + ser + delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn latency_only_delivery() {
+        let mut l = Link::new(NodeId(0), NodeId(1), LinkQuality::with_latency(SimDuration::from_millis(10)));
+        let t = l.transmit(SimTime::ZERO, NodeId(0), 100, &mut rng()).unwrap();
+        assert_eq!(t.as_millis(), 10);
+    }
+
+    #[test]
+    fn serialization_delay_queues_back_to_back_frames() {
+        let q = LinkQuality {
+            latency: SimDuration::from_millis(1),
+            bandwidth_bps: 8_000_000, // 1 MB/s => 1000-byte frame = 1 ms
+            ..Default::default()
+        };
+        let mut l = Link::new(NodeId(0), NodeId(1), q);
+        let mut r = rng();
+        let t1 = l.transmit(SimTime::ZERO, NodeId(0), 1000, &mut r).unwrap();
+        let t2 = l.transmit(SimTime::ZERO, NodeId(0), 1000, &mut r).unwrap();
+        assert_eq!(t1.as_millis(), 2); // 1 ms serialisation + 1 ms latency
+        assert_eq!(t2.as_millis(), 3); // queued behind the first frame
+    }
+
+    #[test]
+    fn directions_queue_independently() {
+        let q = LinkQuality {
+            latency: SimDuration::from_millis(1),
+            bandwidth_bps: 8_000_000,
+            ..Default::default()
+        };
+        let mut l = Link::new(NodeId(0), NodeId(1), q);
+        let mut r = rng();
+        let t_ab = l.transmit(SimTime::ZERO, NodeId(0), 1000, &mut r).unwrap();
+        let t_ba = l.transmit(SimTime::ZERO, NodeId(1), 1000, &mut r).unwrap();
+        assert_eq!(t_ab, t_ba); // no cross-direction interference
+    }
+
+    #[test]
+    fn down_link_drops() {
+        let mut l = Link::new(NodeId(0), NodeId(1), LinkQuality::default());
+        l.up = false;
+        assert!(l.transmit(SimTime::ZERO, NodeId(0), 10, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn over_mtu_drops() {
+        let q = LinkQuality { mtu: 1500, ..Default::default() };
+        let mut l = Link::new(NodeId(0), NodeId(1), q);
+        assert!(l.transmit(SimTime::ZERO, NodeId(0), 1501, &mut rng()).is_none());
+        assert!(l.transmit(SimTime::ZERO, NodeId(0), 1500, &mut rng()).is_some());
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let q = LinkQuality { loss: 1.0, ..Default::default() };
+        let mut l = Link::new(NodeId(0), NodeId(1), q);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(l.transmit(SimTime::ZERO, NodeId(0), 10, &mut r).is_none());
+        }
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let q = LinkQuality {
+            latency: SimDuration::from_millis(100),
+            jitter: 0.5,
+            ..Default::default()
+        };
+        let mut l = Link::new(NodeId(0), NodeId(1), q);
+        let mut r = rng();
+        for _ in 0..200 {
+            let t = l.transmit(SimTime::ZERO, NodeId(0), 10, &mut r).unwrap();
+            assert!(t.as_millis() >= 100 && t.as_millis() <= 150, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn peer_of() {
+        let l = Link::new(NodeId(3), NodeId(7), LinkQuality::default());
+        assert_eq!(l.peer_of(NodeId(3)), Some(NodeId(7)));
+        assert_eq!(l.peer_of(NodeId(7)), Some(NodeId(3)));
+        assert_eq!(l.peer_of(NodeId(1)), None);
+    }
+}

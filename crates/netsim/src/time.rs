@@ -1,0 +1,223 @@
+//! Virtual time.
+//!
+//! All simulation time is nanoseconds since the start of the run, wrapped in
+//! [`SimTime`]; intervals are [`SimDuration`]. Arithmetic is saturating so a
+//! buggy caller cannot wrap the clock around.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time (nanoseconds since run start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from nanoseconds since run start.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since run start.
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since run start.
+    pub fn as_micros(&self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since run start.
+    pub fn as_millis(&self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since run start, as a float (for analysis output).
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Whole seconds since run start.
+    pub fn as_secs(&self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// The duration elapsed since `earlier` (saturating at zero).
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds; negative values clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1e9) as u64)
+    }
+
+    /// Nanoseconds.
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds.
+    pub fn as_millis(&self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional milliseconds (for latency reporting).
+    pub fn as_millis_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scales the duration by a float factor (clamped at zero).
+    pub fn mul_f64(&self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns >= 1_000_000_000 {
+        write!(f, "{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        write!(f, "{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        write!(f, "{:.3}us", ns as f64 / 1e3)
+    } else {
+        write!(f, "{ns}ns")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let d = SimDuration::from_millis(150);
+        assert_eq!(d.as_nanos(), 150_000_000);
+        assert_eq!(d.as_millis(), 150);
+        assert!((d.as_secs_f64() - 0.15).abs() < 1e-12);
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimDuration::from_micros(5).as_nanos(), 5000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        assert_eq!(t.as_millis(), 1000);
+        let t2 = t + SimDuration::from_millis(500);
+        assert_eq!((t2 - t).as_millis(), 500);
+        assert_eq!(t2.since(t).as_millis(), 500);
+        // Saturation instead of wrap.
+        assert_eq!(t.since(t2), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs(1) - SimDuration::from_secs(2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_negative() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        assert_eq!(SimDuration::from_millis(100).mul_f64(1.5).as_millis(), 150);
+        assert_eq!(SimDuration::from_millis(100).mul_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12.000us");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_nanos(5) < SimTime::from_nanos(6));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_secs(1));
+    }
+}

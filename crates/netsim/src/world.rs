@@ -1,0 +1,479 @@
+//! The event loop: nodes, frames, timers and the [`World`].
+//!
+//! Nodes are poll-based state machines implementing [`Node`]. A node never
+//! blocks and never sleeps; it reacts to frame deliveries and timer
+//! expirations through a [`NodeCtx`] that lets it send frames, arm timers
+//! and read the virtual clock. This is exactly the smoltcp `poll(now)`
+//! discipline adapted to a multi-node simulation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::link::{Link, LinkId, LinkQuality};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a node within a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A behaviour attached to a node.
+///
+/// Implementations receive frames and timer expirations; everything they can
+/// do to the outside world goes through the [`NodeCtx`].
+pub trait Node {
+    /// Called when a frame arrives over `link`.
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, frame: Vec<u8>);
+
+    /// Called when a timer armed with [`NodeCtx::set_timer`] fires; `token`
+    /// is the value passed when arming.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64);
+
+    /// Called once when the simulation starts, to arm initial timers.
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver { dst: NodeId, link: LinkId, frame: Vec<u8> },
+    Timer { node: NodeId, token: u64 },
+    LinkSetState { link: LinkId, up: bool },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Actions queued by a node during a callback.
+enum Action {
+    Send { from: NodeId, link: LinkId, frame: Vec<u8> },
+    Timer { node: NodeId, after: SimDuration, token: u64 },
+}
+
+/// The interface a node uses to act on the world.
+pub struct NodeCtx<'a> {
+    node: NodeId,
+    now: SimTime,
+    rng: &'a mut StdRng,
+    links_of_node: &'a [LinkId],
+    link_states: &'a [(NodeId, NodeId, bool)],
+    actions: &'a mut Vec<Action>,
+    stats: &'a mut WorldStats,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deterministic randomness shared by the world.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// The links attached to this node.
+    pub fn links(&self) -> &[LinkId] {
+        self.links_of_node
+    }
+
+    /// The peer node on `link`, if this node is an endpoint.
+    pub fn peer(&self, link: LinkId) -> Option<NodeId> {
+        let (a, b, _) = self.link_states[link.0];
+        if a == self.node {
+            Some(b)
+        } else if b == self.node {
+            Some(a)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `link` is administratively up.
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.link_states[link.0].2
+    }
+
+    /// Queues a frame for transmission on `link`.
+    pub fn send(&mut self, link: LinkId, frame: Vec<u8>) {
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += frame.len() as u64;
+        self.actions.push(Action::Send { from: self.node, link, frame });
+    }
+
+    /// Arms a one-shot timer firing `after` from now with `token`.
+    pub fn set_timer(&mut self, after: SimDuration, token: u64) {
+        self.actions.push(Action::Timer { node: self.node, after, token });
+    }
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Debug, Default, Clone)]
+pub struct WorldStats {
+    /// Frames handed to links by nodes.
+    pub frames_sent: u64,
+    /// Frames delivered to nodes.
+    pub frames_delivered: u64,
+    /// Frames dropped by links (down, loss, MTU).
+    pub frames_dropped: u64,
+    /// Total bytes handed to links.
+    pub bytes_sent: u64,
+    /// Events processed.
+    pub events_processed: u64,
+}
+
+/// The simulation world: nodes, links, the event queue and the clock.
+pub struct World<N: Node> {
+    nodes: Vec<N>,
+    links: Vec<Link>,
+    links_of_node: Vec<Vec<LinkId>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    stats: WorldStats,
+    started: bool,
+}
+
+impl<N: Node> World<N> {
+    /// Creates an empty world with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            links_of_node: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: WorldStats::default(),
+            started: false,
+        }
+    }
+
+    /// Adds a node, returning its identifier.
+    pub fn add_node(&mut self, node: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        self.links_of_node.push(Vec::new());
+        id
+    }
+
+    /// Connects two nodes with a link of the given quality.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, quality: LinkQuality) -> LinkId {
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(a, b, quality));
+        self.links_of_node[a.0].push(id);
+        self.links_of_node[b.0].push(id);
+        id
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node (between runs, e.g. to inspect or reconfigure).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Sets a link's administrative state immediately.
+    pub fn set_link_state(&mut self, id: LinkId, up: bool) {
+        self.links[id.0].up = up;
+    }
+
+    /// Schedules a link state change at an absolute time (fault injection).
+    pub fn schedule_link_state(&mut self, at: SimTime, link: LinkId, up: bool) {
+        self.push(at, EventKind::LinkSetState { link, up });
+    }
+
+    /// Schedules a timer for a node at an absolute time.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        self.push(at, EventKind::Timer { node, token });
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &WorldStats {
+        &self.stats
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn dispatch_start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.with_ctx(NodeId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Runs a node callback with a fresh context, then applies the actions
+    /// it queued.
+    fn with_ctx<F: FnOnce(&mut N, &mut NodeCtx<'_>)>(&mut self, id: NodeId, f: F) {
+        let mut actions = Vec::new();
+        let link_states: Vec<(NodeId, NodeId, bool)> =
+            self.links.iter().map(|l| (l.a, l.b, l.up)).collect();
+        {
+            let mut ctx = NodeCtx {
+                node: id,
+                now: self.now,
+                rng: &mut self.rng,
+                links_of_node: &self.links_of_node[id.0],
+                link_states: &link_states,
+                actions: &mut actions,
+                stats: &mut self.stats,
+            };
+            f(&mut self.nodes[id.0], &mut ctx);
+        }
+        for action in actions {
+            match action {
+                Action::Send { from, link, frame } => {
+                    let l = &mut self.links[link.0];
+                    let Some(dst) = l.peer_of(from) else {
+                        self.stats.frames_dropped += 1;
+                        continue;
+                    };
+                    match l.transmit(self.now, from, frame.len(), &mut self.rng) {
+                        Some(at) => self.push(at, EventKind::Deliver { dst, link, frame }),
+                        None => self.stats.frames_dropped += 1,
+                    }
+                }
+                Action::Timer { node, after, token } => {
+                    let at = self.now + after;
+                    self.push(at, EventKind::Timer { node, token });
+                }
+            }
+        }
+    }
+
+    /// Runs the simulation until the event queue drains or `until` is
+    /// reached, whichever comes first. Returns the number of events
+    /// processed in this call.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        self.dispatch_start();
+        let mut processed = 0u64;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().unwrap();
+            self.now = ev.at;
+            self.stats.events_processed += 1;
+            processed += 1;
+            match ev.kind {
+                EventKind::Deliver { dst, link, frame } => {
+                    self.stats.frames_delivered += 1;
+                    self.with_ctx(dst, |node, ctx| node.on_frame(ctx, link, frame));
+                }
+                EventKind::Timer { node, token } => {
+                    self.with_ctx(node, |n, ctx| n.on_timer(ctx, token));
+                }
+                EventKind::LinkSetState { link, up } => {
+                    self.links[link.0].up = up;
+                }
+            }
+        }
+        if self.now < until {
+            self.now = until;
+        }
+        processed
+    }
+
+    /// Runs until the queue is completely drained.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime::from_nanos(u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A test node that echoes frames back and counts what it sees.
+    struct Echo {
+        received: Vec<(SimTime, Vec<u8>)>,
+        echo: bool,
+        timer_fired: Vec<u64>,
+    }
+
+    impl Echo {
+        fn new(echo: bool) -> Self {
+            Echo { received: Vec::new(), echo, timer_fired: Vec::new() }
+        }
+    }
+
+    impl Node for Echo {
+        fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, frame: Vec<u8>) {
+            self.received.push((ctx.now(), frame.clone()));
+            if self.echo {
+                ctx.send(link, frame);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+            self.timer_fired.push(token);
+            if token == 1 {
+                // Send a probe on our first link when the timer fires.
+                let link = ctx.links()[0];
+                ctx.send(link, b"probe".to_vec());
+            }
+        }
+
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            if !self.echo {
+                ctx.set_timer(SimDuration::from_millis(5), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_timing() {
+        let mut w = World::new(1);
+        let client = w.add_node(Echo::new(false));
+        let server = w.add_node(Echo::new(true));
+        w.add_link(client, server, LinkQuality::with_latency(SimDuration::from_millis(10)));
+        w.run_to_completion();
+        // Probe sent at t=5ms, arrives at 15ms, echo arrives back at 25ms.
+        let srv = w.node(server);
+        assert_eq!(srv.received.len(), 1);
+        assert_eq!(srv.received[0].0.as_millis(), 15);
+        let cli = w.node(client);
+        assert_eq!(cli.received.len(), 1);
+        assert_eq!(cli.received[0].0.as_millis(), 25);
+        assert_eq!(cli.received[0].1, b"probe");
+        assert_eq!(w.stats().frames_sent, 2);
+        assert_eq!(w.stats().frames_delivered, 2);
+    }
+
+    #[test]
+    fn link_cut_drops_in_flight_direction() {
+        let mut w = World::new(1);
+        let client = w.add_node(Echo::new(false));
+        let server = w.add_node(Echo::new(true));
+        let link = w.add_link(client, server, LinkQuality::with_latency(SimDuration::from_millis(10)));
+        // Cut the link before the probe is sent at t=5ms.
+        w.schedule_link_state(SimTime::from_nanos(1), link, false);
+        w.run_to_completion();
+        assert_eq!(w.node(server).received.len(), 0);
+        assert_eq!(w.stats().frames_dropped, 1);
+    }
+
+    #[test]
+    fn link_restored_allows_traffic() {
+        let mut w = World::new(1);
+        let client = w.add_node(Echo::new(false));
+        let server = w.add_node(Echo::new(true));
+        let link = w.add_link(client, server, LinkQuality::with_latency(SimDuration::from_millis(1)));
+        w.set_link_state(link, false);
+        // Restore only after the initial 5 ms probe has been lost.
+        w.schedule_link_state(SimTime::from_nanos(7_000_000), link, true);
+        // Re-probe at 10 ms via an externally scheduled timer.
+        w.schedule_timer(SimTime::from_nanos(10_000_000), client, 1);
+        w.run_to_completion();
+        assert_eq!(w.node(server).received.len(), 1); // only the re-probe made it
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let run = |seed: u64| {
+            let mut w = World::new(seed);
+            let client = w.add_node(Echo::new(false));
+            let server = w.add_node(Echo::new(true));
+            let q = LinkQuality {
+                latency: SimDuration::from_millis(10),
+                jitter: 0.5,
+                ..Default::default()
+            };
+            w.add_link(client, server, q);
+            w.run_to_completion();
+            w.node(client).received.first().map(|(t, _)| t.as_nanos())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8)); // jitter differs across seeds
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut w = World::new(1);
+        let client = w.add_node(Echo::new(false));
+        let server = w.add_node(Echo::new(true));
+        w.add_link(client, server, LinkQuality::with_latency(SimDuration::from_millis(10)));
+        w.run_until(SimTime::from_nanos(6_000_000)); // probe sent at 5ms, not yet delivered
+        assert_eq!(w.node(server).received.len(), 0);
+        assert_eq!(w.now().as_millis(), 6);
+        w.run_to_completion();
+        assert_eq!(w.node(server).received.len(), 1);
+    }
+
+    #[test]
+    fn events_at_same_instant_preserve_fifo_order() {
+        struct Recorder {
+            tokens: Vec<u64>,
+        }
+        impl Node for Recorder {
+            fn on_frame(&mut self, _: &mut NodeCtx<'_>, _: LinkId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _: &mut NodeCtx<'_>, token: u64) {
+                self.tokens.push(token);
+            }
+        }
+        let mut w = World::new(1);
+        let n = w.add_node(Recorder { tokens: vec![] });
+        let at = SimTime::from_nanos(100);
+        for token in 0..10 {
+            w.schedule_timer(at, n, token);
+        }
+        w.run_to_completion();
+        assert_eq!(w.node(n).tokens, (0..10).collect::<Vec<_>>());
+    }
+}

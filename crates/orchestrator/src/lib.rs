@@ -1,0 +1,31 @@
+//! The SCION Orchestrator (§4.4).
+//!
+//! "A toolchain that cut SCION AS setup and management from days to a few
+//! hours": configuration generation for new ASes, automated certificate
+//! renewal, and the monitoring/alerting pipeline that watches every
+//! connected AS from central infrastructure and emails the affected
+//! operators when something breaks.
+//!
+//! * [`setup`] — AS setup automation: from a minimal declaration (AS
+//!   number, upstreams, hardware) to generated configuration artifacts and
+//!   a task checklist with effort accounting.
+//! * [`renewal`] — the certificate-renewal driver for the §4.5 short-lived
+//!   AS certificates: polls expiry, builds CSRs, retries failures.
+//! * [`monitor`] — continuous connectivity monitoring and alerting with
+//!   deduplication, plus the aggregated status dashboard.
+//! * [`effort`] — the deployment-effort model behind Fig. 3: base effort
+//!   per connection type, coordination overhead per involved party,
+//!   discounted by accumulated experience and by orchestrator automation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod effort;
+pub mod monitor;
+pub mod renewal;
+pub mod setup;
+
+pub use effort::{EffortModel, OnboardingEvent};
+pub use monitor::{AlertSink, ConnectivityMonitor};
+pub use renewal::RenewalDriver;
+pub use setup::{AsDeclaration, SetupPlan};

@@ -1,0 +1,232 @@
+//! Connectivity monitoring and alerting (§4.4).
+//!
+//! "We implemented continuous connectivity monitoring from our
+//! infrastructure to all connected ASes … When an issue arises, our system
+//! alerts the affected parties via email." The monitor ingests periodic
+//! reachability probes per AS, debounces flaps, raises exactly one alert
+//! per sustained outage (and one recovery notice), and exposes the
+//! aggregated status dashboard the orchestrator GUI shows.
+
+use std::collections::BTreeMap;
+
+use scion_proto::addr::IsdAsn;
+
+/// Where alerts go (email in production; a buffer in tests/examples).
+pub trait AlertSink {
+    /// Delivers one alert message for an AS.
+    fn alert(&mut self, ia: IsdAsn, message: &str);
+}
+
+impl<F: FnMut(IsdAsn, &str)> AlertSink for F {
+    fn alert(&mut self, ia: IsdAsn, message: &str) {
+        self(ia, message)
+    }
+}
+
+/// Reachability state of one monitored AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsStatus {
+    /// Probes succeeding.
+    Up,
+    /// Probes failing, outage not yet confirmed (debounce window).
+    Degraded {
+        /// Consecutive failed probes so far.
+        failures: u32,
+    },
+    /// Confirmed outage; alert sent.
+    Down,
+}
+
+#[derive(Debug, Clone)]
+struct MonitoredAs {
+    status: AsStatus,
+    /// Operator contact (the alert recipient), for the dashboard.
+    contact: String,
+    last_change: u64,
+}
+
+/// The monitor.
+pub struct ConnectivityMonitor {
+    ases: BTreeMap<IsdAsn, MonitoredAs>,
+    /// Consecutive failures before an outage is confirmed.
+    pub failure_threshold: u32,
+    /// Alerts raised, for reporting: (time, AS, was-outage).
+    pub alert_log: Vec<(u64, IsdAsn, bool)>,
+}
+
+impl ConnectivityMonitor {
+    /// Creates a monitor confirming outages after `failure_threshold`
+    /// consecutive failed probes (debouncing transient loss).
+    pub fn new(failure_threshold: u32) -> Self {
+        ConnectivityMonitor { ases: BTreeMap::new(), failure_threshold, alert_log: Vec::new() }
+    }
+
+    /// Registers an AS with its operator contact.
+    pub fn register(&mut self, ia: IsdAsn, contact: &str) {
+        self.ases.insert(
+            ia,
+            MonitoredAs { status: AsStatus::Up, contact: contact.to_string(), last_change: 0 },
+        );
+    }
+
+    /// Ingests one probe result for `ia` at time `now`.
+    pub fn probe_result(
+        &mut self,
+        ia: IsdAsn,
+        reachable: bool,
+        now: u64,
+        sink: &mut dyn AlertSink,
+    ) {
+        let Some(entry) = self.ases.get_mut(&ia) else { return };
+        match (entry.status, reachable) {
+            (AsStatus::Up, true) | (AsStatus::Down, false) => {}
+            (AsStatus::Up, false) => {
+                entry.status = AsStatus::Degraded { failures: 1 };
+                self.promote_if_confirmed(ia, now, sink);
+            }
+            (AsStatus::Degraded { failures }, false) => {
+                entry.status = AsStatus::Degraded { failures: failures + 1 };
+                self.promote_if_confirmed(ia, now, sink);
+            }
+            (AsStatus::Degraded { .. }, true) => {
+                entry.status = AsStatus::Up; // flap absorbed, no alert
+            }
+            (AsStatus::Down, true) => {
+                entry.status = AsStatus::Up;
+                entry.last_change = now;
+                sink.alert(ia, &format!("RESOLVED: {ia} reachable again"));
+                self.alert_log.push((now, ia, false));
+            }
+        }
+    }
+
+    fn promote_if_confirmed(&mut self, ia: IsdAsn, now: u64, sink: &mut dyn AlertSink) {
+        let entry = self.ases.get_mut(&ia).unwrap();
+        if let AsStatus::Degraded { failures } = entry.status {
+            if failures >= self.failure_threshold {
+                entry.status = AsStatus::Down;
+                entry.last_change = now;
+                sink.alert(
+                    ia,
+                    &format!(
+                        "OUTAGE: {ia} unreachable after {failures} consecutive probe failures; \
+                         check the orchestrator status page"
+                    ),
+                );
+                self.alert_log.push((now, ia, true));
+            }
+        }
+    }
+
+    /// Current status of an AS.
+    pub fn status(&self, ia: IsdAsn) -> Option<AsStatus> {
+        self.ases.get(&ia).map(|e| e.status)
+    }
+
+    /// The aggregated dashboard: (AS, status letter, contact, last change).
+    pub fn dashboard(&self) -> Vec<(IsdAsn, &'static str, String, u64)> {
+        self.ases
+            .iter()
+            .map(|(ia, e)| {
+                let s = match e.status {
+                    AsStatus::Up => "UP",
+                    AsStatus::Degraded { .. } => "DEGRADED",
+                    AsStatus::Down => "DOWN",
+                };
+                (*ia, s, e.contact.clone(), e.last_change)
+            })
+            .collect()
+    }
+
+    /// Number of ASes currently down.
+    pub fn down_count(&self) -> usize {
+        self.ases.values().filter(|e| e.status == AsStatus::Down).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_proto::addr::ia;
+
+    fn collecting_sink(buf: &mut Vec<(IsdAsn, String)>) -> impl AlertSink + '_ {
+        move |ia: IsdAsn, msg: &str| buf.push((ia, msg.to_string()))
+    }
+
+    #[test]
+    fn sustained_outage_alerts_once() {
+        let mut mon = ConnectivityMonitor::new(3);
+        mon.register(ia("71-225"), "noc@virginia.edu");
+        let mut alerts = Vec::new();
+        {
+            let mut sink = collecting_sink(&mut alerts);
+            for t in 0..10 {
+                mon.probe_result(ia("71-225"), false, t, &mut sink);
+            }
+        }
+        assert_eq!(alerts.len(), 1, "deduplicated: {alerts:?}");
+        assert!(alerts[0].1.contains("OUTAGE"));
+        assert_eq!(mon.status(ia("71-225")), Some(AsStatus::Down));
+        assert_eq!(mon.down_count(), 1);
+    }
+
+    #[test]
+    fn transient_flap_absorbed() {
+        let mut mon = ConnectivityMonitor::new(3);
+        mon.register(ia("71-225"), "noc@virginia.edu");
+        let mut alerts = Vec::new();
+        {
+            let mut sink = collecting_sink(&mut alerts);
+            mon.probe_result(ia("71-225"), false, 1, &mut sink);
+            mon.probe_result(ia("71-225"), false, 2, &mut sink);
+            mon.probe_result(ia("71-225"), true, 3, &mut sink); // recovers
+        }
+        assert!(alerts.is_empty());
+        assert_eq!(mon.status(ia("71-225")), Some(AsStatus::Up));
+    }
+
+    #[test]
+    fn recovery_notice_sent() {
+        let mut mon = ConnectivityMonitor::new(2);
+        mon.register(ia("71-2:0:35"), "noc@bridges.example");
+        let mut alerts = Vec::new();
+        {
+            let mut sink = collecting_sink(&mut alerts);
+            mon.probe_result(ia("71-2:0:35"), false, 1, &mut sink);
+            mon.probe_result(ia("71-2:0:35"), false, 2, &mut sink);
+            mon.probe_result(ia("71-2:0:35"), true, 50, &mut sink);
+        }
+        assert_eq!(alerts.len(), 2);
+        assert!(alerts[1].1.contains("RESOLVED"));
+        assert_eq!(mon.alert_log, vec![(2, ia("71-2:0:35"), true), (50, ia("71-2:0:35"), false)]);
+    }
+
+    #[test]
+    fn unregistered_as_ignored() {
+        let mut mon = ConnectivityMonitor::new(1);
+        let mut alerts = Vec::new();
+        {
+            let mut sink = collecting_sink(&mut alerts);
+            mon.probe_result(ia("71-404"), false, 1, &mut sink);
+        }
+        assert!(alerts.is_empty());
+        assert!(mon.status(ia("71-404")).is_none());
+    }
+
+    #[test]
+    fn dashboard_renders_all() {
+        let mut mon = ConnectivityMonitor::new(1);
+        mon.register(ia("71-1"), "a@example");
+        mon.register(ia("71-2"), "b@example");
+        let mut alerts = Vec::new();
+        {
+            let mut sink = collecting_sink(&mut alerts);
+            mon.probe_result(ia("71-2"), false, 7, &mut sink);
+        }
+        let dash = mon.dashboard();
+        assert_eq!(dash.len(), 2);
+        assert_eq!(dash[0].1, "UP");
+        assert_eq!(dash[1].1, "DOWN");
+        assert_eq!(dash[1].3, 7);
+    }
+}

@@ -1,0 +1,179 @@
+//! Happy Eyeballs with SCION as a third family (§4.2.2).
+//!
+//! "An alternative approach … is to add SCION support to the Happy
+//! Eyeballs library … Adding SCION as a third option to this library would
+//! immediately enable all applications using it to communicate through
+//! SCION, if available and supported by the destination."
+//!
+//! This module implements the RFC 8305 racing discipline over abstract
+//! connection attempts: candidate families are ordered by preference,
+//! attempts start staggered by the connection-attempt delay, and the first
+//! to succeed wins while the others are cancelled.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// An address family candidate in the race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Native SCION connectivity.
+    Scion,
+    /// Legacy IPv6.
+    Ipv6,
+    /// Legacy IPv4.
+    Ipv4,
+}
+
+/// RFC 8305's default connection-attempt delay.
+pub const DEFAULT_ATTEMPT_DELAY: Duration = Duration::from_millis(250);
+
+/// One candidate's observable behaviour: how long until the connection
+/// attempt completes, and whether it succeeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Attempt {
+    /// The family attempted.
+    pub family: Family,
+    /// Time from attempt start to completion.
+    pub duration: Duration,
+    /// Whether the attempt succeeds.
+    pub succeeds: bool,
+}
+
+/// The outcome of a race.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RaceOutcome {
+    /// The winning family.
+    pub winner: Family,
+    /// Wall-clock time from race start to the winning completion.
+    pub elapsed: Duration,
+    /// Number of attempts actually started.
+    pub attempts_started: usize,
+}
+
+/// Runs the Happy Eyeballs race deterministically over the candidate
+/// attempts (already ordered by preference — SCION first when available,
+/// per the paper's integration). Attempt `i` starts at `i × attempt_delay`;
+/// the earliest successful completion wins.
+pub fn race(candidates: &[Attempt], attempt_delay: Duration) -> Option<RaceOutcome> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let mut best: Option<(Duration, Family)> = None;
+    for (i, att) in candidates.iter().enumerate() {
+        let start = attempt_delay * i as u32;
+        if let Some((t, _)) = best {
+            // Later attempts can be skipped entirely once someone finished
+            // before their start time (RFC 8305's cancellation).
+            if start >= t {
+                return Some(RaceOutcome {
+                    winner: best.unwrap().1,
+                    elapsed: best.unwrap().0,
+                    attempts_started: i,
+                });
+            }
+        }
+        if att.succeeds {
+            let done = start + att.duration;
+            if best.map(|(t, _)| done < t).unwrap_or(true) {
+                best = Some((done, att.family));
+            }
+        }
+    }
+    best.map(|(t, f)| RaceOutcome { winner: f, elapsed: t, attempts_started: candidates.len() })
+}
+
+/// Orders candidate families for the race: SCION first if the destination
+/// advertises it (the paper's "third option"), then v6 before v4 per
+/// RFC 8305.
+pub fn preference_order(scion_available: bool, v6_available: bool, v4_available: bool) -> Vec<Family> {
+    let mut out = Vec::with_capacity(3);
+    if scion_available {
+        out.push(Family::Scion);
+    }
+    if v6_available {
+        out.push(Family::Ipv6);
+    }
+    if v4_available {
+        out.push(Family::Ipv4);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn att(family: Family, ms: u64, succeeds: bool) -> Attempt {
+        Attempt { family, duration: Duration::from_millis(ms), succeeds }
+    }
+
+    #[test]
+    fn scion_wins_when_fast() {
+        let outcome = race(
+            &[att(Family::Scion, 30, true), att(Family::Ipv6, 20, true), att(Family::Ipv4, 20, true)],
+            DEFAULT_ATTEMPT_DELAY,
+        )
+        .unwrap();
+        assert_eq!(outcome.winner, Family::Scion);
+        assert_eq!(outcome.elapsed, Duration::from_millis(30));
+        // v6/v4 never even started: SCION finished before their stagger.
+        assert_eq!(outcome.attempts_started, 1);
+    }
+
+    #[test]
+    fn fallback_when_scion_fails() {
+        let outcome = race(
+            &[att(Family::Scion, 30, false), att(Family::Ipv6, 40, true), att(Family::Ipv4, 10, true)],
+            DEFAULT_ATTEMPT_DELAY,
+        )
+        .unwrap();
+        assert_eq!(outcome.winner, Family::Ipv6);
+        // Started at 250 ms, finished at 290 ms — before v4 could complete
+        // (500 + 10).
+        assert_eq!(outcome.elapsed, Duration::from_millis(290));
+    }
+
+    #[test]
+    fn slow_scion_loses_to_staggered_v6() {
+        let outcome = race(
+            &[att(Family::Scion, 400, true), att(Family::Ipv6, 50, true)],
+            DEFAULT_ATTEMPT_DELAY,
+        )
+        .unwrap();
+        // SCION finishes at 400; v6 starts at 250, finishes at 300.
+        assert_eq!(outcome.winner, Family::Ipv6);
+        assert_eq!(outcome.elapsed, Duration::from_millis(300));
+    }
+
+    #[test]
+    fn all_fail_is_none() {
+        assert!(race(
+            &[att(Family::Scion, 30, false), att(Family::Ipv4, 30, false)],
+            DEFAULT_ATTEMPT_DELAY
+        )
+        .is_none());
+        assert!(race(&[], DEFAULT_ATTEMPT_DELAY).is_none());
+    }
+
+    #[test]
+    fn preference_order_places_scion_first() {
+        assert_eq!(
+            preference_order(true, true, true),
+            vec![Family::Scion, Family::Ipv6, Family::Ipv4]
+        );
+        assert_eq!(preference_order(false, true, true), vec![Family::Ipv6, Family::Ipv4]);
+        assert_eq!(preference_order(false, false, true), vec![Family::Ipv4]);
+    }
+
+    #[test]
+    fn zero_delay_picks_global_fastest() {
+        let outcome = race(
+            &[att(Family::Scion, 100, true), att(Family::Ipv4, 10, true)],
+            Duration::ZERO,
+        )
+        .unwrap();
+        assert_eq!(outcome.winner, Family::Ipv4);
+        assert_eq!(outcome.elapsed, Duration::from_millis(10));
+    }
+}

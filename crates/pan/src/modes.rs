@@ -1,0 +1,108 @@
+//! Operating modes and automatic fallback (§4.2.1).
+//!
+//! "There is no need to explicitly choose a mode of operation. Once it is
+//! established that there is no daemon or bootstrapping information
+//! present, the application library can fall back to the integrated
+//! bootstrapper in standalone mode." [`HostStack::resolve`] implements
+//! exactly this decision ladder and records what each mode costs the
+//! application (shared caching or not, pre-installed components or not).
+
+use serde::{Deserialize, Serialize};
+
+/// How the application library reaches SCION functionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperatingMode {
+    /// A shared daemon process handles control-plane interaction; the
+    /// library talks to it over IPC. Best efficiency: shared path cache,
+    /// consolidated control-plane load.
+    DaemonDependent,
+    /// No daemon (mobile/IoT, §4.2.1 footnote): the library embeds the
+    /// SCION functions in-process but still reads the shared
+    /// bootstrapper's configuration.
+    BootstrapperDependent,
+    /// Nothing pre-installed: the library fetches bootstrapping hints and
+    /// talks to the network directly. Each application re-bootstraps on
+    /// network migration.
+    Standalone,
+}
+
+impl OperatingMode {
+    /// Whether path caching is shared across applications in this mode.
+    pub fn shared_cache(&self) -> bool {
+        matches!(self, OperatingMode::DaemonDependent)
+    }
+
+    /// Whether the mode requires any pre-installed host component.
+    pub fn needs_preinstalled_component(&self) -> bool {
+        !matches!(self, OperatingMode::Standalone)
+    }
+}
+
+/// What is present on the host, as probed by the library at startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostEnvironment {
+    /// A reachable daemon socket.
+    pub daemon_available: bool,
+    /// Bootstrapper-provided configuration on disk / in the environment.
+    pub bootstrap_config_available: bool,
+}
+
+/// The resolved host stack for one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostStack {
+    /// The mode the fallback ladder selected.
+    pub mode: OperatingMode,
+}
+
+impl HostStack {
+    /// The §4.2.1 fallback ladder: daemon → bootstrapper → standalone.
+    pub fn resolve(env: HostEnvironment) -> HostStack {
+        let mode = if env.daemon_available {
+            OperatingMode::DaemonDependent
+        } else if env.bootstrap_config_available {
+            OperatingMode::BootstrapperDependent
+        } else {
+            OperatingMode::Standalone
+        };
+        HostStack { mode }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_ladder() {
+        assert_eq!(
+            HostStack::resolve(HostEnvironment {
+                daemon_available: true,
+                bootstrap_config_available: true
+            })
+            .mode,
+            OperatingMode::DaemonDependent
+        );
+        assert_eq!(
+            HostStack::resolve(HostEnvironment {
+                daemon_available: false,
+                bootstrap_config_available: true
+            })
+            .mode,
+            OperatingMode::BootstrapperDependent
+        );
+        assert_eq!(
+            HostStack::resolve(HostEnvironment::default()).mode,
+            OperatingMode::Standalone
+        );
+    }
+
+    #[test]
+    fn mode_properties() {
+        assert!(OperatingMode::DaemonDependent.shared_cache());
+        assert!(!OperatingMode::Standalone.shared_cache());
+        assert!(!OperatingMode::BootstrapperDependent.shared_cache());
+        assert!(OperatingMode::DaemonDependent.needs_preinstalled_component());
+        assert!(OperatingMode::BootstrapperDependent.needs_preinstalled_component());
+        assert!(!OperatingMode::Standalone.needs_preinstalled_component());
+    }
+}

@@ -1,0 +1,436 @@
+//! SCION addressing: ISD numbers, AS numbers, ISD-AS pairs and host
+//! addresses.
+//!
+//! SCION AS numbers are 48 bits wide. Numbers below 2^32 render as plain
+//! decimals (BGP-compatible, e.g. `559` for SWITCH); larger numbers render
+//! as three colon-separated 16-bit groups in hex, e.g. `2:0:3b` — the format
+//! the paper uses for SCIERA's natively assigned ASes.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ProtoError;
+
+/// An Isolation Domain number (16 bits).
+///
+/// SCIERA operates ISD 71; the Swiss production ISD is 64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IsdNumber(pub u16);
+
+impl fmt::Display for IsdNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The wildcard ISD (0) used in lookups.
+pub const WILDCARD_ISD: IsdNumber = IsdNumber(0);
+
+/// A 48-bit SCION AS number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Asn(u64);
+
+/// Maximum representable AS number (2^48 − 1).
+pub const MAX_ASN: u64 = (1 << 48) - 1;
+const BGP_ASN_MAX: u64 = u32::MAX as u64;
+
+impl Asn {
+    /// Creates an AS number, rejecting values above 48 bits.
+    pub fn new(value: u64) -> Result<Self, ProtoError> {
+        if value > MAX_ASN {
+            return Err(ProtoError::InvalidField {
+                field: "asn",
+                detail: format!("{value} exceeds 48 bits"),
+            });
+        }
+        Ok(Asn(value))
+    }
+
+    /// The raw 48-bit value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Whether this AS number is in the BGP-compatible (< 2^32) range.
+    pub fn is_bgp_compatible(&self) -> bool {
+        self.0 <= BGP_ASN_MAX
+    }
+
+    /// The wildcard AS number (0).
+    pub const WILDCARD: Asn = Asn(0);
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_bgp_compatible() {
+            write!(f, "{}", self.0)
+        } else {
+            let g0 = (self.0 >> 32) & 0xffff;
+            let g1 = (self.0 >> 16) & 0xffff;
+            let g2 = self.0 & 0xffff;
+            write!(f, "{g0:x}:{g1:x}:{g2:x}")
+        }
+    }
+}
+
+impl FromStr for Asn {
+    type Err = ProtoError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.contains(':') {
+            let groups: Vec<&str> = s.split(':').collect();
+            if groups.len() != 3 {
+                return Err(ProtoError::AddrParse(format!(
+                    "AS number `{s}` must have exactly 3 groups"
+                )));
+            }
+            let mut value = 0u64;
+            for g in groups {
+                let part = u64::from_str_radix(g, 16)
+                    .map_err(|e| ProtoError::AddrParse(format!("AS group `{g}`: {e}")))?;
+                if part > 0xffff {
+                    return Err(ProtoError::AddrParse(format!("AS group `{g}` exceeds 16 bits")));
+                }
+                value = (value << 16) | part;
+            }
+            Asn::new(value)
+        } else {
+            let value: u64 = s
+                .parse()
+                .map_err(|e| ProtoError::AddrParse(format!("AS number `{s}`: {e}")))?;
+            if value > BGP_ASN_MAX {
+                return Err(ProtoError::AddrParse(format!(
+                    "decimal AS number `{s}` exceeds the BGP-compatible range; use x:y:z"
+                )));
+            }
+            Asn::new(value)
+        }
+    }
+}
+
+/// A fully-qualified SCION AS identifier: ISD plus AS number.
+///
+/// Displays as `71-2:0:3b` or `64-559`, the notation of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IsdAsn {
+    /// Isolation domain.
+    pub isd: IsdNumber,
+    /// AS number.
+    pub asn: Asn,
+}
+
+impl IsdAsn {
+    /// Creates an ISD-AS pair.
+    pub fn new(isd: u16, asn: Asn) -> Self {
+        IsdAsn { isd: IsdNumber(isd), asn }
+    }
+
+    /// Whether either component is a wildcard.
+    pub fn is_wildcard(&self) -> bool {
+        self.isd == WILDCARD_ISD || self.asn == Asn::WILDCARD
+    }
+
+    /// Packs into the 64-bit wire representation (16-bit ISD ∥ 48-bit AS).
+    pub fn to_u64(&self) -> u64 {
+        ((self.isd.0 as u64) << 48) | self.asn.0
+    }
+
+    /// Unpacks from the 64-bit wire representation.
+    pub fn from_u64(raw: u64) -> Self {
+        IsdAsn { isd: IsdNumber((raw >> 48) as u16), asn: Asn(raw & MAX_ASN) }
+    }
+}
+
+impl fmt::Display for IsdAsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.isd, self.asn)
+    }
+}
+
+impl FromStr for IsdAsn {
+    type Err = ProtoError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (isd_str, asn_str) = s
+            .split_once('-')
+            .ok_or_else(|| ProtoError::AddrParse(format!("ISD-AS `{s}` missing `-`")))?;
+        let isd: u16 = isd_str
+            .parse()
+            .map_err(|e| ProtoError::AddrParse(format!("ISD `{isd_str}`: {e}")))?;
+        let asn: Asn = asn_str.parse()?;
+        Ok(IsdAsn { isd: IsdNumber(isd), asn })
+    }
+}
+
+/// Convenience constructor: `ia("71-2:0:3b")`. Panics on malformed input, so
+/// only use it for literals (topology tables, tests).
+pub fn ia(s: &str) -> IsdAsn {
+    s.parse().unwrap_or_else(|e| panic!("bad ISD-AS literal `{s}`: {e}"))
+}
+
+/// A SCION host address within an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HostAddr {
+    /// IPv4 host address.
+    V4([u8; 4]),
+    /// IPv6 host address.
+    V6([u8; 16]),
+    /// An AS-local anycast service address (control service, discovery…).
+    Svc(ServiceAddr),
+}
+
+/// Well-known SCION service addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServiceAddr {
+    /// The AS control service (beacon, path and certificate servers).
+    ControlService,
+    /// The discovery/bootstrapping service.
+    Discovery,
+    /// Wildcard/unspecified service.
+    None,
+}
+
+impl HostAddr {
+    /// Shorthand IPv4 constructor.
+    pub fn v4(a: u8, b: u8, c: u8, d: u8) -> Self {
+        HostAddr::V4([a, b, c, d])
+    }
+
+    /// Length of the serialised address in bytes.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            HostAddr::V4(_) => 4,
+            HostAddr::V6(_) => 16,
+            HostAddr::Svc(_) => 4,
+        }
+    }
+
+    /// The (type, length) nibbles used in the SCION common header:
+    /// `(DT, DL)` for the destination or `(ST, SL)` for the source.
+    pub fn type_len_nibbles(&self) -> (u8, u8) {
+        match self {
+            HostAddr::V4(_) => (0b00, 0b00),
+            HostAddr::V6(_) => (0b00, 0b11),
+            HostAddr::Svc(_) => (0b01, 0b00),
+        }
+    }
+
+    /// Serialises the address bytes.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        match self {
+            HostAddr::V4(b) => out.extend_from_slice(b),
+            HostAddr::V6(b) => out.extend_from_slice(b),
+            HostAddr::Svc(s) => {
+                let code: u16 = match s {
+                    ServiceAddr::ControlService => 0x0002,
+                    ServiceAddr::Discovery => 0x0001,
+                    ServiceAddr::None => 0xffff,
+                };
+                out.extend_from_slice(&code.to_be_bytes());
+                out.extend_from_slice(&[0, 0]);
+            }
+        }
+    }
+
+    /// Parses an address from `buf` given the header's type/len nibbles.
+    pub fn parse(ty: u8, len: u8, buf: &[u8]) -> Result<(Self, usize), ProtoError> {
+        match (ty, len) {
+            (0b00, 0b00) => {
+                crate::need("host addr v4", buf, 4)?;
+                Ok((HostAddr::V4([buf[0], buf[1], buf[2], buf[3]]), 4))
+            }
+            (0b00, 0b11) => {
+                crate::need("host addr v6", buf, 16)?;
+                let mut b = [0u8; 16];
+                b.copy_from_slice(&buf[..16]);
+                Ok((HostAddr::V6(b), 16))
+            }
+            (0b01, 0b00) => {
+                crate::need("host addr svc", buf, 4)?;
+                let code = u16::from_be_bytes([buf[0], buf[1]]);
+                let svc = match code {
+                    0x0002 => ServiceAddr::ControlService,
+                    0x0001 => ServiceAddr::Discovery,
+                    0xffff => ServiceAddr::None,
+                    other => {
+                        return Err(ProtoError::InvalidField {
+                            field: "svc",
+                            detail: format!("unknown service code {other:#x}"),
+                        })
+                    }
+                };
+                Ok((HostAddr::Svc(svc), 4))
+            }
+            _ => Err(ProtoError::InvalidField {
+                field: "addr type/len",
+                detail: format!("unsupported combination ({ty:#b}, {len:#b})"),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for HostAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostAddr::V4(b) => write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3]),
+            HostAddr::V6(b) => {
+                let groups: Vec<String> = b
+                    .chunks_exact(2)
+                    .map(|c| format!("{:x}", u16::from_be_bytes([c[0], c[1]])))
+                    .collect();
+                write!(f, "{}", groups.join(":"))
+            }
+            HostAddr::Svc(ServiceAddr::ControlService) => write!(f, "CS"),
+            HostAddr::Svc(ServiceAddr::Discovery) => write!(f, "DS"),
+            HostAddr::Svc(ServiceAddr::None) => write!(f, "SVC_NONE"),
+        }
+    }
+}
+
+/// A complete SCION end-point address: ISD-AS plus host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ScionAddr {
+    /// The AS the host lives in.
+    pub ia: IsdAsn,
+    /// The host within the AS.
+    pub host: HostAddr,
+}
+
+impl ScionAddr {
+    /// Creates an end-point address.
+    pub fn new(ia: IsdAsn, host: HostAddr) -> Self {
+        ScionAddr { ia, host }
+    }
+}
+
+impl fmt::Display for ScionAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{}", self.ia, self.host)
+    }
+}
+
+impl FromStr for ScionAddr {
+    type Err = ProtoError;
+
+    /// Parses `"71-2:0:3b,10.0.0.1"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ia_str, host_str) = s
+            .split_once(',')
+            .ok_or_else(|| ProtoError::AddrParse(format!("SCION addr `{s}` missing `,`")))?;
+        let ia: IsdAsn = ia_str.parse()?;
+        let parts: Vec<&str> = host_str.split('.').collect();
+        if parts.len() == 4 {
+            let mut b = [0u8; 4];
+            for (i, p) in parts.iter().enumerate() {
+                b[i] = p
+                    .parse()
+                    .map_err(|e| ProtoError::AddrParse(format!("IPv4 octet `{p}`: {e}")))?;
+            }
+            return Ok(ScionAddr::new(ia, HostAddr::V4(b)));
+        }
+        Err(ProtoError::AddrParse(format!("unsupported host address `{host_str}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_bgp_display() {
+        assert_eq!(Asn::new(559).unwrap().to_string(), "559");
+        assert_eq!(Asn::new(20965).unwrap().to_string(), "20965");
+    }
+
+    #[test]
+    fn asn_scion_display() {
+        // 2:0:3b == (2 << 32) | (0 << 16) | 0x3b
+        let v = (2u64 << 32) | 0x3b;
+        assert_eq!(Asn::new(v).unwrap().to_string(), "2:0:3b");
+    }
+
+    #[test]
+    fn asn_parse_roundtrip() {
+        for s in ["559", "20965", "2:0:3b", "2:0:5c", "ffff:ffff:ffff", "1:0:0"] {
+            let a: Asn = s.parse().unwrap();
+            assert_eq!(a.to_string(), s, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn asn_rejects_malformed() {
+        assert!("2:0".parse::<Asn>().is_err());
+        assert!("2:0:3b:1".parse::<Asn>().is_err());
+        assert!("2:0:10000".parse::<Asn>().is_err());
+        assert!("hello".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err()); // 2^32 must use colon form
+        assert!(Asn::new(1 << 48).is_err());
+    }
+
+    #[test]
+    fn isd_as_display_matches_paper_notation() {
+        assert_eq!(ia("71-2:0:3b").to_string(), "71-2:0:3b");
+        assert_eq!(ia("64-559").to_string(), "64-559");
+        assert_eq!(ia("71-20965").to_string(), "71-20965");
+    }
+
+    #[test]
+    fn isd_as_u64_roundtrip() {
+        for s in ["71-2:0:3b", "64-559", "71-225", "1-ffff:ffff:ffff"] {
+            let x = ia(s);
+            assert_eq!(IsdAsn::from_u64(x.to_u64()), x);
+        }
+    }
+
+    #[test]
+    fn wildcard_detection() {
+        assert!(ia("0-559").is_wildcard());
+        assert!(ia("71-0").is_wildcard());
+        assert!(!ia("71-559").is_wildcard());
+    }
+
+    #[test]
+    fn host_addr_wire_roundtrip() {
+        let addrs = [
+            HostAddr::v4(192, 168, 1, 10),
+            HostAddr::V6([0x20, 0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]),
+            HostAddr::Svc(ServiceAddr::ControlService),
+            HostAddr::Svc(ServiceAddr::Discovery),
+        ];
+        for a in addrs {
+            let (ty, len) = a.type_len_nibbles();
+            let mut buf = Vec::new();
+            a.write(&mut buf);
+            assert_eq!(buf.len(), a.wire_len());
+            let (parsed, consumed) = HostAddr::parse(ty, len, &buf).unwrap();
+            assert_eq!(parsed, a);
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn host_addr_parse_truncated() {
+        assert!(matches!(
+            HostAddr::parse(0b00, 0b11, &[1, 2, 3]),
+            Err(ProtoError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn scion_addr_parse_and_display() {
+        let a: ScionAddr = "71-2:0:5c,10.1.2.3".parse().unwrap();
+        assert_eq!(a.ia, ia("71-2:0:5c"));
+        assert_eq!(a.host, HostAddr::v4(10, 1, 2, 3));
+        assert_eq!(a.to_string(), "71-2:0:5c,10.1.2.3");
+        assert!("71-2:0:5c".parse::<ScionAddr>().is_err());
+        assert!("71-2:0:5c,10.1.2".parse::<ScionAddr>().is_err());
+    }
+
+    #[test]
+    fn display_v6() {
+        let a = HostAddr::V6([0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(a.to_string(), "2001:db8:0:0:0:0:0:1");
+    }
+}

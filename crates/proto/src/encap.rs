@@ -1,0 +1,184 @@
+//! The IP-UDP "Layer 2.5" underlay encapsulation.
+//!
+//! §4.3.1 of the paper: IP is repurposed as a bridging layer to carry SCION
+//! packets across IP-routed segments *within* an AS, while SCION remains the
+//! inter-AS layer 3. Every SCION frame on such a segment is a UDP datagram
+//! addressed to the receiving component's underlay endpoint.
+//!
+//! The frame format here is a minimal IP/UDP stand-in sized like the real
+//! thing (IPv4 20 B + UDP 8 B), so per-packet overhead in throughput
+//! experiments is faithful.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ProtoError;
+
+/// The default UDP underlay port of the legacy shared dispatcher (§4.8).
+pub const DISPATCHER_PORT: u16 = 30041;
+/// Start of the ephemeral range used by dispatcherless applications.
+pub const EPHEMERAL_PORT_START: u16 = 31000;
+
+/// An underlay endpoint: an intra-AS IPv4 address and UDP port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UnderlayAddr {
+    /// IPv4 address on the AS-internal network.
+    pub ip: [u8; 4],
+    /// UDP port.
+    pub port: u16,
+}
+
+impl UnderlayAddr {
+    /// Convenience constructor.
+    pub fn new(ip: [u8; 4], port: u16) -> Self {
+        UnderlayAddr { ip, port }
+    }
+}
+
+impl core::fmt::Display for UnderlayAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}.{}.{}.{}:{}", self.ip[0], self.ip[1], self.ip[2], self.ip[3], self.port)
+    }
+}
+
+/// Overhead of the underlay headers in bytes (IPv4 20 + UDP 8).
+pub const UNDERLAY_OVERHEAD: usize = 28;
+
+/// A layer-2.5 frame: underlay source/destination plus the SCION packet
+/// bytes as UDP payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnderlayFrame {
+    /// Underlay source endpoint.
+    pub src: UnderlayAddr,
+    /// Underlay destination endpoint.
+    pub dst: UnderlayAddr,
+    /// The encapsulated SCION packet bytes.
+    pub scion: Vec<u8>,
+}
+
+impl UnderlayFrame {
+    /// Wraps SCION packet bytes for transmission on an IP segment.
+    pub fn encapsulate(src: UnderlayAddr, dst: UnderlayAddr, scion: Vec<u8>) -> Self {
+        UnderlayFrame { src, dst, scion }
+    }
+
+    /// Total on-the-wire size including underlay overhead.
+    pub fn wire_len(&self) -> usize {
+        UNDERLAY_OVERHEAD + self.scion.len()
+    }
+
+    /// Serialises the frame (compact stand-in IPv4+UDP header, then payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        // Stand-in IPv4 header: version/ihl, tos, total length, then the
+        // two addresses; remaining IPv4 fields are fixed filler so the
+        // overhead matches the real 20 bytes.
+        out.push(0x45);
+        out.push(0);
+        out.extend_from_slice(&((self.wire_len()) as u16).to_be_bytes());
+        out.extend_from_slice(&[0, 0, 0, 0, 64, 17, 0, 0]); // id/frag/ttl/proto=UDP/cksum
+        out.extend_from_slice(&self.src.ip);
+        out.extend_from_slice(&self.dst.ip);
+        // UDP header.
+        out.extend_from_slice(&self.src.port.to_be_bytes());
+        out.extend_from_slice(&self.dst.port.to_be_bytes());
+        out.extend_from_slice(&((8 + self.scion.len()) as u16).to_be_bytes());
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&self.scion);
+        out
+    }
+
+    /// Parses a frame.
+    pub fn decode(buf: &[u8]) -> Result<Self, ProtoError> {
+        crate::need("underlay frame", buf, UNDERLAY_OVERHEAD)?;
+        if buf[0] != 0x45 {
+            return Err(ProtoError::InvalidField {
+                field: "underlay version/ihl",
+                detail: format!("expected 0x45, got {:#x}", buf[0]),
+            });
+        }
+        if buf[9] != 17 {
+            return Err(ProtoError::InvalidField {
+                field: "underlay proto",
+                detail: format!("expected UDP (17), got {}", buf[9]),
+            });
+        }
+        let total = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        if total < UNDERLAY_OVERHEAD || total > buf.len() {
+            return Err(ProtoError::InvalidField {
+                field: "underlay length",
+                detail: format!("total {total} vs buffer {}", buf.len()),
+            });
+        }
+        let src_ip = [buf[12], buf[13], buf[14], buf[15]];
+        let dst_ip = [buf[16], buf[17], buf[18], buf[19]];
+        let src_port = u16::from_be_bytes([buf[20], buf[21]]);
+        let dst_port = u16::from_be_bytes([buf[22], buf[23]]);
+        let udp_len = u16::from_be_bytes([buf[24], buf[25]]) as usize;
+        if udp_len != total - 20 {
+            return Err(ProtoError::InvalidField {
+                field: "underlay udp length",
+                detail: format!("udp length {udp_len} inconsistent with total {total}"),
+            });
+        }
+        Ok(UnderlayFrame {
+            src: UnderlayAddr::new(src_ip, src_port),
+            dst: UnderlayAddr::new(dst_ip, dst_port),
+            scion: buf[UNDERLAY_OVERHEAD..total].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let f = UnderlayFrame::encapsulate(
+            UnderlayAddr::new([192, 168, 1, 10], 31000),
+            UnderlayAddr::new([10, 0, 5, 1], DISPATCHER_PORT),
+            b"scion packet bytes".to_vec(),
+        );
+        let wire = f.encode();
+        assert_eq!(wire.len(), f.wire_len());
+        assert_eq!(UnderlayFrame::decode(&wire).unwrap(), f);
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let f = UnderlayFrame::encapsulate(
+            UnderlayAddr::new([1, 2, 3, 4], 1),
+            UnderlayAddr::new([5, 6, 7, 8], 2),
+            vec![],
+        );
+        assert_eq!(UnderlayFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn overhead_matches_ipv4_udp() {
+        let f = UnderlayFrame::encapsulate(
+            UnderlayAddr::new([0, 0, 0, 0], 0),
+            UnderlayAddr::new([0, 0, 0, 0], 0),
+            vec![0xab; 100],
+        );
+        assert_eq!(f.wire_len() - 100, 28);
+    }
+
+    #[test]
+    fn rejects_non_udp_and_truncation() {
+        let f = UnderlayFrame::encapsulate(
+            UnderlayAddr::new([1, 1, 1, 1], 9),
+            UnderlayAddr::new([2, 2, 2, 2], 9),
+            b"x".to_vec(),
+        );
+        let mut wire = f.encode();
+        assert!(UnderlayFrame::decode(&wire[..10]).is_err());
+        wire[9] = 6; // TCP
+        assert!(UnderlayFrame::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UnderlayAddr::new([10, 0, 0, 1], 30041).to_string(), "10.0.0.1:30041");
+    }
+}

@@ -1,0 +1,87 @@
+//! SCION wire formats and addressing.
+//!
+//! This crate defines the on-the-wire representation of SCION packets as
+//! used by every other layer of the stack, in the spirit of smoltcp's typed
+//! packet views: explicit byte layouts, zero surprises, and malformed input
+//! surfacing as [`ProtoError`] rather than panics.
+//!
+//! Modules:
+//!
+//! * [`addr`] — ISD, AS and ISD-AS addressing, including the `2:0:3b`-style
+//!   SCION AS number format the paper uses throughout (e.g. `71-2:0:3b` for
+//!   the KISTI Daejeon core).
+//! * [`path`] — the SCION path header: path meta, info fields (one per
+//!   segment, carrying the chained segment identifier `beta`), and hop
+//!   fields (carrying ingress/egress interfaces plus the 6-byte MAC).
+//! * [`packet`] — the common and address headers and whole-packet
+//!   serialisation.
+//! * [`scmp`] — the SCION Control Message Protocol: echo (used by the
+//!   measurement campaign of §5.4), external-interface-down and
+//!   destination-unreachable notifications.
+//! * [`udp`] — UDP/SCION, the transport the PAN socket API exposes.
+//! * [`encap`] — the IP-UDP "Layer 2.5" underlay encapsulation (§4.3.1)
+//!   that lets SCION packets traverse unmodified intra-AS IP networks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod encap;
+pub mod packet;
+pub mod path;
+pub mod scmp;
+pub mod udp;
+
+pub use addr::{Asn, HostAddr, IsdAsn, IsdNumber};
+pub use packet::ScionPacket;
+pub use path::{HopField, InfoField, PathMeta, ScionPath};
+
+/// Errors produced while parsing or building wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer is shorter than the format requires.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A field carried an invalid or unsupported value.
+    InvalidField {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A textual address failed to parse.
+    AddrParse(String),
+    /// Path structure violated an invariant (e.g. too many segments).
+    InvalidPath(String),
+}
+
+impl core::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtoError::Truncated { what, needed, got } => {
+                write!(f, "truncated {what}: need {needed} bytes, got {got}")
+            }
+            ProtoError::InvalidField { field, detail } => {
+                write!(f, "invalid field {field}: {detail}")
+            }
+            ProtoError::AddrParse(s) => write!(f, "address parse error: {s}"),
+            ProtoError::InvalidPath(s) => write!(f, "invalid path: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+pub(crate) fn need(what: &'static str, buf: &[u8], needed: usize) -> Result<(), ProtoError> {
+    if buf.len() < needed {
+        Err(ProtoError::Truncated { what, needed, got: buf.len() })
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,454 @@
+//! The SCION common header, address header and whole-packet codec.
+//!
+//! Layout of the common header (12 bytes):
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +-------+-------+---------------------------------------------+
+//! |Version|  QoS  |                FlowID (20 bits)             |
+//! +-------+-------+---------------+-------------------------------+
+//! |    NextHdr    |    HdrLen     |          PayloadLen           |
+//! +---------------+---------------+-------------------------------+
+//! |    PathType   |DT |DL |ST |SL |             RSV               |
+//! +---------------+---------------+-------------------------------+
+//! ```
+//!
+//! `HdrLen` counts 4-byte units covering common + address + path headers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{HostAddr, IsdAsn, ScionAddr};
+use crate::path::ScionPath;
+use crate::ProtoError;
+
+/// SCION header version implemented here.
+pub const VERSION: u8 = 0;
+/// Size of the common header in bytes.
+pub const COMMON_HDR_LEN: usize = 12;
+
+/// Value of the `NextHdr`/protocol field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum L4Protocol {
+    /// UDP/SCION.
+    Udp,
+    /// SCMP (the SCION control message protocol).
+    Scmp,
+    /// BFD (not otherwise modelled; accepted on the wire).
+    Bfd,
+    /// Experimental / other.
+    Other(u8),
+}
+
+impl L4Protocol {
+    /// Wire value (mirrors the IANA-style assignments used by SCION).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            L4Protocol::Udp => 17,
+            L4Protocol::Scmp => 202,
+            L4Protocol::Bfd => 203,
+            L4Protocol::Other(v) => v,
+        }
+    }
+
+    /// Parses the wire value.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            17 => L4Protocol::Udp,
+            202 => L4Protocol::Scmp,
+            203 => L4Protocol::Bfd,
+            other => L4Protocol::Other(other),
+        }
+    }
+}
+
+/// The path type discriminator in the common header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathType {
+    /// Empty path (AS-local communication).
+    Empty,
+    /// The standard SCION path (meta + info + hop fields).
+    Scion,
+    /// One-hop path for neighbour bootstrap (beaconing to a new link).
+    OneHop,
+}
+
+impl PathType {
+    fn to_u8(self) -> u8 {
+        match self {
+            PathType::Empty => 0,
+            PathType::Scion => 1,
+            PathType::OneHop => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ProtoError> {
+        match v {
+            0 => Ok(PathType::Empty),
+            1 => Ok(PathType::Scion),
+            2 => Ok(PathType::OneHop),
+            other => Err(ProtoError::InvalidField {
+                field: "path type",
+                detail: format!("unknown path type {other}"),
+            }),
+        }
+    }
+}
+
+/// The data-plane path carried in a packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataPlanePath {
+    /// No path: source and destination are in the same AS.
+    Empty,
+    /// A standard SCION path.
+    Scion(ScionPath),
+    /// A one-hop path: an info field plus first hop field, with space for
+    /// the second hop field filled in by the ingress border router. Used by
+    /// beaconing over not-yet-announced links.
+    OneHop {
+        /// The (single) info field; always in construction direction.
+        info: crate::path::InfoField,
+        /// Hop field of the sending AS.
+        first_hop: crate::path::HopField,
+        /// Hop field of the receiving AS (zeroed until filled by ingress BR).
+        second_hop: crate::path::HopField,
+    },
+}
+
+impl DataPlanePath {
+    /// The discriminator for the common header.
+    pub fn path_type(&self) -> PathType {
+        match self {
+            DataPlanePath::Empty => PathType::Empty,
+            DataPlanePath::Scion(_) => PathType::Scion,
+            DataPlanePath::OneHop { .. } => PathType::OneHop,
+        }
+    }
+
+    /// Serialised length.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            DataPlanePath::Empty => 0,
+            DataPlanePath::Scion(p) => p.wire_len(),
+            DataPlanePath::OneHop { .. } => {
+                crate::path::INFO_FIELD_LEN + 2 * crate::path::HOP_FIELD_LEN
+            }
+        }
+    }
+
+    fn write(&self, out: &mut Vec<u8>) {
+        match self {
+            DataPlanePath::Empty => {}
+            DataPlanePath::Scion(p) => p.write(out),
+            DataPlanePath::OneHop { info, first_hop, second_hop } => {
+                out.extend_from_slice(&info.to_bytes());
+                out.extend_from_slice(&first_hop.to_bytes());
+                out.extend_from_slice(&second_hop.to_bytes());
+            }
+        }
+    }
+
+    fn parse(ty: PathType, buf: &[u8]) -> Result<Self, ProtoError> {
+        match ty {
+            PathType::Empty => Ok(DataPlanePath::Empty),
+            PathType::Scion => Ok(DataPlanePath::Scion(ScionPath::parse(buf)?)),
+            PathType::OneHop => {
+                let needed = crate::path::INFO_FIELD_LEN + 2 * crate::path::HOP_FIELD_LEN;
+                crate::need("one-hop path", buf, needed)?;
+                Ok(DataPlanePath::OneHop {
+                    info: crate::path::InfoField::parse(buf)?,
+                    first_hop: crate::path::HopField::parse(&buf[8..])?,
+                    second_hop: crate::path::HopField::parse(&buf[20..])?,
+                })
+            }
+        }
+    }
+}
+
+/// A complete SCION packet (headers + L4 payload bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScionPacket {
+    /// Traffic class (QoS byte).
+    pub qos: u8,
+    /// Flow identifier (20 bits used).
+    pub flow_id: u32,
+    /// Layer-4 protocol of the payload.
+    pub next_hdr: L4Protocol,
+    /// Destination endpoint.
+    pub dst: ScionAddr,
+    /// Source endpoint.
+    pub src: ScionAddr,
+    /// The forwarding path.
+    pub path: DataPlanePath,
+    /// L4 payload (e.g. a serialised UDP/SCION or SCMP message).
+    pub payload: Vec<u8>,
+}
+
+impl ScionPacket {
+    /// Creates a packet with defaults for QoS and flow ID.
+    pub fn new(src: ScionAddr, dst: ScionAddr, next_hdr: L4Protocol, path: DataPlanePath, payload: Vec<u8>) -> Self {
+        ScionPacket { qos: 0, flow_id: 1, next_hdr, dst, src, path, payload }
+    }
+
+    /// Length of the address header for this packet.
+    fn addr_hdr_len(&self) -> usize {
+        16 + self.dst.host.wire_len() + self.src.host.wire_len()
+    }
+
+    /// Total serialised header length (common + address + path), bytes.
+    pub fn header_len(&self) -> usize {
+        COMMON_HDR_LEN + self.addr_hdr_len() + self.path.wire_len()
+    }
+
+    /// Serialises the whole packet.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtoError> {
+        let hdr_len = self.header_len();
+        if hdr_len % 4 != 0 {
+            return Err(ProtoError::InvalidField {
+                field: "hdr_len",
+                detail: format!("header length {hdr_len} not a multiple of 4"),
+            });
+        }
+        if hdr_len / 4 > u8::MAX as usize {
+            return Err(ProtoError::InvalidField {
+                field: "hdr_len",
+                detail: format!("header length {hdr_len} exceeds 1020 bytes"),
+            });
+        }
+        if self.payload.len() > u16::MAX as usize {
+            return Err(ProtoError::InvalidField {
+                field: "payload_len",
+                detail: format!("payload of {} bytes exceeds 65535", self.payload.len()),
+            });
+        }
+        let mut out = Vec::with_capacity(hdr_len + self.payload.len());
+
+        // Common header.
+        let w0: u32 = ((VERSION as u32) << 28) | ((self.qos as u32) << 20) | (self.flow_id & 0xf_ffff);
+        out.extend_from_slice(&w0.to_be_bytes());
+        out.push(self.next_hdr.to_u8());
+        out.push((hdr_len / 4) as u8);
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.push(self.path.path_type().to_u8());
+        let (dt, dl) = self.dst.host.type_len_nibbles();
+        let (st, sl) = self.src.host.type_len_nibbles();
+        out.push((dt << 6) | (dl << 4) | (st << 2) | sl);
+        out.extend_from_slice(&[0, 0]); // RSV
+
+        // Address header.
+        out.extend_from_slice(&self.dst.ia.to_u64().to_be_bytes());
+        out.extend_from_slice(&self.src.ia.to_u64().to_be_bytes());
+        self.dst.host.write(&mut out);
+        self.src.host.write(&mut out);
+
+        // Path header.
+        self.path.write(&mut out);
+        debug_assert_eq!(out.len(), hdr_len);
+
+        out.extend_from_slice(&self.payload);
+        Ok(out)
+    }
+
+    /// Parses a packet from the wire.
+    pub fn decode(buf: &[u8]) -> Result<Self, ProtoError> {
+        crate::need("common header", buf, COMMON_HDR_LEN)?;
+        let w0 = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        let version = (w0 >> 28) as u8;
+        if version != VERSION {
+            return Err(ProtoError::InvalidField {
+                field: "version",
+                detail: format!("unsupported version {version}"),
+            });
+        }
+        let qos = ((w0 >> 20) & 0xff) as u8;
+        let flow_id = w0 & 0xf_ffff;
+        let next_hdr = L4Protocol::from_u8(buf[4]);
+        let hdr_len = buf[5] as usize * 4;
+        let payload_len = u16::from_be_bytes([buf[6], buf[7]]) as usize;
+        let path_type = PathType::from_u8(buf[8])?;
+        let tl = buf[9];
+        let (dt, dl, st, sl) = (tl >> 6, (tl >> 4) & 0x3, (tl >> 2) & 0x3, tl & 0x3);
+
+        crate::need("scion packet", buf, hdr_len + payload_len)?;
+        if hdr_len < COMMON_HDR_LEN + 16 {
+            return Err(ProtoError::InvalidField {
+                field: "hdr_len",
+                detail: format!("header length {hdr_len} too small"),
+            });
+        }
+
+        let mut off = COMMON_HDR_LEN;
+        let dst_ia = IsdAsn::from_u64(u64::from_be_bytes(buf[off..off + 8].try_into().unwrap()));
+        off += 8;
+        let src_ia = IsdAsn::from_u64(u64::from_be_bytes(buf[off..off + 8].try_into().unwrap()));
+        off += 8;
+        let (dst_host, n) = HostAddr::parse(dt, dl, &buf[off..hdr_len])?;
+        off += n;
+        let (src_host, n) = HostAddr::parse(st, sl, &buf[off..hdr_len])?;
+        off += n;
+
+        let path = DataPlanePath::parse(path_type, &buf[off..hdr_len])?;
+        let expected_hdr = COMMON_HDR_LEN + 16 + dst_host.wire_len() + src_host.wire_len() + path.wire_len();
+        if expected_hdr != hdr_len {
+            return Err(ProtoError::InvalidField {
+                field: "hdr_len",
+                detail: format!("declared {hdr_len}, computed {expected_hdr}"),
+            });
+        }
+
+        Ok(ScionPacket {
+            qos,
+            flow_id,
+            next_hdr,
+            dst: ScionAddr::new(dst_ia, dst_host),
+            src: ScionAddr::new(src_ia, src_host),
+            path,
+            payload: buf[hdr_len..hdr_len + payload_len].to_vec(),
+        })
+    }
+
+    /// Builds the reply skeleton: src/dst swapped, path reversed.
+    ///
+    /// Returns `None` for one-hop paths, which are not reversible without
+    /// control-plane involvement.
+    pub fn reply_template(&self) -> Option<(ScionAddr, ScionAddr, DataPlanePath)> {
+        let path = match &self.path {
+            DataPlanePath::Empty => DataPlanePath::Empty,
+            DataPlanePath::Scion(p) => DataPlanePath::Scion(p.reversed()),
+            DataPlanePath::OneHop { .. } => return None,
+        };
+        Some((self.dst, self.src, path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{ia, HostAddr};
+    use crate::path::{HopField, InfoField, ScionPath};
+
+    fn sample_path() -> ScionPath {
+        let hf = |ig: u16, eg: u16| HopField {
+            ingress_alert: false,
+            egress_alert: false,
+            exp_time: 63,
+            cons_ingress: ig,
+            cons_egress: eg,
+            mac: [0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff],
+        };
+        ScionPath::from_segments(vec![(
+            InfoField { peering: false, cons_dir: true, seg_id: 7, timestamp: 1_700_000_000 },
+            vec![hf(0, 2), hf(1, 0)],
+        )])
+        .unwrap()
+    }
+
+    fn sample_packet() -> ScionPacket {
+        ScionPacket::new(
+            ScionAddr::new(ia("71-20965"), HostAddr::v4(10, 0, 0, 1)),
+            ScionAddr::new(ia("71-2:0:3b"), HostAddr::v4(10, 0, 0, 2)),
+            L4Protocol::Udp,
+            DataPlanePath::Scion(sample_path()),
+            b"hello sciera".to_vec(),
+        )
+    }
+
+    #[test]
+    fn packet_roundtrip() {
+        let p = sample_packet();
+        let wire = p.encode().unwrap();
+        assert_eq!(ScionPacket::decode(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_path_roundtrip() {
+        let mut p = sample_packet();
+        p.path = DataPlanePath::Empty;
+        let wire = p.encode().unwrap();
+        assert_eq!(ScionPacket::decode(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn one_hop_roundtrip() {
+        let mut p = sample_packet();
+        let sp = sample_path();
+        p.path = DataPlanePath::OneHop {
+            info: sp.info[0],
+            first_hop: sp.hops[0],
+            second_hop: HopField {
+                ingress_alert: false,
+                egress_alert: false,
+                exp_time: 0,
+                cons_ingress: 0,
+                cons_egress: 0,
+                mac: [0; 6],
+            },
+        };
+        let wire = p.encode().unwrap();
+        assert_eq!(ScionPacket::decode(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn v6_addresses_roundtrip() {
+        let mut p = sample_packet();
+        p.src.host = HostAddr::V6([1; 16]);
+        p.dst.host = HostAddr::V6([2; 16]);
+        let wire = p.encode().unwrap();
+        assert_eq!(ScionPacket::decode(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn decode_rejects_bad_version() {
+        let mut wire = sample_packet().encode().unwrap();
+        wire[0] |= 0xf0;
+        assert!(ScionPacket::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let wire = sample_packet().encode().unwrap();
+        for cut in [0, 5, 11, 20, wire.len() - 1] {
+            assert!(ScionPacket::decode(&wire[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_hdr_len() {
+        let mut wire = sample_packet().encode().unwrap();
+        wire[5] += 1; // declare a longer header than the fields occupy
+        // Either a parse failure or a header length mismatch — never a panic.
+        assert!(ScionPacket::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn qos_and_flow_id_preserved() {
+        let mut p = sample_packet();
+        p.qos = 0xb8;
+        p.flow_id = 0xabcde;
+        let wire = p.encode().unwrap();
+        let q = ScionPacket::decode(&wire).unwrap();
+        assert_eq!(q.qos, 0xb8);
+        assert_eq!(q.flow_id, 0xabcde);
+    }
+
+    #[test]
+    fn reply_template_swaps_and_reverses() {
+        let p = sample_packet();
+        let (src, dst, path) = p.reply_template().unwrap();
+        assert_eq!(src, p.dst);
+        assert_eq!(dst, p.src);
+        match (path, &p.path) {
+            (DataPlanePath::Scion(r), DataPlanePath::Scion(orig)) => {
+                assert_eq!(r, orig.reversed());
+            }
+            _ => panic!("wrong path variant"),
+        }
+    }
+
+    #[test]
+    fn l4_protocol_roundtrip() {
+        for p in [L4Protocol::Udp, L4Protocol::Scmp, L4Protocol::Bfd, L4Protocol::Other(99)] {
+            assert_eq!(L4Protocol::from_u8(p.to_u8()), p);
+        }
+    }
+}

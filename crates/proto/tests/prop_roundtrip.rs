@@ -1,0 +1,158 @@
+//! Property-based tests for the wire codecs: arbitrary well-formed values
+//! must survive an encode/decode roundtrip, and arbitrary byte soup must
+//! never panic the parsers.
+
+use proptest::prelude::*;
+
+use scion_proto::addr::{Asn, HostAddr, IsdAsn, ScionAddr, ServiceAddr};
+use scion_proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
+use scion_proto::path::{HopField, InfoField, ScionPath};
+use scion_proto::scmp::ScmpMessage;
+use scion_proto::udp::UdpDatagram;
+use scion_proto::encap::{UnderlayAddr, UnderlayFrame};
+
+prop_compose! {
+    fn arb_asn()(v in 0u64..(1 << 48)) -> Asn {
+        Asn::new(v).unwrap()
+    }
+}
+
+prop_compose! {
+    fn arb_ia()(isd in 0u16..=u16::MAX, asn in arb_asn()) -> IsdAsn {
+        IsdAsn::new(isd, asn)
+    }
+}
+
+fn arb_host() -> impl Strategy<Value = HostAddr> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(HostAddr::V4),
+        any::<[u8; 16]>().prop_map(HostAddr::V6),
+        Just(HostAddr::Svc(ServiceAddr::ControlService)),
+        Just(HostAddr::Svc(ServiceAddr::Discovery)),
+    ]
+}
+
+prop_compose! {
+    fn arb_hop()(ingress_alert: bool, egress_alert: bool, exp_time: u8,
+                 cons_ingress: u16, cons_egress: u16, mac: [u8; 6]) -> HopField {
+        HopField { ingress_alert, egress_alert, exp_time, cons_ingress, cons_egress, mac }
+    }
+}
+
+prop_compose! {
+    fn arb_info()(peering: bool, cons_dir: bool, seg_id: u16, timestamp: u32) -> InfoField {
+        InfoField { peering, cons_dir, seg_id, timestamp }
+    }
+}
+
+fn arb_path() -> impl Strategy<Value = ScionPath> {
+    prop::collection::vec((arb_info(), prop::collection::vec(arb_hop(), 1..8)), 1..=3)
+        .prop_map(|segs| ScionPath::from_segments(segs).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn asn_display_parse_roundtrip(asn in arb_asn()) {
+        let shown = asn.to_string();
+        let parsed: Asn = shown.parse().unwrap();
+        prop_assert_eq!(parsed, asn);
+    }
+
+    #[test]
+    fn ia_u64_roundtrip(ia in arb_ia()) {
+        prop_assert_eq!(IsdAsn::from_u64(ia.to_u64()), ia);
+    }
+
+    #[test]
+    fn ia_display_parse_roundtrip(ia in arb_ia()) {
+        let parsed: IsdAsn = ia.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, ia);
+    }
+
+    #[test]
+    fn path_roundtrip(path in arb_path()) {
+        let mut buf = Vec::new();
+        path.write(&mut buf);
+        prop_assert_eq!(ScionPath::parse(&buf).unwrap(), path);
+    }
+
+    #[test]
+    fn path_reverse_involutive(path in arb_path()) {
+        prop_assert_eq!(path.reversed().reversed(), path);
+    }
+
+    #[test]
+    fn path_reverse_preserves_hop_multiset(path in arb_path()) {
+        let mut orig: Vec<_> = path.hops.iter().map(|h| h.to_bytes()).collect();
+        let mut rev: Vec<_> = path.reversed().hops.iter().map(|h| h.to_bytes()).collect();
+        orig.sort();
+        rev.sort();
+        prop_assert_eq!(orig, rev);
+    }
+
+    #[test]
+    fn packet_roundtrip(
+        src_ia in arb_ia(), dst_ia in arb_ia(),
+        src_host in arb_host(), dst_host in arb_host(),
+        path in arb_path(),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        qos: u8, flow in 0u32..(1 << 20),
+    ) {
+        let mut pkt = ScionPacket::new(
+            ScionAddr::new(src_ia, src_host),
+            ScionAddr::new(dst_ia, dst_host),
+            L4Protocol::Udp,
+            DataPlanePath::Scion(path),
+            payload,
+        );
+        pkt.qos = qos;
+        pkt.flow_id = flow;
+        let wire = pkt.encode().unwrap();
+        prop_assert_eq!(ScionPacket::decode(&wire).unwrap(), pkt);
+    }
+
+    #[test]
+    fn packet_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ScionPacket::decode(&bytes);
+    }
+
+    #[test]
+    fn path_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ScionPath::parse(&bytes);
+    }
+
+    #[test]
+    fn scmp_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = ScmpMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn udp_roundtrip(src: u16, dst: u16, payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let d = UdpDatagram::new(src, dst, payload);
+        prop_assert_eq!(UdpDatagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn udp_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = UdpDatagram::decode(&bytes);
+    }
+
+    #[test]
+    fn underlay_roundtrip(
+        sip: [u8; 4], dip: [u8; 4], sport: u16, dport: u16,
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let f = UnderlayFrame::encapsulate(
+            UnderlayAddr::new(sip, sport),
+            UnderlayAddr::new(dip, dport),
+            payload,
+        );
+        prop_assert_eq!(UnderlayFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn scmp_echo_roundtrip(id: u16, seq: u16, data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let m = ScmpMessage::EchoRequest { id, seq, data };
+        prop_assert_eq!(ScmpMessage::decode(&m.encode()).unwrap(), m);
+    }
+}

@@ -1,0 +1,280 @@
+//! The SCION-IP Gateway (SIG).
+//!
+//! "All the productive use cases make use of IP-to-SCION-to-IP translation
+//! by SCION-IP-Gateways (SIG), such that applications are unaware of the
+//! NGN communication" (abstract). The SIG is the legacy on-ramp the paper
+//! contrasts native connectivity with — and the substrate of the Edge
+//! (non-AS) deployment model of Appendix B.
+//!
+//! A SIG instance owns a table mapping remote IP prefixes to remote SIG
+//! endpoints (each behind a SCION AS). Outbound legacy IP packets matching
+//! a prefix are encapsulated into SCION packets addressed to the remote
+//! SIG; inbound SCION packets from a peer SIG are decapsulated back to raw
+//! IP. Session keepalives detect peer failure so traffic can fail over to
+//! a backup SIG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use scion_proto::addr::{HostAddr, IsdAsn, ScionAddr};
+use scion_proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
+
+/// An IPv4 prefix (address + mask length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prefix {
+    /// Network address.
+    pub addr: [u8; 4],
+    /// Prefix length in bits (0–32).
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix, normalising host bits to zero.
+    pub fn new(addr: [u8; 4], len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        let raw = u32::from_be_bytes(addr);
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Prefix { addr: (raw & mask).to_be_bytes(), len }
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(&self, ip: [u8; 4]) -> bool {
+        let mask = if self.len == 0 { 0 } else { u32::MAX << (32 - self.len) };
+        (u32::from_be_bytes(ip) & mask) == u32::from_be_bytes(self.addr)
+    }
+}
+
+impl core::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}.{}.{}.{}/{}", self.addr[0], self.addr[1], self.addr[2], self.addr[3], self.len)
+    }
+}
+
+/// A remote SIG endpoint serving some prefixes.
+#[derive(Debug, Clone)]
+pub struct RemoteSig {
+    /// SCION address of the remote gateway.
+    pub endpoint: ScionAddr,
+    /// Prefixes reachable behind it.
+    pub prefixes: Vec<Prefix>,
+    /// Whether the last keepalive round succeeded.
+    pub healthy: bool,
+}
+
+/// Counters for the gateway.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SigStats {
+    /// IP packets encapsulated toward SCION.
+    pub encapsulated: u64,
+    /// SCION packets decapsulated back to IP.
+    pub decapsulated: u64,
+    /// IP packets with no matching (healthy) prefix.
+    pub no_route: u64,
+    /// Inbound SCION packets from unknown peers (dropped).
+    pub unknown_peer: u64,
+}
+
+/// The gateway.
+pub struct Sig {
+    /// Local SCION address the gateway sends from.
+    pub local: ScionAddr,
+    remotes: Vec<RemoteSig>,
+    /// Statistics.
+    pub stats: SigStats,
+}
+
+/// UDP-less SIG framing: SCION payload is the raw IP packet; `next_hdr`
+/// marks the SIG protocol.
+pub const SIG_PROTOCOL: u8 = 253;
+
+impl Sig {
+    /// Creates a gateway at `local`.
+    pub fn new(local: ScionAddr) -> Self {
+        Sig { local, remotes: Vec::new(), stats: SigStats::default() }
+    }
+
+    /// Announces that `prefixes` are reachable via `endpoint` (learned from
+    /// the SIG control exchange in production).
+    pub fn add_remote(&mut self, endpoint: ScionAddr, prefixes: Vec<Prefix>) {
+        self.remotes.push(RemoteSig { endpoint, prefixes, healthy: true });
+    }
+
+    /// Longest-prefix match over healthy remotes.
+    pub fn route(&self, dst_ip: [u8; 4]) -> Option<&RemoteSig> {
+        self.remotes
+            .iter()
+            .filter(|r| r.healthy)
+            .flat_map(|r| r.prefixes.iter().filter(|p| p.contains(dst_ip)).map(move |p| (p.len, r)))
+            .max_by_key(|(len, _)| *len)
+            .map(|(_, r)| r)
+    }
+
+    /// Encapsulates a raw IPv4 packet (`dst_ip` pre-parsed by the caller's
+    /// fast path) into a SCION packet toward the responsible remote SIG,
+    /// using `path` (chosen by the gateway's PAN layer).
+    pub fn encapsulate(
+        &mut self,
+        dst_ip: [u8; 4],
+        ip_packet: Vec<u8>,
+        path_for: &mut dyn FnMut(IsdAsn) -> Option<DataPlanePath>,
+    ) -> Option<ScionPacket> {
+        let Some(remote) = self.route(dst_ip) else {
+            self.stats.no_route += 1;
+            return None;
+        };
+        let endpoint = remote.endpoint;
+        let Some(path) = path_for(endpoint.ia) else {
+            self.stats.no_route += 1;
+            return None;
+        };
+        self.stats.encapsulated += 1;
+        Some(ScionPacket::new(
+            self.local,
+            endpoint,
+            L4Protocol::Other(SIG_PROTOCOL),
+            path,
+            ip_packet,
+        ))
+    }
+
+    /// Decapsulates an inbound SCION packet from a peer SIG back to the raw
+    /// IP packet.
+    pub fn decapsulate(&mut self, packet: &ScionPacket) -> Option<Vec<u8>> {
+        if packet.next_hdr != L4Protocol::Other(SIG_PROTOCOL) {
+            return None;
+        }
+        if !self.remotes.iter().any(|r| r.endpoint == packet.src) {
+            self.stats.unknown_peer += 1;
+            return None;
+        }
+        self.stats.decapsulated += 1;
+        Some(packet.payload.clone())
+    }
+
+    /// Marks a peer's health from the keepalive machinery; unhealthy peers
+    /// drop out of routing so backup SIGs (longer prefixes or other peers)
+    /// take over.
+    pub fn set_peer_health(&mut self, endpoint: ScionAddr, healthy: bool) {
+        for r in &mut self.remotes {
+            if r.endpoint == endpoint {
+                r.healthy = healthy;
+            }
+        }
+    }
+}
+
+/// Helper constructing a SIG endpoint address.
+pub fn sig_endpoint(ia: IsdAsn, ip: [u8; 4]) -> ScionAddr {
+    ScionAddr::new(ia, HostAddr::V4(ip))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_proto::addr::ia;
+
+    fn gateway() -> Sig {
+        let mut sig = Sig::new(sig_endpoint(ia("71-2:0:5c"), [10, 0, 0, 1]));
+        sig.add_remote(
+            sig_endpoint(ia("71-225"), [10, 1, 0, 1]),
+            vec![Prefix::new([192, 168, 0, 0], 16)],
+        );
+        sig.add_remote(
+            sig_endpoint(ia("71-88"), [10, 2, 0, 1]),
+            vec![Prefix::new([192, 168, 10, 0], 24), Prefix::new([172, 16, 0, 0], 12)],
+        );
+        sig
+    }
+
+    fn empty_path(_: IsdAsn) -> Option<DataPlanePath> {
+        Some(DataPlanePath::Empty)
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let p = Prefix::new([192, 168, 10, 0], 24);
+        assert!(p.contains([192, 168, 10, 77]));
+        assert!(!p.contains([192, 168, 11, 77]));
+        assert_eq!(p.to_string(), "192.168.10.0/24");
+        // Host bits normalised.
+        assert_eq!(Prefix::new([192, 168, 10, 99], 24), p);
+        assert!(Prefix::new([0, 0, 0, 0], 0).contains([8, 8, 8, 8]));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let sig = gateway();
+        // /24 at 71-88 beats /16 at 71-225.
+        assert_eq!(sig.route([192, 168, 10, 5]).unwrap().endpoint.ia, ia("71-88"));
+        assert_eq!(sig.route([192, 168, 99, 5]).unwrap().endpoint.ia, ia("71-225"));
+        assert!(sig.route([8, 8, 8, 8]).is_none());
+    }
+
+    #[test]
+    fn encap_decap_roundtrip() {
+        let mut a = gateway();
+        let ip_packet = vec![0x45, 0, 0, 20, 9, 9, 9, 9];
+        let scion = a
+            .encapsulate([192, 168, 10, 5], ip_packet.clone(), &mut empty_path)
+            .unwrap();
+        assert_eq!(scion.dst.ia, ia("71-88"));
+        assert_eq!(a.stats.encapsulated, 1);
+
+        // The receiving gateway knows the sender as a peer.
+        let mut b = Sig::new(sig_endpoint(ia("71-88"), [10, 2, 0, 1]));
+        b.add_remote(a.local, vec![Prefix::new([10, 10, 0, 0], 16)]);
+        assert_eq!(b.decapsulate(&scion).unwrap(), ip_packet);
+        assert_eq!(b.stats.decapsulated, 1);
+    }
+
+    #[test]
+    fn unknown_peer_dropped() {
+        let mut a = gateway();
+        let scion = a
+            .encapsulate([192, 168, 10, 5], vec![1, 2, 3], &mut empty_path)
+            .unwrap();
+        let mut stranger = Sig::new(sig_endpoint(ia("71-9"), [9, 9, 9, 9]));
+        assert!(stranger.decapsulate(&scion).is_none());
+        assert_eq!(stranger.stats.unknown_peer, 1);
+    }
+
+    #[test]
+    fn non_sig_traffic_ignored() {
+        let mut sig = gateway();
+        let pkt = ScionPacket::new(
+            sig_endpoint(ia("71-225"), [10, 1, 0, 1]),
+            sig.local,
+            L4Protocol::Udp,
+            DataPlanePath::Empty,
+            vec![1],
+        );
+        assert!(sig.decapsulate(&pkt).is_none());
+        assert_eq!(sig.stats.unknown_peer, 0);
+    }
+
+    #[test]
+    fn failover_to_healthy_peer() {
+        let mut sig = gateway();
+        // Both remotes can serve 192.168.10.x (/24 preferred)...
+        sig.set_peer_health(sig_endpoint(ia("71-88"), [10, 2, 0, 1]), false);
+        // ... /24 peer down -> /16 peer takes over.
+        assert_eq!(sig.route([192, 168, 10, 5]).unwrap().endpoint.ia, ia("71-225"));
+        sig.set_peer_health(sig_endpoint(ia("71-88"), [10, 2, 0, 1]), true);
+        assert_eq!(sig.route([192, 168, 10, 5]).unwrap().endpoint.ia, ia("71-88"));
+    }
+
+    #[test]
+    fn no_route_counted() {
+        let mut sig = gateway();
+        assert!(sig.encapsulate([8, 8, 8, 8], vec![], &mut empty_path).is_none());
+        assert_eq!(sig.stats.no_route, 1);
+    }
+
+    #[test]
+    fn path_unavailable_counted_as_no_route() {
+        let mut sig = gateway();
+        let mut no_path = |_: IsdAsn| -> Option<DataPlanePath> { None };
+        assert!(sig.encapsulate([192, 168, 10, 5], vec![], &mut no_path).is_none());
+        assert_eq!(sig.stats.no_route, 1);
+    }
+}

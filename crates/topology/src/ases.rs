@@ -1,0 +1,195 @@
+//! The ASes of the SCIERA deployment (Fig. 1).
+
+use serde::{Deserialize, Serialize};
+
+use scion_proto::addr::{ia, IsdAsn};
+
+use crate::geo::{self, Pop};
+
+/// Deployment region as drawn in Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// North America.
+    NorthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// South America.
+    SouthAmerica,
+    /// Africa.
+    Africa,
+}
+
+/// One AS of the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// The ISD-AS number as printed in Fig. 1.
+    pub ia: IsdAsn,
+    /// Site name.
+    pub name: &'static str,
+    /// Whether this is a (Tier-1) core AS.
+    pub core: bool,
+    /// Region.
+    pub region: Region,
+    /// Home PoP for latency computation.
+    pub pop: Pop,
+    /// Whether the multiping measurement tool runs here (§5.4: 11 ASes).
+    pub measurement_point: bool,
+}
+
+fn info(
+    ia_str: &str,
+    name: &'static str,
+    core: bool,
+    region: Region,
+    pop: Pop,
+    measurement_point: bool,
+) -> AsInfo {
+    AsInfo { ia: ia(ia_str), name, core, region, pop, measurement_point }
+}
+
+/// Every AS of the SCIERA deployment (ISD 71) plus the two ISD-64 ASes
+/// reached via SWITCH. Measurement points: 5 in Europe, 2 in Asia, 3 in
+/// North America, 1 in South America (§5.4).
+pub fn all_ases() -> Vec<AsInfo> {
+    use Region::*;
+    vec![
+        // ---- Europe ----------------------------------------------------
+        info("71-20965", "GEANT", true, Europe, geo::FRANKFURT, true),
+        info("71-559", "SWITCH (SCIERA)", false, Europe, geo::ZURICH, true),
+        info("71-1140", "SIDN Labs", false, Europe, geo::DELFT, true),
+        info("71-2546", "NCSR Demokritos", false, Europe, geo::ATHENS, true),
+        info("71-2:0:42", "OVGU Magdeburg", false, Europe, geo::MAGDEBURG, true),
+        info("71-2:0:49", "CybExer", false, Europe, geo::TALLINN, false),
+        info("71-203311", "CCDCoE", false, Europe, geo::TALLINN, false),
+        // ---- North America ---------------------------------------------
+        info("71-2:0:35", "BRIDGES", true, NorthAmerica, geo::MCLEAN, false),
+        info("71-2:0:48", "Equinix Ashburn", false, NorthAmerica, geo::ASHBURN, true),
+        info("71-225", "University of Virginia", false, NorthAmerica, geo::CHARLOTTESVILLE, true),
+        info("71-88", "Princeton University", false, NorthAmerica, geo::PRINCETON, true),
+        info("71-398900", "FABRIC", false, NorthAmerica, geo::MCLEAN, false),
+        info("71-2:0:3f", "KISTI Chicago", true, NorthAmerica, geo::CHICAGO, false),
+        info("71-2:0:40", "KISTI Seattle", true, NorthAmerica, geo::SEATTLE, false),
+        // ---- Asia --------------------------------------------------------
+        info("71-2:0:3b", "KISTI Daejeon", true, Asia, geo::DAEJEON, true),
+        info("71-2:0:3c", "KISTI Hong Kong", true, Asia, geo::HONG_KONG, false),
+        info("71-2:0:3d", "KISTI Singapore", true, Asia, geo::SINGAPORE, true),
+        info("71-2:0:3e", "KISTI Amsterdam", true, Asia, geo::AMSTERDAM, false),
+        info("71-2:0:4d", "Korea University", false, Asia, geo::SEOUL, false),
+        info("71-2:0:18", "Singapore-ETH Centre", false, Asia, geo::SINGAPORE, false),
+        info("71-2:0:61", "NUS", false, Asia, geo::SINGAPORE, false),
+        info("71-4158", "CityU Hong Kong", false, Asia, geo::HONG_KONG, false),
+        info("71-50999", "KAUST", false, Asia, geo::JEDDAH, false),
+        // Fig. 8 lists vantage 71-2:0:4a, unnamed in the paper text; we
+        // model it as a KREONET-attached measurement AS in Singapore.
+        info("71-2:0:4a", "KREONET measurement AS", false, Asia, geo::SINGAPORE, false),
+        // ---- South America -----------------------------------------------
+        info("71-1916", "RNP", true, SouthAmerica, geo::SAO_PAULO, false),
+        info("71-2:0:5c", "UFMS", false, SouthAmerica, geo::CAMPO_GRANDE, true),
+        // ---- Africa ------------------------------------------------------
+        info("71-37288", "WACREN", false, Africa, geo::LAGOS, false),
+        // ---- ISD 64 (commercial SCION production network) ---------------
+        info("64-559", "SWITCH (ISD 64 core)", true, Europe, geo::ZURICH, false),
+        info("64-2:0:9", "ETH Zurich", false, Europe, geo::ZURICH, false),
+    ]
+}
+
+/// Looks up an AS by ISD-AS.
+pub fn as_info(target: IsdAsn) -> Option<AsInfo> {
+    all_ases().into_iter().find(|a| a.ia == target)
+}
+
+/// The nine Fig. 8 / Fig. 9 vantage ASes, in the paper's axis order.
+pub fn fig8_vantages() -> Vec<IsdAsn> {
+    ["71-20965", "71-225", "71-2:0:3b", "71-2:0:3d", "71-2:0:3e", "71-2:0:3f", "71-2:0:48", "71-2:0:4a", "71-2:0:5c"]
+        .iter()
+        .map(|s| ia(s))
+        .collect()
+}
+
+/// The eleven §5.4 measurement ASes.
+pub fn measurement_points() -> Vec<AsInfo> {
+    all_ases().into_iter().filter(|a| a.measurement_point).collect()
+}
+
+/// The commercial ASes for the §4.9 transit policy (the ISD-64 production
+/// network reached via SWITCH).
+pub fn commercial_ases() -> Vec<IsdAsn> {
+    all_ases()
+        .into_iter()
+        .filter(|a| a.ia.isd.0 == 64)
+        .map(|a| a.ia)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_numbers_unique_and_parse() {
+        let ases = all_ases();
+        let mut ids: Vec<IsdAsn> = ases.iter().map(|a| a.ia).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate ISD-AS");
+        assert!(n >= 28);
+    }
+
+    #[test]
+    fn isd_71_except_swiss() {
+        for a in all_ases() {
+            assert!(
+                a.ia.isd.0 == 71 || a.ia.isd.0 == 64,
+                "{} in unexpected ISD {}",
+                a.name,
+                a.ia.isd
+            );
+        }
+        assert_eq!(commercial_ases().len(), 2);
+    }
+
+    #[test]
+    fn measurement_points_match_paper_distribution() {
+        let mp = measurement_points();
+        assert_eq!(mp.len(), 11, "§5.4: tool deployed across 11 ASes");
+        let count = |r: Region| mp.iter().filter(|a| a.region == r).count();
+        assert_eq!(count(Region::Europe), 5);
+        assert_eq!(count(Region::Asia), 2);
+        assert_eq!(count(Region::NorthAmerica), 3);
+        assert_eq!(count(Region::SouthAmerica), 1);
+    }
+
+    #[test]
+    fn fig8_vantages_exist() {
+        for v in fig8_vantages() {
+            assert!(as_info(v).is_some(), "vantage {v} missing from AS table");
+        }
+        assert_eq!(fig8_vantages().len(), 9);
+    }
+
+    #[test]
+    fn cores_match_paper() {
+        let cores: Vec<&str> = all_ases()
+            .into_iter()
+            .filter(|a| a.core && a.ia.isd.0 == 71)
+            .map(|a| a.name)
+            .collect();
+        assert!(cores.contains(&"GEANT"));
+        assert!(cores.contains(&"BRIDGES"));
+        assert!(cores.contains(&"RNP"));
+        // The six KREONET ring PoPs are all core ASes (§3.2 "Asia is
+        // structured with multiple Tier-1 core ASes").
+        assert_eq!(cores.iter().filter(|n| n.starts_with("KISTI")).count(), 6);
+    }
+
+    #[test]
+    fn known_numbers_spot_check() {
+        assert_eq!(as_info(ia("71-2:0:3b")).unwrap().name, "KISTI Daejeon");
+        assert_eq!(as_info(ia("71-225")).unwrap().name, "University of Virginia");
+        assert_eq!(as_info(ia("71-2:0:5c")).unwrap().name, "UFMS");
+        assert_eq!(as_info(ia("71-50999")).unwrap().name, "KAUST");
+    }
+}

@@ -1,0 +1,139 @@
+//! PoP geography and fiber latency.
+//!
+//! Latencies in the simulation are not free parameters: they derive from
+//! the great-circle distance between the PoP cities of Table 1 at the
+//! speed of light in fiber (≈ 2×10⁵ km/s), times a route-indirectness
+//! factor (terrestrial fiber ≈ 1.4× geodesic; submarine routes more).
+
+use serde::{Deserialize, Serialize};
+
+/// A point of presence (city).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pop {
+    /// City label as in Table 1.
+    pub city: &'static str,
+    /// Latitude, degrees.
+    pub lat: f64,
+    /// Longitude, degrees.
+    pub lon: f64,
+}
+
+macro_rules! pops {
+    ($($name:ident => ($city:expr, $lat:expr, $lon:expr);)*) => {
+        $(
+            #[doc = concat!("PoP: ", $city, ".")]
+            pub const $name: Pop = Pop { city: $city, lat: $lat, lon: $lon };
+        )*
+        /// All defined PoPs.
+        pub fn all_pops() -> Vec<Pop> {
+            vec![$($name),*]
+        }
+    };
+}
+
+pops! {
+    AMSTERDAM => ("Amsterdam", 52.37, 4.90);
+    ASHBURN => ("Ashburn", 39.04, -77.49);
+    ATHENS => ("Athens", 37.98, 23.73);
+    CAMPO_GRANDE => ("Campo Grande", -20.46, -54.62);
+    CHARLOTTESVILLE => ("Charlottesville", 38.03, -78.48);
+    CHICAGO => ("Chicago", 41.88, -87.63);
+    DAEJEON => ("Daejeon", 36.35, 127.38);
+    DELFT => ("Delft", 52.01, 4.36);
+    FRANKFURT => ("Frankfurt", 50.11, 8.68);
+    GENEVA => ("Geneva", 46.20, 6.14);
+    HONG_KONG => ("Hong Kong", 22.32, 114.17);
+    JACKSONVILLE => ("Jacksonville", 30.33, -81.66);
+    JEDDAH => ("Jeddah", 21.49, 39.19);
+    LAGOS => ("Lagos", 6.52, 3.38);
+    LISBON => ("Lisbon", 38.72, -9.14);
+    LONDON => ("London", 51.51, -0.13);
+    MADRID => ("Madrid", 40.42, -3.70);
+    MAGDEBURG => ("Magdeburg", 52.13, 11.63);
+    MCLEAN => ("McLean", 38.93, -77.18);
+    PARIS => ("Paris", 48.86, 2.35);
+    PRINCETON => ("Princeton", 40.34, -74.66);
+    SAO_PAULO => ("Sao Paulo", -23.55, -46.63);
+    SEATTLE => ("Seattle", 47.61, -122.33);
+    SEOUL => ("Seoul", 37.57, 126.98);
+    SINGAPORE => ("Singapore", 1.35, 103.82);
+    TALLINN => ("Tallinn", 59.44, 24.75);
+    ZURICH => ("Zurich", 47.37, 8.54);
+}
+
+/// Speed of light in fiber, km/s.
+pub const FIBER_KM_PER_S: f64 = 200_000.0;
+
+/// Default terrestrial route-indirectness factor over the geodesic.
+pub const TERRESTRIAL_INDIRECTNESS: f64 = 1.4;
+
+/// Great-circle distance in kilometres (haversine).
+pub fn great_circle_km(a: Pop, b: Pop) -> f64 {
+    let to_rad = |d: f64| d.to_radians();
+    let (lat1, lon1, lat2, lon2) = (to_rad(a.lat), to_rad(a.lon), to_rad(b.lat), to_rad(b.lon));
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * 6371.0 * h.sqrt().asin()
+}
+
+/// One-way fiber latency in milliseconds for a route between two PoPs with
+/// a given indirectness factor, plus a small fixed per-link equipment
+/// delay.
+pub fn fiber_latency_ms(a: Pop, b: Pop, indirectness: f64) -> f64 {
+    great_circle_km(a, b) * indirectness / FIBER_KM_PER_S * 1000.0 + 0.3
+}
+
+/// Round-trip fiber latency using the default terrestrial factor.
+pub fn fiber_rtt_ms(a: Pop, b: Pop) -> f64 {
+    2.0 * fiber_latency_ms(a, b, TERRESTRIAL_INDIRECTNESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances_roughly_right() {
+        // Amsterdam–Singapore ≈ 10,500 km.
+        let d = great_circle_km(AMSTERDAM, SINGAPORE);
+        assert!((10_000.0..11_200.0).contains(&d), "AMS-SG {d} km");
+        // Chicago–Seattle ≈ 2,800 km.
+        let d2 = great_circle_km(CHICAGO, SEATTLE);
+        assert!((2_600.0..3_100.0).contains(&d2), "CHI-SEA {d2} km");
+        // Zero distance to self.
+        assert!(great_circle_km(PARIS, PARIS) < 1e-9);
+    }
+
+    #[test]
+    fn latency_scales_with_distance() {
+        let short = fiber_latency_ms(AMSTERDAM, PARIS, 1.4);
+        let long = fiber_latency_ms(AMSTERDAM, SINGAPORE, 1.4);
+        assert!(short < 6.0, "AMS-PAR one-way {short} ms");
+        assert!((60.0..90.0).contains(&long), "AMS-SG one-way {long} ms");
+        assert!(long > 10.0 * short);
+    }
+
+    #[test]
+    fn transatlantic_rtt_plausible() {
+        // AMS–Ashburn RTT at 1.4 indirectness ≈ 80–95 ms (real ~80–90).
+        let rtt = fiber_rtt_ms(AMSTERDAM, ASHBURN);
+        assert!((70.0..110.0).contains(&rtt), "transatlantic RTT {rtt} ms");
+    }
+
+    #[test]
+    fn symmetry() {
+        assert_eq!(great_circle_km(DAEJEON, SINGAPORE), great_circle_km(SINGAPORE, DAEJEON));
+    }
+
+    #[test]
+    fn all_pops_distinct_cities() {
+        let pops = all_pops();
+        let mut cities: Vec<&str> = pops.iter().map(|p| p.city).collect();
+        let n = cities.len();
+        cities.sort();
+        cities.dedup();
+        assert_eq!(cities.len(), n);
+        assert!(n >= 25);
+    }
+}

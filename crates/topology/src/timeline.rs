@@ -1,0 +1,149 @@
+//! The deployment timeline (Fig. 3 / Appendix C), Table 1 and Appendix D.
+
+use scion_orchestrator::effort::{ConnectionType, OnboardingEvent};
+
+/// The Fig. 3 onboarding events in chronological order, with the
+/// Appendix C facts: month offset from GEANT's June-2022 go-live,
+/// connection type, coordinating parties and hardware procurement.
+pub fn deployment_timeline() -> Vec<OnboardingEvent> {
+    let ev = |name: &str, month: u32, connection: ConnectionType, parties: u8, hw: bool| {
+        OnboardingEvent { name: name.into(), month, connection, parties, hardware_procurement: hw }
+    };
+    vec![
+        // "The SCION setup in GEANT required a major effort. Most of the
+        // effort … hardware and software purchase, shipping, installation."
+        ev("GEANT", 0, ConnectionType::CoreBuildout, 3, true), // June 2022
+        // "Connecting SWITCH to ISD 71 was rather straightforward."
+        ev("SWITCH", 3, ConnectionType::SingleNetworkVlan, 2, false), // Sept 2022
+        // "Connecting SIDN Labs was quite straightforward … two VLANs."
+        ev("SIDN Labs", 9, ConnectionType::SingleNetworkVlan, 2, false), // March 2023
+        // "Setting up SCION in BRIDGES took again more time … hardware
+        // procurement … VLANs back to GEANT took around 1.5 months."
+        ev("BRIDGES", 9, ConnectionType::CoreBuildout, 3, true), // March 2023
+        // "UVa was the first site connected via BRIDGES … many parties
+        // needed to collaborate."
+        ev("UVa", 9, ConnectionType::MultiNetworkVlan, 3, true), // March 2023
+        // "Connecting Equinix … via a cross-connect … took more effort
+        // than initially expected."
+        ev("Equinix", 11, ConnectionType::SingleNetworkVlan, 2, false), // May 2023
+        // "Connecting Cybexer … was again very fast (two GEANT Plus links
+        // via EENet)."
+        ev("CybExer", 13, ConnectionType::SingleNetworkVlan, 2, false), // July 2023
+        // "Connecting Princeton again required more effort … 4 parties."
+        ev("Princeton", 14, ConnectionType::MultiNetworkVlan, 4, false), // Aug 2023
+        ev("OVGU", 14, ConnectionType::SingleNetworkVlan, 2, true), // Aug 2023
+        // "Connecting Demokritos was straightforward (GEANT Plus via GRNet)."
+        ev("Demokritos", 15, ConnectionType::SingleNetworkVlan, 2, false), // Sept 2023
+        // "Establishing connectivity with the SEC … VXLAN over SingAREN."
+        ev("SEC", 16, ConnectionType::VxlanOverlay, 3, false), // Oct 2023
+        // "KISTI CHG" — first KREONET node productionised. "Deploying SCION
+        // productively over KISTI's Kreonet required much effort."
+        ev("KISTI CHG", 16, ConnectionType::CoreBuildout, 4, true), // Oct 2023
+        ev("KISTI DJ", 23, ConnectionType::CoreBuildout, 4, false), // May 2024
+        ev("KISTI AMS", 23, ConnectionType::MultiNetworkVlan, 4, false), // May 2024
+        ev("KISTI SG", 26, ConnectionType::MultiNetworkVlan, 4, false), // Aug 2024
+        ev("UFMS", 26, ConnectionType::MultiNetworkVlan, 3, false), // Aug 2024
+        // "CCDCoE was even able to reuse the existing VLANs established by
+        // Cybexer."
+        ev("CCDCoE", 27, ConnectionType::ReuseExisting, 1, false), // Sept 2024
+        // "KAUST took a bit more time due to a long-lasting hardware
+        // delivery."
+        ev("KAUST", 33, ConnectionType::SingleNetworkVlan, 3, true), // March 2025
+        // "The most recent SCION deployments in 2025 at RNP as well as
+        // KISTI HK and STL took considerably less effort."
+        ev("RNP", 34, ConnectionType::MultiNetworkVlan, 3, false), // April 2025
+        ev("KISTI HK", 35, ConnectionType::CoreBuildout, 2, false), // 2025
+        ev("KISTI STL", 35, ConnectionType::CoreBuildout, 2, false), // 2025
+        // "NUS … straightforward on our side." Joined via the SingAREN
+        // open exchange / AL2S multipoint experience.
+        ev("NUS", 36, ConnectionType::MultipointJoin, 2, false), // June 2025
+    ]
+}
+
+/// Table 1: SCIERA PoPs with their peering NRENs and partner networks.
+pub fn pops_table1() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("Amsterdam, NL", "GEANT/KREONET", "Netherlight"),
+        ("Ashburn, US", "BRIDGES", "Internet2/MARIA"),
+        ("Chicago, US", "KREONET", "Internet2/StarLight"),
+        ("Daejeon, KR", "KREONET", "KISTI"),
+        ("Frankfurt, DE", "GEANT", ""),
+        ("Geneva, CH", "GEANT", "CERN/SWITCH"),
+        ("Hong Kong, HK", "KREONET", "CSTNet/HARNET"),
+        ("Jacksonville, US", "RNP", "Internet2/AtlanticWave"),
+        ("Jeddah, SA", "GEANT/KREONET", "KAUST"),
+        ("Lisbon, PT", "GEANT/RNP", "RedCLARA"),
+        ("London, GB", "GEANT/WACREN", "AfricaConnect"),
+        ("Madrid, ES", "GEANT/RNP", "RedCLARA"),
+        ("McLean, US", "BRIDGES", "Internet2/WIX"),
+        ("Paris, FR", "GEANT", "SWITCH"),
+        ("Seattle, US", "KREONET", "Internet2/PacificWave"),
+        ("Singapore, SG", "GEANT/KREONET", "SingAREN"),
+    ]
+}
+
+/// Appendix D: the commercial NSPs offering SCION connectivity.
+pub fn nsps() -> Vec<&'static str> {
+    vec![
+        "Anapaya", "Axpo Systems", "BICS", "BSO Network Solutions", "British Telecom (BT)",
+        "Celeste", "COLT", "Cyberlink", "Everyware", "GEANT", "Iristel / Karrier One",
+        "KREONET", "Litecom", "LG U+", "Megaport", "Odido", "Proximus Luxembourg", "RNP",
+        "Sunrise", "Swisscom", "SWITCH", "Varity BV", "VTX Services",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_orchestrator::effort::EffortModel;
+
+    #[test]
+    fn timeline_is_chronological() {
+        let tl = deployment_timeline();
+        assert!(tl.len() >= 20);
+        for w in tl.windows(2) {
+            assert!(w[0].month <= w[1].month, "{} after {}", w[0].name, w[1].name);
+        }
+        assert_eq!(tl[0].name, "GEANT");
+    }
+
+    #[test]
+    fn effort_declines_for_comparable_setups() {
+        // The Fig. 3 shape: later deployments of the same kind cost less.
+        let tl = deployment_timeline();
+        let efforts = EffortModel::default().evaluate(&tl);
+        let find = |name: &str| {
+            tl.iter().position(|e| e.name == name).unwrap_or_else(|| panic!("{name} missing"))
+        };
+        // Core buildouts: GEANT >> KISTI HK/STL.
+        assert!(efforts[find("GEANT")] > 3.0 * efforts[find("KISTI HK")]);
+        // Single-network VLANs: SWITCH (first) > Demokritos (later).
+        assert!(efforts[find("SWITCH")] > efforts[find("Demokritos")]);
+        // Reuse (CCDCoE) is among the cheapest of all.
+        let ccdcoe = efforts[find("CCDCoE")];
+        let cheaper = efforts.iter().filter(|&&e| e < ccdcoe).count();
+        assert!(cheaper <= 2, "CCDCoE should be near-minimal effort");
+    }
+
+    #[test]
+    fn hardware_sites_cost_more_than_twins() {
+        let tl = deployment_timeline();
+        let efforts = EffortModel::default().evaluate(&tl);
+        let find = |name: &str| tl.iter().position(|e| e.name == name).unwrap();
+        // KAUST (hardware delivery) vs Demokritos (same type, no hardware,
+        // earlier but already discounted).
+        assert!(efforts[find("KAUST")] > efforts[find("Demokritos")] * 0.9);
+    }
+
+    #[test]
+    fn table1_complete() {
+        let pops = pops_table1();
+        assert_eq!(pops.len(), 16);
+        assert!(pops.iter().any(|(city, _, _)| city.starts_with("Jeddah")));
+    }
+
+    #[test]
+    fn over_20_nsps() {
+        assert!(nsps().len() >= 20, "Appendix D: 20+ NSPs");
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 3 + §4.4 + §5.6: the deployment journey in numbers.
+//!
+//! Prints the per-AS onboarding effort over time (the Fig. 3 curve), a
+//! generated orchestrator setup plan for a hypothetical new university,
+//! and the operator-survey statistics.
+//!
+//! ```sh
+//! cargo run --release --example deployment_timeline
+//! ```
+
+use sciera::measure::survey;
+use sciera::orchestrator::effort::EffortModel;
+use sciera::orchestrator::setup::{AsDeclaration, SetupPlan, UplinkKind};
+use sciera::prelude::*;
+use sciera::topology::timeline::{deployment_timeline, nsps, pops_table1};
+
+fn main() {
+    // --- Fig. 3 ---------------------------------------------------------
+    println!("--- Fig. 3: deployment effort over time ---");
+    let events = deployment_timeline();
+    let efforts = EffortModel::default().evaluate(&events);
+    println!("{:<12}{:>7}{:>10}   relative effort", "site", "month", "hours");
+    for (e, hours) in events.iter().zip(&efforts) {
+        let bar = "#".repeat((hours / 12.0).ceil() as usize);
+        println!("{:<12}{:>7}{:>10.0}   {bar}", e.name, e.month, hours);
+    }
+    let first_half: f64 = efforts[..efforts.len() / 2].iter().sum();
+    let second_half: f64 = efforts[efforts.len() / 2..].iter().sum();
+    println!(
+        "\nfirst half of the journey: {first_half:.0} h; second half: {second_half:.0} h \
+         ({}% cheaper per AS)\n",
+        (100.0 * (1.0 - (second_half / (efforts.len() / 2) as f64)
+            / (first_half / (efforts.len() - efforts.len() / 2) as f64)))
+            .round()
+    );
+
+    // --- §4.4: the orchestrator's setup plan for a new site. -------------
+    println!("--- SCION Orchestrator: onboarding plan for a new university ---");
+    let decl = AsDeclaration {
+        ia: ia("71-10881"),
+        name: "UFPR (joining soon, §3.2)".into(),
+        core: false,
+        uplinks: vec![(ia("71-1916"), UplinkKind::MultipointVlan)],
+        service_subnet: [10, 88, 0],
+    };
+    let plan = SetupPlan::generate(&decl);
+    for t in &plan.tasks {
+        println!(
+            "  [{}] {:<55} {:>4.0} h",
+            if t.automated { "auto" } else { " man" },
+            t.description,
+            t.manual_hours
+        );
+    }
+    println!(
+        "  manual effort: {:.0} h with the orchestrator vs {:.0} h fully by hand\n",
+        plan.hours_with_orchestrator(),
+        plan.hours_manual()
+    );
+
+    // --- §5.6 survey -----------------------------------------------------
+    println!("--- §5.6: operator survey ---");
+    println!("{}\n", survey::report(&survey::aggregate(&survey::respondents())));
+
+    // --- Table 1 / Appendix D --------------------------------------------
+    println!("--- Table 1: SCIERA PoPs ---");
+    for (city, nrens, partners) in pops_table1() {
+        println!("  {city:<18} {nrens:<18} {partners}");
+    }
+    println!("\n{} commercial NSPs offer SCION connectivity (Appendix D).", nsps().len());
+}

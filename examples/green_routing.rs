@@ -1,0 +1,98 @@
+//! §4.7: green routing — "SCION allows users to choose 'green' paths based
+//! on energy or carbon metrics, incentivizing ISPs to reduce emissions."
+//!
+//! Selects GEANT→Singapore paths twice — once by latency, once by carbon
+//! intensity — and shows the trade-off a path-aware user can make.
+//!
+//! ```sh
+//! cargo run --release --example green_routing
+//! ```
+
+use sciera::control::policy::Preference;
+use sciera::pan::selector::PathSelector;
+use sciera::prelude::*;
+
+fn main() {
+    let built = build_control_graph();
+    let store = sciera::control::beacon::BeaconEngine::new(
+        &built.graph,
+        1_700_000_000,
+        sciera::control::beacon::BeaconConfig { candidates_per_origin: 16, ..Default::default() },
+    )
+    .run()
+    .expect("beaconing succeeds");
+
+    // Scan the vantage pairs for the one with the biggest latency/carbon
+    // trade-off — the §4.7 decision a path-aware user actually faces.
+    let vantages = sciera::topology::ases::fig8_vantages();
+    let up = |_: usize| false;
+    let mut best: Option<(IsdAsn, IsdAsn, f64)> = None;
+    for &s in &vantages {
+        for &d in &vantages {
+            if s == d {
+                continue;
+            }
+            let paths = sciera::control::combine::combine_paths(&store, s, d, 100);
+            let fastest = paths.iter().min_by(|a, b| {
+                built.path_rtt_ms(a, &up).partial_cmp(&built.path_rtt_ms(b, &up)).unwrap()
+            });
+            let greenest = paths.iter().min_by(|a, b| {
+                built.carbon_g_per_gb(a).partial_cmp(&built.carbon_g_per_gb(b)).unwrap()
+            });
+            if let (Some(f), Some(g)) = (fastest, greenest) {
+                let saved = built.carbon_g_per_gb(f).unwrap() - built.carbon_g_per_gb(g).unwrap();
+                if best.map(|(_, _, b)| saved > b).unwrap_or(true) {
+                    best = Some((s, d, saved));
+                }
+            }
+        }
+    }
+    let (src, dst, saved) = best.expect("vantage pairs have paths");
+    let paths = sciera::control::combine::combine_paths(&store, src, dst, 100);
+    println!("== green routing: {src} -> {dst} ==\n");
+    println!(
+        "{} candidate paths; best possible saving {saved:.1} gCO2/GB\n",
+        paths.len()
+    );
+
+    let mut selector = PathSelector::new(paths.clone());
+    for p in &paths {
+        let fp = p.fingerprint();
+        if let Some(rtt) = built.path_rtt_ms(p, &up) {
+            selector.rtt.record(&fp, rtt);
+        }
+        if let Some(c) = built.carbon_g_per_gb(p) {
+            selector.metadata.carbon_g_per_gb.insert(fp, c);
+        }
+    }
+
+    let describe = |p: &FullPath| {
+        let rtt = built.path_rtt_ms(p, &|_| false).unwrap();
+        let carbon = built.carbon_g_per_gb(p).unwrap();
+        format!(
+            "{:>6.1} ms  {:>6.1} gCO2/GB  via {}",
+            rtt,
+            carbon,
+            p.ases().iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" > ")
+        )
+    };
+
+    selector.preference = Preference::Latency;
+    let fastest = selector.ranked()[0].clone();
+    println!("fastest: {}", describe(&fastest));
+
+    selector.preference = Preference::Green;
+    let greenest = selector.ranked()[0].clone();
+    println!("greenest: {}", describe(&greenest));
+
+    let rtt_cost = built.path_rtt_ms(&greenest, &|_| false).unwrap()
+        - built.path_rtt_ms(&fastest, &|_| false).unwrap();
+    let carbon_saved = built.carbon_g_per_gb(&fastest).unwrap()
+        - built.carbon_g_per_gb(&greenest).unwrap();
+    println!(
+        "\ntrade-off: {:+.1} ms RTT buys {:.1} gCO2/GB saved ({:.0}% less carbon)",
+        rtt_cost,
+        carbon_saved,
+        carbon_saved / built.carbon_g_per_gb(&fastest).unwrap() * 100.0
+    );
+}

@@ -1,0 +1,83 @@
+//! The §5.4/§5.5 measurement campaign, scaled for an interactive run.
+//!
+//! Runs `scion-go-multiping` over the simulated deployment (5 days at
+//! 2-minute aggregation) and prints the headline numbers and tables of
+//! Figs. 5–9. The full 25-day campaign is the `fig5`–`fig9` bench targets.
+//!
+//! ```sh
+//! cargo run --release --example multiping_campaign
+//! ```
+
+use sciera::measure::analysis::{fig5, fig5_report, fig6, fig7};
+use sciera::measure::campaign::{Campaign, CampaignConfig};
+use sciera::measure::paths::{fig8, fig9};
+use sciera::topology::ases::as_info;
+
+fn main() {
+    let config = CampaignConfig {
+        days: 5.0,
+        round_secs: 120,
+        probe_every_rounds: 5,
+        candidates_per_origin: 16,
+        max_paths: 150,
+        with_incidents: true,
+        seed: 71,
+    };
+    println!(
+        "running the multiping campaign: {} days, one aggregated interval per {} s ...\n",
+        config.days, config.round_secs
+    );
+    let store = Campaign::new(config).run();
+    println!(
+        "collected {} SCMP pings and {} ICMP pings over {} AS pairs ({} stall-excluded rounds)\n",
+        store.scion_pings,
+        store.ip_pings,
+        store.pairs.len(),
+        store.excluded_rounds
+    );
+
+    // --- Fig. 5 ---------------------------------------------------------
+    println!("--- Fig. 5: RTT distribution, SCION vs IP ---");
+    let f5 = fig5(&store);
+    println!("{}\n", fig5_report(&f5));
+
+    // --- Fig. 6 ---------------------------------------------------------
+    println!("--- Fig. 6: per-pair RTT ratio (SCION / IP) ---");
+    let f6 = fig6(&store);
+    println!(
+        "pairs with ratio < 1.0 (SCION faster): {:.1}%  (paper: ~38%)",
+        f6.frac_below_one * 100.0
+    );
+    println!(
+        "pairs with ratio < 1.25:               {:.1}%  (paper: ~80%)",
+        f6.frac_below_1_25 * 100.0
+    );
+    println!("worst pairs (the paper's annotated outliers):");
+    for o in f6.outliers.iter().take(4) {
+        let name = |ia| as_info(ia).map(|a| a.name).unwrap_or("?");
+        println!(
+            "  {} ({}) -> {} ({}): ratio {:.2}",
+            o.src,
+            name(o.src),
+            o.dst,
+            name(o.dst),
+            o.ratio
+        );
+    }
+    println!();
+
+    // --- Fig. 7 ---------------------------------------------------------
+    println!("--- Fig. 7: RTT ratio over time ---");
+    let f7 = fig7(&store);
+    for (day, r) in f7.daily_ratio.iter().enumerate() {
+        let bar = "#".repeat((r * 40.0) as usize);
+        println!("  day {day:>2}: {r:>5.2} {bar}");
+    }
+    println!("incidents injected: {:?}\n", f7.incidents);
+
+    // --- Figs. 8 & 9 -----------------------------------------------------
+    let m8 = fig8(&store);
+    println!("{}", m8.to_table("--- Fig. 8: max active paths between vantage ASes ---"));
+    let m9 = fig9(&store);
+    println!("{}", m9.to_table("--- Fig. 9: median deviation from the maximum ---"));
+}

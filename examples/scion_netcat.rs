@@ -1,0 +1,103 @@
+//! `netcat` over SCION — the Appendix G drop-in-socket story.
+//!
+//! The paper's Java case study swaps `new DatagramSocket(...)` for
+//! `new ScionDatagramSocket(...)` — two changed lines per program. This
+//! example is the Rust equivalent: a generic netcat written against a
+//! minimal socket trait, instantiated once over a plain in-memory pipe
+//! ("legacy UDP") and once over the SCION PAN socket. The netcat code is
+//! byte-for-byte identical in both runs.
+//!
+//! ```sh
+//! cargo run --release --example scion_netcat
+//! ```
+
+use std::collections::VecDeque;
+
+use sciera::prelude::*;
+use sciera::proto::addr::ScionAddr as Addr;
+
+/// The socket surface netcat needs (the `DatagramSocket` of Appendix G).
+trait DatagramSocket {
+    fn send(&mut self, payload: &[u8]);
+    fn recv(&mut self) -> Option<Vec<u8>>;
+}
+
+/// The netcat application itself — transport-agnostic, never modified.
+fn netcat_session(client: &mut dyn DatagramSocket, server: &mut dyn DatagramSocket) -> Vec<String> {
+    let script = ["hello", "how is the weather in Daejeon?", "bye"];
+    let mut transcript = Vec::new();
+    for line in script {
+        client.send(line.as_bytes());
+        if let Some(got) = server.recv() {
+            let text = String::from_utf8_lossy(&got).to_string();
+            server.send(format!("ack: {text}").as_bytes());
+            transcript.push(text);
+        }
+        if let Some(reply) = client.recv() {
+            transcript.push(String::from_utf8_lossy(&reply).to_string());
+        }
+    }
+    transcript
+}
+
+// ---- "Legacy UDP": an in-memory loopback pair. -------------------------
+struct LoopbackSocket {
+    tx: std::rc::Rc<std::cell::RefCell<VecDeque<Vec<u8>>>>,
+    rx: std::rc::Rc<std::cell::RefCell<VecDeque<Vec<u8>>>>,
+}
+
+impl DatagramSocket for LoopbackSocket {
+    fn send(&mut self, payload: &[u8]) {
+        self.tx.borrow_mut().push_back(payload.to_vec());
+    }
+    fn recv(&mut self) -> Option<Vec<u8>> {
+        self.rx.borrow_mut().pop_front()
+    }
+}
+
+// ---- The SCIONabling diff: wrap PanSocket in the same trait. -----------
+struct ScionDatagramSocket {
+    inner: PanSocket<sciera::core::SimTransport>,
+    peer: (Addr, u16),
+}
+
+impl DatagramSocket for ScionDatagramSocket {
+    fn send(&mut self, payload: &[u8]) {
+        self.inner.send_to(payload, self.peer.0, self.peer.1).expect("send over SCIERA");
+    }
+    fn recv(&mut self) -> Option<Vec<u8>> {
+        self.inner.poll_recv().map(|(p, _, _)| p)
+    }
+}
+// ------------------------------------------------------------------------
+
+fn main() {
+    println!("== netcat, legacy transport ==");
+    let a = std::rc::Rc::new(std::cell::RefCell::new(VecDeque::new()));
+    let b = std::rc::Rc::new(std::cell::RefCell::new(VecDeque::new()));
+    let mut legacy_client = LoopbackSocket { tx: a.clone(), rx: b.clone() };
+    let mut legacy_server = LoopbackSocket { tx: b, rx: a };
+    for line in netcat_session(&mut legacy_client, &mut legacy_server) {
+        println!("  {line}");
+    }
+
+    println!("\n== the same netcat, ScionDatagramSocket ==");
+    println!("(client: Korea University, Seoul — server: CityU, Hong Kong)");
+    let net = SciEraNetwork::build(NetworkConfig::default());
+    let ku = net.attach_host(Addr::new(ia("71-2:0:4d"), HostAddr::v4(10, 3, 0, 1)));
+    let cityu = net.attach_host(Addr::new(ia("71-4158"), HostAddr::v4(10, 4, 0, 1)));
+    let mut scion_client = ScionDatagramSocket {
+        inner: PanSocket::bind(ku.addr, 42000, ku.transport()),
+        peer: (cityu.addr, 4242),
+    };
+    let mut scion_server = ScionDatagramSocket {
+        inner: PanSocket::bind(cityu.addr, 4242, cityu.transport()),
+        peer: (ku.addr, 42000),
+    };
+    let transcript = netcat_session(&mut scion_client, &mut scion_server);
+    for line in &transcript {
+        println!("  {line}");
+    }
+    assert_eq!(transcript.len(), 6, "all lines echoed over SCION");
+    println!("\nintegration surface: one wrapper struct, two impl lines — the Appendix G claim.");
+}

@@ -1,0 +1,127 @@
+//! PKI lifecycle integration: TRC updates and certificate renewal over a
+//! simulated quarter of operation across the whole deployment.
+
+use sciera::cppki::ca::CaService;
+use sciera::cppki::trc::Trc;
+use sciera::crypto::sign::SigningKey;
+use sciera::orchestrator::renewal::RenewalAction;
+use sciera::prelude::*;
+use sciera::proto::addr::IsdNumber;
+use sciera::topology::ases::all_ases;
+
+#[test]
+fn ninety_days_of_certificate_renewal_across_all_ases() {
+    let net = SciEraNetwork::build(NetworkConfig::default());
+    let mut ca = net.ca71;
+    let mut drivers = net.renewal;
+    let start = 1_700_000_000u64;
+    let mut renewals = 0u64;
+    for day in 0..90u64 {
+        for hour in 0..24u64 {
+            let now = start + (day * 24 + hour) * 3600;
+            for (ia_key, driver) in drivers.iter_mut() {
+                if ia_key.isd.0 != 71 {
+                    continue; // ISD 64 has its own CA, consumed by build()
+                }
+                assert!(
+                    driver.certificate_valid(now),
+                    "{ia_key} certificate lapsed on day {day}"
+                );
+                // The CA is unreachable for 6 hours every Sunday
+                // (maintenance) — renewal must ride through it.
+                let ca_reachable = !(day % 7 == 6 && hour < 6);
+                if let RenewalAction::Renewed { .. } = driver.tick(&mut ca, now, ca_reachable) {
+                    renewals += 1;
+                }
+            }
+        }
+    }
+    let n71 = all_ases().iter().filter(|a| a.ia.isd.0 == 71).count() as u64;
+    // Every AS renews roughly every 2 days over 90 days.
+    assert!(
+        renewals > n71 * 30,
+        "only {renewals} renewals across {n71} ASes"
+    );
+}
+
+#[test]
+fn trc_update_rolls_across_the_isd() {
+    // Build a successor TRC signed by a quorum of core ASes and push it
+    // through a host's trust store; a forged competitor must fail.
+    let net = SciEraNetwork::build(NetworkConfig::default());
+    let trust = net.trust;
+    let cores: Vec<_> = all_ases().into_iter().filter(|a| a.ia.isd.0 == 71 && a.core).collect();
+    assert_eq!(trust.trc_serial(IsdNumber(71)), Some(1));
+
+    // Reconstruct the base TRC the network installed (same deterministic
+    // keys), then vote the successor.
+    let root_key = |ia: IsdAsn| SigningKey::from_seed(format!("root-{ia}").as_bytes());
+    let core_ias: Vec<IsdAsn> = cores.iter().map(|c| c.ia).collect();
+    let base = Trc {
+        isd: IsdNumber(71),
+        base: 1,
+        serial: 1,
+        valid_from: net_valid_from(),
+        valid_until: net_valid_until(),
+        core_ases: core_ias.clone(),
+        authoritative_ases: core_ias.clone(),
+        voting_keys: core_ias
+            .iter()
+            .map(|&ia| sciera::cppki::trc::TrcKeyEntry { holder: ia, key: root_key(ia).verifying_key() })
+            .collect(),
+        root_keys: core_ias
+            .iter()
+            .map(|&ia| sciera::cppki::trc::TrcKeyEntry { holder: ia, key: root_key(ia).verifying_key() })
+            .collect(),
+        quorum: core_ias.len() / 2 + 1,
+        votes: vec![],
+    };
+    let mut next = base.clone();
+    next.serial = 2;
+    // Quorum of core ASes vote.
+    for ia in core_ias.iter().take(base.quorum) {
+        next.add_vote(*ia, &root_key(*ia));
+    }
+    trust.apply_trc_update(next).expect("quorum update accepted");
+    assert_eq!(trust.trc_serial(IsdNumber(71)), Some(2));
+
+    // A forged update (non-core signer) is rejected.
+    let mut forged = base.clone();
+    forged.serial = 3;
+    let attacker = SigningKey::from_seed(b"attacker");
+    for ia in core_ias.iter().take(base.quorum) {
+        forged.add_vote(*ia, &attacker);
+    }
+    assert!(trust.apply_trc_update(forged).is_err());
+    assert_eq!(trust.trc_serial(IsdNumber(71)), Some(2));
+}
+
+fn net_valid_from() -> u64 {
+    1_700_000_000 - 86_400
+}
+
+fn net_valid_until() -> u64 {
+    1_700_000_000 + 5 * 365 * 86_400
+}
+
+#[test]
+fn ca_interoperates_with_both_stacks() {
+    // §4.5's headline: one CA serving Anapaya CORE and open-source CSRs.
+    use sciera::cppki::ca::{ClientProfile, CsrRequest};
+    let net = SciEraNetwork::build(NetworkConfig::default());
+    let mut ca = net.ca71;
+    let now = 1_700_000_000u64;
+    for (seed, profile) in [
+        ("interop-os", ClientProfile::OpenSource),
+        ("interop-anapaya", ClientProfile::AnapayaCore),
+    ] {
+        let enrol = SigningKey::from_seed(seed.as_bytes());
+        let as_key = SigningKey::from_seed(format!("{seed}-as").as_bytes());
+        let subject = ia("71-2:0:42");
+        ca.enrol(subject, enrol.verifying_key());
+        let csr = CsrRequest::build(subject, as_key.verifying_key(), profile, &enrol);
+        let chain = ca.process_csr(&csr, now).expect("CSR accepted");
+        net.trust.verify_chain(&chain, now).expect("chain verifies against ISD 71 TRC");
+    }
+    assert_eq!(CaService::needs_renewal(&net.renewal[&ia("71-88")].chain.as_cert, now), false);
+}

@@ -1,0 +1,111 @@
+//! Property-based integration tests over the assembled deployment: every
+//! path the combiner emits must (a) assemble into a wire-format header,
+//! (b) forward through the real border routers along exactly its declared
+//! AS sequence, and (c) stay consistent under link failures — if the
+//! analytic layer says a path is alive, the data plane delivers over it.
+
+use proptest::prelude::*;
+
+use sciera::prelude::*;
+use sciera::proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
+use sciera::proto::udp::UdpDatagram;
+use sciera::topology::ases::all_ases;
+
+use std::sync::OnceLock;
+
+fn net() -> &'static SciEraNetwork {
+    static NET: OnceLock<SciEraNetwork> = OnceLock::new();
+    NET.get_or_init(|| SciEraNetwork::build(NetworkConfig::default()))
+}
+
+fn isd71() -> Vec<IsdAsn> {
+    all_ases().into_iter().filter(|a| a.ia.isd.0 == 71).map(|a| a.ia).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_combined_path_forwards(
+        si in 0usize..26,
+        di in 0usize..26,
+        pick in 0usize..200,
+        payload in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let ases = isd71();
+        let s = ases[si % ases.len()];
+        let d = ases[di % ases.len()];
+        prop_assume!(s != d);
+        let paths = net().paths(s, d);
+        prop_assume!(!paths.is_empty());
+        let p = &paths[pick % paths.len()];
+        let pkt = ScionPacket::new(
+            ScionAddr::new(s, HostAddr::v4(10, 0, 0, 1)),
+            ScionAddr::new(d, HostAddr::v4(10, 0, 0, 2)),
+            L4Protocol::Udp,
+            DataPlanePath::Scion(p.to_dataplane().unwrap()),
+            UdpDatagram::new(7, 9, payload.clone()).encode(),
+        );
+        let delivery = net().walk_packet(pkt).expect("combined path must forward");
+        prop_assert_eq!(&delivery.route, &p.ases());
+        let dg = UdpDatagram::decode(&delivery.packet.payload).unwrap();
+        prop_assert_eq!(dg.payload, payload);
+    }
+
+    #[test]
+    fn reply_paths_always_forward(
+        si in 0usize..26,
+        di in 0usize..26,
+        pick in 0usize..40,
+    ) {
+        let ases = isd71();
+        let s = ases[si % ases.len()];
+        let d = ases[di % ases.len()];
+        prop_assume!(s != d);
+        let paths = net().paths(s, d);
+        prop_assume!(!paths.is_empty());
+        let p = &paths[pick % paths.len()];
+        let pkt = ScionPacket::new(
+            ScionAddr::new(s, HostAddr::v4(10, 0, 0, 1)),
+            ScionAddr::new(d, HostAddr::v4(10, 0, 0, 2)),
+            L4Protocol::Udp,
+            DataPlanePath::Scion(p.to_dataplane().unwrap()),
+            UdpDatagram::new(7, 9, b"ping".to_vec()).encode(),
+        );
+        let delivery = net().walk_packet(pkt).expect("forward leg");
+        let (rsrc, rdst, rpath) = delivery.packet.reply_template().expect("reversible");
+        let reply = ScionPacket::new(
+            rsrc,
+            rdst,
+            L4Protocol::Udp,
+            rpath,
+            UdpDatagram::new(9, 7, b"pong".to_vec()).encode(),
+        );
+        let back = net().walk_packet(reply).expect("reply leg verifies at every hop");
+        let mut expected: Vec<IsdAsn> = p.ases();
+        expected.reverse();
+        prop_assert_eq!(&back.route, &expected);
+    }
+
+    #[test]
+    fn corrupting_any_hop_field_byte_drops_the_packet(
+        hop_byte in 0usize..6,
+        hop_pick in 0usize..8,
+    ) {
+        let s = ia("71-225");
+        let d = ia("71-2:0:3b");
+        let paths = net().paths(s, d);
+        let p = &paths[0];
+        let mut dp = p.to_dataplane().unwrap();
+        let h = hop_pick % dp.hops.len();
+        dp.hops[h].mac[hop_byte] ^= 0x55;
+        let pkt = ScionPacket::new(
+            ScionAddr::new(s, HostAddr::v4(1, 1, 1, 1)),
+            ScionAddr::new(d, HostAddr::v4(2, 2, 2, 2)),
+            L4Protocol::Udp,
+            DataPlanePath::Scion(dp),
+            UdpDatagram::new(1, 2, vec![]).encode(),
+        );
+        prop_assert!(net().walk_packet(pkt).is_err());
+    }
+}
