@@ -12,7 +12,10 @@ fn main() {
     println!("=== §4.8 ablation: dispatcher vs dispatcherless host datapath ===");
     let packets = 40_000u64;
     let work = 3_000u32;
-    println!("{:>8} {:>16} {:>18} {:>9}", "threads", "dispatcher pk/s", "dispatcherless pk/s", "speedup");
+    println!(
+        "{:>8} {:>16} {:>18} {:>9}",
+        "threads", "dispatcher pk/s", "dispatcherless pk/s", "speedup"
+    );
     for threads in [1usize, 2, 4, 8] {
         let t0 = Instant::now();
         let a = run_dispatcher_pipeline(threads, threads, packets / threads as u64, work);
@@ -22,8 +25,13 @@ fn main() {
         let t_free = t1.elapsed().as_secs_f64();
         let d_rate = (a.delivered + a.dropped) as f64 / t_disp;
         let f_rate = (b.delivered + b.dropped) as f64 / t_free;
-        println!("{threads:>8} {d_rate:>16.0} {f_rate:>19.0} {:>8.2}x", f_rate / d_rate);
+        println!(
+            "{threads:>8} {d_rate:>16.0} {f_rate:>19.0} {:>8.2}x",
+            f_rate / d_rate
+        );
     }
-    println!("\nthe dispatcher is a shared bottleneck: adding application threads does not scale it,");
+    println!(
+        "\nthe dispatcher is a shared bottleneck: adding application threads does not scale it,"
+    );
     println!("while per-socket ports let RSS spread load across cores — the §4.8 lesson.");
 }

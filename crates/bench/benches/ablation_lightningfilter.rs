@@ -10,8 +10,21 @@ fn bench_filter(c: &mut Criterion) {
     let secret = b"dmz";
     let local = ia("71-2:0:3b");
     let src = ia("71-50999");
-    let mut filter = LightningFilter::new(local, secret, PeerBudget { rate: 1e9, burst: 1e9 });
-    filter.add_peer(src, PeerBudget { rate: 1e12, burst: 1e12 });
+    let mut filter = LightningFilter::new(
+        local,
+        secret,
+        PeerBudget {
+            rate: 1e9,
+            burst: 1e9,
+        },
+    );
+    filter.add_peer(
+        src,
+        PeerBudget {
+            rate: 1e12,
+            burst: 1e12,
+        },
+    );
     let digest = [9u8; 16];
     let pkt = PacketMeta {
         src_ia: src,

@@ -18,7 +18,9 @@ fn bench_crypto(c: &mut Criterion) {
     };
     let mac = hop_key.mac(&input);
     g.throughput(Throughput::Elements(1));
-    g.bench_function("hop_mac_verify", |b| b.iter(|| assert!(hop_key.verify(&input, &mac))));
+    g.bench_function("hop_mac_verify", |b| {
+        b.iter(|| assert!(hop_key.verify(&input, &mac)))
+    });
     g.bench_function("aes_cmac_16B", |b| b.iter(|| cmac.tag(&[0u8; 16])));
     g.throughput(Throughput::Bytes(1500));
     g.bench_function("sha256_1500B", |b| b.iter(|| sha256(&[0u8; 1500])));

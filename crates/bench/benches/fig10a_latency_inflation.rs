@@ -6,8 +6,14 @@ fn main() {
     let store = sciera_bench::run_campaign("fig10a");
     let f = fig10a(&store);
     println!("=== Fig. 10a: CDF of latency inflation d2/d1 ===");
-    println!("pairs with inflation ~1.0 (<1.05): {:.1}% (paper ~40%)", f.frac_near_one * 100.0);
-    println!("pairs with inflation < 1.2:        {:.1}% (paper ~80%)", f.frac_below_1_2 * 100.0);
+    println!(
+        "pairs with inflation ~1.0 (<1.05): {:.1}% (paper ~40%)",
+        f.frac_near_one * 100.0
+    );
+    println!(
+        "pairs with inflation < 1.2:        {:.1}% (paper ~80%)",
+        f.frac_below_1_2 * 100.0
+    );
     println!("\n{:>10} {:>8}", "inflation", "F(x)");
     for (x, fx) in f.cdf.points.iter().step_by(4) {
         println!("{x:>10.2} {fx:>8.3}");

@@ -4,9 +4,19 @@ use sciera_measure::paths::fig10b;
 
 fn main() {
     println!("=== Fig. 10b: CDF of path disjointness over all path pairs ===");
-    let f = if sciera_bench::full_scale() { fig10b(32, 120) } else { fig10b(16, 50) };
-    println!("fully disjoint path pairs: {:.1}% (paper ~30%)", f.frac_fully_disjoint * 100.0);
-    println!("disjointness >= 0.7:       {:.1}% (paper ~80%)", f.frac_above_0_7 * 100.0);
+    let f = if sciera_bench::full_scale() {
+        fig10b(32, 120)
+    } else {
+        fig10b(16, 50)
+    };
+    println!(
+        "fully disjoint path pairs: {:.1}% (paper ~30%)",
+        f.frac_fully_disjoint * 100.0
+    );
+    println!(
+        "disjointness >= 0.7:       {:.1}% (paper ~80%)",
+        f.frac_above_0_7 * 100.0
+    );
     println!("({} path pairs sampled)\n", f.samples);
     println!("{:>14} {:>8}", "disjointness", "F(x)");
     for (x, fx) in f.cdf.points.iter().step_by(4) {

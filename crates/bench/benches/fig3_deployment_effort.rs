@@ -1,7 +1,7 @@
 //! Fig. 3: SCIERA deployment effort over time.
 
-use scion_orchestrator::effort::EffortModel;
 use sciera_topology::timeline::deployment_timeline;
+use scion_orchestrator::effort::EffortModel;
 
 fn main() {
     println!("=== Fig. 3: deployment and estimated effort over time ===");
@@ -9,7 +9,13 @@ fn main() {
     let efforts = EffortModel::default().evaluate(&events);
     println!("{:<12}{:>7}{:>12}", "site", "month", "effort (h)");
     for (e, h) in events.iter().zip(&efforts) {
-        println!("{:<12}{:>7}{:>12.0}  {}", e.name, e.month, h, "#".repeat((h / 15.0).ceil() as usize));
+        println!(
+            "{:<12}{:>7}{:>12.0}  {}",
+            e.name,
+            e.month,
+            h,
+            "#".repeat((h / 15.0).ceil() as usize)
+        );
     }
     // The paper's claim: comparable later setups took considerably less
     // effort.

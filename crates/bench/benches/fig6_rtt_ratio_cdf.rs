@@ -7,8 +7,14 @@ fn main() {
     let store = sciera_bench::run_campaign("fig6");
     let f = fig6(&store);
     println!("=== Fig. 6: CDF of the RTT ratio SCION/IP over AS pairs ===");
-    println!("pairs with ratio < 1.0:  {:.1}%  (paper ~38%)", f.frac_below_one * 100.0);
-    println!("pairs with ratio < 1.25: {:.1}%  (paper ~80%)", f.frac_below_1_25 * 100.0);
+    println!(
+        "pairs with ratio < 1.0:  {:.1}%  (paper ~38%)",
+        f.frac_below_one * 100.0
+    );
+    println!(
+        "pairs with ratio < 1.25: {:.1}%  (paper ~80%)",
+        f.frac_below_1_25 * 100.0
+    );
     println!("\n{:>10} {:>8}", "ratio", "F(x)");
     for (x, fx) in f.cdf.points.iter().step_by(5) {
         println!("{x:>10.2} {fx:>8.3}");
@@ -16,6 +22,13 @@ fn main() {
     println!("\noutliers (cf. the paper's annotations: KREONET reroute, BRIDGES instabilities, UFMS detour):");
     for o in f.outliers.iter().take(6) {
         let name = |ia| as_info(ia).map(|a| a.name).unwrap_or("?");
-        println!("  {:>10} ({}) -> {:>10} ({}): {:.2}", o.src.to_string(), name(o.src), o.dst.to_string(), name(o.dst), o.ratio);
+        println!(
+            "  {:>10} ({}) -> {:>10} ({}): {:.2}",
+            o.src.to_string(),
+            name(o.src),
+            o.dst.to_string(),
+            name(o.dst),
+            o.ratio
+        );
     }
 }

@@ -5,7 +5,12 @@ use sciera_measure::paths::fig8;
 fn main() {
     let store = sciera_bench::run_campaign("fig8");
     let m = fig8(&store);
-    println!("{}", m.to_table("=== Fig. 8: max active paths between AS pairs ==="));
+    println!(
+        "{}",
+        m.to_table("=== Fig. 8: max active paths between AS pairs ===")
+    );
     let max = m.values.iter().flatten().max().unwrap();
-    println!("every pair has >= 2 paths; the richest pair offers {max} (paper: up to 113 for UVa-UFMS).");
+    println!(
+        "every pair has >= 2 paths; the richest pair offers {max} (paper: up to 113 for UVa-UFMS)."
+    );
 }

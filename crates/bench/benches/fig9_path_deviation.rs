@@ -5,7 +5,12 @@ use sciera_measure::paths::fig9;
 fn main() {
     let store = sciera_bench::run_campaign("fig9");
     let m = fig9(&store);
-    println!("{}", m.to_table("=== Fig. 9: median deviation from max active paths ==="));
+    println!(
+        "{}",
+        m.to_table("=== Fig. 9: median deviation from max active paths ===")
+    );
     let zeros = m.values.iter().flatten().filter(|&&v| v == 0).count();
-    println!("{zeros}/81 cells at 0; nonzero cells follow the injected incidents (cable cut, BRIDGES).");
+    println!(
+        "{zeros}/81 cells at 0; nonzero cells follow the injected incidents (cable cut, BRIDGES)."
+    );
 }

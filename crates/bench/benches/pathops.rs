@@ -2,10 +2,10 @@
 //! paths for the richest pair.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sciera_topology::links::build_control_graph;
 use scion_control::beacon::{BeaconConfig, BeaconEngine};
 use scion_control::combine::combine_paths;
 use scion_proto::addr::ia;
-use sciera_topology::links::build_control_graph;
 
 fn bench_pathops(c: &mut Criterion) {
     let built = build_control_graph();
@@ -25,7 +25,10 @@ fn bench_pathops(c: &mut Criterion) {
     let store = BeaconEngine::new(
         &built.graph,
         1_700_000_000,
-        BeaconConfig { candidates_per_origin: 32, ..Default::default() },
+        BeaconConfig {
+            candidates_per_origin: 32,
+            ..Default::default()
+        },
     )
     .run()
     .unwrap();

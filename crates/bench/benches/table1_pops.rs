@@ -4,7 +4,7 @@ use sciera_topology::timeline::pops_table1;
 
 fn main() {
     println!("=== Table 1: SCIERA PoPs ===");
-    println!("{:<20}{:<22}{}", "Location", "Peering NRENs", "Partner Networks");
+    println!("{:<20}{:<22}Partner Networks", "Location", "Peering NRENs");
     for (city, nrens, partners) in pops_table1() {
         println!("{city:<20}{nrens:<22}{partners}");
     }

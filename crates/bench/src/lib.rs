@@ -7,10 +7,13 @@
 //! preserves the shapes at a fraction of the wall-clock cost.
 
 use sciera_measure::campaign::{Campaign, CampaignConfig, MeasurementStore};
+use sciera_telemetry::Telemetry;
 
 /// Whether the operator asked for the full paper-scale run.
 pub fn full_scale() -> bool {
-    std::env::var("SCIERA_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SCIERA_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The campaign configuration for figure benches.
@@ -37,10 +40,17 @@ pub fn run_campaign(label: &str) -> MeasurementStore {
         "[{label}] running the multiping campaign: {} days at {} s/round{} ...",
         config.days,
         config.round_secs,
-        if full_scale() { " (SCIERA_FULL)" } else { " (set SCIERA_FULL=1 for paper scale)" }
+        if full_scale() {
+            " (SCIERA_FULL)"
+        } else {
+            " (set SCIERA_FULL=1 for paper scale)"
+        }
     );
     let t0 = std::time::Instant::now();
-    let store = Campaign::new(config).run();
+    let telemetry = Telemetry::new();
+    let mut campaign = Campaign::new(config);
+    campaign.set_telemetry(telemetry.clone());
+    let store = campaign.run();
     eprintln!(
         "[{label}] campaign done in {:.1} s: {} SCMP + {} ICMP pings over {} pairs",
         t0.elapsed().as_secs_f64(),
@@ -48,5 +58,6 @@ pub fn run_campaign(label: &str) -> MeasurementStore {
         store.ip_pings,
         store.pairs.len()
     );
+    eprintln!("{}", campaign.telemetry_summary());
     store
 }

@@ -9,6 +9,7 @@
 use std::time::Duration;
 
 use rand::Rng;
+use sciera_telemetry::{Event, Severity, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use scion_proto::encap::UnderlayAddr;
@@ -63,17 +64,28 @@ pub struct BootstrapOutcome {
 /// The client.
 pub struct BootstrapClient {
     mechanisms: Vec<HintMechanism>,
+    telemetry: Telemetry,
 }
 
 impl BootstrapClient {
     /// A client that tries the given mechanisms in order.
     pub fn new(mechanisms: Vec<HintMechanism>) -> Self {
-        BootstrapClient { mechanisms }
+        BootstrapClient {
+            mechanisms,
+            telemetry: Telemetry::quiet(),
+        }
     }
 
     /// A client configured for a network profile (usable mechanisms only).
     pub fn for_profile(profile: NetworkProfile) -> Self {
-        BootstrapClient { mechanisms: usable_mechanisms(profile) }
+        Self::new(usable_mechanisms(profile))
+    }
+
+    /// Shares a telemetry handle: phase durations land in the
+    /// `bootstrap.phase.hint` / `bootstrap.phase.config` histograms (the two
+    /// bars of Fig. 4) plus `bootstrap.total`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Runs the bootstrap: discover → fetch → verify.
@@ -99,13 +111,39 @@ impl BootstrapClient {
             let signed: SignedTopology = serde_json::from_slice(&body)
                 .map_err(|e| BootstrapError::BadTopology(e.to_string()))?;
             verify(&signed)?;
+            let timing = BootstrapTiming {
+                hint: hint_elapsed,
+                config: config_elapsed,
+            };
+            self.record_timing(*mech, &timing);
             return Ok(BootstrapOutcome {
                 topology: signed,
                 mechanism: *mech,
-                timing: BootstrapTiming { hint: hint_elapsed, config: config_elapsed },
+                timing,
             });
         }
+        self.telemetry.counter("bootstrap.failures").inc();
         Err(BootstrapError::NoHint)
+    }
+
+    fn record_timing(&self, mech: HintMechanism, timing: &BootstrapTiming) {
+        self.telemetry.counter("bootstrap.runs").inc();
+        self.telemetry
+            .histogram("bootstrap.phase.hint")
+            .record(timing.hint.as_nanos() as f64);
+        self.telemetry
+            .histogram("bootstrap.phase.config")
+            .record(timing.config.as_nanos() as f64);
+        self.telemetry
+            .histogram("bootstrap.total")
+            .record(timing.total().as_nanos() as f64);
+        if self.telemetry.enabled(Severity::Info) {
+            self.telemetry.emit(
+                Event::new(0, "host", "bootstrap", Severity::Info, "bootstrap complete")
+                    .field("mechanism", format!("{mech:?}"))
+                    .field("total_ms", timing.total().as_millis()),
+            );
+        }
     }
 }
 
@@ -200,13 +238,18 @@ impl<R: Rng> BootstrapEnv for ModelEnv<'_, R> {
             HintMechanism::Mdns => self.os.lan_rtt_ms * 2.0, // multicast convergence
             _ => self.os.resolver_overhead_ms + self.os.lan_rtt_ms,
         };
-        let cost_ms =
-            self.os.syscall_overhead_ms + per_rt * mech.round_trips() as f64;
+        let cost_ms = self.os.syscall_overhead_ms + per_rt * mech.round_trips() as f64;
         let took = self.jitter(cost_ms);
         if availability(mech, self.profile) == Availability::No {
             return (None, took);
         }
-        (Some(Hint { server: self.server, mechanism: mech }), took)
+        (
+            Some(Hint {
+                server: self.server,
+                mechanism: mech,
+            }),
+            took,
+        )
     }
 
     fn http_get(
@@ -215,14 +258,16 @@ impl<R: Rng> BootstrapEnv for ModelEnv<'_, R> {
         path: &str,
     ) -> (Result<Vec<u8>, BootstrapError>, Duration) {
         // TCP handshake + request/response + TLS-less processing.
-        let cost_ms = self.os.syscall_overhead_ms
-            + self.os.lan_rtt_ms * 2.0
-            + self.config_processing_ms;
+        let cost_ms =
+            self.os.syscall_overhead_ms + self.os.lan_rtt_ms * 2.0 + self.config_processing_ms;
         let took = self.jitter(cost_ms);
         if path == "/topology" {
             (Ok(self.topology_body.clone()), took)
         } else {
-            (Err(BootstrapError::FetchFailed(format!("404 {path}"))), took)
+            (
+                Err(BootstrapError::FetchFailed(format!("404 {path}"))),
+                took,
+            )
         }
     }
 }
@@ -246,7 +291,13 @@ mod tests {
             mtu: 1472,
         };
         let signature = key.sign(&document.signed_bytes());
-        (SignedTopology { document, signature }, key)
+        (
+            SignedTopology {
+                document,
+                signature,
+            },
+            key,
+        )
     }
 
     fn accept_all(_: &SignedTopology) -> Result<(), BootstrapError> {
@@ -271,7 +322,11 @@ mod tests {
         assert_eq!(out.topology.document.ia, ia("71-2:0:42"));
         assert!(out.timing.total() > Duration::ZERO);
         // Fig. 4 headline: total well under the perception threshold.
-        assert!(out.timing.total() < Duration::from_millis(150), "{:?}", out.timing);
+        assert!(
+            out.timing.total() < Duration::from_millis(150),
+            "{:?}",
+            out.timing
+        );
     }
 
     #[test]
@@ -307,7 +362,10 @@ mod tests {
         let reject = |_: &SignedTopology| -> Result<(), BootstrapError> {
             Err(BootstrapError::BadTopology("signature".into()))
         };
-        assert!(matches!(client.run(&mut env, &reject), Err(BootstrapError::BadTopology(_))));
+        assert!(matches!(
+            client.run(&mut env, &reject),
+            Err(BootstrapError::BadTopology(_))
+        ));
     }
 
     #[test]
@@ -354,7 +412,10 @@ mod tests {
             }
         }
         let client = BootstrapClient::new(vec![HintMechanism::DnsSrv, HintMechanism::Mdns]);
-        assert_eq!(client.run(&mut Dead, &accept_all).unwrap_err(), BootstrapError::NoHint);
+        assert_eq!(
+            client.run(&mut Dead, &accept_all).unwrap_err(),
+            BootstrapError::NoHint
+        );
     }
 
     #[test]
@@ -383,11 +444,16 @@ mod tests {
                 _: &str,
             ) -> (Result<Vec<u8>, BootstrapError>, Duration) {
                 let (signed, _) = signed_topology();
-                (Ok(serde_json::to_vec(&signed).unwrap()), Duration::from_millis(3))
+                (
+                    Ok(serde_json::to_vec(&signed).unwrap()),
+                    Duration::from_millis(3),
+                )
             }
         }
         let client = BootstrapClient::new(vec![HintMechanism::DnsSrv, HintMechanism::Mdns]);
-        let out = client.run(&mut SecondTry { calls: 0 }, &accept_all).unwrap();
+        let out = client
+            .run(&mut SecondTry { calls: 0 }, &accept_all)
+            .unwrap();
         assert_eq!(out.timing.hint, Duration::from_millis(15));
         assert_eq!(out.timing.config, Duration::from_millis(3));
         assert_eq!(out.mechanism, HintMechanism::Mdns);

@@ -69,7 +69,10 @@ impl BootstrapServer {
     ) -> Self {
         let signature = as_key.sign(&document.signed_bytes());
         BootstrapServer {
-            signed: SignedTopology { document, signature },
+            signed: SignedTopology {
+                document,
+                signature,
+            },
             chain,
             trcs_payload,
             hits: [0; 3],

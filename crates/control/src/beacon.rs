@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 
+use sciera_telemetry::{Counter, Event, Severity, Telemetry};
 use scion_proto::addr::IsdAsn;
 
 use crate::graph::{ControlGraph, LinkType};
@@ -43,7 +44,11 @@ pub struct BeaconConfig {
 
 impl Default for BeaconConfig {
     fn default() -> Self {
-        BeaconConfig { candidates_per_origin: 8, max_len: 12, rounds: 12 }
+        BeaconConfig {
+            candidates_per_origin: 8,
+            max_len: 12,
+            rounds: 12,
+        }
     }
 }
 
@@ -57,6 +62,11 @@ pub struct BeaconEngine<'g> {
     core_beacons: BTreeMap<(IsdAsn, IsdAsn), Vec<ReceivedBeacon>>,
     /// Intra-ISD (down) beacons held at each AS, keyed by origin core AS.
     down_beacons: BTreeMap<(IsdAsn, IsdAsn), Vec<ReceivedBeacon>>,
+    telemetry: Telemetry,
+    originated: Counter,
+    propagated: Counter,
+    filtered: Counter,
+    registered: Counter,
 }
 
 impl<'g> BeaconEngine<'g> {
@@ -68,6 +78,7 @@ impl<'g> BeaconEngine<'g> {
             .ases()
             .map(|a| (a.ia, AsSecrets::derive(a.ia)))
             .collect();
+        let telemetry = Telemetry::quiet();
         BeaconEngine {
             graph,
             secrets,
@@ -75,7 +86,21 @@ impl<'g> BeaconEngine<'g> {
             timestamp,
             core_beacons: BTreeMap::new(),
             down_beacons: BTreeMap::new(),
+            originated: telemetry.counter("beacon.originated"),
+            propagated: telemetry.counter("beacon.propagated"),
+            filtered: telemetry.counter("beacon.filtered"),
+            registered: telemetry.counter("beacon.segments_registered"),
+            telemetry,
         }
+    }
+
+    /// Re-registers the engine's counters on a shared telemetry handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.originated = telemetry.counter("beacon.originated");
+        self.propagated = telemetry.counter("beacon.propagated");
+        self.filtered = telemetry.counter("beacon.filtered");
+        self.registered = telemetry.counter("beacon.segments_registered");
+        self.telemetry = telemetry;
     }
 
     /// Access to the derived secrets (the data plane needs the hop keys).
@@ -120,13 +145,29 @@ impl<'g> BeaconEngine<'g> {
     pub fn run(&mut self) -> Result<SegmentStore, ControlError> {
         self.graph.validate()?;
         self.originate();
+        let mut rounds_run = 0usize;
         for _ in 0..self.config.rounds {
+            rounds_run += 1;
             let changed = self.propagate_round();
             if !changed {
                 break;
             }
         }
-        Ok(self.register())
+        let store = self.register();
+        if self.telemetry.enabled(Severity::Info) {
+            self.telemetry.emit(
+                Event::new(
+                    (self.timestamp as u64).saturating_mul(1_000_000_000),
+                    "control",
+                    "beacon",
+                    Severity::Info,
+                    "beaconing converged",
+                )
+                .field("rounds", rounds_run)
+                .field("segments", self.registered.get()),
+            );
+        }
+        Ok(store)
     }
 
     /// Core ASes originate beacons to all core and child neighbours.
@@ -142,11 +183,8 @@ impl<'g> BeaconEngine<'g> {
                     LinkType::Child => (SegmentType::UpDown, &mut self.down_beacons),
                     _ => continue,
                 };
-                let mut b = SegmentBuilder::originate(
-                    seg_type,
-                    self.timestamp,
-                    Self::beta_for(core, seq),
-                );
+                let mut b =
+                    SegmentBuilder::originate(seg_type, self.timestamp, Self::beta_for(core, seq));
                 seq += 1;
                 let peers = if seg_type == SegmentType::UpDown {
                     self.graph
@@ -159,9 +197,13 @@ impl<'g> BeaconEngine<'g> {
                     Vec::new()
                 };
                 b.extend(&secrets, 0, intf.id, &peers);
-                let rb = ReceivedBeacon { segment: b.finish(), ingress_ifid: intf.neighbor_ifid };
+                let rb = ReceivedBeacon {
+                    segment: b.finish(),
+                    ingress_ifid: intf.neighbor_ifid,
+                };
                 let slot = store.entry((intf.neighbor, core)).or_default();
                 Self::retain(slot, rb, self.config.candidates_per_origin);
+                self.originated.inc();
             }
         }
     }
@@ -176,44 +218,73 @@ impl<'g> BeaconEngine<'g> {
 
     fn propagate_kind(&mut self, core_kind: bool) -> bool {
         let source: Vec<((IsdAsn, IsdAsn), Vec<ReceivedBeacon>)> = if core_kind {
-            self.core_beacons.iter().map(|(k, v)| (*k, v.clone())).collect()
+            self.core_beacons
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect()
         } else {
-            self.down_beacons.iter().map(|(k, v)| (*k, v.clone())).collect()
+            self.down_beacons
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect()
         };
         let mut changed = false;
         for ((holder, origin), beacons) in source {
-            let Some(node) = self.graph.as_node(holder) else { continue };
+            let Some(node) = self.graph.as_node(holder) else {
+                continue;
+            };
             // Core beacons are extended only by core ASes over core links;
             // down beacons only travel over child links (any AS extends).
             if core_kind && !node.core {
                 continue;
             }
-            let out_type = if core_kind { LinkType::Core } else { LinkType::Child };
+            let out_type = if core_kind {
+                LinkType::Core
+            } else {
+                LinkType::Child
+            };
             let secrets = self.secrets.get(&holder).unwrap().clone();
-            let peers = if core_kind { Vec::new() } else { self.peer_links_of(holder) };
+            let peers = if core_kind {
+                Vec::new()
+            } else {
+                self.peer_links_of(holder)
+            };
             for rb in beacons {
                 if rb.segment.len() >= self.config.max_len {
+                    self.filtered.inc();
                     continue;
                 }
                 if rb.segment.contains(holder) {
+                    self.filtered.inc();
                     continue; // loop prevention
                 }
                 for intf in node.interfaces_of_type(out_type) {
                     if rb.segment.contains(intf.neighbor) {
+                        self.filtered.inc();
                         continue;
                     }
                     // Rebuild the extension from the received beacon.
                     let mut extended = rb.segment.clone();
-                    let mut builder = SegmentBuilderResume { segment: &mut extended };
+                    let mut builder = SegmentBuilderResume {
+                        segment: &mut extended,
+                    };
                     builder.extend(&secrets, rb.ingress_ifid, intf.id, &peers);
                     let new_rb = ReceivedBeacon {
                         segment: extended,
                         ingress_ifid: intf.neighbor_ifid,
                     };
-                    let store =
-                        if core_kind { &mut self.core_beacons } else { &mut self.down_beacons };
+                    let store = if core_kind {
+                        &mut self.core_beacons
+                    } else {
+                        &mut self.down_beacons
+                    };
                     let slot = store.entry((intf.neighbor, origin)).or_default();
-                    changed |= Self::retain(slot, new_rb, self.config.candidates_per_origin);
+                    if Self::retain(slot, new_rb, self.config.candidates_per_origin) {
+                        self.propagated.inc();
+                        changed = true;
+                    } else {
+                        self.filtered.inc();
+                    }
                 }
             }
         }
@@ -225,7 +296,9 @@ impl<'g> BeaconEngine<'g> {
         let mut store = SegmentStore::new();
         // Core segments: every core AS terminates its retained core beacons.
         for ((holder, _origin), beacons) in &self.core_beacons {
-            let Some(node) = self.graph.as_node(*holder) else { continue };
+            let Some(node) = self.graph.as_node(*holder) else {
+                continue;
+            };
             if !node.core {
                 continue;
             }
@@ -238,11 +311,14 @@ impl<'g> BeaconEngine<'g> {
                 let mut builder = SegmentBuilderResume { segment: &mut seg };
                 builder.extend(secrets, rb.ingress_ifid, 0, &[]);
                 store.register_core(seg);
+                self.registered.inc();
             }
         }
         // Up/down segments: every non-core AS terminates its down beacons.
         for ((holder, _origin), beacons) in &self.down_beacons {
-            let Some(node) = self.graph.as_node(*holder) else { continue };
+            let Some(node) = self.graph.as_node(*holder) else {
+                continue;
+            };
             if node.core {
                 continue;
             }
@@ -256,6 +332,7 @@ impl<'g> BeaconEngine<'g> {
                 let mut builder = SegmentBuilderResume { segment: &mut seg };
                 builder.extend(secrets, rb.ingress_ifid, 0, &peers);
                 store.register_up_down(seg);
+                self.registered.inc();
             }
         }
         store
@@ -370,10 +447,18 @@ mod tests {
         let g = diamond();
         let (store, _) = run(&g);
         let ups = store.up_segments(ia("71-10"));
-        let has_peer = ups
-            .iter()
-            .any(|s| s.entries.last().unwrap().peers.iter().any(|p| p.peer == ia("71-11")));
-        assert!(has_peer, "leaf's own entry should advertise its peering link");
+        let has_peer = ups.iter().any(|s| {
+            s.entries
+                .last()
+                .unwrap()
+                .peers
+                .iter()
+                .any(|p| p.peer == ia("71-11"))
+        });
+        assert!(
+            has_peer,
+            "leaf's own entry should advertise its peering link"
+        );
     }
 
     #[test]
@@ -389,7 +474,11 @@ mod tests {
         g.connect(ia("71-1"), ia("71-3"), LinkType::Core).unwrap();
         let (store, _) = run(&g);
         let segs = store.core_between(ia("71-1"), ia("71-3"));
-        assert!(segs.len() >= 2, "triangle should give direct + indirect, got {}", segs.len());
+        assert!(
+            segs.len() >= 2,
+            "triangle should give direct + indirect, got {}",
+            segs.len()
+        );
         // Direct segment is 2 hops; indirect is 3.
         let lens: Vec<usize> = segs.iter().map(|s| s.len()).collect();
         assert!(lens.contains(&2));
@@ -408,8 +497,7 @@ mod tests {
         let (store, _) = run(&g);
         let segs = store.core_between(ia("71-1"), ia("71-2"));
         assert_eq!(segs.len(), 2);
-        let egresses: Vec<u16> =
-            segs.iter().map(|s| s.entries[0].hop.cons_egress).collect();
+        let egresses: Vec<u16> = segs.iter().map(|s| s.entries[0].hop.cons_egress).collect();
         assert_ne!(egresses[0], egresses[1]);
     }
 
@@ -421,7 +509,8 @@ mod tests {
         g.add_as(ia("71-10"), false);
         g.add_as(ia("71-100"), false);
         g.connect(ia("71-1"), ia("71-10"), LinkType::Child).unwrap();
-        g.connect(ia("71-10"), ia("71-100"), LinkType::Child).unwrap();
+        g.connect(ia("71-10"), ia("71-100"), LinkType::Child)
+            .unwrap();
         let (store, _) = run(&g);
         let ups = store.up_segments(ia("71-100"));
         assert_eq!(ups.len(), 1);

@@ -14,11 +14,34 @@
 //! The multiplicative effect of this enumeration over SCIERA's segment mix
 //! is exactly what yields the large path counts of Fig. 8.
 
+use sciera_telemetry::Telemetry;
 use scion_proto::addr::IsdAsn;
 
 use crate::fullpath::{Direction, FullPath, PathKind, SegmentUse};
 use crate::segment::PathSegment;
 use crate::store::SegmentStore;
+
+/// [`combine_paths`] wrapped with telemetry: wall-clock duration of the
+/// combination lands in the `control.combine_ns` histogram and the result
+/// count in `control.paths_combined`, the signals behind Fig. 8's path-count
+/// matrix and the daemon's path-lookup latency.
+pub fn combine_paths_traced(
+    store: &SegmentStore,
+    src: IsdAsn,
+    dst: IsdAsn,
+    max_paths: usize,
+    telemetry: &Telemetry,
+) -> Vec<FullPath> {
+    let start = std::time::Instant::now();
+    let paths = combine_paths(store, src, dst, max_paths);
+    telemetry
+        .histogram("control.combine_ns")
+        .record(start.elapsed().as_nanos() as f64);
+    telemetry
+        .counter("control.paths_combined")
+        .add(paths.len() as u64);
+    paths
+}
 
 /// Upper bound on combined paths returned per pair, mirroring a daemon's
 /// response-size cap. Fig. 8 tops out at 113 observed active paths.
@@ -199,7 +222,10 @@ fn combine_pair(
         for pe in &ue.peers {
             if let Some(j) = down.position_of(pe.peer) {
                 let de = &down.entries[j];
-                if !de.peers.iter().any(|p| p.peer == ue.ia && p.peer_ifid == pe.peer_remote_ifid)
+                if !de
+                    .peers
+                    .iter()
+                    .any(|p| p.peer == ue.ia && p.peer_ifid == pe.peer_remote_ifid)
                 {
                     continue;
                 }
@@ -248,7 +274,9 @@ mod tests {
         g.connect(ia("71-1"), ia("71-10"), LinkType::Child).unwrap();
         g.connect(ia("71-2"), ia("71-11"), LinkType::Child).unwrap();
         g.connect(ia("71-10"), ia("71-11"), LinkType::Peer).unwrap();
-        BeaconEngine::new(&g, 1_700_000_000, BeaconConfig::default()).run().unwrap()
+        BeaconEngine::new(&g, 1_700_000_000, BeaconConfig::default())
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -280,8 +308,12 @@ mod tests {
         let store = diamond_store();
         let paths = combine_paths(&store, ia("71-2"), ia("71-10"), 100);
         assert!(!paths.is_empty());
-        assert!(paths.iter().all(|p| p.hops.first().unwrap().ia == ia("71-2")));
-        assert!(paths.iter().all(|p| p.hops.last().unwrap().ia == ia("71-10")));
+        assert!(paths
+            .iter()
+            .all(|p| p.hops.first().unwrap().ia == ia("71-2")));
+        assert!(paths
+            .iter()
+            .all(|p| p.hops.last().unwrap().ia == ia("71-10")));
     }
 
     #[test]
@@ -329,8 +361,10 @@ mod tests {
         g.add_as(ia("71-100"), false);
         g.add_as(ia("71-101"), false);
         g.connect(ia("71-1"), ia("71-10"), LinkType::Child).unwrap();
-        g.connect(ia("71-10"), ia("71-100"), LinkType::Child).unwrap();
-        g.connect(ia("71-10"), ia("71-101"), LinkType::Child).unwrap();
+        g.connect(ia("71-10"), ia("71-100"), LinkType::Child)
+            .unwrap();
+        g.connect(ia("71-10"), ia("71-101"), LinkType::Child)
+            .unwrap();
         let store = BeaconEngine::new(&g, 1_700_000_000, BeaconConfig::default())
             .run()
             .unwrap();
@@ -341,7 +375,10 @@ mod tests {
         // is rejected by the loop check, so the shortcut is the only path.
         assert!(!kinds.contains(&PathKind::SameCore));
         assert_eq!(paths[0].kind, PathKind::Shortcut);
-        assert_eq!(paths[0].ases(), vec![ia("71-100"), ia("71-10"), ia("71-101")]);
+        assert_eq!(
+            paths[0].ases(),
+            vec![ia("71-100"), ia("71-10"), ia("71-101")]
+        );
     }
 
     #[test]

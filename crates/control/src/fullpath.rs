@@ -47,7 +47,13 @@ impl SegmentUse {
     /// A full-segment use with no truncation or peering.
     pub fn whole(segment: PathSegment, dir: Direction) -> Self {
         let to_idx = segment.len() - 1;
-        SegmentUse { segment, dir, from_idx: 0, to_idx, peer_with: None }
+        SegmentUse {
+            segment,
+            dir,
+            from_idx: 0,
+            to_idx,
+            peer_with: None,
+        }
     }
 
     /// Number of hop fields this use contributes.
@@ -68,16 +74,12 @@ impl SegmentUse {
         let entry = &self.segment.entries[idx];
         if idx == self.from_idx {
             if let Some(peer) = self.peer_with {
-                let pe = entry
-                    .peers
-                    .iter()
-                    .find(|p| p.peer == peer)
-                    .ok_or_else(|| {
-                        ControlError::BadSegment(format!(
-                            "{} has no peer entry toward {}",
-                            entry.ia, peer
-                        ))
-                    })?;
+                let pe = entry.peers.iter().find(|p| p.peer == peer).ok_or_else(|| {
+                    ControlError::BadSegment(format!(
+                        "{} has no peer entry toward {}",
+                        entry.ia, peer
+                    ))
+                })?;
                 return Ok(pe.hop);
             }
         }
@@ -203,11 +205,19 @@ impl FullPath {
             if let Some((ia, ing, eg)) = iter.next() {
                 match hops.last_mut() {
                     Some(last) if last.ia == ia => last.egress = eg,
-                    _ => hops.push(PathHop { ia, ingress: ing, egress: eg }),
+                    _ => hops.push(PathHop {
+                        ia,
+                        ingress: ing,
+                        egress: eg,
+                    }),
                 }
             }
             for (ia, ing, eg) in iter {
-                hops.push(PathHop { ia, ingress: ing, egress: eg });
+                hops.push(PathHop {
+                    ia,
+                    ingress: ing,
+                    egress: eg,
+                });
             }
         }
         // The path's end points never use their outward-facing interfaces.
@@ -223,7 +233,9 @@ impl FullPath {
             )));
         }
         if hops.last().map(|h| h.ia) != Some(dst) {
-            return Err(ControlError::BadSegment(format!("path does not end at {dst}")));
+            return Err(ControlError::BadSegment(format!(
+                "path does not end at {dst}"
+            )));
         }
         // No AS may appear twice (loop freedom).
         let mut seen: Vec<IsdAsn> = hops.iter().map(|h| h.ia).collect();
@@ -233,7 +245,13 @@ impl FullPath {
         if seen.len() != before {
             return Err(ControlError::BadSegment("path visits an AS twice".into()));
         }
-        Ok(FullPath { src, dst, kind, uses, hops })
+        Ok(FullPath {
+            src,
+            dst,
+            kind,
+            uses,
+            hops,
+        })
     }
 
     /// Number of AS-level hops.
@@ -276,7 +294,11 @@ impl FullPath {
 
     /// Earliest expiry over all used segments (Unix seconds).
     pub fn expiry(&self) -> u64 {
-        self.uses.iter().map(|u| u.segment.expiry()).min().unwrap_or(0)
+        self.uses
+            .iter()
+            .map(|u| u.segment.expiry())
+            .min()
+            .unwrap_or(0)
     }
 
     /// Assembles the data-plane path header. Hop fields appear in traversal
@@ -312,8 +334,8 @@ pub fn disjointness(a: &FullPath, b: &FullPath) -> f64 {
     if ia.is_empty() && ib.is_empty() {
         return 0.0;
     }
-    let shared = ia.iter().filter(|x| ib.contains(x)).count()
-        + ib.iter().filter(|x| ia.contains(x)).count();
+    let shared =
+        ia.iter().filter(|x| ib.contains(x)).count() + ib.iter().filter(|x| ia.contains(x)).count();
     1.0 - shared as f64 / (ia.len() + ib.len()) as f64
 }
 
@@ -352,7 +374,12 @@ mod tests {
     fn up_segment() -> PathSegment {
         let mut b = SegmentBuilder::originate(SegmentType::UpDown, 1_700_000_000, 0xaaaa);
         b.extend(&AsSecrets::derive(ia("71-1")), 0, 11, &[]);
-        b.extend(&AsSecrets::derive(ia("71-10")), 21, 22, &[(ia("71-20"), 29, 39)]);
+        b.extend(
+            &AsSecrets::derive(ia("71-10")),
+            21,
+            22,
+            &[(ia("71-20"), 29, 39)],
+        );
         b.extend(&AsSecrets::derive(ia("71-100")), 31, 0, &[]);
         b.finish()
     }
@@ -361,7 +388,12 @@ mod tests {
     fn down_segment() -> PathSegment {
         let mut b = SegmentBuilder::originate(SegmentType::UpDown, 1_700_000_000, 0xbbbb);
         b.extend(&AsSecrets::derive(ia("71-2")), 0, 12, &[]);
-        b.extend(&AsSecrets::derive(ia("71-20")), 23, 24, &[(ia("71-10"), 39, 29)]);
+        b.extend(
+            &AsSecrets::derive(ia("71-20")),
+            23,
+            24,
+            &[(ia("71-10"), 39, 29)],
+        );
         b.extend(&AsSecrets::derive(ia("71-200")), 33, 0, &[]);
         b.finish()
     }
@@ -393,7 +425,14 @@ mod tests {
         let p = core_transit();
         assert_eq!(
             p.ases(),
-            vec![ia("71-100"), ia("71-10"), ia("71-1"), ia("71-2"), ia("71-20"), ia("71-200")]
+            vec![
+                ia("71-100"),
+                ia("71-10"),
+                ia("71-1"),
+                ia("71-2"),
+                ia("71-20"),
+                ia("71-200")
+            ]
         );
         // Source has no ingress; destination has no egress.
         assert_eq!(p.hops.first().unwrap().ingress, 0);
@@ -435,8 +474,20 @@ mod tests {
             ia("71-300"),
             PathKind::Shortcut,
             vec![
-                SegmentUse { segment: up, dir: Direction::AgainstCons, from_idx: 1, to_idx: 2, peer_with: None },
-                SegmentUse { segment: down, dir: Direction::Cons, from_idx: 1, to_idx: 2, peer_with: None },
+                SegmentUse {
+                    segment: up,
+                    dir: Direction::AgainstCons,
+                    from_idx: 1,
+                    to_idx: 2,
+                    peer_with: None,
+                },
+                SegmentUse {
+                    segment: down,
+                    dir: Direction::Cons,
+                    from_idx: 1,
+                    to_idx: 2,
+                    peer_with: None,
+                },
             ],
         )
         .unwrap();
@@ -469,7 +520,10 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(p.ases(), vec![ia("71-100"), ia("71-10"), ia("71-20"), ia("71-200")]);
+        assert_eq!(
+            p.ases(),
+            vec![ia("71-100"), ia("71-10"), ia("71-20"), ia("71-200")]
+        );
         // Peering junction crosses 71-10 ifid 29 <-> 71-20 ifid 39.
         assert_eq!(p.hops[1].egress, 29);
         assert_eq!(p.hops[2].ingress, 39);

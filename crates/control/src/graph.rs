@@ -89,7 +89,11 @@ impl ControlGraph {
 
     /// Adds an AS.
     pub fn add_as(&mut self, ia: IsdAsn, core: bool) {
-        self.ases.entry(ia).or_insert(AsNode { ia, core, interfaces: Vec::new() });
+        self.ases.entry(ia).or_insert(AsNode {
+            ia,
+            core,
+            interfaces: Vec::new(),
+        });
         self.next_ifid.entry(ia).or_insert(1);
     }
 
@@ -147,7 +151,11 @@ impl ControlGraph {
 
     /// All core ASes.
     pub fn core_ases(&self) -> Vec<IsdAsn> {
-        self.ases.values().filter(|a| a.core).map(|a| a.ia).collect()
+        self.ases
+            .values()
+            .filter(|a| a.core)
+            .map(|a| a.ia)
+            .collect()
     }
 
     /// Number of ASes.
@@ -157,7 +165,11 @@ impl ControlGraph {
 
     /// Number of links (each counted once).
     pub fn link_count(&self) -> usize {
-        self.ases.values().map(|a| a.interfaces.len()).sum::<usize>() / 2
+        self.ases
+            .values()
+            .map(|a| a.interfaces.len())
+            .sum::<usize>()
+            / 2
     }
 
     /// Validates structural invariants: reciprocity of every interface and

@@ -44,9 +44,7 @@ impl HopPredicate {
         if self.asn != Asn::WILDCARD && self.asn != ia.asn {
             return false;
         }
-        if !self.ifids.is_empty()
-            && !self.ifids.iter().any(|&i| i == ingress || i == egress)
-        {
+        if !self.ifids.is_empty() && !self.ifids.iter().any(|&i| i == ingress || i == egress) {
             return false;
         }
         true
@@ -54,7 +52,11 @@ impl HopPredicate {
 
     /// The match-anything predicate `0-0`.
     pub fn any() -> Self {
-        HopPredicate { isd: 0, asn: Asn::WILDCARD, ifids: Vec::new() }
+        HopPredicate {
+            isd: 0,
+            asn: Asn::WILDCARD,
+            ifids: Vec::new(),
+        }
     }
 }
 
@@ -75,13 +77,16 @@ impl FromStr for HopPredicate {
             Some(list) => list
                 .split(',')
                 .map(|x| {
-                    x.parse::<u16>().map_err(|e| {
-                        ControlError::BadSegment(format!("interface in `{s}`: {e}"))
-                    })
+                    x.parse::<u16>()
+                        .map_err(|e| ControlError::BadSegment(format!("interface in `{s}`: {e}")))
                 })
                 .collect::<Result<Vec<_>, _>>()?,
         };
-        Ok(HopPredicate { isd: ia.isd.0, asn: ia.asn, ifids })
+        Ok(HopPredicate {
+            isd: ia.isd.0,
+            asn: ia.asn,
+            ifids,
+        })
     }
 }
 
@@ -116,8 +121,7 @@ impl Sequence {
         // an empty run); specific predicates match exactly one hop.
         let hops = &path.hops;
         let preds = &self.predicates;
-        let is_wild =
-            |p: &HopPredicate| p.isd == 0 && p.asn == Asn::WILDCARD && p.ifids.is_empty();
+        let is_wild = |p: &HopPredicate| p.isd == 0 && p.asn == Asn::WILDCARD && p.ifids.is_empty();
         // reachable[j] = predicates consumed after processing hops so far.
         let mut reachable = vec![false; preds.len() + 1];
         reachable[0] = true;
@@ -130,7 +134,7 @@ impl Sequence {
         for h in hops {
             let mut next = vec![false; preds.len() + 1];
             for (j, p) in preds.iter().enumerate() {
-                if !reachable[j] && !(is_wild(p) && reachable[j + 1]) {
+                if !(reachable[j] || (is_wild(p) && reachable[j + 1])) {
                     continue;
                 }
                 if p.matches(h.ia, h.ingress, h.egress) {
@@ -257,7 +261,9 @@ impl FromStr for Preference {
             "bandwidth" => Ok(Preference::Bandwidth),
             "disjoint" => Ok(Preference::Disjoint),
             "green" => Ok(Preference::Green),
-            other => Err(ControlError::BadSegment(format!("unknown preference `{other}`"))),
+            other => Err(ControlError::BadSegment(format!(
+                "unknown preference `{other}`"
+            ))),
         }
     }
 }
@@ -276,7 +282,10 @@ pub struct PathPolicy {
 impl PathPolicy {
     /// Whether `path` satisfies all configured constraints.
     pub fn permits(&self, path: &FullPath) -> bool {
-        self.sequence.as_ref().map(|s| s.matches(path)).unwrap_or(true)
+        self.sequence
+            .as_ref()
+            .map(|s| s.matches(path))
+            .unwrap_or(true)
             && self.acl.permits(path)
             && self.transit.permits(path)
     }
@@ -391,7 +400,10 @@ mod tests {
 
     #[test]
     fn preference_parsing() {
-        assert_eq!("latency".parse::<Preference>().unwrap(), Preference::Latency);
+        assert_eq!(
+            "latency".parse::<Preference>().unwrap(),
+            Preference::Latency
+        );
         assert_eq!("green".parse::<Preference>().unwrap(), Preference::Green);
         assert!("fastest".parse::<Preference>().is_err());
         assert_eq!(Preference::available().len(), 5);
@@ -399,10 +411,11 @@ mod tests {
 
     #[test]
     fn combined_policy_filter() {
-        let mut policy = PathPolicy::default();
-        policy.acl = Acl::default().deny("71-2-0".parse().unwrap_or(HopPredicate::any()));
-        policy.acl = Acl::default().deny("71-2".parse().unwrap());
-        policy.transit = TransitPolicy::new(vec![ia("64-559")]);
+        let policy = PathPolicy {
+            acl: Acl::default().deny("71-2".parse().unwrap()),
+            transit: TransitPolicy::new(vec![ia("64-559")]),
+            ..Default::default()
+        };
         let mut paths = vec![
             path(&["71-10", "71-1", "71-11"]),
             path(&["71-10", "71-2", "71-11"]),

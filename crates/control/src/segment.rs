@@ -84,12 +84,18 @@ pub struct PathSegment {
 impl PathSegment {
     /// The origin core AS.
     pub fn origin(&self) -> IsdAsn {
-        self.entries.first().expect("segment has at least one entry").ia
+        self.entries
+            .first()
+            .expect("segment has at least one entry")
+            .ia
     }
 
     /// The final AS (registering AS for up/down segments).
     pub fn terminus(&self) -> IsdAsn {
-        self.entries.last().expect("segment has at least one entry").ia
+        self.entries
+            .last()
+            .expect("segment has at least one entry")
+            .ia
     }
 
     /// Number of AS-level hops.
@@ -179,9 +185,8 @@ impl PathSegment {
         for (i, e) in self.entries.iter().enumerate() {
             let key = keys(e.ia)
                 .ok_or_else(|| ControlError::BadSegment(format!("no key for {}", e.ia)))?;
-            key.verify(&self.signable_bytes(i), &e.signature).map_err(|_| {
-                ControlError::BadSegment(format!("signature of {} invalid", e.ia))
-            })?;
+            key.verify(&self.signable_bytes(i), &e.signature)
+                .map_err(|_| ControlError::BadSegment(format!("signature of {} invalid", e.ia)))?;
             if let Some(hk) = hop_keys(e.ia) {
                 let beta = self.beta_at(i);
                 let input = HopMacInput {
@@ -192,7 +197,10 @@ impl PathSegment {
                     cons_egress: e.hop.cons_egress,
                 };
                 if !hk.verify(&input, &e.hop.mac) {
-                    return Err(ControlError::BadSegment(format!("hop MAC of {} invalid", e.ia)));
+                    return Err(ControlError::BadSegment(format!(
+                        "hop MAC of {} invalid",
+                        e.ia
+                    )));
                 }
                 let beta_next = self.beta_at(i + 1);
                 for p in &e.peers {
@@ -261,7 +269,12 @@ impl SegmentBuilder {
     /// Originates a new segment at a core AS.
     pub fn originate(seg_type: SegmentType, timestamp: u32, beta0: u16) -> Self {
         SegmentBuilder {
-            segment: PathSegment { seg_type, timestamp, beta0, entries: Vec::new() },
+            segment: PathSegment {
+                seg_type,
+                timestamp,
+                beta0,
+                entries: Vec::new(),
+            },
         }
     }
 
@@ -367,7 +380,11 @@ mod tests {
     }
 
     fn key_fn(all: &[AsSecrets]) -> impl Fn(IsdAsn) -> Option<VerifyingKey> + '_ {
-        move |ia| all.iter().find(|s| s.ia == ia).map(|s| s.signing.verifying_key())
+        move |ia| {
+            all.iter()
+                .find(|s| s.ia == ia)
+                .map(|s| s.signing.verifying_key())
+        }
     }
 
     fn hop_fn(all: &[AsSecrets]) -> impl Fn(IsdAsn) -> Option<HopKey> + '_ {

@@ -59,7 +59,10 @@ impl SegmentStore {
 
     /// Up segments of a non-core AS (traversed leaf→core).
     pub fn up_segments(&self, leaf: IsdAsn) -> Vec<&PathSegment> {
-        self.up_down.get(&leaf).map(|v| v.iter().collect()).unwrap_or_default()
+        self.up_down
+            .get(&leaf)
+            .map(|v| v.iter().collect())
+            .unwrap_or_default()
     }
 
     /// Down segments toward a non-core AS (traversed core→leaf). The same
@@ -71,7 +74,10 @@ impl SegmentStore {
 
     /// All registered segments.
     pub fn all_segments(&self) -> impl Iterator<Item = &PathSegment> {
-        self.core.values().flatten().chain(self.up_down.values().flatten())
+        self.core
+            .values()
+            .flatten()
+            .chain(self.up_down.values().flatten())
     }
 
     /// Total number of registered segments.
@@ -104,11 +110,7 @@ impl SegmentStore {
     /// The core ASes that appear as an origin or terminus of any core
     /// segment (a proxy for "known core ASes").
     pub fn known_cores(&self) -> Vec<IsdAsn> {
-        let mut out: Vec<IsdAsn> = self
-            .core
-            .keys()
-            .flat_map(|(a, b)| [*a, *b])
-            .collect();
+        let mut out: Vec<IsdAsn> = self.core.keys().flat_map(|(a, b)| [*a, *b]).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -179,6 +181,9 @@ mod tests {
         let mut store = SegmentStore::new();
         store.register_core(core_seg("71-2", "71-1", 100));
         store.register_core(core_seg("71-3", "71-1", 100));
-        assert_eq!(store.known_cores(), vec![ia("71-1"), ia("71-2"), ia("71-3")]);
+        assert_eq!(
+            store.known_cores(),
+            vec![ia("71-1"), ia("71-2"), ia("71-3")]
+        );
     }
 }

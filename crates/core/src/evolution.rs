@@ -18,13 +18,13 @@
 
 use std::collections::BTreeMap;
 
+use sciera_topology::ases::{all_ases, AsInfo, Region};
+use sciera_topology::links::link_inventory;
 use scion_control::beacon::{BeaconConfig, BeaconEngine};
 use scion_control::combine::combine_paths;
 use scion_control::graph::{ControlGraph, LinkType};
 use scion_control::store::SegmentStore;
 use scion_proto::addr::{IsdAsn, IsdNumber};
-use sciera_topology::ases::{all_ases, AsInfo, Region};
-use sciera_topology::links::link_inventory;
 
 /// The regional ISD numbers of the §3.3 vision.
 pub fn isd_for_region(region: Region) -> IsdNumber {
@@ -77,7 +77,10 @@ impl RegionalSplit {
             let new = if a.ia.isd.0 == 64 {
                 a.ia
             } else {
-                IsdAsn { isd: isd_for_region(a.region), asn: a.ia.asn }
+                IsdAsn {
+                    isd: isd_for_region(a.region),
+                    asn: a.ia.asn,
+                }
             };
             mapping.insert(a.ia, new);
         }
@@ -106,7 +109,10 @@ impl RegionalSplit {
         // Each regional ISD needs at least one core AS.
         let mut members: BTreeMap<IsdNumber, Vec<IsdAsn>> = BTreeMap::new();
         for a in &ases {
-            members.entry(new_ia(a.ia).isd).or_default().push(new_ia(a.ia));
+            members
+                .entry(new_ia(a.ia).isd)
+                .or_default()
+                .push(new_ia(a.ia));
         }
 
         // Rebuild the graph under the new numbering.
@@ -116,7 +122,11 @@ impl RegionalSplit {
         }
         for l in &inventory {
             let (na, nb) = (new_ia(l.a), new_ia(l.b));
-            let lt = if na.isd != nb.isd { LinkType::Core } else { l.link_type };
+            let lt = if na.isd != nb.isd {
+                LinkType::Core
+            } else {
+                l.link_type
+            };
             // Intra-ISD links between two cores must also be core links.
             let lt = if core[&l.a] && core[&l.b] && lt == LinkType::Child {
                 LinkType::Core
@@ -127,8 +137,16 @@ impl RegionalSplit {
             graph.add_as(nb, core[&l.b]);
             graph.connect(na, nb, lt).expect("inventory ASes exist");
         }
-        graph.validate().expect("regional split yields a valid multi-ISD graph");
-        RegionalSplit { mapping, promoted_cores, reclassified_links: reclassified, graph, members }
+        graph
+            .validate()
+            .expect("regional split yields a valid multi-ISD graph");
+        RegionalSplit {
+            mapping,
+            promoted_cores,
+            reclassified_links: reclassified,
+            graph,
+            members,
+        }
     }
 
     /// Beacons the split network and returns the segment store.
@@ -209,9 +227,10 @@ mod tests {
         isds.dedup();
         assert_eq!(isds, vec![64, 72, 73, 74, 75, 76]);
         // WACREN got promoted (its GEANT uplink now crosses ISDs).
-        assert!(split
-            .promoted_cores
-            .contains(&ia("71-37288")), "WACREN must become the SCIERA-AF core");
+        assert!(
+            split.promoted_cores.contains(&ia("71-37288")),
+            "WACREN must become the SCIERA-AF core"
+        );
         assert!(!split.reclassified_links.is_empty());
         // Every regional ISD has at least one core.
         for (isd, q) in split.quorums() {

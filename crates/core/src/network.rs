@@ -5,23 +5,24 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use sciera_telemetry::Telemetry;
+use sciera_topology::ases::{all_ases, AsInfo};
+use sciera_topology::links::{build_control_graph, BuiltTopology};
 use scion_bootstrap::server::{BootstrapServer, TopologyDocument};
 use scion_control::beacon::{BeaconConfig, BeaconEngine};
-use scion_control::combine::combine_paths;
+use scion_control::combine::combine_paths_traced;
 use scion_control::fullpath::FullPath;
 use scion_control::segment::AsSecrets;
 use scion_control::store::SegmentStore;
 use scion_cppki::ca::{CaService, ClientProfile};
 use scion_cppki::cert::{CertType, Certificate};
 use scion_cppki::trc::{Trc, TrcKeyEntry};
-use scion_dataplane::router::{BorderRouter, Decision};
 use scion_daemon::trust::TrustStore;
+use scion_dataplane::router::{BorderRouter, Decision};
 use scion_orchestrator::renewal::{bootstrap_driver, RenewalDriver};
 use scion_proto::addr::{IsdAsn, IsdNumber, ScionAddr};
 use scion_proto::encap::UnderlayAddr;
 use scion_proto::packet::ScionPacket;
-use sciera_topology::ases::{all_ases, AsInfo};
-use sciera_topology::links::{build_control_graph, BuiltTopology};
 
 /// Errors from network operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,7 +75,10 @@ pub struct NetworkConfig {
 
 impl Default for NetworkConfig {
     fn default() -> Self {
-        NetworkConfig { candidates_per_origin: 8, now_unix: 1_700_000_000 }
+        NetworkConfig {
+            candidates_per_origin: 8,
+            now_unix: 1_700_000_000,
+        }
     }
 }
 
@@ -103,6 +107,7 @@ pub struct SciEraNetwork {
     pub ca71: CaService,
     /// Bootstrap servers per AS.
     pub bootstrap_servers: BTreeMap<IsdAsn, BootstrapServer>,
+    telemetry: Telemetry,
     inner: Arc<Mutex<Inner>>,
 }
 
@@ -110,6 +115,7 @@ impl SciEraNetwork {
     /// Builds the full deployment. Panics only on internal inconsistency —
     /// the topology and PKI wiring are fixed data.
     pub fn build(config: NetworkConfig) -> Self {
+        let telemetry = Telemetry::new();
         let topo = build_control_graph();
         let now = config.now_unix;
 
@@ -117,8 +123,12 @@ impl SciEraNetwork {
         let mut engine = BeaconEngine::new(
             &topo.graph,
             now as u32,
-            BeaconConfig { candidates_per_origin: config.candidates_per_origin, ..Default::default() },
+            BeaconConfig {
+                candidates_per_origin: config.candidates_per_origin,
+                ..Default::default()
+            },
         );
+        engine.set_telemetry(telemetry.clone());
         let store = engine.run().expect("beaconing over SCIERA succeeds");
         let secrets = engine.secrets().clone();
 
@@ -135,10 +145,8 @@ impl SciEraNetwork {
                 .iter()
                 .map(|&ia| TrcKeyEntry {
                     holder: ia,
-                    key: scion_crypto::sign::SigningKey::from_seed(
-                        format!("root-{ia}").as_bytes(),
-                    )
-                    .verifying_key(),
+                    key: scion_crypto::sign::SigningKey::from_seed(format!("root-{ia}").as_bytes())
+                        .verifying_key(),
                 })
                 .collect();
             let trc = Trc {
@@ -188,7 +196,9 @@ impl SciEraNetwork {
                 ClientProfile::OpenSource
             };
             let driver = bootstrap_driver(ca, a.ia, profile, now).expect("issuance succeeds");
-            trust.verify_chain(&driver.chain, now).expect("chain verifies against TRC");
+            trust
+                .verify_chain(&driver.chain, now)
+                .expect("chain verifies against TRC");
             renewal.insert(a.ia, driver);
         }
 
@@ -200,13 +210,18 @@ impl SciEraNetwork {
         let keys = |ia: IsdAsn| secrets.get(&ia).map(|s| s.signing.verifying_key());
         let hops = |ia: IsdAsn| secrets.get(&ia).map(|s| s.hop_key.clone());
         for seg in store.all_segments() {
-            seg.verify(&keys, &hops).expect("registered segment verifies");
+            seg.verify(&keys, &hops)
+                .expect("registered segment verifies");
         }
 
         // --- Data plane.
         let routers: BTreeMap<IsdAsn, BorderRouter> = secrets
             .iter()
-            .map(|(ia, s)| (*ia, BorderRouter::new(*ia, s.hop_key.clone())))
+            .map(|(ia, s)| {
+                let mut r = BorderRouter::new(*ia, s.hop_key.clone());
+                r.set_telemetry(telemetry.clone());
+                (*ia, r)
+            })
             .collect();
 
         // --- Bootstrap servers: one per AS, serving a signed topology.
@@ -237,6 +252,7 @@ impl SciEraNetwork {
             renewal,
             ca71: cas.remove(&71).expect("ISD 71 CA"),
             bootstrap_servers,
+            telemetry,
             inner: Arc::new(Mutex::new(Inner {
                 topo,
                 routers,
@@ -247,10 +263,17 @@ impl SciEraNetwork {
         }
     }
 
+    /// The network-wide telemetry handle: every border router, the beacon
+    /// engine and path combination report into it. Clone it into daemons,
+    /// monitors or bootstrap clients that should share the same registry.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
     /// Combined paths from `src` to `dst` honouring current link state.
     pub fn paths(&self, src: IsdAsn, dst: IsdAsn) -> Vec<FullPath> {
         let inner = self.inner.lock();
-        combine_paths(&self.store, src, dst, 200)
+        combine_paths_traced(&self.store, src, dst, 200, &self.telemetry)
             .into_iter()
             .filter(|p| {
                 let down = |i: usize| inner.link_down[i];
@@ -296,8 +319,12 @@ impl SciEraNetwork {
     /// AS, the reported interface and the probe's round-trip latency.
     pub fn traceroute(&self, src: ScionAddr, dst: IsdAsn) -> Vec<(IsdAsn, u64, f64)> {
         let paths = self.paths(src.ia, dst);
-        let Some(path) = paths.first() else { return Vec::new() };
-        let Ok(dp) = path.to_dataplane() else { return Vec::new() };
+        let Some(path) = paths.first() else {
+            return Vec::new();
+        };
+        let Ok(dp) = path.to_dataplane() else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for hop in 0..dp.hops.len() {
             let mut probe_path = dp.clone();
@@ -308,8 +335,11 @@ impl SciEraNetwork {
                 scion_proto::addr::ScionAddr::new(dst, scion_proto::addr::HostAddr::v4(0, 0, 0, 1)),
                 scion_proto::packet::L4Protocol::Scmp,
                 scion_proto::packet::DataPlanePath::Scion(probe_path),
-                scion_proto::scmp::ScmpMessage::TracerouteRequest { id: 7, seq: hop as u16 }
-                    .encode(),
+                scion_proto::scmp::ScmpMessage::TracerouteRequest {
+                    id: 7,
+                    seq: hop as u16,
+                }
+                .encode(),
             );
             let mut inner = self.inner.lock();
             if let Some((ia, ifid, rtt)) = inner.walk_traceroute(probe) {
@@ -325,7 +355,12 @@ impl SciEraNetwork {
             let mut inner = self.inner.lock();
             inner.inboxes.entry(addr).or_default();
         }
-        HostHandle { addr, net: Arc::clone(&self.inner), store: self.store.clone() }
+        HostHandle {
+            addr,
+            net: Arc::clone(&self.inner),
+            store: self.store.clone(),
+            telemetry: self.telemetry.clone(),
+        }
     }
 }
 
@@ -341,8 +376,7 @@ impl Inner {
             let router = self.routers.get(&current)?;
             if let Some(reply) = router.traceroute_probe(&pkt, ingress) {
                 let msg = scion_proto::scmp::ScmpMessage::decode(&reply.payload).ok()?;
-                if let scion_proto::scmp::ScmpMessage::TracerouteReply { ia, interface, .. } = msg
-                {
+                if let scion_proto::scmp::ScmpMessage::TracerouteReply { ia, interface, .. } = msg {
                     // The reply retraces the probe's links.
                     return Some((ia, interface, 2.0 * latency));
                 }
@@ -388,7 +422,11 @@ impl Inner {
                 Ok(Decision::Deliver(p)) => {
                     let dst = p.dst;
                     self.inboxes.entry(dst).or_default().push_back(p.clone());
-                    return Ok(Delivery { packet: p, route, latency_ms: latency });
+                    return Ok(Delivery {
+                        packet: p,
+                        route,
+                        latency_ms: latency,
+                    });
                 }
                 Ok(Decision::Forward { ifid, packet: p }) => {
                     let li = self
@@ -430,12 +468,18 @@ pub struct HostHandle {
     pub addr: ScionAddr,
     net: Arc<Mutex<Inner>>,
     store: SegmentStore,
+    telemetry: Telemetry,
 }
 
 impl HostHandle {
     /// A PAN transport for this host (plug into `PanSocket::bind`).
     pub fn transport(&self) -> SimTransport {
-        SimTransport { local: self.addr, net: Arc::clone(&self.net), store: self.store.clone() }
+        SimTransport {
+            local: self.addr,
+            net: Arc::clone(&self.net),
+            store: self.store.clone(),
+            telemetry: self.telemetry.clone(),
+        }
     }
 }
 
@@ -444,6 +488,7 @@ pub struct SimTransport {
     local: ScionAddr,
     net: Arc<Mutex<Inner>>,
     store: SegmentStore,
+    telemetry: Telemetry,
 }
 
 impl scion_pan::socket::PanTransport for SimTransport {
@@ -465,7 +510,7 @@ impl scion_pan::socket::PanTransport for SimTransport {
 
     fn lookup_paths(&mut self, dst: IsdAsn) -> Vec<FullPath> {
         let inner = self.net.lock();
-        combine_paths(&self.store, self.local.ia, dst, 200)
+        combine_paths_traced(&self.store, self.local.ia, dst, 200, &self.telemetry)
             .into_iter()
             .filter(|p| {
                 let down = |i: usize| inner.link_down[i];
@@ -496,7 +541,11 @@ mod tests {
         assert!(net.trust.trc_serial(IsdNumber(71)).is_some());
         assert!(net.trust.trc_serial(IsdNumber(64)).is_some());
         assert_eq!(net.trust.verified_as_count(), all_ases().len());
-        assert!(net.store.len() > 100, "segments registered: {}", net.store.len());
+        assert!(
+            net.store.len() > 100,
+            "segments registered: {}",
+            net.store.len()
+        );
     }
 
     #[test]
@@ -539,7 +588,11 @@ mod tests {
             scion_proto::udp::UdpDatagram::new(1, 2, b"x".to_vec()).encode(),
         );
         let delivery = net.walk_packet(pkt).unwrap();
-        assert_eq!(delivery.route, p.ases(), "data plane follows the combined path");
+        assert_eq!(
+            delivery.route,
+            p.ases(),
+            "data plane follows the combined path"
+        );
         // Packet-level one-way latency x2 (+ per-AS processing) equals the
         // analytic RTT used by the measurement campaign.
         let analytic = {
@@ -547,8 +600,8 @@ mod tests {
             let down = |i: usize| inner.link_down[i];
             inner.topo.path_rtt_ms(p, &down).unwrap()
         };
-        let packet_level =
-            2.0 * (delivery.latency_ms + p.len() as f64 * sciera_topology::links::PER_AS_OVERHEAD_MS);
+        let packet_level = 2.0
+            * (delivery.latency_ms + p.len() as f64 * sciera_topology::links::PER_AS_OVERHEAD_MS);
         assert!(
             (analytic - packet_level).abs() < 1e-6,
             "analytic {analytic} vs packet-level {packet_level}"
@@ -568,7 +621,7 @@ mod tests {
         // Princeton's only uplink dies.
         assert_eq!(net.set_links("BRIDGES-Princeton", false), 1);
         client.send(b"two").unwrap(); // walks into the dead link; SCMP comes back
-        // Poll: consumes the SCMP, kills the path.
+                                      // Poll: consumes the SCMP, kills the path.
         assert!(client.poll_recv().is_none());
         // With the single uplink dead there is no alternative path left.
         assert!(client.send(b"three").is_err());
@@ -580,7 +633,8 @@ mod tests {
         client2.connect(princeton.addr, 9000).unwrap();
         client2.send(b"four").unwrap();
         let mut server = PanSocket::bind(princeton.addr, 9000, princeton.transport());
-        let got: Vec<Vec<u8>> = std::iter::from_fn(|| server.poll_recv().map(|(p, _, _)| p)).collect();
+        let got: Vec<Vec<u8>> =
+            std::iter::from_fn(|| server.poll_recv().map(|(p, _, _)| p)).collect();
         assert!(got.contains(&b"one".to_vec()));
         assert!(got.contains(&b"four".to_vec()));
         assert!(!got.contains(&b"two".to_vec()));
@@ -601,7 +655,10 @@ mod tests {
         let before = net.paths(ia("71-2:0:3b"), ia("71-2:0:3d")).len();
         net.set_links("Daejeon-Singapore direct", false);
         let after = net.paths(ia("71-2:0:3b"), ia("71-2:0:3d")).len();
-        assert!(after < before, "cable cut must remove paths ({before} -> {after})");
+        assert!(
+            after < before,
+            "cable cut must remove paths ({before} -> {after})"
+        );
         assert!(after >= 1, "ring still provides connectivity");
     }
 }

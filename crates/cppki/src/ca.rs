@@ -41,7 +41,11 @@ pub struct CsrRequest {
 
 impl CsrRequest {
     /// Canonical bytes covered by the proof-of-possession signature.
-    pub fn signed_bytes(subject: IsdAsn, public_key: &VerifyingKey, profile: ClientProfile) -> Vec<u8> {
+    pub fn signed_bytes(
+        subject: IsdAsn,
+        public_key: &VerifyingKey,
+        profile: ClientProfile,
+    ) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
         // The two stacks frame their CSRs differently; the CA normalises
         // both to the same canonical form after checking the profile tag.
@@ -62,7 +66,12 @@ impl CsrRequest {
         enrolment_key: &SigningKey,
     ) -> Self {
         let proof = enrolment_key.sign(&Self::signed_bytes(subject, &public_key, profile));
-        CsrRequest { subject, public_key, profile, proof }
+        CsrRequest {
+            subject,
+            public_key,
+            profile,
+            proof,
+        }
     }
 }
 
@@ -117,10 +126,17 @@ impl CaService {
     }
 
     /// Processes a CSR at time `now`, returning a full chain on success.
-    pub fn process_csr(&mut self, csr: &CsrRequest, now: u64) -> Result<CertificateChain, PkiError> {
+    pub fn process_csr(
+        &mut self,
+        csr: &CsrRequest,
+        now: u64,
+    ) -> Result<CertificateChain, PkiError> {
         let Some((_, enrolment_key)) = self.enrolled.iter().find(|(ia, _)| *ia == csr.subject)
         else {
-            return Err(PkiError::Refused(format!("{} is not enrolled", csr.subject)));
+            return Err(PkiError::Refused(format!(
+                "{} is not enrolled",
+                csr.subject
+            )));
         };
         let msg = CsrRequest::signed_bytes(csr.subject, &csr.public_key, csr.profile);
         enrolment_key
@@ -145,7 +161,10 @@ impl CaService {
             &self.ca_key,
         );
         self.issuance_log.push((serial, csr.subject, now));
-        Ok(CertificateChain { as_cert, ca_cert: self.ca_cert.clone() })
+        Ok(CertificateChain {
+            as_cert,
+            ca_cert: self.ca_cert.clone(),
+        })
     }
 
     /// Whether a certificate should be renewed now, per the automated
@@ -191,11 +210,18 @@ mod tests {
         ca.enrol(ia("71-2:0:42"), enrol_key.verifying_key());
         for profile in [ClientProfile::OpenSource, ClientProfile::AnapayaCore] {
             let as_key = SigningKey::from_seed(b"ovgu-as");
-            let csr = CsrRequest::build(ia("71-2:0:42"), as_key.verifying_key(), profile, &enrol_key);
+            let csr =
+                CsrRequest::build(ia("71-2:0:42"), as_key.verifying_key(), profile, &enrol_key);
             let chain = ca.process_csr(&csr, 1000).unwrap();
             assert_eq!(chain.as_cert.subject, ia("71-2:0:42"));
-            assert_eq!(chain.as_cert.valid_until, 1000 + DEFAULT_AS_CERT_LIFETIME_SECS);
-            chain.as_cert.verify_signature(&ca.ca_cert.public_key).unwrap();
+            assert_eq!(
+                chain.as_cert.valid_until,
+                1000 + DEFAULT_AS_CERT_LIFETIME_SECS
+            );
+            chain
+                .as_cert
+                .verify_signature(&ca.ca_cert.public_key)
+                .unwrap();
         }
         assert_eq!(ca.issued_count(), 2);
     }
@@ -220,8 +246,16 @@ mod tests {
         ca.enrol(ia("71-88"), enrol_key.verifying_key());
         let wrong_key = SigningKey::from_seed(b"not-the-enrol-key");
         let as_key = SigningKey::from_seed(b"as");
-        let csr = CsrRequest::build(ia("71-88"), as_key.verifying_key(), ClientProfile::OpenSource, &wrong_key);
-        assert!(matches!(ca.process_csr(&csr, 0), Err(PkiError::BadSignature(_))));
+        let csr = CsrRequest::build(
+            ia("71-88"),
+            as_key.verifying_key(),
+            ClientProfile::OpenSource,
+            &wrong_key,
+        );
+        assert!(matches!(
+            ca.process_csr(&csr, 0),
+            Err(PkiError::BadSignature(_))
+        ));
     }
 
     #[test]
@@ -232,9 +266,17 @@ mod tests {
         let enrol_key = SigningKey::from_seed(b"enrol");
         ca.enrol(ia("71-88"), enrol_key.verifying_key());
         let as_key = SigningKey::from_seed(b"as");
-        let mut csr = CsrRequest::build(ia("71-88"), as_key.verifying_key(), ClientProfile::OpenSource, &enrol_key);
+        let mut csr = CsrRequest::build(
+            ia("71-88"),
+            as_key.verifying_key(),
+            ClientProfile::OpenSource,
+            &enrol_key,
+        );
         csr.profile = ClientProfile::AnapayaCore;
-        assert!(matches!(ca.process_csr(&csr, 0), Err(PkiError::BadSignature(_))));
+        assert!(matches!(
+            ca.process_csr(&csr, 0),
+            Err(PkiError::BadSignature(_))
+        ));
     }
 
     #[test]
@@ -243,7 +285,12 @@ mod tests {
         let enrol_key = SigningKey::from_seed(b"enrol");
         ca.enrol(ia("64-559"), enrol_key.verifying_key());
         let as_key = SigningKey::from_seed(b"as");
-        let csr = CsrRequest::build(ia("64-559"), as_key.verifying_key(), ClientProfile::OpenSource, &enrol_key);
+        let csr = CsrRequest::build(
+            ia("64-559"),
+            as_key.verifying_key(),
+            ClientProfile::OpenSource,
+            &enrol_key,
+        );
         assert!(matches!(ca.process_csr(&csr, 0), Err(PkiError::Refused(_))));
     }
 
@@ -253,7 +300,12 @@ mod tests {
         let enrol_key = SigningKey::from_seed(b"enrol");
         ca.enrol(ia("71-88"), enrol_key.verifying_key());
         let as_key = SigningKey::from_seed(b"as");
-        let csr = CsrRequest::build(ia("71-88"), as_key.verifying_key(), ClientProfile::OpenSource, &enrol_key);
+        let csr = CsrRequest::build(
+            ia("71-88"),
+            as_key.verifying_key(),
+            ClientProfile::OpenSource,
+            &enrol_key,
+        );
         let c1 = ca.process_csr(&csr, 0).unwrap();
         let c2 = ca.process_csr(&csr, 10).unwrap();
         assert!(c2.as_cert.serial > c1.as_cert.serial);
@@ -265,7 +317,12 @@ mod tests {
         let enrol_key = SigningKey::from_seed(b"enrol");
         ca.enrol(ia("71-88"), enrol_key.verifying_key());
         let as_key = SigningKey::from_seed(b"as");
-        let csr = CsrRequest::build(ia("71-88"), as_key.verifying_key(), ClientProfile::OpenSource, &enrol_key);
+        let csr = CsrRequest::build(
+            ia("71-88"),
+            as_key.verifying_key(),
+            ClientProfile::OpenSource,
+            &enrol_key,
+        );
         let chain = ca.process_csr(&csr, 0).unwrap();
         let lifetime = DEFAULT_AS_CERT_LIFETIME_SECS;
         assert!(!CaService::needs_renewal(&chain.as_cert, 0));

@@ -145,7 +145,9 @@ impl CertificateChain {
             return Err(PkiError::BadChain("leaf is not an AS certificate".into()));
         }
         if self.ca_cert.cert_type != CertType::Ca {
-            return Err(PkiError::BadChain("intermediate is not a CA certificate".into()));
+            return Err(PkiError::BadChain(
+                "intermediate is not a CA certificate".into(),
+            ));
         }
         self.as_cert.check_validity(now)?;
         self.ca_cert.check_validity(now)?;
@@ -191,8 +193,14 @@ mod tests {
             valid_until: 10_000_000,
             core_ases: vec![core],
             authoritative_ases: vec![core],
-            voting_keys: vec![TrcKeyEntry { holder: core, key: root_key.verifying_key() }],
-            root_keys: vec![TrcKeyEntry { holder: core, key: root_key.verifying_key() }],
+            voting_keys: vec![TrcKeyEntry {
+                holder: core,
+                key: root_key.verifying_key(),
+            }],
+            root_keys: vec![TrcKeyEntry {
+                holder: core,
+                key: root_key.verifying_key(),
+            }],
             quorum: 1,
             votes: vec![],
         };
@@ -216,7 +224,13 @@ mod tests {
             7,
             &ca_key,
         );
-        Pki { trc, root_key, ca_key, as_key, chain: CertificateChain { as_cert, ca_cert } }
+        Pki {
+            trc,
+            root_key,
+            ca_key,
+            as_key,
+            chain: CertificateChain { as_cert, ca_cert },
+        }
     }
 
     #[test]
@@ -238,7 +252,10 @@ mod tests {
     fn tampered_as_cert_rejected() {
         let mut pki = setup();
         pki.chain.as_cert.valid_until += 1;
-        assert!(matches!(pki.chain.verify(&pki.trc, 1000), Err(PkiError::BadSignature(_))));
+        assert!(matches!(
+            pki.chain.verify(&pki.trc, 1000),
+            Err(PkiError::BadSignature(_))
+        ));
     }
 
     #[test]
@@ -255,7 +272,10 @@ mod tests {
             1,
             &rogue_root,
         );
-        assert!(matches!(pki.chain.verify(&pki.trc, 1000), Err(PkiError::BadSignature(_))));
+        assert!(matches!(
+            pki.chain.verify(&pki.trc, 1000),
+            Err(PkiError::BadSignature(_))
+        ));
     }
 
     #[test]
@@ -271,21 +291,30 @@ mod tests {
             7,
             &pki.ca_key,
         );
-        assert!(matches!(pki.chain.verify(&pki.trc, 1000), Err(PkiError::BadChain(_))));
+        assert!(matches!(
+            pki.chain.verify(&pki.trc, 1000),
+            Err(PkiError::BadChain(_))
+        ));
     }
 
     #[test]
     fn wrong_cert_types_rejected() {
         let mut pki = setup();
         std::mem::swap(&mut pki.chain.as_cert, &mut pki.chain.ca_cert);
-        assert!(matches!(pki.chain.verify(&pki.trc, 1000), Err(PkiError::BadChain(_))));
+        assert!(matches!(
+            pki.chain.verify(&pki.trc, 1000),
+            Err(PkiError::BadChain(_))
+        ));
     }
 
     #[test]
     fn unknown_root_rejected() {
         let mut pki = setup();
         pki.trc.root_keys.clear();
-        assert!(matches!(pki.chain.verify(&pki.trc, 1000), Err(PkiError::BadChain(_))));
+        assert!(matches!(
+            pki.chain.verify(&pki.trc, 1000),
+            Err(PkiError::BadChain(_))
+        ));
     }
 
     #[test]
@@ -310,13 +339,34 @@ mod tests {
         let pki = setup();
         let base = pki.chain.as_cert.clone();
         let mutations: Vec<Certificate> = vec![
-            Certificate { subject: ia("71-1"), ..base.clone() },
-            Certificate { cert_type: CertType::Ca, ..base.clone() },
-            Certificate { valid_from: base.valid_from + 1, ..base.clone() },
-            Certificate { valid_until: base.valid_until + 1, ..base.clone() },
-            Certificate { issuer: ia("71-1"), ..base.clone() },
-            Certificate { serial: base.serial + 1, ..base.clone() },
-            Certificate { public_key: pki.root_key.verifying_key(), ..base.clone() },
+            Certificate {
+                subject: ia("71-1"),
+                ..base.clone()
+            },
+            Certificate {
+                cert_type: CertType::Ca,
+                ..base.clone()
+            },
+            Certificate {
+                valid_from: base.valid_from + 1,
+                ..base.clone()
+            },
+            Certificate {
+                valid_until: base.valid_until + 1,
+                ..base.clone()
+            },
+            Certificate {
+                issuer: ia("71-1"),
+                ..base.clone()
+            },
+            Certificate {
+                serial: base.serial + 1,
+                ..base.clone()
+            },
+            Certificate {
+                public_key: pki.root_key.verifying_key(),
+                ..base.clone()
+            },
         ];
         for m in mutations {
             assert!(

@@ -74,10 +74,18 @@ impl core::fmt::Display for PkiError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             PkiError::BadSignature(s) => write!(f, "bad signature: {s}"),
-            PkiError::Expired { what, valid_until, now } => {
+            PkiError::Expired {
+                what,
+                valid_until,
+                now,
+            } => {
                 write!(f, "{what} expired at {valid_until}, now {now}")
             }
-            PkiError::NotYetValid { what, valid_from, now } => {
+            PkiError::NotYetValid {
+                what,
+                valid_from,
+                now,
+            } => {
                 write!(f, "{what} not valid before {valid_from}, now {now}")
             }
             PkiError::InsufficientVotes { got, needed } => {

@@ -103,7 +103,11 @@ impl Trc {
             });
         }
         if now > self.valid_until {
-            return Err(PkiError::Expired { what: self.id(), valid_until: self.valid_until, now });
+            return Err(PkiError::Expired {
+                what: self.id(),
+                valid_until: self.valid_until,
+                now,
+            });
         }
         Ok(())
     }
@@ -146,14 +150,20 @@ impl Trc {
             }
         }
         if valid < predecessor.quorum {
-            return Err(PkiError::InsufficientVotes { got: valid, needed: predecessor.quorum });
+            return Err(PkiError::InsufficientVotes {
+                got: valid,
+                needed: predecessor.quorum,
+            });
         }
         Ok(())
     }
 
     /// Looks up a root key by holder AS.
     pub fn root_key_of(&self, holder: IsdAsn) -> Option<&VerifyingKey> {
-        self.root_keys.iter().find(|e| e.holder == holder).map(|e| &e.key)
+        self.root_keys
+            .iter()
+            .find(|e| e.holder == holder)
+            .map(|e| &e.key)
     }
 }
 
@@ -226,11 +236,17 @@ mod tests {
             authoritative_ases: vec![keys[0].0],
             voting_keys: keys
                 .iter()
-                .map(|(ia, k)| TrcKeyEntry { holder: *ia, key: k.verifying_key() })
+                .map(|(ia, k)| TrcKeyEntry {
+                    holder: *ia,
+                    key: k.verifying_key(),
+                })
                 .collect(),
             root_keys: keys
                 .iter()
-                .map(|(ia, k)| TrcKeyEntry { holder: *ia, key: k.verifying_key() })
+                .map(|(ia, k)| TrcKeyEntry {
+                    holder: *ia,
+                    key: k.verifying_key(),
+                })
                 .collect(),
             quorum: 2,
             votes: vec![],
@@ -273,7 +289,10 @@ mod tests {
         let base = base_trc(&keys);
         let mut next = successor(&base, &keys, &[0]);
         next.add_vote(keys[0].0, &keys[0].1); // same voter again
-        assert!(matches!(next.verify_update(&base), Err(PkiError::InsufficientVotes { got: 1, .. })));
+        assert!(matches!(
+            next.verify_update(&base),
+            Err(PkiError::InsufficientVotes { got: 1, .. })
+        ));
     }
 
     #[test]
@@ -297,7 +316,10 @@ mod tests {
         let attacker = SigningKey::from_seed(b"attacker");
         next.add_vote(keys[0].0, &attacker);
         next.add_vote(keys[1].0, &attacker);
-        assert!(matches!(next.verify_update(&base), Err(PkiError::InsufficientVotes { .. })));
+        assert!(matches!(
+            next.verify_update(&base),
+            Err(PkiError::InsufficientVotes { .. })
+        ));
     }
 
     #[test]
@@ -306,7 +328,10 @@ mod tests {
         let base = base_trc(&keys);
         let mut next = successor(&base, &keys, &[0, 1]);
         next.serial += 1; // skip one — votes also become stale but chain check fires first
-        assert!(matches!(next.verify_update(&base), Err(PkiError::BrokenChain(_))));
+        assert!(matches!(
+            next.verify_update(&base),
+            Err(PkiError::BrokenChain(_))
+        ));
     }
 
     #[test]
@@ -316,7 +341,10 @@ mod tests {
         let mut next = base.clone();
         next.base = 2;
         next.serial = 2;
-        assert!(matches!(next.verify_update(&base), Err(PkiError::BrokenChain(_))));
+        assert!(matches!(
+            next.verify_update(&base),
+            Err(PkiError::BrokenChain(_))
+        ));
     }
 
     #[test]
@@ -326,7 +354,10 @@ mod tests {
         let mut next = successor(&base, &keys, &[0, 1]);
         // Tamper after voting: add a rogue core AS.
         next.core_ases.push(ia("71-9999"));
-        assert!(matches!(next.verify_update(&base), Err(PkiError::InsufficientVotes { .. })));
+        assert!(matches!(
+            next.verify_update(&base),
+            Err(PkiError::InsufficientVotes { .. })
+        ));
     }
 
     #[test]
@@ -351,7 +382,10 @@ mod tests {
         let base = base_trc(&keys);
         let mut store = TrcStore::new();
         let next = successor(&base, &keys, &[0, 1]);
-        assert!(matches!(store.apply_update(next), Err(PkiError::BrokenChain(_))));
+        assert!(matches!(
+            store.apply_update(next),
+            Err(PkiError::BrokenChain(_))
+        ));
     }
 
     #[test]
@@ -359,10 +393,16 @@ mod tests {
         let keys = core_keys();
         let trc = base_trc(&keys);
         assert!(trc.check_validity(500).is_ok());
-        assert!(matches!(trc.check_validity(1_000_001), Err(PkiError::Expired { .. })));
+        assert!(matches!(
+            trc.check_validity(1_000_001),
+            Err(PkiError::Expired { .. })
+        ));
         let mut later = trc.clone();
         later.valid_from = 100;
-        assert!(matches!(later.check_validity(50), Err(PkiError::NotYetValid { .. })));
+        assert!(matches!(
+            later.check_validity(50),
+            Err(PkiError::NotYetValid { .. })
+        ));
     }
 
     #[test]

@@ -157,18 +157,32 @@ mod tests {
 
     #[test]
     fn fips197_appendix_c1() {
-        let key: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
-        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let key: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
         let aes = Aes128::new(&key);
-        assert_eq!(to_hex(&aes.encrypt(&pt)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(
+            to_hex(&aes.encrypt(&pt)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+        );
     }
 
     #[test]
     fn fips197_appendix_b() {
-        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-        let pt: [u8; 16] = from_hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = from_hex("3243f6a8885a308d313198a2e0370734")
+            .try_into()
+            .unwrap();
         let aes = Aes128::new(&key);
-        assert_eq!(to_hex(&aes.encrypt(&pt)), "3925841d02dc09fbdc118597196a0b32");
+        assert_eq!(
+            to_hex(&aes.encrypt(&pt)),
+            "3925841d02dc09fbdc118597196a0b32"
+        );
     }
 
     #[test]

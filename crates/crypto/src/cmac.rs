@@ -40,7 +40,7 @@ impl Cmac {
     /// Computes the full 16-byte tag over `message`.
     pub fn tag(&self, message: &[u8]) -> [u8; BLOCK_LEN] {
         let n_blocks = message.len().div_ceil(BLOCK_LEN).max(1);
-        let complete_last = !message.is_empty() && message.len() % BLOCK_LEN == 0;
+        let complete_last = !message.is_empty() && message.len().is_multiple_of(BLOCK_LEN);
 
         let mut x = [0u8; BLOCK_LEN];
         for i in 0..n_blocks - 1 {
@@ -60,8 +60,8 @@ impl Cmac {
         } else {
             last[..tail.len()].copy_from_slice(tail);
             last[tail.len()] = 0x80;
-            for j in 0..BLOCK_LEN {
-                last[j] ^= self.k2[j];
+            for (l, k) in last.iter_mut().zip(self.k2.iter()) {
+                *l ^= k;
             }
         }
         for j in 0..BLOCK_LEN {
@@ -98,19 +98,27 @@ mod tests {
     }
 
     fn rfc_key() -> Cmac {
-        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
         Cmac::new(&key)
     }
 
     #[test]
     fn rfc4493_empty() {
-        assert_eq!(to_hex(&rfc_key().tag(b"")), "bb1d6929e95937287fa37d129b756746");
+        assert_eq!(
+            to_hex(&rfc_key().tag(b"")),
+            "bb1d6929e95937287fa37d129b756746"
+        );
     }
 
     #[test]
     fn rfc4493_one_block() {
         let msg = from_hex("6bc1bee22e409f96e93d7e117393172a");
-        assert_eq!(to_hex(&rfc_key().tag(&msg)), "070a16b46b4d4144f79bdd9dd04a287c");
+        assert_eq!(
+            to_hex(&rfc_key().tag(&msg)),
+            "070a16b46b4d4144f79bdd9dd04a287c"
+        );
     }
 
     #[test]
@@ -118,7 +126,10 @@ mod tests {
         let msg = from_hex(
             "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411",
         );
-        assert_eq!(to_hex(&rfc_key().tag(&msg)), "dfa66747de9ae63030ca32611497c827");
+        assert_eq!(
+            to_hex(&rfc_key().tag(&msg)),
+            "dfa66747de9ae63030ca32611497c827"
+        );
     }
 
     #[test]
@@ -127,7 +138,10 @@ mod tests {
             "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
              30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
         );
-        assert_eq!(to_hex(&rfc_key().tag(&msg)), "51f0bebf7e3b9d92fc49741779363cfe");
+        assert_eq!(
+            to_hex(&rfc_key().tag(&msg)),
+            "51f0bebf7e3b9d92fc49741779363cfe"
+        );
     }
 
     #[test]

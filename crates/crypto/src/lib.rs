@@ -57,7 +57,10 @@ impl core::fmt::Display for CryptoError {
         match self {
             CryptoError::VerificationFailed => write!(f, "verification failed"),
             CryptoError::InvalidKeyLength { expected, got } => {
-                write!(f, "invalid key length: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "invalid key length: expected {expected} bytes, got {got}"
+                )
             }
             CryptoError::UnknownKey(name) => write!(f, "unknown key: {name}"),
         }
@@ -103,11 +106,21 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(CryptoError::VerificationFailed.to_string(), "verification failed");
         assert_eq!(
-            CryptoError::InvalidKeyLength { expected: 16, got: 3 }.to_string(),
+            CryptoError::VerificationFailed.to_string(),
+            "verification failed"
+        );
+        assert_eq!(
+            CryptoError::InvalidKeyLength {
+                expected: 16,
+                got: 3
+            }
+            .to_string(),
             "invalid key length: expected 16 bytes, got 3"
         );
-        assert_eq!(CryptoError::UnknownKey("k".into()).to_string(), "unknown key: k");
+        assert_eq!(
+            CryptoError::UnknownKey("k".into()).to_string(),
+            "unknown key: k"
+        );
     }
 }

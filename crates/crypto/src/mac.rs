@@ -65,12 +65,16 @@ impl HopKey {
             l
         };
         let key = derive_key16(master_secret, &label);
-        HopKey { cmac: Cmac::new(&key) }
+        HopKey {
+            cmac: Cmac::new(&key),
+        }
     }
 
     /// Creates a hop key directly from 16 bytes of key material.
     pub fn from_raw(key: &[u8; 16]) -> Self {
-        HopKey { cmac: Cmac::new(key) }
+        HopKey {
+            cmac: Cmac::new(key),
+        }
     }
 
     /// Computes the 6-byte hop-field MAC.
@@ -101,7 +105,13 @@ mod tests {
     use super::*;
 
     fn sample_input() -> HopMacInput {
-        HopMacInput { beta: 0x1234, timestamp: 1_700_000_000, exp_time: 63, cons_ingress: 3, cons_egress: 7 }
+        HopMacInput {
+            beta: 0x1234,
+            timestamp: 1_700_000_000,
+            exp_time: 63,
+            cons_ingress: 3,
+            cons_egress: 7,
+        }
     }
 
     #[test]
@@ -134,11 +144,26 @@ mod tests {
         let base = sample_input();
         let mac = key.mac(&base);
         let variants = [
-            HopMacInput { beta: base.beta ^ 1, ..base },
-            HopMacInput { timestamp: base.timestamp + 1, ..base },
-            HopMacInput { exp_time: base.exp_time + 1, ..base },
-            HopMacInput { cons_ingress: base.cons_ingress + 1, ..base },
-            HopMacInput { cons_egress: base.cons_egress + 1, ..base },
+            HopMacInput {
+                beta: base.beta ^ 1,
+                ..base
+            },
+            HopMacInput {
+                timestamp: base.timestamp + 1,
+                ..base
+            },
+            HopMacInput {
+                exp_time: base.exp_time + 1,
+                ..base
+            },
+            HopMacInput {
+                cons_ingress: base.cons_ingress + 1,
+                ..base
+            },
+            HopMacInput {
+                cons_egress: base.cons_egress + 1,
+                ..base
+            },
         ];
         for v in variants {
             assert!(!key.verify(&v, &mac), "mutated field accepted: {v:?}");
@@ -149,7 +174,10 @@ mod tests {
     fn beta_chaining_depends_on_hop() {
         let key = HopKey::derive(b"s", 1);
         let a = sample_input();
-        let b = HopMacInput { cons_egress: 9, ..a };
+        let b = HopMacInput {
+            cons_egress: 9,
+            ..a
+        };
         assert_ne!(key.chain_beta(&a), key.chain_beta(&b));
     }
 

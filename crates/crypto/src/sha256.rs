@@ -41,7 +41,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0u8; BLOCK_LEN], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.
@@ -77,9 +82,13 @@ impl Sha256 {
         // Padding: 0x80, zeros, 64-bit big-endian length.
         let mut pad = [0u8; BLOCK_LEN * 2];
         pad[0] = 0x80;
-        let pad_len = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
-        self.update_no_len(&pad[..pad_len + 8].to_vec());
+        self.update_no_len(&pad[..pad_len + 8]);
         let mut out = [0u8; DIGEST_LEN];
         for (i, w) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
@@ -177,7 +186,9 @@ mod tests {
     #[test]
     fn fips_vector_two_block() {
         assert_eq!(
-            to_hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            to_hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

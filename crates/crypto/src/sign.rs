@@ -76,12 +76,17 @@ impl SigningKey {
     /// Derives a key pair deterministically from a seed label — used to give
     /// every simulated AS a stable identity across runs.
     pub fn from_seed(seed: &[u8]) -> Self {
-        SigningKey { secret: hmac_sha256(b"sciera-signing-key-seed", seed) }
+        SigningKey {
+            secret: hmac_sha256(b"sciera-signing-key-seed", seed),
+        }
     }
 
     /// Returns the public half.
     pub fn verifying_key(&self) -> VerifyingKey {
-        VerifyingKey { secret: self.secret, key_id: sha256(&self.secret) }
+        VerifyingKey {
+            secret: self.secret,
+            key_id: sha256(&self.secret),
+        }
     }
 
     /// Signs a message.
@@ -133,7 +138,10 @@ mod tests {
         let sk = SigningKey::from_seed(b"as-64-559");
         let vk = sk.verifying_key();
         let sig = sk.sign(b"hello");
-        assert_eq!(vk.verify(b"hellO", &sig), Err(CryptoError::VerificationFailed));
+        assert_eq!(
+            vk.verify(b"hellO", &sig),
+            Err(CryptoError::VerificationFailed)
+        );
     }
 
     #[test]

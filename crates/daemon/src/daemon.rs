@@ -1,9 +1,11 @@
 //! Path lookup and caching.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+use sciera_telemetry::{Counter, Event, Severity, Telemetry};
 use scion_control::fullpath::FullPath;
 use scion_proto::addr::IsdAsn;
 use scion_proto::encap::UnderlayAddr;
@@ -38,7 +40,10 @@ pub struct DaemonConfig {
 
 impl Default for DaemonConfig {
     fn default() -> Self {
-        DaemonConfig { cache_ttl: 300, cache_capacity: 1024 }
+        DaemonConfig {
+            cache_ttl: 300,
+            cache_capacity: 1024,
+        }
     }
 }
 
@@ -69,6 +74,13 @@ pub struct Daemon<P: PathProvider> {
     config: DaemonConfig,
     cache: Mutex<HashMap<IsdAsn, CacheEntry>>,
     stats: Mutex<CacheStats>,
+    telemetry: Telemetry,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    invalidated: Counter,
+    /// Latest `now` seen by `paths()`, used to timestamp cache events.
+    last_now: AtomicU64,
 }
 
 impl<P: PathProvider> Daemon<P> {
@@ -79,6 +91,7 @@ impl<P: PathProvider> Daemon<P> {
         provider: P,
         config: DaemonConfig,
     ) -> Self {
+        let telemetry = Telemetry::quiet();
         Daemon {
             local_ia,
             control_service,
@@ -86,7 +99,22 @@ impl<P: PathProvider> Daemon<P> {
             config,
             cache: Mutex::new(HashMap::new()),
             stats: Mutex::new(CacheStats::default()),
+            hits: telemetry.counter("daemon.cache_hits"),
+            misses: telemetry.counter("daemon.cache_misses"),
+            evictions: telemetry.counter("daemon.cache_evictions"),
+            invalidated: telemetry.counter("daemon.paths_invalidated"),
+            telemetry,
+            last_now: AtomicU64::new(0),
         }
+    }
+
+    /// Re-registers the daemon's cache counters on a shared telemetry handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.hits = telemetry.counter("daemon.cache_hits");
+        self.misses = telemetry.counter("daemon.cache_misses");
+        self.evictions = telemetry.counter("daemon.cache_evictions");
+        self.invalidated = telemetry.counter("daemon.paths_invalidated");
+        self.telemetry = telemetry;
     }
 
     /// Returns usable (unexpired) paths to `dst`, consulting the cache
@@ -97,6 +125,7 @@ impl<P: PathProvider> Daemon<P> {
         if dst == self.local_ia {
             return Vec::new(); // AS-local traffic uses the empty path
         }
+        self.last_now.fetch_max(now, Ordering::Relaxed);
         {
             let cache = self.cache.lock();
             if let Some(entry) = cache.get(&dst) {
@@ -111,12 +140,14 @@ impl<P: PathProvider> Daemon<P> {
                     // Serve from cache unless everything expired early.
                     if !live.is_empty() || entry.paths.is_empty() {
                         self.stats.lock().hits += 1;
+                        self.hits.inc();
                         return live;
                     }
                 }
             }
         }
         self.stats.lock().misses += 1;
+        self.misses.inc();
         let paths = self.provider.fetch_paths(self.local_ia, dst, now);
         let live: Vec<FullPath> = paths.iter().filter(|p| p.expiry() > now).cloned().collect();
         let mut cache = self.cache.lock();
@@ -129,9 +160,16 @@ impl<P: PathProvider> Daemon<P> {
             {
                 cache.remove(&victim);
                 self.stats.lock().evictions += 1;
+                self.evictions.inc();
             }
         }
-        cache.insert(dst, CacheEntry { paths: paths.clone(), fetched_at: now });
+        cache.insert(
+            dst,
+            CacheEntry {
+                paths: paths.clone(),
+                fetched_at: now,
+            },
+        );
         live
     }
 
@@ -147,8 +185,30 @@ impl<P: PathProvider> Daemon<P> {
         let mut cache = self.cache.lock();
         for entry in cache.values_mut() {
             let before = entry.paths.len();
-            entry.paths.retain(|p| !p.interfaces().contains(&(ia, ifid)));
+            entry
+                .paths
+                .retain(|p| !p.interfaces().contains(&(ia, ifid)));
             removed += before - entry.paths.len();
+        }
+        drop(cache);
+        self.invalidated.add(removed as u64);
+        if removed > 0 && self.telemetry.enabled(Severity::Warn) {
+            let at = self
+                .last_now
+                .load(Ordering::Relaxed)
+                .saturating_mul(1_000_000_000);
+            self.telemetry.emit(
+                Event::new(
+                    at,
+                    self.local_ia.to_string(),
+                    "daemon",
+                    Severity::Warn,
+                    "paths invalidated",
+                )
+                .field("ia", ia)
+                .field("ifid", ifid)
+                .field("removed", removed),
+            );
         }
         removed
     }
@@ -173,9 +233,21 @@ mod tests {
             kind: PathKind::SameCore,
             uses: Vec::new(),
             hops: vec![
-                PathHop { ia: ia(src), ingress: 0, egress: 1 },
-                PathHop { ia: ia(mid), ingress: 2, egress: 3 },
-                PathHop { ia: ia(dst), ingress: 4, egress: 0 },
+                PathHop {
+                    ia: ia(src),
+                    ingress: 0,
+                    egress: 1,
+                },
+                PathHop {
+                    ia: ia(mid),
+                    ingress: 2,
+                    egress: 3,
+                },
+                PathHop {
+                    ia: ia(dst),
+                    ingress: 4,
+                    egress: 0,
+                },
             ],
         }
     }
@@ -199,13 +271,18 @@ mod tests {
             ia("71-100"),
             UnderlayAddr::new([10, 0, 0, 2], 30252),
             provider,
-            DaemonConfig { cache_ttl: 60, cache_capacity: 2 },
+            DaemonConfig {
+                cache_ttl: 60,
+                cache_capacity: 2,
+            },
         )
     }
 
     #[test]
     fn cache_hit_avoids_refetch() {
-        let p = CountingProvider { calls: AtomicU64::new(0) };
+        let p = CountingProvider {
+            calls: AtomicU64::new(0),
+        };
         let d = daemon(&p);
         // fake paths have no segments => expiry 0; use now=0? expiry()>now
         // fails for 0>0. Use uses=[] => expiry()==0, so pick now far below.
@@ -220,7 +297,9 @@ mod tests {
 
     #[test]
     fn ttl_expiry_triggers_refetch() {
-        let p = CountingProvider { calls: AtomicU64::new(0) };
+        let p = CountingProvider {
+            calls: AtomicU64::new(0),
+        };
         let d = daemon(&p);
         d.paths(ia("71-404"), 100);
         d.paths(ia("71-404"), 161); // ttl 60 exceeded
@@ -229,7 +308,9 @@ mod tests {
 
     #[test]
     fn local_as_needs_no_paths() {
-        let p = CountingProvider { calls: AtomicU64::new(0) };
+        let p = CountingProvider {
+            calls: AtomicU64::new(0),
+        };
         let d = daemon(&p);
         assert!(d.paths(ia("71-100"), 0).is_empty());
         assert_eq!(p.calls.load(Ordering::SeqCst), 0);
@@ -237,7 +318,9 @@ mod tests {
 
     #[test]
     fn capacity_eviction() {
-        let p = CountingProvider { calls: AtomicU64::new(0) };
+        let p = CountingProvider {
+            calls: AtomicU64::new(0),
+        };
         let d = daemon(&p); // capacity 2
         d.paths(ia("71-404"), 100);
         d.paths(ia("71-405"), 101);
@@ -249,7 +332,9 @@ mod tests {
 
     #[test]
     fn flush_cache_forces_refetch() {
-        let p = CountingProvider { calls: AtomicU64::new(0) };
+        let p = CountingProvider {
+            calls: AtomicU64::new(0),
+        };
         let d = daemon(&p);
         d.paths(ia("71-404"), 100);
         d.flush_cache();
@@ -261,7 +346,9 @@ mod tests {
     fn interface_invalidation_removes_affected_paths() {
         // Provider returning paths with real hop interfaces; use a dst that
         // yields a path through 71-1 interface 2.
-        let p = CountingProvider { calls: AtomicU64::new(0) };
+        let p = CountingProvider {
+            calls: AtomicU64::new(0),
+        };
         let d = Daemon::new(
             ia("71-100"),
             UnderlayAddr::new([10, 0, 0, 2], 30252),

@@ -57,9 +57,9 @@ impl TrustStore {
     /// success, records the AS key in the directory.
     pub fn verify_chain(&self, chain: &CertificateChain, now: u64) -> Result<(), PkiError> {
         let trcs = self.trcs.read();
-        let trc = trcs
-            .latest(chain.as_cert.subject.isd)
-            .ok_or_else(|| PkiError::NotFound(format!("TRC for ISD {}", chain.as_cert.subject.isd)))?;
+        let trc = trcs.latest(chain.as_cert.subject.isd).ok_or_else(|| {
+            PkiError::NotFound(format!("TRC for ISD {}", chain.as_cert.subject.isd))
+        })?;
         chain.verify(trc, now)?;
         self.verified_keys
             .write()
@@ -123,20 +123,46 @@ mod tests {
             valid_until: 1 << 40,
             core_ases: vec![core],
             authoritative_ases: vec![core],
-            voting_keys: vec![TrcKeyEntry { holder: core, key: root_key.verifying_key() }],
-            root_keys: vec![TrcKeyEntry { holder: core, key: root_key.verifying_key() }],
+            voting_keys: vec![TrcKeyEntry {
+                holder: core,
+                key: root_key.verifying_key(),
+            }],
+            root_keys: vec![TrcKeyEntry {
+                holder: core,
+                key: root_key.verifying_key(),
+            }],
             quorum: 1,
             votes: vec![],
         };
         let ca_cert = Certificate::issue(
-            CertType::Ca, core, ca_key.verifying_key(), 0, 1 << 39, core, 1, &root_key,
+            CertType::Ca,
+            core,
+            ca_key.verifying_key(),
+            0,
+            1 << 39,
+            core,
+            1,
+            &root_key,
         );
         let as_cert = Certificate::issue(
-            CertType::As, ia("71-88"), as_key.verifying_key(), 0, 259_200, core, 2, &ca_key,
+            CertType::As,
+            ia("71-88"),
+            as_key.verifying_key(),
+            0,
+            259_200,
+            core,
+            2,
+            &ca_key,
         );
         let store = TrustStore::new();
         store.trust_base_trc(trc.clone());
-        Setup { store, as_key, chain: CertificateChain { as_cert, ca_cert }, root_key, base_trc: trc }
+        Setup {
+            store,
+            as_key,
+            chain: CertificateChain { as_cert, ca_cert },
+            root_key,
+            base_trc: trc,
+        }
     }
 
     #[test]
@@ -153,10 +179,16 @@ mod tests {
         let s = setup();
         s.store.verify_chain(&s.chain, 100).unwrap();
         let sig = s.as_key.sign(b"topology bytes");
-        s.store.verify_as_signature(ia("71-88"), b"topology bytes", &sig).unwrap();
-        assert!(s.store.verify_as_signature(ia("71-88"), b"tampered", &sig).is_err());
+        s.store
+            .verify_as_signature(ia("71-88"), b"topology bytes", &sig)
+            .unwrap();
+        assert!(s
+            .store
+            .verify_as_signature(ia("71-88"), b"tampered", &sig)
+            .is_err());
         assert!(matches!(
-            s.store.verify_as_signature(ia("71-99"), b"topology bytes", &sig),
+            s.store
+                .verify_as_signature(ia("71-99"), b"topology bytes", &sig),
             Err(PkiError::NotFound(_))
         ));
     }
@@ -166,7 +198,10 @@ mod tests {
         let s = setup();
         let mut chain = s.chain.clone();
         chain.as_cert.subject = ia("99-88");
-        assert!(matches!(s.store.verify_chain(&chain, 100), Err(PkiError::NotFound(_))));
+        assert!(matches!(
+            s.store.verify_chain(&chain, 100),
+            Err(PkiError::NotFound(_))
+        ));
     }
 
     #[test]

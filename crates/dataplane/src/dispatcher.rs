@@ -21,6 +21,7 @@ use std::thread;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use sciera_telemetry::{Counter, Telemetry};
 
 use scion_proto::encap::DISPATCHER_PORT;
 use scion_proto::packet::{L4Protocol, ScionPacket};
@@ -31,7 +32,7 @@ use scion_proto::udp::UdpDatagram;
 pub struct AppId(pub u32);
 
 /// The demultiplexing table of the legacy dispatcher.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Dispatcher {
     /// (udp port → application), guarded as the real dispatcher's table is.
     table: Mutex<Vec<(u16, AppId)>>,
@@ -39,12 +40,33 @@ pub struct Dispatcher {
     pub delivered: Mutex<u64>,
     /// Packets with no registered listener.
     pub no_listener: Mutex<u64>,
+    lookups: Counter,
+    misses: Counter,
+}
+
+impl Default for Dispatcher {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Dispatcher {
-    /// Creates an empty dispatcher.
+    /// Creates an empty dispatcher on a quiet private telemetry handle.
     pub fn new() -> Self {
-        Self::default()
+        let telemetry = Telemetry::quiet();
+        Dispatcher {
+            table: Mutex::new(Vec::new()),
+            delivered: Mutex::new(0),
+            no_listener: Mutex::new(0),
+            lookups: telemetry.counter("dispatcher.lookups"),
+            misses: telemetry.counter("dispatcher.misses"),
+        }
+    }
+
+    /// Re-registers the dispatcher's counters on a shared telemetry handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.lookups = telemetry.counter("dispatcher.lookups");
+        self.misses = telemetry.counter("dispatcher.misses");
     }
 
     /// The single underlay port the dispatcher binds.
@@ -72,6 +94,7 @@ impl Dispatcher {
     /// port. SCMP packets go to the app registered for the echo identifier
     /// (modelled as a port).
     pub fn dispatch(&self, packet: &ScionPacket) -> Option<AppId> {
+        self.lookups.inc();
         let port = match packet.next_hdr {
             L4Protocol::Udp => UdpDatagram::decode(&packet.payload).ok()?.dst_port,
             L4Protocol::Scmp => {
@@ -96,6 +119,7 @@ impl Dispatcher {
             }
             None => {
                 *self.no_listener.lock() += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -168,7 +192,10 @@ pub fn run_dispatcher_pipeline(
         h.join().expect("producer panicked");
     }
     let dropped = dispatcher.join().expect("dispatcher panicked");
-    let delivered: u64 = app_handles.into_iter().map(|h| h.join().expect("app panicked")).sum();
+    let delivered: u64 = app_handles
+        .into_iter()
+        .map(|h| h.join().expect("app panicked"))
+        .sum();
     PipelineReport { delivered, dropped }
 }
 
@@ -224,7 +251,11 @@ mod tests {
     fn scmp_echo_dispatched_by_id() {
         let d = Dispatcher::new();
         d.register(77, AppId(9)).unwrap();
-        let msg = scion_proto::scmp::ScmpMessage::EchoReply { id: 77, seq: 1, data: vec![] };
+        let msg = scion_proto::scmp::ScmpMessage::EchoReply {
+            id: 77,
+            seq: 1,
+            data: vec![],
+        };
         let pkt = ScionPacket::new(
             ScionAddr::new(ia("71-1"), HostAddr::v4(1, 1, 1, 1)),
             ScionAddr::new(ia("71-2"), HostAddr::v4(2, 2, 2, 2)),

@@ -58,7 +58,10 @@ impl PortTable {
         let mut t = self.inner.write();
         for _ in 0..u16::MAX {
             let candidate = t.next_ephemeral;
-            t.next_ephemeral = t.next_ephemeral.checked_add(1).unwrap_or(EPHEMERAL_PORT_START);
+            t.next_ephemeral = t
+                .next_ephemeral
+                .checked_add(1)
+                .unwrap_or(EPHEMERAL_PORT_START);
             if t.next_ephemeral < EPHEMERAL_PORT_START {
                 t.next_ephemeral = EPHEMERAL_PORT_START;
             }
@@ -150,8 +153,10 @@ pub fn run_dispatcherless_pipeline(
     for h in prod_handles {
         dropped += h.join().expect("producer panicked");
     }
-    let delivered: u64 =
-        worker_handles.into_iter().map(|h| h.join().expect("worker panicked")).sum();
+    let delivered: u64 = worker_handles
+        .into_iter()
+        .map(|h| h.join().expect("worker panicked"))
+        .sum();
     PipelineReport { delivered, dropped }
 }
 

@@ -15,6 +15,7 @@
 //! 2. **Rate limiting**: a token bucket per source AS (plus a catch-all
 //!    bucket for unauthenticated "best effort" traffic).
 
+use sciera_telemetry::{Counter, Telemetry};
 use scion_crypto::cmac::Cmac;
 use scion_crypto::hmac::derive_key16;
 use scion_proto::addr::IsdAsn;
@@ -45,7 +46,12 @@ impl TokenBucket {
     /// Creates a bucket holding up to `capacity` bytes, refilled at
     /// `refill_per_sec` bytes/second, starting full.
     pub fn new(capacity: f64, refill_per_sec: f64) -> Self {
-        TokenBucket { capacity, tokens: capacity, refill_per_sec, last_refill: 0.0 }
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            refill_per_sec,
+            last_refill: 0.0,
+        }
     }
 
     /// Takes `bytes` at time `now` (seconds); returns whether it fit.
@@ -96,6 +102,8 @@ pub struct LightningFilter {
     /// Counters by verdict, in [accept, rate-limited, best-effort, dropped]
     /// order.
     pub counters: [u64; 4],
+    /// Telemetry counters in the same verdict order.
+    verdict_counters: [Counter; 4],
 }
 
 impl LightningFilter {
@@ -108,7 +116,22 @@ impl LightningFilter {
             peers: Vec::new(),
             best_effort: TokenBucket::new(best_effort.burst, best_effort.rate),
             counters: [0; 4],
+            verdict_counters: Self::register(&Telemetry::quiet()),
         }
+    }
+
+    fn register(telemetry: &Telemetry) -> [Counter; 4] {
+        [
+            telemetry.counter("lf.accept"),
+            telemetry.counter("lf.rate_limited"),
+            telemetry.counter("lf.best_effort"),
+            telemetry.counter("lf.dropped"),
+        ]
+    }
+
+    /// Re-registers the filter's verdict counters on a shared handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.verdict_counters = Self::register(&telemetry);
     }
 
     /// The DRKey-style key for traffic from `src` to this AS, derivable by
@@ -124,12 +147,21 @@ impl LightningFilter {
     pub fn add_peer(&mut self, src: IsdAsn, budget: PeerBudget) {
         let key = Self::drkey_for(self.local_ia, &self.secret, src);
         self.peers.retain(|(ia, _, _)| *ia != src);
-        self.peers.push((src, Cmac::new(&key), TokenBucket::new(budget.burst, budget.rate)));
+        self.peers.push((
+            src,
+            Cmac::new(&key),
+            TokenBucket::new(budget.burst, budget.rate),
+        ));
     }
 
     /// Computes the tag a sender in `src` attaches (the sender-side half,
     /// used by tests and by the Hercules sender).
-    pub fn sender_tag(local_ia: IsdAsn, secret: &[u8], src: IsdAsn, header_digest: &[u8; 16]) -> [u8; 6] {
+    pub fn sender_tag(
+        local_ia: IsdAsn,
+        secret: &[u8],
+        src: IsdAsn,
+        header_digest: &[u8; 16],
+    ) -> [u8; 6] {
         let key = Self::drkey_for(local_ia, secret, src);
         Cmac::new(&key).tag6(header_digest)
     }
@@ -144,6 +176,7 @@ impl LightningFilter {
             Verdict::Dropped => 3,
         };
         self.counters[idx] += 1;
+        self.verdict_counters[idx].inc();
         v
     }
 
@@ -180,9 +213,18 @@ mod tests {
         let mut f = LightningFilter::new(
             ia("71-50999"),
             SECRET,
-            PeerBudget { rate: 1_000.0, burst: 2_000.0 },
+            PeerBudget {
+                rate: 1_000.0,
+                burst: 2_000.0,
+            },
         );
-        f.add_peer(ia("71-2:0:3b"), PeerBudget { rate: 1e6, burst: 1e6 });
+        f.add_peer(
+            ia("71-2:0:3b"),
+            PeerBudget {
+                rate: 1e6,
+                burst: 1e6,
+            },
+        );
         f
     }
 
@@ -192,7 +234,12 @@ mod tests {
             src_ia: ia(src),
             length: len,
             header_digest: digest,
-            auth_tag: Some(LightningFilter::sender_tag(ia("71-50999"), SECRET, ia(src), &digest)),
+            auth_tag: Some(LightningFilter::sender_tag(
+                ia("71-50999"),
+                SECRET,
+                ia(src),
+                &digest,
+            )),
         }
     }
 
@@ -227,9 +274,18 @@ mod tests {
         let mut f = LightningFilter::new(
             ia("71-50999"),
             SECRET,
-            PeerBudget { rate: 0.0, burst: 0.0 },
+            PeerBudget {
+                rate: 0.0,
+                burst: 0.0,
+            },
         );
-        f.add_peer(ia("71-2:0:3b"), PeerBudget { rate: 1_000.0, burst: 1_500.0 });
+        f.add_peer(
+            ia("71-2:0:3b"),
+            PeerBudget {
+                rate: 1_000.0,
+                burst: 1_500.0,
+            },
+        );
         let pkt = authed_packet("71-2:0:3b", 1_500);
         assert_eq!(f.check(&pkt, 0.0), Verdict::Accept);
         assert_eq!(f.check(&pkt, 0.0), Verdict::RateLimited);

@@ -16,6 +16,7 @@
 //! A failed MAC, an interface mismatch, or an expired hop drops the packet
 //! — this is what makes path authorisation enforceable hop by hop.
 
+use sciera_telemetry::{Counter, Event, Severity, Telemetry};
 use scion_crypto::mac::{HopKey, HopMacInput};
 use scion_proto::addr::IsdAsn;
 use scion_proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
@@ -58,6 +59,48 @@ pub enum Decision {
     },
 }
 
+/// Pre-registered router counters: the forwarding hot path only ever does
+/// relaxed atomic increments, never a registry name lookup.
+#[derive(Debug, Clone)]
+struct RouterMetrics {
+    telemetry: Telemetry,
+    forwarded: Counter,
+    delivered: Counter,
+    drop_bad_mac: Counter,
+    drop_ingress_mismatch: Counter,
+    drop_expired: Counter,
+    drop_wrong_destination: Counter,
+    drop_malformed_path: Counter,
+    drop_unsupported_path: Counter,
+}
+
+impl RouterMetrics {
+    fn register(telemetry: Telemetry) -> Self {
+        RouterMetrics {
+            forwarded: telemetry.counter("router.forwarded"),
+            delivered: telemetry.counter("router.delivered"),
+            drop_bad_mac: telemetry.counter("router.drop.bad_mac"),
+            drop_ingress_mismatch: telemetry.counter("router.drop.ingress_mismatch"),
+            drop_expired: telemetry.counter("router.drop.expired"),
+            drop_wrong_destination: telemetry.counter("router.drop.wrong_destination"),
+            drop_malformed_path: telemetry.counter("router.drop.malformed_path"),
+            drop_unsupported_path: telemetry.counter("router.drop.unsupported_path"),
+            telemetry,
+        }
+    }
+
+    fn drop_counter(&self, reason: &DropReason) -> &Counter {
+        match reason {
+            DropReason::BadMac => &self.drop_bad_mac,
+            DropReason::IngressMismatch { .. } => &self.drop_ingress_mismatch,
+            DropReason::Expired => &self.drop_expired,
+            DropReason::WrongDestination => &self.drop_wrong_destination,
+            DropReason::MalformedPath(_) => &self.drop_malformed_path,
+            DropReason::UnsupportedPath => &self.drop_unsupported_path,
+        }
+    }
+}
+
 /// Per-AS border router state.
 #[derive(Clone)]
 pub struct BorderRouter {
@@ -68,12 +111,25 @@ pub struct BorderRouter {
     pub processed: u64,
     /// Packets dropped.
     pub dropped: u64,
+    metrics: RouterMetrics,
 }
 
 impl BorderRouter {
-    /// Creates a router with the AS's hop key.
+    /// Creates a router with the AS's hop key. Telemetry starts on a quiet
+    /// private handle; share one with [`BorderRouter::set_telemetry`].
     pub fn new(ia: IsdAsn, hop_key: HopKey) -> Self {
-        BorderRouter { ia, hop_key, processed: 0, dropped: 0 }
+        BorderRouter {
+            ia,
+            hop_key,
+            processed: 0,
+            dropped: 0,
+            metrics: RouterMetrics::register(Telemetry::quiet()),
+        }
+    }
+
+    /// Re-registers the router's counters on a shared telemetry handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metrics = RouterMetrics::register(telemetry);
     }
 
     /// Processes a packet arriving on `ingress_ifid` (0 = from a host or
@@ -100,18 +156,40 @@ impl BorderRouter {
             DataPlanePath::OneHop { .. } => Err(DropReason::UnsupportedPath),
         };
         match result {
-            Ok(Some(ifid)) => Ok(Decision::Forward { ifid, packet }),
+            Ok(Some(ifid)) => {
+                self.metrics.forwarded.inc();
+                Ok(Decision::Forward { ifid, packet })
+            }
             Ok(None) => {
                 if packet.dst.ia != self.ia {
                     self.dropped += 1;
+                    self.on_drop(&DropReason::WrongDestination, now);
                     return Err(DropReason::WrongDestination);
                 }
+                self.metrics.delivered.inc();
                 Ok(Decision::Deliver(packet))
             }
             Err(e) => {
                 self.dropped += 1;
+                self.on_drop(&e, now);
                 Err(e)
             }
+        }
+    }
+
+    fn on_drop(&self, reason: &DropReason, now: u64) {
+        self.metrics.drop_counter(reason).inc();
+        if self.metrics.telemetry.enabled(Severity::Warn) {
+            self.metrics.telemetry.emit(
+                Event::new(
+                    now.saturating_mul(1_000_000_000),
+                    self.ia.to_string(),
+                    "router",
+                    Severity::Warn,
+                    "packet dropped",
+                )
+                .field("reason", format!("{reason:?}")),
+            );
         }
     }
 
@@ -131,7 +209,10 @@ impl BorderRouter {
         if ingress_ifid != 0 {
             let expected = path.current_ingress();
             if expected != ingress_ifid {
-                return Err(DropReason::IngressMismatch { expected, actual: ingress_ifid });
+                return Err(DropReason::IngressMismatch {
+                    expected,
+                    actual: ingress_ifid,
+                });
             }
         }
 
@@ -150,7 +231,8 @@ impl BorderRouter {
             // Segment crossing inside this AS: the next segment's first hop
             // field also belongs to us; it determines the real egress. Its
             // own interfaces facing the junction are not used.
-            path.advance().map_err(|e| DropReason::MalformedPath(e.to_string()))?;
+            path.advance()
+                .map_err(|e| DropReason::MalformedPath(e.to_string()))?;
             Self::verify_current_hop(hop_key, path, now)?;
             Self::chain_on_egress(path);
             if path.at_last_hop() {
@@ -164,7 +246,8 @@ impl BorderRouter {
                 "interior hop without an egress interface".into(),
             ));
         }
-        path.advance().map_err(|e| DropReason::MalformedPath(e.to_string()))?;
+        path.advance()
+            .map_err(|e| DropReason::MalformedPath(e.to_string()))?;
         Ok(Some(egress))
     }
 
@@ -243,14 +326,19 @@ impl BorderRouter {
     /// Builds the SCMP `ExternalInterfaceDown` error a router sends back to
     /// the source when asked to forward over a dead link. Returns `None`
     /// when the triggering packet's path cannot be reversed.
-    pub fn external_interface_down(
-        &self,
-        trigger: &ScionPacket,
-        ifid: u16,
-    ) -> Option<ScionPacket> {
+    pub fn external_interface_down(&self, trigger: &ScionPacket, ifid: u16) -> Option<ScionPacket> {
         let (src, dst, path) = trigger.reply_template()?;
-        let msg = ScmpMessage::ExternalInterfaceDown { ia: self.ia, interface: ifid as u64 };
-        Some(ScionPacket::new(src, dst, L4Protocol::Scmp, path, msg.encode()))
+        let msg = ScmpMessage::ExternalInterfaceDown {
+            ia: self.ia,
+            interface: ifid as u64,
+        };
+        Some(ScionPacket::new(
+            src,
+            dst,
+            L4Protocol::Scmp,
+            path,
+            msg.encode(),
+        ))
     }
 }
 
@@ -374,7 +462,14 @@ mod tests {
         // -> 71-20 (in 23, out 24) -> 71-200 (in 33, deliver)
         let delivered = walk(
             pkt,
-            &[("71-100", 0), ("71-10", 22), ("71-1", 11), ("71-2", 41), ("71-20", 23), ("71-200", 33)],
+            &[
+                ("71-100", 0),
+                ("71-10", 22),
+                ("71-1", 11),
+                ("71-2", 41),
+                ("71-20", 23),
+                ("71-200", 33),
+            ],
             &[31, 21, 42, 12, 24, 0],
         );
         assert_eq!(delivered.payload, b"payload");
@@ -445,8 +540,11 @@ mod tests {
         .unwrap();
         let pkt = packet_to(p.to_dataplane().unwrap(), "71-300");
         // 71-10 receives on 22 (from leaf), crosses segments, leaves via 25.
-        let delivered =
-            walk(pkt, &[("71-100", 0), ("71-10", 22), ("71-300", 35)], &[31, 25, 0]);
+        let delivered = walk(
+            pkt,
+            &[("71-100", 0), ("71-10", 22), ("71-300", 35)],
+            &[31, 25, 0],
+        );
         assert_eq!(delivered.payload, b"payload");
     }
 
@@ -486,7 +584,10 @@ mod tests {
         let mut r10 = router("71-10");
         assert_eq!(
             r10.process(packet, 27, NOW),
-            Err(DropReason::IngressMismatch { expected: 22, actual: 27 })
+            Err(DropReason::IngressMismatch {
+                expected: 22,
+                actual: 27
+            })
         );
     }
 
@@ -541,14 +642,28 @@ mod tests {
         let pkt = packet_with(dp);
         let delivered = walk(
             pkt,
-            &[("71-100", 0), ("71-10", 22), ("71-1", 11), ("71-2", 41), ("71-20", 23), ("71-200", 33)],
+            &[
+                ("71-100", 0),
+                ("71-10", 22),
+                ("71-1", 11),
+                ("71-2", 41),
+                ("71-20", 23),
+                ("71-200", 33),
+            ],
             &[31, 21, 42, 12, 24, 0],
         );
         let (src, dst, path) = delivered.reply_template().unwrap();
         let reply = ScionPacket::new(src, dst, L4Protocol::Udp, path, b"pong".to_vec());
         let back = walk(
             reply,
-            &[("71-200", 0), ("71-20", 24), ("71-2", 12), ("71-1", 42), ("71-10", 21), ("71-100", 31)],
+            &[
+                ("71-200", 0),
+                ("71-20", 24),
+                ("71-2", 12),
+                ("71-1", 42),
+                ("71-10", 21),
+                ("71-100", 31),
+            ],
             &[33, 23, 41, 11, 22, 0],
         );
         assert_eq!(back.payload, b"pong");
@@ -564,7 +679,13 @@ mod tests {
         assert_eq!(scmp.dst.ia, ia("71-100"));
         assert_eq!(scmp.next_hdr, L4Protocol::Scmp);
         let msg = ScmpMessage::decode(&scmp.payload).unwrap();
-        assert_eq!(msg, ScmpMessage::ExternalInterfaceDown { ia: ia("71-10"), interface: 21 });
+        assert_eq!(
+            msg,
+            ScmpMessage::ExternalInterfaceDown {
+                ia: ia("71-10"),
+                interface: 21
+            }
+        );
     }
 }
 
@@ -582,7 +703,9 @@ impl BorderRouter {
         if packet.next_hdr != L4Protocol::Scmp {
             return None;
         }
-        let DataPlanePath::Scion(path) = &packet.path else { return None };
+        let DataPlanePath::Scion(path) = &packet.path else {
+            return None;
+        };
         let hf = path.current_hop();
         // Traversal-direction mapping: the ingress alert refers to the
         // construction-direction ingress interface.
@@ -596,11 +719,28 @@ impl BorderRouter {
             return None;
         }
         let msg = ScmpMessage::decode(&packet.payload).ok()?;
-        let ScmpMessage::TracerouteRequest { id, seq } = msg else { return None };
-        let interface = if ingress_alerted { ingress_ifid } else { path.current_egress() };
+        let ScmpMessage::TracerouteRequest { id, seq } = msg else {
+            return None;
+        };
+        let interface = if ingress_alerted {
+            ingress_ifid
+        } else {
+            path.current_egress()
+        };
         let (src, dst, rpath) = packet.reply_template()?;
-        let reply = ScmpMessage::TracerouteReply { id, seq, ia: self.ia, interface: interface as u64 };
-        Some(ScionPacket::new(src, dst, L4Protocol::Scmp, rpath, reply.encode()))
+        let reply = ScmpMessage::TracerouteReply {
+            id,
+            seq,
+            ia: self.ia,
+            interface: interface as u64,
+        };
+        Some(ScionPacket::new(
+            src,
+            dst,
+            L4Protocol::Scmp,
+            rpath,
+            reply.encode(),
+        ))
     }
 }
 
@@ -649,12 +789,19 @@ mod traceroute_tests {
         };
         let sec10 = AsSecrets::derive(ia("71-10"));
         let r10 = BorderRouter::new(sec10.ia, sec10.hop_key);
-        let reply = r10.traceroute_probe(&packet, 22).expect("alerted hop answers");
+        let reply = r10
+            .traceroute_probe(&packet, 22)
+            .expect("alerted hop answers");
         assert_eq!(reply.dst.ia, ia("71-100"));
         let msg = ScmpMessage::decode(&reply.payload).unwrap();
         assert_eq!(
             msg,
-            ScmpMessage::TracerouteReply { id: 9, seq: 3, ia: ia("71-10"), interface: 22 }
+            ScmpMessage::TracerouteReply {
+                id: 9,
+                seq: 3,
+                ia: ia("71-10"),
+                interface: 22
+            }
         );
     }
 

@@ -102,8 +102,7 @@ pub fn simulate_transfer(paths: &[PathProfile], file_size: u64, seed: u64) -> Tr
             // The usable window is capped at 2x the path's
             // bandwidth-delay product — past that, extra in-flight data
             // only builds queue (a receive-window stand-in).
-            let bdp_chunks = (st.profile.bandwidth_mbps * 1e6 / 8.0)
-                * (st.profile.rtt_ms / 1000.0)
+            let bdp_chunks = (st.profile.bandwidth_mbps * 1e6 / 8.0) * (st.profile.rtt_ms / 1000.0)
                 / CHUNK_SIZE as f64;
             let window = st.cwnd.min((bdp_chunks * 2.0).max(4.0));
             while remaining > 0 && (st.in_flight as f64) < window {
@@ -161,7 +160,11 @@ mod tests {
     use super::*;
 
     fn path(rtt_ms: f64, mbps: f64, loss: f64) -> PathProfile {
-        PathProfile { rtt_ms, bandwidth_mbps: mbps, loss }
+        PathProfile {
+            rtt_ms,
+            bandwidth_mbps: mbps,
+            loss,
+        }
     }
 
     const MB: u64 = 1_000_000;
@@ -169,7 +172,11 @@ mod tests {
     #[test]
     fn single_path_approaches_link_rate() {
         let r = simulate_transfer(&[path(10.0, 100.0, 0.0)], 50 * MB, 1);
-        assert!(r.goodput_mbps > 60.0, "goodput {} should approach 100 Mbps", r.goodput_mbps);
+        assert!(
+            r.goodput_mbps > 60.0,
+            "goodput {} should approach 100 Mbps",
+            r.goodput_mbps
+        );
         assert!(r.goodput_mbps <= 100.0 + 1e-6);
         assert_eq!(r.retransmissions, 0);
         assert_eq!(r.chunks_per_path.len(), 1);
@@ -178,7 +185,11 @@ mod tests {
     #[test]
     fn two_disjoint_paths_aggregate_bandwidth() {
         let single = simulate_transfer(&[path(10.0, 100.0, 0.0)], 50 * MB, 1);
-        let dual = simulate_transfer(&[path(10.0, 100.0, 0.0), path(12.0, 100.0, 0.0)], 50 * MB, 1);
+        let dual = simulate_transfer(
+            &[path(10.0, 100.0, 0.0), path(12.0, 100.0, 0.0)],
+            50 * MB,
+            1,
+        );
         assert!(
             dual.goodput_mbps > single.goodput_mbps * 1.5,
             "multipath {} vs single {}",
@@ -241,7 +252,11 @@ mod tests {
     #[test]
     fn high_rtt_path_still_contributes_on_long_transfer() {
         // A trans-pacific path (180 ms) plus a regional path (20 ms).
-        let r = simulate_transfer(&[path(20.0, 100.0, 0.0), path(180.0, 100.0, 0.0)], 100 * MB, 5);
+        let r = simulate_transfer(
+            &[path(20.0, 100.0, 0.0), path(180.0, 100.0, 0.0)],
+            100 * MB,
+            5,
+        );
         let total: u64 = r.chunks_per_path.iter().sum();
         let slow_share = r.chunks_per_path[1] as f64 / total as f64;
         assert!(slow_share > 0.2, "slow path share {slow_share}");

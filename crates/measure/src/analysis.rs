@@ -97,7 +97,13 @@ pub fn fig6(store: &MeasurementStore) -> Fig6 {
     }
     let cdf = summary.to_cdf(100);
     let outliers = ratios.iter().rev().take(8).cloned().collect();
-    Fig6 { ratios, cdf, frac_below_one, frac_below_1_25, outliers }
+    Fig6 {
+        ratios,
+        cdf,
+        frac_below_one,
+        frac_below_1_25,
+        outliers,
+    }
 }
 
 /// Figure 7: the SCION/IP RTT ratio over time (daily), mean over pairs.
@@ -127,7 +133,10 @@ pub fn fig7(store: &MeasurementStore) -> Fig7 {
             daily_ratio.push(sum / n as f64);
         }
     }
-    Fig7 { daily_ratio, incidents: store.incident_labels.clone() }
+    Fig7 {
+        daily_ratio,
+        incidents: store.incident_labels.clone(),
+    }
 }
 
 /// Renders Fig. 5 headline numbers as the bench-output row.
@@ -161,9 +170,21 @@ mod tests {
     fn fig5_shape_matches_paper() {
         let f = fig5(&store());
         // SCION beats IP at the median and by more at the tail.
-        assert!(f.scion_median < f.ip_median, "median {} vs {}", f.scion_median, f.ip_median);
-        assert!(f.p90_reduction_pct() > f.median_reduction_pct(), "tail gap must exceed median gap");
-        assert!(f.p90_reduction_pct() > 10.0, "p90 reduction {:.1}%", f.p90_reduction_pct());
+        assert!(
+            f.scion_median < f.ip_median,
+            "median {} vs {}",
+            f.scion_median,
+            f.ip_median
+        );
+        assert!(
+            f.p90_reduction_pct() > f.median_reduction_pct(),
+            "tail gap must exceed median gap"
+        );
+        assert!(
+            f.p90_reduction_pct() > 10.0,
+            "p90 reduction {:.1}%",
+            f.p90_reduction_pct()
+        );
         // CDFs are monotone and end at 1.
         for w in f.scion.points.windows(2) {
             assert!(w[0].1 <= w[1].1);
@@ -173,8 +194,16 @@ mod tests {
     #[test]
     fn fig6_shape_matches_paper() {
         let f = fig6(&store());
-        assert!(f.frac_below_one > 0.15, "some pairs faster on SCION: {}", f.frac_below_one);
-        assert!(f.frac_below_1_25 > 0.6, "most pairs <25% inflation: {}", f.frac_below_1_25);
+        assert!(
+            f.frac_below_one > 0.15,
+            "some pairs faster on SCION: {}",
+            f.frac_below_one
+        );
+        assert!(
+            f.frac_below_1_25 > 0.6,
+            "most pairs <25% inflation: {}",
+            f.frac_below_1_25
+        );
         assert!(!f.outliers.is_empty());
         // Outliers are worse than the median pair.
         let med = f.ratios[f.ratios.len() / 2].ratio;

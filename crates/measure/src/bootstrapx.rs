@@ -67,7 +67,10 @@ impl Fig4 {
     /// The worst total median across every platform/mechanism (the paper's
     /// "median < 150 ms" headline is over this).
     pub fn worst_total_median_ms(&self) -> f64 {
-        self.cells.iter().map(|c| c.total.median_ms).fold(0.0, f64::max)
+        self.cells
+            .iter()
+            .map(|c| c.total.median_ms)
+            .fold(0.0, f64::max)
     }
 
     /// Renders the dataset as a table.
@@ -100,7 +103,10 @@ fn signed_topology() -> SignedTopology {
         mtu: 1472,
     };
     let signature = key.sign(&document.signed_bytes());
-    SignedTopology { document, signature }
+    SignedTopology {
+        document,
+        signature,
+    }
 }
 
 /// Runs the Fig. 4 experiment: `runs` bootstraps per OS × mechanism.
@@ -114,8 +120,9 @@ pub fn fig4(runs: u32, seed: u64) -> Fig4 {
             let mut config = Summary::new();
             let mut total = Summary::new();
             for run in 0..runs {
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (run as u64) << 32 ^ mech as u64 ^ (os.lan_rtt_ms * 1000.0) as u64);
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (run as u64) << 32 ^ mech as u64 ^ (os.lan_rtt_ms * 1000.0) as u64,
+                );
                 // Force the single mechanism under test; the network is
                 // whatever makes that mechanism available ("Y" columns of
                 // Table 2 exist for every row).

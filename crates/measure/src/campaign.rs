@@ -21,13 +21,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use netsim::metrics::Histogram;
+use sciera_topology::ases::{all_ases, fig8_vantages, measurement_points};
+use sciera_topology::ip::IpBaseline;
+use sciera_topology::links::{build_control_graph, BuiltTopology};
 use scion_control::beacon::{BeaconConfig, BeaconEngine};
-use scion_control::combine::combine_paths;
+use scion_control::combine::combine_paths_traced;
 use scion_control::fullpath::FullPath;
 use scion_proto::addr::IsdAsn;
-use sciera_topology::ases::{all_ases, fig8_vantages, measurement_points};
-use sciera_topology::links::{build_control_graph, BuiltTopology};
-use sciera_topology::ip::IpBaseline;
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -95,7 +95,10 @@ impl CandPath {
     }
 
     fn shared_links(&self, other: &CandPath) -> usize {
-        self.links.iter().filter(|l| other.links.contains(l)).count()
+        self.links
+            .iter()
+            .filter(|l| other.links.contains(l))
+            .count()
     }
 }
 
@@ -171,12 +174,30 @@ pub struct Campaign {
     /// The BGP baseline.
     pub ip: IpBaseline,
     config: CampaignConfig,
+    telemetry: sciera_telemetry::Telemetry,
 }
 
 impl Campaign {
     /// Builds the deployment and prepares a campaign.
     pub fn new(config: CampaignConfig) -> Self {
-        Campaign { topo: build_control_graph(), ip: IpBaseline::new(), config }
+        Campaign {
+            topo: build_control_graph(),
+            ip: IpBaseline::new(),
+            config,
+            telemetry: sciera_telemetry::Telemetry::quiet(),
+        }
+    }
+
+    /// Shares a telemetry handle: path-combination timings and campaign
+    /// volume counters land in its registry, and `telemetry_summary` can
+    /// render them next to the campaign report.
+    pub fn set_telemetry(&mut self, telemetry: sciera_telemetry::Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The campaign's metric registry rendered as a text table.
+    pub fn telemetry_summary(&self) -> String {
+        self.telemetry.snapshot().render_table()
     }
 
     fn incidents(&self, total_secs: u64) -> Vec<Incident> {
@@ -224,15 +245,22 @@ impl Campaign {
         // the period, dragging the *median* active-path count for the
         // UVa/Princeton/Equinix pairs (the paper's Fig. 9 hotspots).
         incidents.push(Incident {
-            link_indices: [find("BRIDGES-UVa VLAN 3"), find("BRIDGES-Equinix cross-connect B")]
-                .concat(),
+            link_indices: [
+                find("BRIDGES-UVa VLAN 3"),
+                find("BRIDGES-Equinix cross-connect B"),
+            ]
+            .concat(),
             windows: vec![(total_secs / 20, total_secs / 20 + total_secs * 55 / 100)],
             label: "BRIDGES fabric degradation",
         });
         // UFMS -> Equinix detour: the direct BRIDGES-RNP circuits are out
         // for most of the period, forcing the extra GEANT hop (§5.4).
         incidents.push(Incident {
-            link_indices: [find("BRIDGES-RNP (Internet2/AtlanticWave)"), find("BRIDGES-RNP via Jacksonville")].concat(),
+            link_indices: [
+                find("BRIDGES-RNP (Internet2/AtlanticWave)"),
+                find("BRIDGES-RNP via Jacksonville"),
+            ]
+            .concat(),
             windows: vec![(0, total_secs * 2 / 5)],
             label: "UFMS-Equinix routed through GEANT",
         });
@@ -260,7 +288,11 @@ impl Campaign {
             }
         }
         incidents.push(Incident {
-            link_indices: [find("KISTI Chicago-Amsterdam"), find("KISTI Daejeon-Seattle")].concat(),
+            link_indices: [
+                find("KISTI Chicago-Amsterdam"),
+                find("KISTI Daejeon-Seattle"),
+            ]
+            .concat(),
             windows: feb_windows,
             label: "February 6 upgrades",
         });
@@ -280,7 +312,10 @@ impl Campaign {
         let store = BeaconEngine::new(
             &self.topo.graph,
             1_700_000_000,
-            BeaconConfig { candidates_per_origin: cfg.candidates_per_origin, ..Default::default() },
+            BeaconConfig {
+                candidates_per_origin: cfg.candidates_per_origin,
+                ..Default::default()
+            },
         )
         .run()
         .expect("beaconing over the SCIERA graph succeeds");
@@ -288,8 +323,7 @@ impl Campaign {
         // Pair universe: the 11 tool hosts plus every Fig. 8 vantage
         // (the paper's path statistics cover vantages where the ping tool
         // itself was not deployed) x all other ISD-71 ASes.
-        let mut source_ias: Vec<IsdAsn> =
-            measurement_points().iter().map(|a| a.ia).collect();
+        let mut source_ias: Vec<IsdAsn> = measurement_points().iter().map(|a| a.ia).collect();
         for v in fig8_vantages() {
             if !source_ias.contains(&v) {
                 source_ias.push(v);
@@ -308,7 +342,7 @@ impl Campaign {
                 if s == d {
                     continue;
                 }
-                let full = combine_paths(&store, s, d, cfg.max_paths);
+                let full = combine_paths_traced(&store, s, d, cfg.max_paths, &self.telemetry);
                 let candidates: Vec<CandPath> = full
                     .iter()
                     .filter_map(|p| self.digest_path(p, &up))
@@ -469,6 +503,16 @@ impl Campaign {
             }
         }
 
+        self.telemetry
+            .counter("campaign.scion_pings")
+            .add(scion_pings);
+        self.telemetry.counter("campaign.ip_pings").add(ip_pings);
+        self.telemetry
+            .counter("campaign.excluded_rounds")
+            .add(excluded_rounds);
+        self.telemetry
+            .counter("campaign.pairs")
+            .add(pairs.len() as u64);
         MeasurementStore {
             config: self.config.clone(),
             pairs,
@@ -495,7 +539,11 @@ impl Campaign {
                 links.push(self.topo.link_index_of(h.ia, h.egress)? as u32);
             }
         }
-        Some(CandPath { links, base_rtt_ms: rtt, hops: path.len() })
+        Some(CandPath {
+            links,
+            base_rtt_ms: rtt,
+            hops: path.len(),
+        })
     }
 }
 
@@ -523,16 +571,24 @@ mod tests {
     #[test]
     fn stall_rule_excludes_rounds() {
         let store = quick_store();
-        assert!(store.excluded_rounds > 0, "the tool's stall must be reproduced");
+        assert!(
+            store.excluded_rounds > 0,
+            "the tool's stall must be reproduced"
+        );
     }
 
     #[test]
     fn cable_cut_reduces_dj_sg_active_paths() {
         let store = quick_store();
-        let pair = store.pair(ia("71-2:0:3b"), ia("71-2:0:3d")).expect("DJ->SG measured");
+        let pair = store
+            .pair(ia("71-2:0:3b"), ia("71-2:0:3d"))
+            .expect("DJ->SG measured");
         let max = *pair.active_counts.iter().max().unwrap();
         let min = *pair.active_counts.iter().min().unwrap();
-        assert!(min < max, "cable cut should reduce the active path count at times");
+        assert!(
+            min < max,
+            "cable cut should reduce the active path count at times"
+        );
     }
 
     #[test]
@@ -548,7 +604,11 @@ mod tests {
                     continue;
                 }
                 let p = store.pair(s, d).expect("vantage pair measured");
-                assert!(p.candidates.len() >= 2, "{s} -> {d}: {}", p.candidates.len());
+                assert!(
+                    p.candidates.len() >= 2,
+                    "{s} -> {d}: {}",
+                    p.candidates.len()
+                );
             }
         }
     }

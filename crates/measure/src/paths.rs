@@ -1,12 +1,12 @@
 //! Multipath quality: Figs. 8, 9, 10a and 10b.
 
 use netsim::metrics::{Cdf, Summary};
-use scion_control::combine::combine_paths;
-use scion_control::fullpath::paper_disjointness;
-use scion_control::beacon::{BeaconConfig, BeaconEngine};
-use scion_proto::addr::IsdAsn;
 use sciera_topology::ases::fig8_vantages;
 use sciera_topology::links::build_control_graph;
+use scion_control::beacon::{BeaconConfig, BeaconEngine};
+use scion_control::combine::combine_paths;
+use scion_control::fullpath::paper_disjointness;
+use scion_proto::addr::IsdAsn;
 
 use crate::campaign::MeasurementStore;
 
@@ -119,7 +119,12 @@ pub fn fig10a(store: &MeasurementStore) -> Fig10a {
     for &x in &inflations {
         s.record(x.min(3.0));
     }
-    Fig10a { cdf: s.to_cdf(60), inflations, frac_near_one, frac_below_1_2 }
+    Fig10a {
+        cdf: s.to_cdf(60),
+        inflations,
+        frac_near_one,
+        frac_below_1_2,
+    }
 }
 
 /// Figure 10b: CDF of pairwise path disjointness over all path pairs of
@@ -143,7 +148,10 @@ pub fn fig10b(candidates_per_origin: usize, per_pair_cap: usize) -> Fig10b {
     let store = BeaconEngine::new(
         &topo.graph,
         1_700_000_000,
-        BeaconConfig { candidates_per_origin, ..Default::default() },
+        BeaconConfig {
+            candidates_per_origin,
+            ..Default::default()
+        },
     )
     .run()
     .expect("beaconing succeeds");
@@ -239,15 +247,26 @@ mod tests {
         // scales with the candidate richness; the full-size run is recorded
         // in EXPERIMENTS.md).
         let dj_sg = m9.get(ia("71-2:0:3b"), ia("71-2:0:3d")).unwrap();
-        assert!(dj_sg > 0, "DJ->SG median deviation must reflect the cable cut");
+        assert!(
+            dj_sg > 0,
+            "DJ->SG median deviation must reflect the cable cut"
+        );
     }
 
     #[test]
     fn fig10a_shape() {
         let f = fig10a(&store());
         assert!(f.inflations.len() > 100);
-        assert!(f.frac_near_one > 0.15, "near-1 fraction {}", f.frac_near_one);
-        assert!(f.frac_below_1_2 > 0.5, "below-1.2 fraction {}", f.frac_below_1_2);
+        assert!(
+            f.frac_near_one > 0.15,
+            "near-1 fraction {}",
+            f.frac_near_one
+        );
+        assert!(
+            f.frac_below_1_2 > 0.5,
+            "below-1.2 fraction {}",
+            f.frac_below_1_2
+        );
         assert!(f.inflations.iter().all(|&x| x >= 1.0));
     }
 
@@ -255,7 +274,11 @@ mod tests {
     fn fig10b_shape() {
         let f = fig10b(8, 30);
         assert!(f.samples > 1000);
-        assert!(f.frac_fully_disjoint > 0.02, "fully disjoint {}", f.frac_fully_disjoint);
+        assert!(
+            f.frac_fully_disjoint > 0.02,
+            "fully disjoint {}",
+            f.frac_fully_disjoint
+        );
         assert!(f.frac_above_0_7 > 0.6, "≥0.7 fraction {}", f.frac_above_0_7);
         // CDF covers [0,1].
         assert!(f.cdf.points.last().unwrap().1 >= 0.999);

@@ -10,10 +10,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use sciera_topology::ases::{all_ases, fig8_vantages};
 use scion_control::beacon::{BeaconConfig, BeaconEngine};
 use scion_control::combine::combine_paths;
 use scion_proto::addr::IsdAsn;
-use sciera_topology::ases::{all_ases, fig8_vantages};
 
 use crate::campaign::{Campaign, CampaignConfig, CandPath};
 
@@ -81,13 +81,20 @@ pub fn fig10c(runs: u32, seed: u64, all_pairs: bool) -> Fig10c {
     let store = BeaconEngine::new(
         &topo.graph,
         1_700_000_000,
-        BeaconConfig { candidates_per_origin: 16, ..Default::default() },
+        BeaconConfig {
+            candidates_per_origin: 16,
+            ..Default::default()
+        },
     )
     .run()
     .expect("beaconing succeeds");
 
     let endpoints: Vec<IsdAsn> = if all_pairs {
-        all_ases().into_iter().filter(|a| a.ia.isd.0 == 71).map(|a| a.ia).collect()
+        all_ases()
+            .into_iter()
+            .filter(|a| a.ia.isd.0 == 71)
+            .map(|a| a.ia)
+            .collect()
     } else {
         fig8_vantages()
     };
@@ -101,7 +108,10 @@ pub fn fig10c(runs: u32, seed: u64, all_pairs: bool) -> Fig10c {
             }
             let paths = combine_paths(&store, s, d, 150);
             pair_paths.push(
-                paths.iter().filter_map(|p| campaign.digest_path(p, &up)).collect(),
+                paths
+                    .iter()
+                    .filter_map(|p| campaign.digest_path(p, &up))
+                    .collect(),
             );
         }
     }
@@ -124,7 +134,10 @@ pub fn fig10c(runs: u32, seed: u64, all_pairs: bool) -> Fig10c {
             let mut multi_ok = 0usize;
             let mut single_ok = 0usize;
             for paths in &pair_paths {
-                if paths.iter().any(|p| p.links.iter().all(|&l| !down[l as usize])) {
+                if paths
+                    .iter()
+                    .any(|p| p.links.iter().all(|&l| !down[l as usize]))
+                {
                     multi_ok += 1;
                 }
                 if let Some(shortest) = paths.first() {

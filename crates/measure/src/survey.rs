@@ -79,14 +79,118 @@ pub fn respondents() -> Vec<Respondent> {
         cost_drivers,
     };
     vec![
-        r(1, 15, true, 0.8, true, 6_500, false, false, true, true, 0, vec![HardwareMaintenance, StaffWorkload]),
-        r(2, 12, true, 1.0, true, 12_000, false, false, true, true, 1, vec![HardwareMaintenance]),
-        r(3, 11, false, 0.9, false, 18_000, true, false, true, true, 2, vec![HardwareMaintenance, Monitoring]),
-        r(4, 14, true, 4.0, true, 9_000, false, false, true, true, 1, vec![StaffWorkload]),
-        r(5, 6, false, 5.0, true, 15_000, false, false, true, true, 2, vec![HardwareMaintenance, StaffWorkload, Power]),
-        r(6, 8, false, 6.0, false, 25_000, true, true, false, true, 5, vec![StaffWorkload, Monitoring]),
-        r(7, 5, true, 5.5, false, 14_000, true, false, true, true, 4, vec![HardwareMaintenance]),
-        r(8, 9, false, 9.0, true, 30_000, false, true, false, false, 3, vec![]),
+        r(
+            1,
+            15,
+            true,
+            0.8,
+            true,
+            6_500,
+            false,
+            false,
+            true,
+            true,
+            0,
+            vec![HardwareMaintenance, StaffWorkload],
+        ),
+        r(
+            2,
+            12,
+            true,
+            1.0,
+            true,
+            12_000,
+            false,
+            false,
+            true,
+            true,
+            1,
+            vec![HardwareMaintenance],
+        ),
+        r(
+            3,
+            11,
+            false,
+            0.9,
+            false,
+            18_000,
+            true,
+            false,
+            true,
+            true,
+            2,
+            vec![HardwareMaintenance, Monitoring],
+        ),
+        r(
+            4,
+            14,
+            true,
+            4.0,
+            true,
+            9_000,
+            false,
+            false,
+            true,
+            true,
+            1,
+            vec![StaffWorkload],
+        ),
+        r(
+            5,
+            6,
+            false,
+            5.0,
+            true,
+            15_000,
+            false,
+            false,
+            true,
+            true,
+            2,
+            vec![HardwareMaintenance, StaffWorkload, Power],
+        ),
+        r(
+            6,
+            8,
+            false,
+            6.0,
+            false,
+            25_000,
+            true,
+            true,
+            false,
+            true,
+            5,
+            vec![StaffWorkload, Monitoring],
+        ),
+        r(
+            7,
+            5,
+            true,
+            5.5,
+            false,
+            14_000,
+            true,
+            false,
+            true,
+            true,
+            4,
+            vec![HardwareMaintenance],
+        ),
+        r(
+            8,
+            9,
+            false,
+            9.0,
+            true,
+            30_000,
+            false,
+            true,
+            false,
+            false,
+            3,
+            vec![],
+        ),
     ]
 }
 

@@ -78,7 +78,12 @@ impl FaultSchedule {
 
     /// Adds a one-off outage.
     pub fn outage(&mut self, link: LinkId, start: SimTime, end: SimTime, label: &str) -> &mut Self {
-        self.episodes.push(FaultEpisode { link, start, end, label: label.to_string() });
+        self.episodes.push(FaultEpisode {
+            link,
+            start,
+            end,
+            label: label.to_string(),
+        });
         self
     }
 
@@ -104,7 +109,9 @@ impl FaultSchedule {
     /// Whether `link` is down at `t` under this schedule (analytic query,
     /// used by the fast measurement path).
     pub fn link_down_at(&self, link: LinkId, t: SimTime) -> bool {
-        self.episodes.iter().any(|e| e.link == link && e.is_active(t))
+        self.episodes
+            .iter()
+            .any(|e| e.link == link && e.is_active(t))
             || self.flapping.iter().any(|f| f.link == link && f.is_down(t))
     }
 
@@ -228,7 +235,13 @@ mod tests {
         let b = w.add_node(Nop);
         let l = w.add_link(a, b, LinkQuality::default());
         let mut sched = FaultSchedule::new();
-        sched.flap(l, SimDuration::from_secs(10), SimDuration::from_secs(1), SimDuration::ZERO, "x");
+        sched.flap(
+            l,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(1),
+            SimDuration::ZERO,
+            "x",
+        );
         sched.apply_to_world(&mut w, s(35));
         let events = w.run_to_completion();
         // 4 cycles fit before 35 s (at 0, 10, 20, 30) => 8 state changes.

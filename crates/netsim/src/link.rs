@@ -47,7 +47,10 @@ impl Default for LinkQuality {
 impl LinkQuality {
     /// A clean link with the given one-way latency and no other impairment.
     pub fn with_latency(latency: SimDuration) -> Self {
-        LinkQuality { latency, ..Default::default() }
+        LinkQuality {
+            latency,
+            ..Default::default()
+        }
     }
 
     /// Serialisation delay for a frame of `bytes` at this bandwidth.
@@ -80,7 +83,14 @@ pub struct Link {
 impl Link {
     /// Creates an up link between `a` and `b`.
     pub fn new(a: NodeId, b: NodeId, quality: LinkQuality) -> Self {
-        Link { a, b, quality, up: true, free_ab: SimTime::ZERO, free_ba: SimTime::ZERO }
+        Link {
+            a,
+            b,
+            quality,
+            up: true,
+            free_ab: SimTime::ZERO,
+            free_ba: SimTime::ZERO,
+        }
     }
 
     /// The peer of `node` on this link, if `node` is an endpoint.
@@ -113,13 +123,20 @@ impl Link {
         if self.quality.loss > 0.0 && rng.gen::<f64>() < self.quality.loss {
             return None;
         }
-        let free = if from == self.a { &mut self.free_ab } else { &mut self.free_ba };
+        let free = if from == self.a {
+            &mut self.free_ab
+        } else {
+            &mut self.free_ba
+        };
         let start = if *free > now { *free } else { now };
         let ser = self.quality.serialization_delay(bytes);
         *free = start + ser;
         let mut delay = self.quality.latency;
         if self.quality.jitter > 0.0 {
-            let extra = self.quality.latency.mul_f64(rng.gen::<f64>() * self.quality.jitter);
+            let extra = self
+                .quality
+                .latency
+                .mul_f64(rng.gen::<f64>() * self.quality.jitter);
             delay = delay + extra;
         }
         Some(start + ser + delay)
@@ -138,8 +155,14 @@ mod tests {
 
     #[test]
     fn latency_only_delivery() {
-        let mut l = Link::new(NodeId(0), NodeId(1), LinkQuality::with_latency(SimDuration::from_millis(10)));
-        let t = l.transmit(SimTime::ZERO, NodeId(0), 100, &mut rng()).unwrap();
+        let mut l = Link::new(
+            NodeId(0),
+            NodeId(1),
+            LinkQuality::with_latency(SimDuration::from_millis(10)),
+        );
+        let t = l
+            .transmit(SimTime::ZERO, NodeId(0), 100, &mut rng())
+            .unwrap();
         assert_eq!(t.as_millis(), 10);
     }
 
@@ -176,20 +199,32 @@ mod tests {
     fn down_link_drops() {
         let mut l = Link::new(NodeId(0), NodeId(1), LinkQuality::default());
         l.up = false;
-        assert!(l.transmit(SimTime::ZERO, NodeId(0), 10, &mut rng()).is_none());
+        assert!(l
+            .transmit(SimTime::ZERO, NodeId(0), 10, &mut rng())
+            .is_none());
     }
 
     #[test]
     fn over_mtu_drops() {
-        let q = LinkQuality { mtu: 1500, ..Default::default() };
+        let q = LinkQuality {
+            mtu: 1500,
+            ..Default::default()
+        };
         let mut l = Link::new(NodeId(0), NodeId(1), q);
-        assert!(l.transmit(SimTime::ZERO, NodeId(0), 1501, &mut rng()).is_none());
-        assert!(l.transmit(SimTime::ZERO, NodeId(0), 1500, &mut rng()).is_some());
+        assert!(l
+            .transmit(SimTime::ZERO, NodeId(0), 1501, &mut rng())
+            .is_none());
+        assert!(l
+            .transmit(SimTime::ZERO, NodeId(0), 1500, &mut rng())
+            .is_some());
     }
 
     #[test]
     fn full_loss_drops_everything() {
-        let q = LinkQuality { loss: 1.0, ..Default::default() };
+        let q = LinkQuality {
+            loss: 1.0,
+            ..Default::default()
+        };
         let mut l = Link::new(NodeId(0), NodeId(1), q);
         let mut r = rng();
         for _ in 0..100 {

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 pub struct Summary {
     samples: Vec<f64>,
     sorted: bool,
+    rejected: u64,
 }
 
 impl Summary {
@@ -25,19 +26,29 @@ impl Summary {
         Self::default()
     }
 
-    /// Adds one sample. Non-finite values are rejected (and counted as a
-    /// programming error in debug builds).
-    pub fn record(&mut self, value: f64) {
-        debug_assert!(value.is_finite(), "non-finite sample {value}");
+    /// Adds one sample. Returns `true` if the sample was accepted; non-finite
+    /// values are rejected and counted in [`Summary::rejected`] so a campaign
+    /// can tell "no data" apart from "bad data".
+    pub fn record(&mut self, value: f64) -> bool {
         if value.is_finite() {
             self.samples.push(value);
             self.sorted = false;
+            true
+        } else {
+            self.rejected += 1;
+            false
         }
     }
 
-    /// Merges another summary into this one.
+    /// Number of non-finite samples rejected by [`Summary::record`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Merges another summary into this one (rejection counts included).
     pub fn merge(&mut self, other: &Summary) {
         self.samples.extend_from_slice(&other.samples);
+        self.rejected += other.rejected;
         self.sorted = false;
     }
 
@@ -183,7 +194,11 @@ impl Counters {
 
     /// Reads a counter (0 if absent).
     pub fn get(&self, name: &str) -> u64 {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
     }
 
     /// All counters, insertion-ordered.
@@ -294,13 +309,20 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_rejected_in_release() {
+    fn non_finite_rejected_and_counted() {
         let mut s = Summary::new();
-        // In release builds the debug_assert is compiled out and the value
-        // is silently dropped; in tests (debug) we cannot call with NaN, so
-        // exercise the finite path only.
-        s.record(2.0);
+        assert!(s.record(2.0));
+        assert!(!s.record(f64::NAN));
+        assert!(!s.record(f64::INFINITY));
+        assert!(!s.record(f64::NEG_INFINITY));
         assert_eq!(s.count(), 1);
+        assert_eq!(s.rejected(), 3);
+        assert_eq!(s.mean(), Some(2.0));
+
+        let mut other = Summary::new();
+        other.record(f64::NAN);
+        s.merge(&other);
+        assert_eq!(s.rejected(), 4);
     }
 }
 
@@ -321,7 +343,13 @@ impl Histogram {
     /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo && bins > 0, "invalid histogram bounds");
-        Histogram { lo, hi, bins: vec![0; bins], count: 0, sum: 0.0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            count: 0,
+            sum: 0.0,
+        }
     }
 
     /// Records a sample (clamped into range).

@@ -10,11 +10,15 @@ use std::ops::{Add, AddAssign, Sub};
 use serde::{Deserialize, Serialize};
 
 /// An instant in simulated time (nanoseconds since run start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time (nanoseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -193,7 +197,10 @@ mod tests {
         assert_eq!(t2.since(t).as_millis(), 500);
         // Saturation instead of wrap.
         assert_eq!(t.since(t2), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs(1) - SimDuration::from_secs(2), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs(1) - SimDuration::from_secs(2),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -204,7 +211,10 @@ mod tests {
     #[test]
     fn mul_f64_scales() {
         assert_eq!(SimDuration::from_millis(100).mul_f64(1.5).as_millis(), 150);
-        assert_eq!(SimDuration::from_millis(100).mul_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis(100).mul_f64(-1.0),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

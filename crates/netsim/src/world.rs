@@ -11,6 +11,7 @@ use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sciera_telemetry::{Counter, Event as TraceEvent, Gauge, Severity, Telemetry};
 
 use crate::link::{Link, LinkId, LinkQuality};
 use crate::time::{SimDuration, SimTime};
@@ -39,9 +40,19 @@ pub trait Node {
 
 #[derive(Debug)]
 enum EventKind {
-    Deliver { dst: NodeId, link: LinkId, frame: Vec<u8> },
-    Timer { node: NodeId, token: u64 },
-    LinkSetState { link: LinkId, up: bool },
+    Deliver {
+        dst: NodeId,
+        link: LinkId,
+        frame: Vec<u8>,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    LinkSetState {
+        link: LinkId,
+        up: bool,
+    },
 }
 
 #[derive(Debug)]
@@ -70,8 +81,16 @@ impl Ord for Event {
 
 /// Actions queued by a node during a callback.
 enum Action {
-    Send { from: NodeId, link: LinkId, frame: Vec<u8> },
-    Timer { node: NodeId, after: SimDuration, token: u64 },
+    Send {
+        from: NodeId,
+        link: LinkId,
+        frame: Vec<u8>,
+    },
+    Timer {
+        node: NodeId,
+        after: SimDuration,
+        token: u64,
+    },
 }
 
 /// The interface a node uses to act on the world.
@@ -127,12 +146,20 @@ impl<'a> NodeCtx<'a> {
     pub fn send(&mut self, link: LinkId, frame: Vec<u8>) {
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += frame.len() as u64;
-        self.actions.push(Action::Send { from: self.node, link, frame });
+        self.actions.push(Action::Send {
+            from: self.node,
+            link,
+            frame,
+        });
     }
 
     /// Arms a one-shot timer firing `after` from now with `token`.
     pub fn set_timer(&mut self, after: SimDuration, token: u64) {
-        self.actions.push(Action::Timer { node: self.node, after, token });
+        self.actions.push(Action::Timer {
+            node: self.node,
+            after,
+            token,
+        });
     }
 }
 
@@ -151,6 +178,24 @@ pub struct WorldStats {
     pub events_processed: u64,
 }
 
+/// Pre-registered per-link counters so the transmit path never touches the
+/// registry's name lookup.
+struct LinkCounters {
+    sent: Counter,
+    dropped: Counter,
+    delayed: Counter,
+}
+
+impl LinkCounters {
+    fn register(telemetry: &Telemetry, link: LinkId) -> Self {
+        LinkCounters {
+            sent: telemetry.counter(&format!("link.{}.sent", link.0)),
+            dropped: telemetry.counter(&format!("link.{}.dropped", link.0)),
+            delayed: telemetry.counter(&format!("link.{}.delayed", link.0)),
+        }
+    }
+}
+
 /// The simulation world: nodes, links, the event queue and the clock.
 pub struct World<N: Node> {
     nodes: Vec<N>,
@@ -162,11 +207,19 @@ pub struct World<N: Node> {
     rng: StdRng,
     stats: WorldStats,
     started: bool,
+    telemetry: Telemetry,
+    link_counters: Vec<LinkCounters>,
+    events_counter: Counter,
+    queue_depth_hwm: Gauge,
 }
 
 impl<N: Node> World<N> {
-    /// Creates an empty world with a deterministic RNG seed.
+    /// Creates an empty world with a deterministic RNG seed. Telemetry starts
+    /// on a quiet private handle; share one with [`World::set_telemetry`].
     pub fn new(seed: u64) -> Self {
+        let telemetry = Telemetry::quiet();
+        let events_counter = telemetry.counter("world.events_processed");
+        let queue_depth_hwm = telemetry.gauge("world.queue_depth_hwm");
         World {
             nodes: Vec::new(),
             links: Vec::new(),
@@ -177,7 +230,27 @@ impl<N: Node> World<N> {
             rng: StdRng::seed_from_u64(seed),
             stats: WorldStats::default(),
             started: false,
+            telemetry,
+            link_counters: Vec::new(),
+            events_counter,
+            queue_depth_hwm,
         }
+    }
+
+    /// Replaces the telemetry handle (e.g. with one shared by the whole
+    /// experiment) and re-registers every world metric on it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.events_counter = telemetry.counter("world.events_processed");
+        self.queue_depth_hwm = telemetry.gauge("world.queue_depth_hwm");
+        self.link_counters = (0..self.links.len())
+            .map(|i| LinkCounters::register(&telemetry, LinkId(i)))
+            .collect();
+        self.telemetry = telemetry;
+    }
+
+    /// The world's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Adds a node, returning its identifier.
@@ -194,6 +267,8 @@ impl<N: Node> World<N> {
         self.links.push(Link::new(a, b, quality));
         self.links_of_node[a.0].push(id);
         self.links_of_node[b.0].push(id);
+        self.link_counters
+            .push(LinkCounters::register(&self.telemetry, id));
         id
     }
 
@@ -246,6 +321,7 @@ impl<N: Node> World<N> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Event { at, seq, kind }));
+        self.queue_depth_hwm.set_max(self.queue.len() as u64);
     }
 
     fn dispatch_start(&mut self) {
@@ -280,13 +356,43 @@ impl<N: Node> World<N> {
             match action {
                 Action::Send { from, link, frame } => {
                     let l = &mut self.links[link.0];
+                    self.link_counters[link.0].sent.inc();
                     let Some(dst) = l.peer_of(from) else {
                         self.stats.frames_dropped += 1;
+                        self.link_counters[link.0].dropped.inc();
                         continue;
                     };
+                    // The direction already carrying a frame means this one
+                    // queues behind it (serialisation delay).
+                    let queued = if from == l.a {
+                        l.free_ab > self.now
+                    } else {
+                        l.free_ba > self.now
+                    };
                     match l.transmit(self.now, from, frame.len(), &mut self.rng) {
-                        Some(at) => self.push(at, EventKind::Deliver { dst, link, frame }),
-                        None => self.stats.frames_dropped += 1,
+                        Some(at) => {
+                            if queued {
+                                self.link_counters[link.0].delayed.inc();
+                            }
+                            self.push(at, EventKind::Deliver { dst, link, frame });
+                        }
+                        None => {
+                            self.stats.frames_dropped += 1;
+                            self.link_counters[link.0].dropped.inc();
+                            if self.telemetry.enabled(Severity::Debug) {
+                                self.telemetry.emit(
+                                    TraceEvent::new(
+                                        self.now.as_nanos(),
+                                        format!("node{}", from.0),
+                                        "world",
+                                        Severity::Debug,
+                                        "frame dropped by link",
+                                    )
+                                    .field("link", link.0)
+                                    .field("bytes", frame.len()),
+                                );
+                            }
+                        }
                     }
                 }
                 Action::Timer { node, after, token } => {
@@ -310,6 +416,7 @@ impl<N: Node> World<N> {
             let Reverse(ev) = self.queue.pop().unwrap();
             self.now = ev.at;
             self.stats.events_processed += 1;
+            self.events_counter.inc();
             processed += 1;
             match ev.kind {
                 EventKind::Deliver { dst, link, frame } => {
@@ -321,6 +428,18 @@ impl<N: Node> World<N> {
                 }
                 EventKind::LinkSetState { link, up } => {
                     self.links[link.0].up = up;
+                    if self.telemetry.enabled(Severity::Info) {
+                        self.telemetry.emit(
+                            TraceEvent::new(
+                                self.now.as_nanos(),
+                                "world",
+                                "world",
+                                Severity::Info,
+                                if up { "link up" } else { "link down" },
+                            )
+                            .field("link", link.0),
+                        );
+                    }
                 }
             }
         }
@@ -349,7 +468,11 @@ mod tests {
 
     impl Echo {
         fn new(echo: bool) -> Self {
-            Echo { received: Vec::new(), echo, timer_fired: Vec::new() }
+            Echo {
+                received: Vec::new(),
+                echo,
+                timer_fired: Vec::new(),
+            }
         }
     }
 
@@ -382,7 +505,11 @@ mod tests {
         let mut w = World::new(1);
         let client = w.add_node(Echo::new(false));
         let server = w.add_node(Echo::new(true));
-        w.add_link(client, server, LinkQuality::with_latency(SimDuration::from_millis(10)));
+        w.add_link(
+            client,
+            server,
+            LinkQuality::with_latency(SimDuration::from_millis(10)),
+        );
         w.run_to_completion();
         // Probe sent at t=5ms, arrives at 15ms, echo arrives back at 25ms.
         let srv = w.node(server);
@@ -401,7 +528,11 @@ mod tests {
         let mut w = World::new(1);
         let client = w.add_node(Echo::new(false));
         let server = w.add_node(Echo::new(true));
-        let link = w.add_link(client, server, LinkQuality::with_latency(SimDuration::from_millis(10)));
+        let link = w.add_link(
+            client,
+            server,
+            LinkQuality::with_latency(SimDuration::from_millis(10)),
+        );
         // Cut the link before the probe is sent at t=5ms.
         w.schedule_link_state(SimTime::from_nanos(1), link, false);
         w.run_to_completion();
@@ -414,7 +545,11 @@ mod tests {
         let mut w = World::new(1);
         let client = w.add_node(Echo::new(false));
         let server = w.add_node(Echo::new(true));
-        let link = w.add_link(client, server, LinkQuality::with_latency(SimDuration::from_millis(1)));
+        let link = w.add_link(
+            client,
+            server,
+            LinkQuality::with_latency(SimDuration::from_millis(1)),
+        );
         w.set_link_state(link, false);
         // Restore only after the initial 5 ms probe has been lost.
         w.schedule_link_state(SimTime::from_nanos(7_000_000), link, true);
@@ -448,12 +583,41 @@ mod tests {
         let mut w = World::new(1);
         let client = w.add_node(Echo::new(false));
         let server = w.add_node(Echo::new(true));
-        w.add_link(client, server, LinkQuality::with_latency(SimDuration::from_millis(10)));
+        w.add_link(
+            client,
+            server,
+            LinkQuality::with_latency(SimDuration::from_millis(10)),
+        );
         w.run_until(SimTime::from_nanos(6_000_000)); // probe sent at 5ms, not yet delivered
         assert_eq!(w.node(server).received.len(), 0);
         assert_eq!(w.now().as_millis(), 6);
         w.run_to_completion();
         assert_eq!(w.node(server).received.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_counters_track_traffic() {
+        let mut w = World::new(1);
+        let client = w.add_node(Echo::new(false));
+        let server = w.add_node(Echo::new(true));
+        let link = w.add_link(
+            client,
+            server,
+            LinkQuality::with_latency(SimDuration::from_millis(10)),
+        );
+        let tele = Telemetry::with_severity(Severity::Debug);
+        w.set_telemetry(tele.clone());
+        // Cut the link after the probe+echo exchange so a later re-probe drops.
+        w.schedule_link_state(SimTime::from_nanos(30_000_000), link, false);
+        w.schedule_timer(SimTime::from_nanos(40_000_000), client, 1);
+        w.run_to_completion();
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("link.0.sent"), Some(3));
+        assert_eq!(snap.counter("link.0.dropped"), Some(1));
+        assert!(snap.counter("world.events_processed").unwrap() >= 5);
+        assert!(snap.gauge("world.queue_depth_hwm").unwrap() >= 1);
+        // The drop and the link-down transition both left trace events.
+        assert!(snap.events_recorded >= 2);
     }
 
     #[test]

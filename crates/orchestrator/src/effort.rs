@@ -151,7 +151,10 @@ mod tests {
             ev("C", 6, ConnectionType::SingleNetworkVlan, 2, false),
         ];
         let efforts = model.evaluate(&events);
-        assert!(efforts[0] > efforts[1] && efforts[1] > efforts[2], "{efforts:?}");
+        assert!(
+            efforts[0] > efforts[1] && efforts[1] > efforts[2],
+            "{efforts:?}"
+        );
         // First-of-kind is markedly more expensive than the third repeat.
         assert!(efforts[0] > efforts[2] * 2.0);
     }

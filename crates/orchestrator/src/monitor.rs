@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use sciera_telemetry::{Counter, Event, Severity, Telemetry};
 use scion_proto::addr::IsdAsn;
 
 /// Where alerts go (email in production; a buffer in tests/examples).
@@ -52,20 +53,46 @@ pub struct ConnectivityMonitor {
     pub failure_threshold: u32,
     /// Alerts raised, for reporting: (time, AS, was-outage).
     pub alert_log: Vec<(u64, IsdAsn, bool)>,
+    telemetry: Telemetry,
+    probes: Counter,
+    outages: Counter,
+    recoveries: Counter,
 }
 
 impl ConnectivityMonitor {
     /// Creates a monitor confirming outages after `failure_threshold`
     /// consecutive failed probes (debouncing transient loss).
     pub fn new(failure_threshold: u32) -> Self {
-        ConnectivityMonitor { ases: BTreeMap::new(), failure_threshold, alert_log: Vec::new() }
+        let telemetry = Telemetry::quiet();
+        ConnectivityMonitor {
+            ases: BTreeMap::new(),
+            failure_threshold,
+            alert_log: Vec::new(),
+            probes: telemetry.counter("monitor.probes"),
+            outages: telemetry.counter("monitor.outage_alerts"),
+            recoveries: telemetry.counter("monitor.recovery_notices"),
+            telemetry,
+        }
+    }
+
+    /// Shares a telemetry handle; every alert is mirrored as a telemetry
+    /// event so outage timelines (§5.4) land in the flight recorder.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.probes = telemetry.counter("monitor.probes");
+        self.outages = telemetry.counter("monitor.outage_alerts");
+        self.recoveries = telemetry.counter("monitor.recovery_notices");
+        self.telemetry = telemetry;
     }
 
     /// Registers an AS with its operator contact.
     pub fn register(&mut self, ia: IsdAsn, contact: &str) {
         self.ases.insert(
             ia,
-            MonitoredAs { status: AsStatus::Up, contact: contact.to_string(), last_change: 0 },
+            MonitoredAs {
+                status: AsStatus::Up,
+                contact: contact.to_string(),
+                last_change: 0,
+            },
         );
     }
 
@@ -77,7 +104,10 @@ impl ConnectivityMonitor {
         now: u64,
         sink: &mut dyn AlertSink,
     ) {
-        let Some(entry) = self.ases.get_mut(&ia) else { return };
+        self.probes.inc();
+        let Some(entry) = self.ases.get_mut(&ia) else {
+            return;
+        };
         match (entry.status, reachable) {
             (AsStatus::Up, true) | (AsStatus::Down, false) => {}
             (AsStatus::Up, false) => {
@@ -85,7 +115,9 @@ impl ConnectivityMonitor {
                 self.promote_if_confirmed(ia, now, sink);
             }
             (AsStatus::Degraded { failures }, false) => {
-                entry.status = AsStatus::Degraded { failures: failures + 1 };
+                entry.status = AsStatus::Degraded {
+                    failures: failures + 1,
+                };
                 self.promote_if_confirmed(ia, now, sink);
             }
             (AsStatus::Degraded { .. }, true) => {
@@ -95,6 +127,19 @@ impl ConnectivityMonitor {
                 entry.status = AsStatus::Up;
                 entry.last_change = now;
                 sink.alert(ia, &format!("RESOLVED: {ia} reachable again"));
+                self.recoveries.inc();
+                if self.telemetry.enabled(Severity::Info) {
+                    self.telemetry.emit(
+                        Event::new(
+                            now.saturating_mul(1_000_000_000),
+                            ia.to_string(),
+                            "monitor",
+                            Severity::Info,
+                            "connectivity restored",
+                        )
+                        .field("ia", ia.to_string()),
+                    );
+                }
                 self.alert_log.push((now, ia, false));
             }
         }
@@ -113,6 +158,20 @@ impl ConnectivityMonitor {
                          check the orchestrator status page"
                     ),
                 );
+                self.outages.inc();
+                if self.telemetry.enabled(Severity::Warn) {
+                    self.telemetry.emit(
+                        Event::new(
+                            now.saturating_mul(1_000_000_000),
+                            ia.to_string(),
+                            "monitor",
+                            Severity::Warn,
+                            "sustained outage confirmed",
+                        )
+                        .field("ia", ia.to_string())
+                        .field("failures", failures),
+                    );
+                }
                 self.alert_log.push((now, ia, true));
             }
         }
@@ -140,7 +199,10 @@ impl ConnectivityMonitor {
 
     /// Number of ASes currently down.
     pub fn down_count(&self) -> usize {
-        self.ases.values().filter(|e| e.status == AsStatus::Down).count()
+        self.ases
+            .values()
+            .filter(|e| e.status == AsStatus::Down)
+            .count()
     }
 }
 
@@ -198,7 +260,10 @@ mod tests {
         }
         assert_eq!(alerts.len(), 2);
         assert!(alerts[1].1.contains("RESOLVED"));
-        assert_eq!(mon.alert_log, vec![(2, ia("71-2:0:35"), true), (50, ia("71-2:0:35"), false)]);
+        assert_eq!(
+            mon.alert_log,
+            vec![(2, ia("71-2:0:35"), true), (50, ia("71-2:0:35"), false)]
+        );
     }
 
     #[test]
@@ -211,6 +276,133 @@ mod tests {
         }
         assert!(alerts.is_empty());
         assert!(mon.status(ia("71-404")).is_none());
+    }
+
+    #[test]
+    fn flap_at_exactly_threshold_minus_one_absorbed() {
+        // threshold = 3: two failures then a success is still a flap — the
+        // debounce window must strictly reach the threshold before alerting.
+        let mut mon = ConnectivityMonitor::new(3);
+        mon.register(ia("71-225"), "noc@virginia.edu");
+        let mut alerts = Vec::new();
+        {
+            let mut sink = collecting_sink(&mut alerts);
+            mon.probe_result(ia("71-225"), false, 1, &mut sink);
+            mon.probe_result(ia("71-225"), false, 2, &mut sink);
+            assert_eq!(
+                mon.status(ia("71-225")),
+                Some(AsStatus::Degraded { failures: 2 })
+            );
+            mon.probe_result(ia("71-225"), true, 3, &mut sink);
+        }
+        assert!(
+            alerts.is_empty(),
+            "threshold-1 failures must not alert: {alerts:?}"
+        );
+        assert_eq!(mon.status(ia("71-225")), Some(AsStatus::Up));
+        assert!(mon.alert_log.is_empty());
+    }
+
+    #[test]
+    fn alert_fires_at_exactly_threshold() {
+        // The alert must fire on the Nth consecutive failure, not N+1.
+        let mut mon = ConnectivityMonitor::new(3);
+        mon.register(ia("71-225"), "noc@virginia.edu");
+        let mut alerts = Vec::new();
+        {
+            let mut sink = collecting_sink(&mut alerts);
+            mon.probe_result(ia("71-225"), false, 1, &mut sink);
+            mon.probe_result(ia("71-225"), false, 2, &mut sink);
+            assert!(mon.alert_log.is_empty());
+            mon.probe_result(ia("71-225"), false, 3, &mut sink);
+        }
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(mon.alert_log, vec![(3, ia("71-225"), true)]);
+        assert_eq!(mon.status(ia("71-225")), Some(AsStatus::Down));
+    }
+
+    #[test]
+    fn repeated_flap_cycles_never_alert() {
+        // Many threshold-1 bursts separated by recoveries: zero alerts, ever.
+        let mut mon = ConnectivityMonitor::new(3);
+        mon.register(ia("71-225"), "noc@virginia.edu");
+        let mut alerts = Vec::new();
+        {
+            let mut sink = collecting_sink(&mut alerts);
+            for cycle in 0..10u64 {
+                let t = cycle * 10;
+                mon.probe_result(ia("71-225"), false, t + 1, &mut sink);
+                mon.probe_result(ia("71-225"), false, t + 2, &mut sink);
+                mon.probe_result(ia("71-225"), true, t + 3, &mut sink);
+            }
+        }
+        assert!(alerts.is_empty());
+        assert!(mon.alert_log.is_empty());
+    }
+
+    #[test]
+    fn one_alert_and_one_recovery_per_outage_cycle() {
+        // Two full outage/recovery cycles: exactly one OUTAGE and one
+        // RESOLVED per cycle, in order, regardless of extra probes in
+        // either steady state.
+        let mut mon = ConnectivityMonitor::new(2);
+        mon.register(ia("71-225"), "noc@virginia.edu");
+        let mut alerts = Vec::new();
+        {
+            let mut sink = collecting_sink(&mut alerts);
+            for cycle in 0..2u64 {
+                let t = cycle * 100;
+                for i in 0..5 {
+                    mon.probe_result(ia("71-225"), false, t + i, &mut sink);
+                }
+                for i in 5..8 {
+                    mon.probe_result(ia("71-225"), true, t + i, &mut sink);
+                }
+            }
+        }
+        assert_eq!(alerts.len(), 4, "{alerts:?}");
+        assert!(alerts[0].1.contains("OUTAGE"));
+        assert!(alerts[1].1.contains("RESOLVED"));
+        assert!(alerts[2].1.contains("OUTAGE"));
+        assert!(alerts[3].1.contains("RESOLVED"));
+        let kinds: Vec<bool> = mon.alert_log.iter().map(|(_, _, outage)| *outage).collect();
+        assert_eq!(kinds, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn threshold_one_alerts_on_first_failure() {
+        let mut mon = ConnectivityMonitor::new(1);
+        mon.register(ia("71-225"), "noc@virginia.edu");
+        let mut alerts = Vec::new();
+        {
+            let mut sink = collecting_sink(&mut alerts);
+            mon.probe_result(ia("71-225"), false, 9, &mut sink);
+        }
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(mon.alert_log, vec![(9, ia("71-225"), true)]);
+    }
+
+    #[test]
+    fn alerts_mirrored_to_telemetry() {
+        let mut mon = ConnectivityMonitor::new(2);
+        let telemetry = sciera_telemetry::Telemetry::new();
+        mon.set_telemetry(telemetry.clone());
+        mon.register(ia("71-225"), "noc@virginia.edu");
+        let mut alerts = Vec::new();
+        {
+            let mut sink = collecting_sink(&mut alerts);
+            mon.probe_result(ia("71-225"), false, 1, &mut sink);
+            mon.probe_result(ia("71-225"), false, 2, &mut sink);
+            mon.probe_result(ia("71-225"), true, 30, &mut sink);
+        }
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("monitor.probes"), Some(3));
+        assert_eq!(snap.counter("monitor.outage_alerts"), Some(1));
+        assert_eq!(snap.counter("monitor.recovery_notices"), Some(1));
+        let events = telemetry.flight_recorder().events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].message, "sustained outage confirmed");
+        assert_eq!(events[1].message, "connectivity restored");
     }
 
     #[test]

@@ -118,7 +118,13 @@ pub fn bootstrap_driver(
     ca.enrol(ia, enrolment_key.verifying_key());
     let csr = CsrRequest::build(ia, as_key.verifying_key(), profile, &enrolment_key);
     let chain = ca.process_csr(&csr, now)?;
-    Ok(RenewalDriver::new(ia, enrolment_key, as_key, profile, chain))
+    Ok(RenewalDriver::new(
+        ia,
+        enrolment_key,
+        as_key,
+        profile,
+        chain,
+    ))
 }
 
 #[cfg(test)]
@@ -179,9 +185,15 @@ mod tests {
         let mut driver =
             bootstrap_driver(&mut ca, ia("71-88"), ClientProfile::OpenSource, 0).unwrap();
         let t_renew = DEFAULT_AS_CERT_LIFETIME_SECS * 3 / 4;
-        assert!(matches!(driver.tick(&mut ca, t_renew, false), RenewalAction::Failed(_)));
+        assert!(matches!(
+            driver.tick(&mut ca, t_renew, false),
+            RenewalAction::Failed(_)
+        ));
         // Within backoff: stays idle even though renewal is due.
-        assert_eq!(driver.tick(&mut ca, t_renew + 10, false), RenewalAction::Idle);
+        assert_eq!(
+            driver.tick(&mut ca, t_renew + 10, false),
+            RenewalAction::Idle
+        );
         // After backoff with CA back: renews.
         assert!(matches!(
             driver.tick(&mut ca, t_renew + 3601, true),

@@ -107,9 +107,7 @@ impl SetupPlan {
         ];
         for (provider, kind) in &decl.uplinks {
             let (desc, hours) = match kind {
-                UplinkKind::VlanSingleNetwork => {
-                    (format!("request L2 VLAN to {provider}"), 6.0)
-                }
+                UplinkKind::VlanSingleNetwork => (format!("request L2 VLAN to {provider}"), 6.0),
                 UplinkKind::VlanMultiNetwork { parties } => (
                     format!("coordinate multi-network VLAN to {provider} ({parties} parties)"),
                     8.0 * *parties as f64,
@@ -121,7 +119,11 @@ impl SetupPlan {
             };
             // Circuit provisioning is inherently cross-organisation: the
             // orchestrator can template the request but not approve it.
-            tasks.push(Task { description: desc, automated: false, manual_hours: hours });
+            tasks.push(Task {
+                description: desc,
+                automated: false,
+                manual_hours: hours,
+            });
             tasks.push(Task {
                 description: format!("configure + verify SCION link to {provider}"),
                 automated: true,
@@ -131,7 +133,9 @@ impl SetupPlan {
         SetupPlan {
             ia: decl.ia,
             control_service: mk(2, 30252),
-            border_routers: (0..decl.uplinks.len() as u8).map(|i| mk(10 + i, 30042)).collect(),
+            border_routers: (0..decl.uplinks.len() as u8)
+                .map(|i| mk(10 + i, 30042))
+                .collect(),
             bootstrap_server: mk(3, 8041),
             tasks,
         }
@@ -140,7 +144,11 @@ impl SetupPlan {
     /// Manual hours remaining with the orchestrator (non-automatable tasks
     /// only).
     pub fn hours_with_orchestrator(&self) -> f64 {
-        self.tasks.iter().filter(|t| !t.automated).map(|t| t.manual_hours).sum()
+        self.tasks
+            .iter()
+            .filter(|t| !t.automated)
+            .map(|t| t.manual_hours)
+            .sum()
     }
 
     /// Manual hours if everything were done by hand (the pre-orchestrator
@@ -186,13 +194,11 @@ mod tests {
         // "From days to a few hours": at least a 50% cut, and the
         // remaining work is procurement + circuits only.
         assert!(with < manual * 0.6, "with: {with}, manual: {manual}");
-        assert!(plan
-            .tasks
-            .iter()
-            .filter(|t| !t.automated)
-            .all(|t| t.description.contains("procure")
-                || t.description.contains("VLAN")
-                || t.description.contains("VXLAN")));
+        assert!(plan.tasks.iter().filter(|t| !t.automated).all(|t| t
+            .description
+            .contains("procure")
+            || t.description.contains("VLAN")
+            || t.description.contains("VXLAN")));
     }
 
     #[test]

@@ -80,13 +80,21 @@ pub fn race(candidates: &[Attempt], attempt_delay: Duration) -> Option<RaceOutco
             }
         }
     }
-    best.map(|(t, f)| RaceOutcome { winner: f, elapsed: t, attempts_started: candidates.len() })
+    best.map(|(t, f)| RaceOutcome {
+        winner: f,
+        elapsed: t,
+        attempts_started: candidates.len(),
+    })
 }
 
 /// Orders candidate families for the race: SCION first if the destination
 /// advertises it (the paper's "third option"), then v6 before v4 per
 /// RFC 8305.
-pub fn preference_order(scion_available: bool, v6_available: bool, v4_available: bool) -> Vec<Family> {
+pub fn preference_order(
+    scion_available: bool,
+    v6_available: bool,
+    v4_available: bool,
+) -> Vec<Family> {
     let mut out = Vec::with_capacity(3);
     if scion_available {
         out.push(Family::Scion);
@@ -105,13 +113,21 @@ mod tests {
     use super::*;
 
     fn att(family: Family, ms: u64, succeeds: bool) -> Attempt {
-        Attempt { family, duration: Duration::from_millis(ms), succeeds }
+        Attempt {
+            family,
+            duration: Duration::from_millis(ms),
+            succeeds,
+        }
     }
 
     #[test]
     fn scion_wins_when_fast() {
         let outcome = race(
-            &[att(Family::Scion, 30, true), att(Family::Ipv6, 20, true), att(Family::Ipv4, 20, true)],
+            &[
+                att(Family::Scion, 30, true),
+                att(Family::Ipv6, 20, true),
+                att(Family::Ipv4, 20, true),
+            ],
             DEFAULT_ATTEMPT_DELAY,
         )
         .unwrap();
@@ -124,7 +140,11 @@ mod tests {
     #[test]
     fn fallback_when_scion_fails() {
         let outcome = race(
-            &[att(Family::Scion, 30, false), att(Family::Ipv6, 40, true), att(Family::Ipv4, 10, true)],
+            &[
+                att(Family::Scion, 30, false),
+                att(Family::Ipv6, 40, true),
+                att(Family::Ipv4, 10, true),
+            ],
             DEFAULT_ATTEMPT_DELAY,
         )
         .unwrap();
@@ -162,7 +182,10 @@ mod tests {
             preference_order(true, true, true),
             vec![Family::Scion, Family::Ipv6, Family::Ipv4]
         );
-        assert_eq!(preference_order(false, true, true), vec![Family::Ipv6, Family::Ipv4]);
+        assert_eq!(
+            preference_order(false, true, true),
+            vec![Family::Ipv6, Family::Ipv4]
+        );
         assert_eq!(preference_order(false, false, true), vec![Family::Ipv4]);
     }
 

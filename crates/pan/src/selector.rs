@@ -24,12 +24,18 @@ pub struct RttEstimator {
 impl RttEstimator {
     /// Creates an estimator with the standard EWMA factor.
     pub fn new() -> Self {
-        RttEstimator { estimates: HashMap::new(), alpha: 0.2 }
+        RttEstimator {
+            estimates: HashMap::new(),
+            alpha: 0.2,
+        }
     }
 
     /// Records an RTT sample (ms) for a path.
     pub fn record(&mut self, fingerprint: &str, rtt_ms: f64) {
-        let e = self.estimates.entry(fingerprint.to_string()).or_insert(rtt_ms);
+        let e = self
+            .estimates
+            .entry(fingerprint.to_string())
+            .or_insert(rtt_ms);
         *e = *e * (1.0 - self.alpha) + rtt_ms * self.alpha;
     }
 
@@ -116,9 +122,21 @@ impl PathSelector {
                     .then_with(|| a.fingerprint().cmp(&b.fingerprint()))
             }),
             Preference::Bandwidth => usable.sort_by(|a, b| {
-                let ba = self.metadata.bandwidth_mbps.get(&a.fingerprint()).copied().unwrap_or(0.0);
-                let bb = self.metadata.bandwidth_mbps.get(&b.fingerprint()).copied().unwrap_or(0.0);
-                bb.partial_cmp(&ba).unwrap().then_with(|| a.fingerprint().cmp(&b.fingerprint()))
+                let ba = self
+                    .metadata
+                    .bandwidth_mbps
+                    .get(&a.fingerprint())
+                    .copied()
+                    .unwrap_or(0.0);
+                let bb = self
+                    .metadata
+                    .bandwidth_mbps
+                    .get(&b.fingerprint())
+                    .copied()
+                    .unwrap_or(0.0);
+                bb.partial_cmp(&ba)
+                    .unwrap()
+                    .then_with(|| a.fingerprint().cmp(&b.fingerprint()))
             }),
             Preference::Green => usable.sort_by(|a, b| {
                 let ca = self
@@ -133,7 +151,9 @@ impl PathSelector {
                     .get(&b.fingerprint())
                     .copied()
                     .unwrap_or(f64::MAX);
-                ca.partial_cmp(&cb).unwrap().then_with(|| a.fingerprint().cmp(&b.fingerprint()))
+                ca.partial_cmp(&cb)
+                    .unwrap()
+                    .then_with(|| a.fingerprint().cmp(&b.fingerprint()))
             }),
             Preference::Disjoint => {
                 // Greedy max-min disjointness ordering starting from the
@@ -190,11 +210,17 @@ impl PathSelector {
 
     /// Pins an explicit path choice (`--interactive` selection).
     pub fn pin(&mut self, fingerprint: &str) -> Result<(), PanError> {
-        if self.candidates.iter().any(|p| p.fingerprint() == fingerprint) {
+        if self
+            .candidates
+            .iter()
+            .any(|p| p.fingerprint() == fingerprint)
+        {
             self.current = Some(fingerprint.to_string());
             Ok(())
         } else {
-            Err(PanError::NoUsablePath(format!("unknown path {fingerprint}")))
+            Err(PanError::NoUsablePath(format!(
+                "unknown path {fingerprint}"
+            )))
         }
     }
 
@@ -256,7 +282,11 @@ mod tests {
             .map(|(i, s)| PathHop {
                 ia: ia(s),
                 ingress: if i == 0 { 0 } else { id * 10 + i as u16 },
-                egress: if i == ases.len() - 1 { 0 } else { id * 10 + i as u16 + 1 },
+                egress: if i == ases.len() - 1 {
+                    0
+                } else {
+                    id * 10 + i as u16 + 1
+                },
             })
             .collect();
         FullPath {

@@ -100,7 +100,10 @@ impl<T: PanTransport> PanSocket<T> {
         port: u16,
     ) -> Result<(), PanError> {
         if payload.len() > MAX_PAYLOAD {
-            return Err(PanError::PayloadTooLarge { len: payload.len(), max: MAX_PAYLOAD });
+            return Err(PanError::PayloadTooLarge {
+                len: payload.len(),
+                max: MAX_PAYLOAD,
+            });
         }
         let path = if remote.ia == self.local.ia {
             DataPlanePath::Empty
@@ -109,8 +112,7 @@ impl<T: PanTransport> PanSocket<T> {
             // connected remote) look paths up on demand. Connected sockets
             // keep the selector state — including SCMP-declared dead paths
             // — until the application refreshes explicitly.
-            let connected_same =
-                matches!(self.remote, Some((r, _)) if r.ia == remote.ia);
+            let connected_same = matches!(self.remote, Some((r, _)) if r.ia == remote.ia);
             if !connected_same {
                 let paths = self.transport.lookup_paths(remote.ia);
                 self.selector.refresh(paths);
@@ -125,8 +127,7 @@ impl<T: PanTransport> PanSocket<T> {
             )
         };
         let datagram = UdpDatagram::new(self.local_port, port, payload.to_vec());
-        let packet =
-            ScionPacket::new(self.local, remote, L4Protocol::Udp, path, datagram.encode());
+        let packet = ScionPacket::new(self.local, remote, L4Protocol::Udp, path, datagram.encode());
         self.transport.send_packet(packet);
         self.sent += 1;
         Ok(())
@@ -194,7 +195,12 @@ mod tests {
 
     impl Loop {
         fn new(paths: Vec<FullPath>) -> Self {
-            Loop { out: Vec::new(), inbox: VecDeque::new(), paths, lookups: 0 }
+            Loop {
+                out: Vec::new(),
+                inbox: VecDeque::new(),
+                paths,
+                lookups: 0,
+            }
         }
     }
 
@@ -257,7 +263,10 @@ mod tests {
     fn connect_without_paths_fails() {
         let transport = Loop::new(vec![]);
         let mut sock = PanSocket::bind(addr("71-10"), 5353, transport);
-        assert!(matches!(sock.connect(addr("71-1"), 53), Err(PanError::NoUsablePath(_))));
+        assert!(matches!(
+            sock.connect(addr("71-1"), 53),
+            Err(PanError::NoUsablePath(_))
+        ));
     }
 
     #[test]
@@ -283,7 +292,10 @@ mod tests {
         let mut sock = PanSocket::bind(addr("71-10"), 5353, transport);
         sock.connect(addr("71-1"), 53).unwrap();
         let big = vec![0u8; MAX_PAYLOAD + 1];
-        assert!(matches!(sock.send(&big), Err(PanError::PayloadTooLarge { .. })));
+        assert!(matches!(
+            sock.send(&big),
+            Err(PanError::PayloadTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -319,12 +331,16 @@ mod tests {
             addr("71-10"),
             L4Protocol::Scmp,
             DataPlanePath::Empty,
-            ScmpMessage::ExternalInterfaceDown { ia: ia("71-1"), interface: 5 }.encode(),
+            ScmpMessage::ExternalInterfaceDown {
+                ia: ia("71-1"),
+                interface: 5,
+            }
+            .encode(),
         ));
         let mut sock = PanSocket::bind(addr("71-10"), 5353, transport);
         sock.connect(addr("71-1"), 53).unwrap();
         assert!(sock.poll_recv().is_none()); // consumes the SCMP
-        // The only path is dead now.
+                                             // The only path is dead now.
         assert!(matches!(sock.send(b"x"), Err(PanError::NoUsablePath(_))));
     }
 

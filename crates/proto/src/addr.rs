@@ -91,7 +91,9 @@ impl FromStr for Asn {
                 let part = u64::from_str_radix(g, 16)
                     .map_err(|e| ProtoError::AddrParse(format!("AS group `{g}`: {e}")))?;
                 if part > 0xffff {
-                    return Err(ProtoError::AddrParse(format!("AS group `{g}` exceeds 16 bits")));
+                    return Err(ProtoError::AddrParse(format!(
+                        "AS group `{g}` exceeds 16 bits"
+                    )));
                 }
                 value = (value << 16) | part;
             }
@@ -124,7 +126,10 @@ pub struct IsdAsn {
 impl IsdAsn {
     /// Creates an ISD-AS pair.
     pub fn new(isd: u16, asn: Asn) -> Self {
-        IsdAsn { isd: IsdNumber(isd), asn }
+        IsdAsn {
+            isd: IsdNumber(isd),
+            asn,
+        }
     }
 
     /// Whether either component is a wildcard.
@@ -139,7 +144,10 @@ impl IsdAsn {
 
     /// Unpacks from the 64-bit wire representation.
     pub fn from_u64(raw: u64) -> Self {
-        IsdAsn { isd: IsdNumber((raw >> 48) as u16), asn: Asn(raw & MAX_ASN) }
+        IsdAsn {
+            isd: IsdNumber((raw >> 48) as u16),
+            asn: Asn(raw & MAX_ASN),
+        }
     }
 }
 
@@ -160,14 +168,18 @@ impl FromStr for IsdAsn {
             .parse()
             .map_err(|e| ProtoError::AddrParse(format!("ISD `{isd_str}`: {e}")))?;
         let asn: Asn = asn_str.parse()?;
-        Ok(IsdAsn { isd: IsdNumber(isd), asn })
+        Ok(IsdAsn {
+            isd: IsdNumber(isd),
+            asn,
+        })
     }
 }
 
 /// Convenience constructor: `ia("71-2:0:3b")`. Panics on malformed input, so
 /// only use it for literals (topology tables, tests).
 pub fn ia(s: &str) -> IsdAsn {
-    s.parse().unwrap_or_else(|e| panic!("bad ISD-AS literal `{s}`: {e}"))
+    s.parse()
+        .unwrap_or_else(|e| panic!("bad ISD-AS literal `{s}`: {e}"))
 }
 
 /// A SCION host address within an AS.
@@ -330,7 +342,9 @@ impl FromStr for ScionAddr {
             }
             return Ok(ScionAddr::new(ia, HostAddr::V4(b)));
         }
-        Err(ProtoError::AddrParse(format!("unsupported host address `{host_str}`")))
+        Err(ProtoError::AddrParse(format!(
+            "unsupported host address `{host_str}`"
+        )))
     }
 }
 
@@ -353,7 +367,14 @@ mod tests {
 
     #[test]
     fn asn_parse_roundtrip() {
-        for s in ["559", "20965", "2:0:3b", "2:0:5c", "ffff:ffff:ffff", "1:0:0"] {
+        for s in [
+            "559",
+            "20965",
+            "2:0:3b",
+            "2:0:5c",
+            "ffff:ffff:ffff",
+            "1:0:0",
+        ] {
             let a: Asn = s.parse().unwrap();
             assert_eq!(a.to_string(), s, "roundtrip of {s}");
         }

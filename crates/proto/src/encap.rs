@@ -36,7 +36,11 @@ impl UnderlayAddr {
 
 impl core::fmt::Display for UnderlayAddr {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{}.{}.{}.{}:{}", self.ip[0], self.ip[1], self.ip[2], self.ip[3], self.port)
+        write!(
+            f,
+            "{}.{}.{}.{}:{}",
+            self.ip[0], self.ip[1], self.ip[2], self.ip[3], self.port
+        )
     }
 }
 
@@ -179,6 +183,9 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(UnderlayAddr::new([10, 0, 0, 1], 30041).to_string(), "10.0.0.1:30041");
+        assert_eq!(
+            UnderlayAddr::new([10, 0, 0, 1], 30041).to_string(),
+            "10.0.0.1:30041"
+        );
     }
 }

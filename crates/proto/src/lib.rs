@@ -80,7 +80,11 @@ impl std::error::Error for ProtoError {}
 
 pub(crate) fn need(what: &'static str, buf: &[u8], needed: usize) -> Result<(), ProtoError> {
     if buf.len() < needed {
-        Err(ProtoError::Truncated { what, needed, got: buf.len() })
+        Err(ProtoError::Truncated {
+            what,
+            needed,
+            got: buf.len(),
+        })
     } else {
         Ok(())
     }

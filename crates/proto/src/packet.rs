@@ -140,7 +140,11 @@ impl DataPlanePath {
         match self {
             DataPlanePath::Empty => {}
             DataPlanePath::Scion(p) => p.write(out),
-            DataPlanePath::OneHop { info, first_hop, second_hop } => {
+            DataPlanePath::OneHop {
+                info,
+                first_hop,
+                second_hop,
+            } => {
                 out.extend_from_slice(&info.to_bytes());
                 out.extend_from_slice(&first_hop.to_bytes());
                 out.extend_from_slice(&second_hop.to_bytes());
@@ -186,8 +190,22 @@ pub struct ScionPacket {
 
 impl ScionPacket {
     /// Creates a packet with defaults for QoS and flow ID.
-    pub fn new(src: ScionAddr, dst: ScionAddr, next_hdr: L4Protocol, path: DataPlanePath, payload: Vec<u8>) -> Self {
-        ScionPacket { qos: 0, flow_id: 1, next_hdr, dst, src, path, payload }
+    pub fn new(
+        src: ScionAddr,
+        dst: ScionAddr,
+        next_hdr: L4Protocol,
+        path: DataPlanePath,
+        payload: Vec<u8>,
+    ) -> Self {
+        ScionPacket {
+            qos: 0,
+            flow_id: 1,
+            next_hdr,
+            dst,
+            src,
+            path,
+            payload,
+        }
     }
 
     /// Length of the address header for this packet.
@@ -203,7 +221,7 @@ impl ScionPacket {
     /// Serialises the whole packet.
     pub fn encode(&self) -> Result<Vec<u8>, ProtoError> {
         let hdr_len = self.header_len();
-        if hdr_len % 4 != 0 {
+        if !hdr_len.is_multiple_of(4) {
             return Err(ProtoError::InvalidField {
                 field: "hdr_len",
                 detail: format!("header length {hdr_len} not a multiple of 4"),
@@ -224,7 +242,8 @@ impl ScionPacket {
         let mut out = Vec::with_capacity(hdr_len + self.payload.len());
 
         // Common header.
-        let w0: u32 = ((VERSION as u32) << 28) | ((self.qos as u32) << 20) | (self.flow_id & 0xf_ffff);
+        let w0: u32 =
+            ((VERSION as u32) << 28) | ((self.qos as u32) << 20) | (self.flow_id & 0xf_ffff);
         out.extend_from_slice(&w0.to_be_bytes());
         out.push(self.next_hdr.to_u8());
         out.push((hdr_len / 4) as u8);
@@ -288,7 +307,8 @@ impl ScionPacket {
         off += n;
 
         let path = DataPlanePath::parse(path_type, &buf[off..hdr_len])?;
-        let expected_hdr = COMMON_HDR_LEN + 16 + dst_host.wire_len() + src_host.wire_len() + path.wire_len();
+        let expected_hdr =
+            COMMON_HDR_LEN + 16 + dst_host.wire_len() + src_host.wire_len() + path.wire_len();
         if expected_hdr != hdr_len {
             return Err(ProtoError::InvalidField {
                 field: "hdr_len",
@@ -337,7 +357,12 @@ mod tests {
             mac: [0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff],
         };
         ScionPath::from_segments(vec![(
-            InfoField { peering: false, cons_dir: true, seg_id: 7, timestamp: 1_700_000_000 },
+            InfoField {
+                peering: false,
+                cons_dir: true,
+                seg_id: 7,
+                timestamp: 1_700_000_000,
+            },
             vec![hf(0, 2), hf(1, 0)],
         )])
         .unwrap()
@@ -416,7 +441,7 @@ mod tests {
     fn decode_rejects_inconsistent_hdr_len() {
         let mut wire = sample_packet().encode().unwrap();
         wire[5] += 1; // declare a longer header than the fields occupy
-        // Either a parse failure or a header length mismatch — never a panic.
+                      // Either a parse failure or a header length mismatch — never a panic.
         assert!(ScionPacket::decode(&wire).is_err());
     }
 
@@ -447,7 +472,12 @@ mod tests {
 
     #[test]
     fn l4_protocol_roundtrip() {
-        for p in [L4Protocol::Udp, L4Protocol::Scmp, L4Protocol::Bfd, L4Protocol::Other(99)] {
+        for p in [
+            L4Protocol::Udp,
+            L4Protocol::Scmp,
+            L4Protocol::Bfd,
+            L4Protocol::Other(99),
+        ] {
             assert_eq!(L4Protocol::from_u8(p.to_u8()), p);
         }
     }

@@ -216,7 +216,10 @@ impl ScionPath {
             hops.extend(segment_hops);
         }
         if hops.len() > MAX_HOPS {
-            return Err(ProtoError::InvalidPath(format!("{} hops exceed max {MAX_HOPS}", hops.len())));
+            return Err(ProtoError::InvalidPath(format!(
+                "{} hops exceed max {MAX_HOPS}",
+                hops.len()
+            )));
         }
         Ok(ScionPath { meta, info, hops })
     }
@@ -374,7 +377,12 @@ mod tests {
     }
 
     fn inf(seg_id: u16, cons_dir: bool) -> InfoField {
-        InfoField { peering: false, cons_dir, seg_id, timestamp: 1_700_000_000 }
+        InfoField {
+            peering: false,
+            cons_dir,
+            seg_id,
+            timestamp: 1_700_000_000,
+        }
     }
 
     fn sample_path() -> ScionPath {
@@ -387,13 +395,22 @@ mod tests {
 
     #[test]
     fn meta_roundtrip() {
-        let m = PathMeta { curr_inf: 2, curr_hf: 37, seg_len: [12, 40, 11] };
+        let m = PathMeta {
+            curr_inf: 2,
+            curr_hf: 37,
+            seg_len: [12, 40, 11],
+        };
         assert_eq!(PathMeta::parse(&m.to_bytes()).unwrap(), m);
     }
 
     #[test]
     fn info_roundtrip() {
-        let i = InfoField { peering: true, cons_dir: false, seg_id: 0xbeef, timestamp: 42 };
+        let i = InfoField {
+            peering: true,
+            cons_dir: false,
+            seg_id: 0xbeef,
+            timestamp: 42,
+        };
         assert_eq!(InfoField::parse(&i.to_bytes()).unwrap(), i);
     }
 
@@ -425,7 +442,10 @@ mod tests {
         p.meta.seg_len = [2, 0, 3];
         let mut buf = Vec::new();
         p.write(&mut buf);
-        assert!(matches!(ScionPath::parse(&buf), Err(ProtoError::InvalidPath(_))));
+        assert!(matches!(
+            ScionPath::parse(&buf),
+            Err(ProtoError::InvalidPath(_))
+        ));
     }
 
     #[test]
@@ -474,8 +494,8 @@ mod tests {
         let r = p.reversed();
         assert_eq!(r.meta.seg_len[0], 3);
         assert_eq!(r.meta.seg_len[1], 2);
-        assert_eq!(r.info[0].cons_dir, false);
-        assert_eq!(r.info[1].cons_dir, true);
+        assert!(!r.info[0].cons_dir);
+        assert!(r.info[1].cons_dir);
         // First hop of reversed = last hop of original.
         assert_eq!(r.hops[0], p.hops[4]);
     }
@@ -509,7 +529,7 @@ mod tests {
     #[test]
     fn expiry_computation() {
         let h = hf(0, 1); // exp_time 63
-        // (63+1) * 86400/256 = 64 * 337.5 = 21600 s = 6 h
+                          // (63+1) * 86400/256 = 64 * 337.5 = 21600 s = 6 h
         assert_eq!(h.expiry_unix(1000), 1000 + 21_600);
         let max = HopField { exp_time: 255, ..h };
         assert_eq!(max.expiry_unix(0), 86_400);

@@ -132,7 +132,11 @@ impl ScmpMessage {
                 out.extend_from_slice(&ia.to_u64().to_be_bytes());
                 out.extend_from_slice(&interface.to_be_bytes());
             }
-            ScmpMessage::InternalConnectivityDown { ia, ingress, egress } => {
+            ScmpMessage::InternalConnectivityDown {
+                ia,
+                ingress,
+                egress,
+            } => {
                 out.push(ty::INTERNAL_CONNECTIVITY_DOWN);
                 out.push(0);
                 out.extend_from_slice(&[0, 0]);
@@ -147,7 +151,12 @@ impl ScmpMessage {
                 out.extend_from_slice(&id.to_be_bytes());
                 out.extend_from_slice(&seq.to_be_bytes());
             }
-            ScmpMessage::TracerouteReply { id, seq, ia, interface } => {
+            ScmpMessage::TracerouteReply {
+                id,
+                seq,
+                ia,
+                interface,
+            } => {
                 out.push(ty::TRACEROUTE_REPLY);
                 out.push(0);
                 out.extend_from_slice(&[0, 0]);
@@ -223,9 +232,11 @@ impl ScmpMessage {
     /// Builds the matching echo reply for an echo request, or `None`.
     pub fn echo_reply_for(&self) -> Option<ScmpMessage> {
         match self {
-            ScmpMessage::EchoRequest { id, seq, data } => {
-                Some(ScmpMessage::EchoReply { id: *id, seq: *seq, data: data.clone() })
-            }
+            ScmpMessage::EchoRequest { id, seq, data } => Some(ScmpMessage::EchoReply {
+                id: *id,
+                seq: *seq,
+                data: data.clone(),
+            }),
             _ => None,
         }
     }
@@ -243,37 +254,76 @@ mod tests {
 
     #[test]
     fn echo_roundtrips() {
-        roundtrip(ScmpMessage::EchoRequest { id: 7, seq: 42, data: b"ts=123".to_vec() });
-        roundtrip(ScmpMessage::EchoReply { id: 7, seq: 42, data: vec![] });
+        roundtrip(ScmpMessage::EchoRequest {
+            id: 7,
+            seq: 42,
+            data: b"ts=123".to_vec(),
+        });
+        roundtrip(ScmpMessage::EchoReply {
+            id: 7,
+            seq: 42,
+            data: vec![],
+        });
     }
 
     #[test]
     fn error_roundtrips() {
         roundtrip(ScmpMessage::DestinationUnreachable { code: 4 });
-        roundtrip(ScmpMessage::ExternalInterfaceDown { ia: ia("71-2:0:3b"), interface: 9 });
-        roundtrip(ScmpMessage::InternalConnectivityDown { ia: ia("71-20965"), ingress: 1, egress: 5 });
+        roundtrip(ScmpMessage::ExternalInterfaceDown {
+            ia: ia("71-2:0:3b"),
+            interface: 9,
+        });
+        roundtrip(ScmpMessage::InternalConnectivityDown {
+            ia: ia("71-20965"),
+            ingress: 1,
+            egress: 5,
+        });
     }
 
     #[test]
     fn traceroute_roundtrips() {
         roundtrip(ScmpMessage::TracerouteRequest { id: 1, seq: 2 });
-        roundtrip(ScmpMessage::TracerouteReply { id: 1, seq: 2, ia: ia("71-225"), interface: 17 });
+        roundtrip(ScmpMessage::TracerouteReply {
+            id: 1,
+            seq: 2,
+            ia: ia("71-225"),
+            interface: 17,
+        });
     }
 
     #[test]
     fn echo_reply_for_request() {
-        let req = ScmpMessage::EchoRequest { id: 3, seq: 9, data: b"x".to_vec() };
+        let req = ScmpMessage::EchoRequest {
+            id: 3,
+            seq: 9,
+            data: b"x".to_vec(),
+        };
         let rep = req.echo_reply_for().unwrap();
-        assert_eq!(rep, ScmpMessage::EchoReply { id: 3, seq: 9, data: b"x".to_vec() });
+        assert_eq!(
+            rep,
+            ScmpMessage::EchoReply {
+                id: 3,
+                seq: 9,
+                data: b"x".to_vec()
+            }
+        );
         assert!(rep.echo_reply_for().is_none());
     }
 
     #[test]
     fn informational_classification() {
-        assert!(ScmpMessage::EchoRequest { id: 0, seq: 0, data: vec![] }.is_informational());
+        assert!(ScmpMessage::EchoRequest {
+            id: 0,
+            seq: 0,
+            data: vec![]
+        }
+        .is_informational());
         assert!(!ScmpMessage::DestinationUnreachable { code: 0 }.is_informational());
-        assert!(!ScmpMessage::ExternalInterfaceDown { ia: ia("71-225"), interface: 1 }
-            .is_informational());
+        assert!(!ScmpMessage::ExternalInterfaceDown {
+            ia: ia("71-225"),
+            interface: 1
+        }
+        .is_informational());
     }
 
     #[test]

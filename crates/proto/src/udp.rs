@@ -40,7 +40,11 @@ fn checksum(src_port: u16, dst_port: u16, payload: &[u8]) -> u16 {
 impl UdpDatagram {
     /// Creates a datagram.
     pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
-        UdpDatagram { src_port, dst_port, payload }
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        }
     }
 
     /// Serialises header + payload.
@@ -74,7 +78,11 @@ impl UdpDatagram {
                 detail: "checksum mismatch".into(),
             });
         }
-        Ok(UdpDatagram { src_port, dst_port, payload })
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        })
     }
 }
 

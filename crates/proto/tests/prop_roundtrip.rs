@@ -5,11 +5,11 @@
 use proptest::prelude::*;
 
 use scion_proto::addr::{Asn, HostAddr, IsdAsn, ScionAddr, ServiceAddr};
+use scion_proto::encap::{UnderlayAddr, UnderlayFrame};
 use scion_proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
 use scion_proto::path::{HopField, InfoField, ScionPath};
 use scion_proto::scmp::ScmpMessage;
 use scion_proto::udp::UdpDatagram;
-use scion_proto::encap::{UnderlayAddr, UnderlayFrame};
 
 prop_compose! {
     fn arb_asn()(v in 0u64..(1 << 48)) -> Asn {

@@ -34,19 +34,30 @@ impl Prefix {
         assert!(len <= 32, "prefix length {len} > 32");
         let raw = u32::from_be_bytes(addr);
         let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
-        Prefix { addr: (raw & mask).to_be_bytes(), len }
+        Prefix {
+            addr: (raw & mask).to_be_bytes(),
+            len,
+        }
     }
 
     /// Whether `ip` falls inside this prefix.
     pub fn contains(&self, ip: [u8; 4]) -> bool {
-        let mask = if self.len == 0 { 0 } else { u32::MAX << (32 - self.len) };
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        };
         (u32::from_be_bytes(ip) & mask) == u32::from_be_bytes(self.addr)
     }
 }
 
 impl core::fmt::Display for Prefix {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{}.{}.{}.{}/{}", self.addr[0], self.addr[1], self.addr[2], self.addr[3], self.len)
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            self.addr[0], self.addr[1], self.addr[2], self.addr[3], self.len
+        )
     }
 }
 
@@ -90,13 +101,21 @@ pub const SIG_PROTOCOL: u8 = 253;
 impl Sig {
     /// Creates a gateway at `local`.
     pub fn new(local: ScionAddr) -> Self {
-        Sig { local, remotes: Vec::new(), stats: SigStats::default() }
+        Sig {
+            local,
+            remotes: Vec::new(),
+            stats: SigStats::default(),
+        }
     }
 
     /// Announces that `prefixes` are reachable via `endpoint` (learned from
     /// the SIG control exchange in production).
     pub fn add_remote(&mut self, endpoint: ScionAddr, prefixes: Vec<Prefix>) {
-        self.remotes.push(RemoteSig { endpoint, prefixes, healthy: true });
+        self.remotes.push(RemoteSig {
+            endpoint,
+            prefixes,
+            healthy: true,
+        });
     }
 
     /// Longest-prefix match over healthy remotes.
@@ -104,7 +123,12 @@ impl Sig {
         self.remotes
             .iter()
             .filter(|r| r.healthy)
-            .flat_map(|r| r.prefixes.iter().filter(|p| p.contains(dst_ip)).map(move |p| (p.len, r)))
+            .flat_map(|r| {
+                r.prefixes
+                    .iter()
+                    .filter(|p| p.contains(dst_ip))
+                    .map(move |p| (p.len, r))
+            })
             .max_by_key(|(len, _)| *len)
             .map(|(_, r)| r)
     }
@@ -181,7 +205,10 @@ mod tests {
         );
         sig.add_remote(
             sig_endpoint(ia("71-88"), [10, 2, 0, 1]),
-            vec![Prefix::new([192, 168, 10, 0], 24), Prefix::new([172, 16, 0, 0], 12)],
+            vec![
+                Prefix::new([192, 168, 10, 0], 24),
+                Prefix::new([172, 16, 0, 0], 12),
+            ],
         );
         sig
     }
@@ -205,8 +232,14 @@ mod tests {
     fn longest_prefix_wins() {
         let sig = gateway();
         // /24 at 71-88 beats /16 at 71-225.
-        assert_eq!(sig.route([192, 168, 10, 5]).unwrap().endpoint.ia, ia("71-88"));
-        assert_eq!(sig.route([192, 168, 99, 5]).unwrap().endpoint.ia, ia("71-225"));
+        assert_eq!(
+            sig.route([192, 168, 10, 5]).unwrap().endpoint.ia,
+            ia("71-88")
+        );
+        assert_eq!(
+            sig.route([192, 168, 99, 5]).unwrap().endpoint.ia,
+            ia("71-225")
+        );
         assert!(sig.route([8, 8, 8, 8]).is_none());
     }
 
@@ -258,15 +291,23 @@ mod tests {
         // Both remotes can serve 192.168.10.x (/24 preferred)...
         sig.set_peer_health(sig_endpoint(ia("71-88"), [10, 2, 0, 1]), false);
         // ... /24 peer down -> /16 peer takes over.
-        assert_eq!(sig.route([192, 168, 10, 5]).unwrap().endpoint.ia, ia("71-225"));
+        assert_eq!(
+            sig.route([192, 168, 10, 5]).unwrap().endpoint.ia,
+            ia("71-225")
+        );
         sig.set_peer_health(sig_endpoint(ia("71-88"), [10, 2, 0, 1]), true);
-        assert_eq!(sig.route([192, 168, 10, 5]).unwrap().endpoint.ia, ia("71-88"));
+        assert_eq!(
+            sig.route([192, 168, 10, 5]).unwrap().endpoint.ia,
+            ia("71-88")
+        );
     }
 
     #[test]
     fn no_route_counted() {
         let mut sig = gateway();
-        assert!(sig.encapsulate([8, 8, 8, 8], vec![], &mut empty_path).is_none());
+        assert!(sig
+            .encapsulate([8, 8, 8, 8], vec![], &mut empty_path)
+            .is_none());
         assert_eq!(sig.stats.no_route, 1);
     }
 
@@ -274,7 +315,9 @@ mod tests {
     fn path_unavailable_counted_as_no_route() {
         let mut sig = gateway();
         let mut no_path = |_: IsdAsn| -> Option<DataPlanePath> { None };
-        assert!(sig.encapsulate([192, 168, 10, 5], vec![], &mut no_path).is_none());
+        assert!(sig
+            .encapsulate([192, 168, 10, 5], vec![], &mut no_path)
+            .is_none());
         assert_eq!(sig.stats.no_route, 1);
     }
 }

@@ -1,0 +1,242 @@
+//! Sim-time-aware observability for the SCIERA stack.
+//!
+//! The paper's evaluation (§5) is entirely observational — bootstrap latency,
+//! RTT CDFs, path churn, outage timelines — and §4.4 makes continuous
+//! monitoring an operational pillar. This crate is the runtime counterpart to
+//! `netsim::metrics` (which aggregates *final* experiment samples): it gives
+//! every component a cheap handle to
+//!
+//! * a [`MetricsRegistry`] of named atomic counters, gauges, and log-bucketed
+//!   streaming histograms, safe for per-packet hot paths;
+//! * structured tracing ([`Event`]) with a severity filter and a compile-out
+//!   path (disable the `trace` feature);
+//! * a bounded ring-buffer [`FlightRecorder`] that keeps the last N events and
+//!   dumps JSONL for post-mortem of failed runs;
+//! * span-style scoped timers ([`Span`]) keyed on simulation time (u64
+//!   nanoseconds, the same clock as `netsim::SimTime`).
+//!
+//! The handle is `Clone` (an `Arc` internally), so a whole simulated network
+//! shares one registry: identically named counters aggregate across
+//! components, while events carry per-node identity.
+
+mod event;
+mod metrics;
+mod recorder;
+mod snapshot;
+
+pub use event::{Event, Severity};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use recorder::FlightRecorder;
+pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Severity filter value meaning "no events at all".
+const SEVERITY_OFF: u8 = 5;
+
+struct Inner {
+    metrics: MetricsRegistry,
+    recorder: FlightRecorder,
+    min_severity: AtomicU8,
+}
+
+/// Shared observability handle: metrics registry + event tracing + flight
+/// recorder behind one cheap `Clone`.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("events_recorded", &self.inner.recorder.recorded())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// A handle with tracing enabled at `Info` and a 4096-event recorder.
+    pub fn new() -> Self {
+        Self::with_severity(Severity::Info)
+    }
+
+    /// A handle tracing everything from `min` up.
+    pub fn with_severity(min: Severity) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                metrics: MetricsRegistry::new(),
+                recorder: FlightRecorder::new(4096),
+                min_severity: AtomicU8::new(min as u8),
+            }),
+        }
+    }
+
+    /// A handle with event tracing off; metrics still record (atomic
+    /// increments only). This is the default for benchmarks and for
+    /// components constructed without explicit wiring.
+    pub fn quiet() -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                metrics: MetricsRegistry::new(),
+                recorder: FlightRecorder::new(4096),
+                min_severity: AtomicU8::new(SEVERITY_OFF),
+            }),
+        }
+    }
+
+    /// Lowers/raises the runtime severity floor.
+    pub fn set_min_severity(&self, min: Severity) {
+        self.inner.min_severity.store(min as u8, Ordering::Relaxed);
+    }
+
+    /// Turns event tracing off entirely (metrics unaffected).
+    pub fn disable_tracing(&self) {
+        self.inner
+            .min_severity
+            .store(SEVERITY_OFF, Ordering::Relaxed);
+    }
+
+    /// Whether an event at `severity` would currently be recorded. Call this
+    /// before building expensive messages/fields.
+    #[inline]
+    pub fn enabled(&self, severity: Severity) -> bool {
+        cfg!(feature = "trace") && severity as u8 >= self.inner.min_severity.load(Ordering::Relaxed)
+    }
+
+    /// Records a structured event if tracing is enabled at its severity.
+    /// With the `trace` feature off this compiles to a filter check that is
+    /// always false.
+    #[inline]
+    pub fn emit(&self, event: Event) {
+        if self.enabled(event.severity) {
+            self.inner.recorder.push(event);
+        }
+    }
+
+    /// Get-or-register a named monotonic counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.metrics.counter(name)
+    }
+
+    /// Get-or-register a named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner.metrics.gauge(name)
+    }
+
+    /// Get-or-register a named log-bucketed streaming histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner.metrics.histogram(name)
+    }
+
+    /// Starts a scoped timer at simulation time `start_ns`; durations land in
+    /// the named histogram when [`Span::end`] is called.
+    pub fn span(&self, name: &str, start_ns: u64) -> Span {
+        Span {
+            histogram: self.histogram(name),
+            start_ns,
+        }
+    }
+
+    /// The underlying metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The underlying flight recorder.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
+    }
+
+    /// Point-in-time snapshot of every metric plus recorder statistics.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.inner.metrics.snapshot();
+        snap.events_recorded = self.inner.recorder.recorded();
+        snap.events_dropped = self.inner.recorder.dropped();
+        snap
+    }
+
+    /// Dumps the flight recorder as JSONL (one event per line, oldest first).
+    pub fn dump_flight_recorder(&self) -> String {
+        self.inner.recorder.dump_jsonl()
+    }
+}
+
+/// A scoped sim-time timer; finish with [`Span::end`] at the closing
+/// simulation timestamp. Spans are plain values — they can be carried across
+/// poll steps and ended on a later tick.
+pub struct Span {
+    histogram: Histogram,
+    start_ns: u64,
+}
+
+impl Span {
+    /// Records `end_ns - start_ns` (saturating) into the span's histogram.
+    pub fn end(self, end_ns: u64) {
+        self.histogram
+            .record(end_ns.saturating_sub(self.start_ns) as f64);
+    }
+
+    /// The span's starting timestamp.
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_across_clones() {
+        let tele = Telemetry::new();
+        let c1 = tele.counter("x");
+        let c2 = tele.clone().counter("x");
+        c1.inc();
+        c2.add(4);
+        assert_eq!(tele.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn severity_filter_gates_events() {
+        let tele = Telemetry::new(); // Info floor
+        tele.emit(Event::new(1, "n1", "comp", Severity::Debug, "dropped"));
+        tele.emit(Event::new(2, "n1", "comp", Severity::Warn, "kept"));
+        let snap = tele.snapshot();
+        assert_eq!(snap.events_recorded, 1);
+        tele.set_min_severity(Severity::Trace);
+        tele.emit(Event::new(3, "n1", "comp", Severity::Trace, "now kept"));
+        assert_eq!(tele.snapshot().events_recorded, 2);
+        tele.disable_tracing();
+        tele.emit(Event::new(4, "n1", "comp", Severity::Error, "gone"));
+        assert_eq!(tele.snapshot().events_recorded, 2);
+    }
+
+    #[test]
+    fn span_records_duration() {
+        let tele = Telemetry::new();
+        let span = tele.span("phase", 1_000);
+        span.end(4_000);
+        let snap = tele.snapshot();
+        let h = snap.histograms.iter().find(|h| h.name == "phase").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.min <= 3_000.0 && 3_000.0 <= h.max * 1.1);
+    }
+
+    #[test]
+    fn quiet_handle_still_counts() {
+        let tele = Telemetry::quiet();
+        tele.counter("c").inc();
+        tele.emit(Event::new(1, "n", "comp", Severity::Error, "suppressed"));
+        let snap = tele.snapshot();
+        assert_eq!(snap.events_recorded, 0);
+        assert_eq!(snap.counters, vec![("c".to_string(), 1)]);
+    }
+}

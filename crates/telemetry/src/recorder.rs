@@ -1,0 +1,119 @@
+//! Bounded ring-buffer flight recorder for post-mortem debugging.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::event::Event;
+
+/// Keeps the last `capacity` events; older events are evicted (and counted)
+/// as new ones arrive. Dumping renders JSONL ordered by `sim_time`.
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        // Lazily sized: quiet handles never pay for the ring.
+        FlightRecorder {
+            ring: Mutex::new(VecDeque::new()),
+            capacity,
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, event: Event) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total events ever recorded (including since-evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Renders the retained events as JSONL (one JSON event per line),
+    /// chronologically: a stable sort on `sim_time` re-orders emitters that
+    /// don't follow the shared sim clock (e.g. phase timers stamped 0).
+    pub fn dump_jsonl(&self) -> String {
+        let mut events = self.events();
+        events.sort_by_key(|e| e.sim_time);
+        let mut out = String::new();
+        for e in &events {
+            // Serialization of these value trees cannot fail.
+            out.push_str(&serde_json::to_string(e).expect("event serialization"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clears the ring (counters are preserved).
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Severity;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let rec = FlightRecorder::new(3);
+        for t in 0..5u64 {
+            rec.push(Event::new(t, "n", "c", Severity::Info, format!("e{t}")));
+        }
+        assert_eq!(rec.recorded(), 5);
+        assert_eq!(rec.dropped(), 2);
+        let kept: Vec<u64> = rec.events().iter().map(|e| e.sim_time).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_stay_ordered() {
+        let rec = FlightRecorder::new(16);
+        for t in [5u64, 9, 12] {
+            rec.push(Event::new(t, "71-1", "beacon", Severity::Info, "round").field("n", t));
+        }
+        let dump = rec.dump_jsonl();
+        let times: Vec<u64> = dump
+            .lines()
+            .map(|line| serde_json::from_str::<Event>(line).unwrap().sim_time)
+            .collect();
+        assert_eq!(times, vec![5, 9, 12]);
+    }
+}

@@ -46,7 +46,14 @@ fn info(
     pop: Pop,
     measurement_point: bool,
 ) -> AsInfo {
-    AsInfo { ia: ia(ia_str), name, core, region, pop, measurement_point }
+    AsInfo {
+        ia: ia(ia_str),
+        name,
+        core,
+        region,
+        pop,
+        measurement_point,
+    }
 }
 
 /// Every AS of the SCIERA deployment (ISD 71) plus the two ISD-64 ASes
@@ -57,40 +64,173 @@ pub fn all_ases() -> Vec<AsInfo> {
     vec![
         // ---- Europe ----------------------------------------------------
         info("71-20965", "GEANT", true, Europe, geo::FRANKFURT, true),
-        info("71-559", "SWITCH (SCIERA)", false, Europe, geo::ZURICH, true),
+        info(
+            "71-559",
+            "SWITCH (SCIERA)",
+            false,
+            Europe,
+            geo::ZURICH,
+            true,
+        ),
         info("71-1140", "SIDN Labs", false, Europe, geo::DELFT, true),
-        info("71-2546", "NCSR Demokritos", false, Europe, geo::ATHENS, true),
-        info("71-2:0:42", "OVGU Magdeburg", false, Europe, geo::MAGDEBURG, true),
+        info(
+            "71-2546",
+            "NCSR Demokritos",
+            false,
+            Europe,
+            geo::ATHENS,
+            true,
+        ),
+        info(
+            "71-2:0:42",
+            "OVGU Magdeburg",
+            false,
+            Europe,
+            geo::MAGDEBURG,
+            true,
+        ),
         info("71-2:0:49", "CybExer", false, Europe, geo::TALLINN, false),
         info("71-203311", "CCDCoE", false, Europe, geo::TALLINN, false),
         // ---- North America ---------------------------------------------
-        info("71-2:0:35", "BRIDGES", true, NorthAmerica, geo::MCLEAN, false),
-        info("71-2:0:48", "Equinix Ashburn", false, NorthAmerica, geo::ASHBURN, true),
-        info("71-225", "University of Virginia", false, NorthAmerica, geo::CHARLOTTESVILLE, true),
-        info("71-88", "Princeton University", false, NorthAmerica, geo::PRINCETON, true),
-        info("71-398900", "FABRIC", false, NorthAmerica, geo::MCLEAN, false),
-        info("71-2:0:3f", "KISTI Chicago", true, NorthAmerica, geo::CHICAGO, false),
-        info("71-2:0:40", "KISTI Seattle", true, NorthAmerica, geo::SEATTLE, false),
+        info(
+            "71-2:0:35",
+            "BRIDGES",
+            true,
+            NorthAmerica,
+            geo::MCLEAN,
+            false,
+        ),
+        info(
+            "71-2:0:48",
+            "Equinix Ashburn",
+            false,
+            NorthAmerica,
+            geo::ASHBURN,
+            true,
+        ),
+        info(
+            "71-225",
+            "University of Virginia",
+            false,
+            NorthAmerica,
+            geo::CHARLOTTESVILLE,
+            true,
+        ),
+        info(
+            "71-88",
+            "Princeton University",
+            false,
+            NorthAmerica,
+            geo::PRINCETON,
+            true,
+        ),
+        info(
+            "71-398900",
+            "FABRIC",
+            false,
+            NorthAmerica,
+            geo::MCLEAN,
+            false,
+        ),
+        info(
+            "71-2:0:3f",
+            "KISTI Chicago",
+            true,
+            NorthAmerica,
+            geo::CHICAGO,
+            false,
+        ),
+        info(
+            "71-2:0:40",
+            "KISTI Seattle",
+            true,
+            NorthAmerica,
+            geo::SEATTLE,
+            false,
+        ),
         // ---- Asia --------------------------------------------------------
         info("71-2:0:3b", "KISTI Daejeon", true, Asia, geo::DAEJEON, true),
-        info("71-2:0:3c", "KISTI Hong Kong", true, Asia, geo::HONG_KONG, false),
-        info("71-2:0:3d", "KISTI Singapore", true, Asia, geo::SINGAPORE, true),
-        info("71-2:0:3e", "KISTI Amsterdam", true, Asia, geo::AMSTERDAM, false),
-        info("71-2:0:4d", "Korea University", false, Asia, geo::SEOUL, false),
-        info("71-2:0:18", "Singapore-ETH Centre", false, Asia, geo::SINGAPORE, false),
+        info(
+            "71-2:0:3c",
+            "KISTI Hong Kong",
+            true,
+            Asia,
+            geo::HONG_KONG,
+            false,
+        ),
+        info(
+            "71-2:0:3d",
+            "KISTI Singapore",
+            true,
+            Asia,
+            geo::SINGAPORE,
+            true,
+        ),
+        info(
+            "71-2:0:3e",
+            "KISTI Amsterdam",
+            true,
+            Asia,
+            geo::AMSTERDAM,
+            false,
+        ),
+        info(
+            "71-2:0:4d",
+            "Korea University",
+            false,
+            Asia,
+            geo::SEOUL,
+            false,
+        ),
+        info(
+            "71-2:0:18",
+            "Singapore-ETH Centre",
+            false,
+            Asia,
+            geo::SINGAPORE,
+            false,
+        ),
         info("71-2:0:61", "NUS", false, Asia, geo::SINGAPORE, false),
-        info("71-4158", "CityU Hong Kong", false, Asia, geo::HONG_KONG, false),
+        info(
+            "71-4158",
+            "CityU Hong Kong",
+            false,
+            Asia,
+            geo::HONG_KONG,
+            false,
+        ),
         info("71-50999", "KAUST", false, Asia, geo::JEDDAH, false),
         // Fig. 8 lists vantage 71-2:0:4a, unnamed in the paper text; we
         // model it as a KREONET-attached measurement AS in Singapore.
-        info("71-2:0:4a", "KREONET measurement AS", false, Asia, geo::SINGAPORE, false),
+        info(
+            "71-2:0:4a",
+            "KREONET measurement AS",
+            false,
+            Asia,
+            geo::SINGAPORE,
+            false,
+        ),
         // ---- South America -----------------------------------------------
         info("71-1916", "RNP", true, SouthAmerica, geo::SAO_PAULO, false),
-        info("71-2:0:5c", "UFMS", false, SouthAmerica, geo::CAMPO_GRANDE, true),
+        info(
+            "71-2:0:5c",
+            "UFMS",
+            false,
+            SouthAmerica,
+            geo::CAMPO_GRANDE,
+            true,
+        ),
         // ---- Africa ------------------------------------------------------
         info("71-37288", "WACREN", false, Africa, geo::LAGOS, false),
         // ---- ISD 64 (commercial SCION production network) ---------------
-        info("64-559", "SWITCH (ISD 64 core)", true, Europe, geo::ZURICH, false),
+        info(
+            "64-559",
+            "SWITCH (ISD 64 core)",
+            true,
+            Europe,
+            geo::ZURICH,
+            false,
+        ),
         info("64-2:0:9", "ETH Zurich", false, Europe, geo::ZURICH, false),
     ]
 }
@@ -102,15 +242,28 @@ pub fn as_info(target: IsdAsn) -> Option<AsInfo> {
 
 /// The nine Fig. 8 / Fig. 9 vantage ASes, in the paper's axis order.
 pub fn fig8_vantages() -> Vec<IsdAsn> {
-    ["71-20965", "71-225", "71-2:0:3b", "71-2:0:3d", "71-2:0:3e", "71-2:0:3f", "71-2:0:48", "71-2:0:4a", "71-2:0:5c"]
-        .iter()
-        .map(|s| ia(s))
-        .collect()
+    [
+        "71-20965",
+        "71-225",
+        "71-2:0:3b",
+        "71-2:0:3d",
+        "71-2:0:3e",
+        "71-2:0:3f",
+        "71-2:0:48",
+        "71-2:0:4a",
+        "71-2:0:5c",
+    ]
+    .iter()
+    .map(|s| ia(s))
+    .collect()
 }
 
 /// The eleven §5.4 measurement ASes.
 pub fn measurement_points() -> Vec<AsInfo> {
-    all_ases().into_iter().filter(|a| a.measurement_point).collect()
+    all_ases()
+        .into_iter()
+        .filter(|a| a.measurement_point)
+        .collect()
 }
 
 /// The commercial ASes for the §4.9 transit policy (the ISD-64 production
@@ -188,7 +341,10 @@ mod tests {
     #[test]
     fn known_numbers_spot_check() {
         assert_eq!(as_info(ia("71-2:0:3b")).unwrap().name, "KISTI Daejeon");
-        assert_eq!(as_info(ia("71-225")).unwrap().name, "University of Virginia");
+        assert_eq!(
+            as_info(ia("71-225")).unwrap().name,
+            "University of Virginia"
+        );
         assert_eq!(as_info(ia("71-2:0:5c")).unwrap().name, "UFMS");
         assert_eq!(as_info(ia("71-50999")).unwrap().name, "KAUST");
     }

@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn symmetry() {
-        assert_eq!(great_circle_km(DAEJEON, SINGAPORE), great_circle_km(SINGAPORE, DAEJEON));
+        assert_eq!(
+            great_circle_km(DAEJEON, SINGAPORE),
+            great_circle_km(SINGAPORE, DAEJEON)
+        );
     }
 
     #[test]

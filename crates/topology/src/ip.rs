@@ -94,7 +94,9 @@ impl Default for IpBaseline {
 impl IpBaseline {
     /// Builds the commercial topology for all SCIERA sites.
     pub fn new() -> Self {
-        let mut b = IpBaseline { adj: HashMap::new() };
+        let mut b = IpBaseline {
+            adj: HashMap::new(),
+        };
         // Commercial backbone. South-East Asia reaches Europe over the
         // Suez route (via the MEA hub), but North-East Asia's commercial
         // transit to Europe crosses the Pacific and Atlantic — the
@@ -152,7 +154,11 @@ impl IpBaseline {
             if node == dst {
                 return Some(lat_us as f64 / 1000.0);
             }
-            if best.get(&node).map(|&(h, l)| (h, l) < (hops, lat_us)).unwrap_or(false) {
+            if best
+                .get(&node)
+                .map(|&(h, l)| (h, l) < (hops, lat_us))
+                .unwrap_or(false)
+            {
                 continue;
             }
             for &(next, ms) in self.adj.get(&node).into_iter().flatten() {

@@ -9,8 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use scion_control::graph::{ControlGraph, LinkType};
 use scion_control::fullpath::FullPath;
+use scion_control::graph::{ControlGraph, LinkType};
 use scion_proto::addr::{ia, IsdAsn};
 
 use crate::ases::{all_ases, as_info};
@@ -79,25 +79,50 @@ pub fn link_inventory() -> Vec<LinkSpec> {
         // became available", Fig. 7).
         core("71-20965", "71-2:0:35", 1.5, "GEANT-BRIDGES via Paris"),
         core("71-20965", "71-2:0:3e", 1.4, "GEANT-KISTI Amsterdam"),
-        core("71-20965", "71-2:0:3d", 1.35, "GEANT-KISTI Singapore (CAE-1 extension)"),
+        core(
+            "71-20965",
+            "71-2:0:3d",
+            1.35,
+            "GEANT-KISTI Singapore (CAE-1 extension)",
+        ),
         // RNP reaches Europe via the Lisbon and Madrid RedCLARA PoPs
         // (Table 1) and North America via Internet2/AtlanticWave in
         // Jacksonville.
         core("71-20965", "71-1916", 1.4, "GEANT-RNP via Lisbon"),
         core("71-20965", "71-1916", 1.48, "GEANT-RNP via Madrid"),
-        core("71-2:0:35", "71-1916", 1.4, "BRIDGES-RNP (Internet2/AtlanticWave)"),
+        core(
+            "71-2:0:35",
+            "71-1916",
+            1.4,
+            "BRIDGES-RNP (Internet2/AtlanticWave)",
+        ),
         core("71-2:0:35", "71-1916", 1.5, "BRIDGES-RNP via Jacksonville"),
-        core("71-2:0:35", "71-2:0:3f", 1.4, "BRIDGES-KISTI Chicago (Internet2)"),
+        core(
+            "71-2:0:35",
+            "71-2:0:3f",
+            1.4,
+            "BRIDGES-KISTI Chicago (Internet2)",
+        ),
         // KREONET ring: Seattle - Chicago - Amsterdam - Singapore -
         // Hong Kong - Daejeon - Seattle.
         core("71-2:0:40", "71-2:0:3f", 1.4, "KISTI Seattle-Chicago"),
         core("71-2:0:3f", "71-2:0:3e", 1.35, "KISTI Chicago-Amsterdam"),
         core("71-2:0:3d", "71-2:0:3c", 1.3, "KISTI Singapore-Hong Kong"),
         core("71-2:0:3c", "71-2:0:3b", 1.3, "KISTI Hong Kong-Daejeon"),
-        core("71-2:0:3b", "71-2:0:40", 1.35, "KISTI Daejeon-Seattle transpacific"),
+        core(
+            "71-2:0:3b",
+            "71-2:0:40",
+            1.35,
+            "KISTI Daejeon-Seattle transpacific",
+        ),
         // The direct Daejeon-Singapore circuit (the submarine cable cut of
         // §5.5 affected this link).
-        core("71-2:0:3b", "71-2:0:3d", 1.3, "KISTI Daejeon-Singapore direct"),
+        core(
+            "71-2:0:3b",
+            "71-2:0:3d",
+            1.3,
+            "KISTI Daejeon-Singapore direct",
+        ),
         // Inter-ISD core link to the commercial production network.
         core("71-20965", "64-559", 1.4, "GEANT-SWITCH (ISD 64)"),
         // ---- GEANT children --------------------------------------------
@@ -106,20 +131,65 @@ pub fn link_inventory() -> Vec<LinkSpec> {
         child("71-20965", "71-2546", 1.4, "GEANT-Demokritos (GRNet)"),
         child("71-20965", "71-2:0:42", 1.4, "GEANT-OVGU"),
         child("71-20965", "71-2:0:49", 1.4, "GEANT-CybExer (EENet)"),
-        child("71-20965", "71-203311", 1.4, "GEANT-CCDCoE (EENet, reused VLANs)"),
+        child(
+            "71-20965",
+            "71-203311",
+            1.4,
+            "GEANT-CCDCoE (EENet, reused VLANs)",
+        ),
         // ---- BRIDGES children -------------------------------------------
-        child("71-2:0:35", "71-88", 1.4, "BRIDGES-Princeton (4-party VLAN)"),
+        child(
+            "71-2:0:35",
+            "71-88",
+            1.4,
+            "BRIDGES-Princeton (4-party VLAN)",
+        ),
         child("71-2:0:35", "71-398900", 1.2, "BRIDGES-FABRIC"),
-        child("71-2:0:35", "71-2:0:48", 1.1, "BRIDGES-Equinix cross-connect A"),
-        child("71-2:0:35", "71-2:0:48", 1.2, "BRIDGES-Equinix cross-connect B"),
+        child(
+            "71-2:0:35",
+            "71-2:0:48",
+            1.1,
+            "BRIDGES-Equinix cross-connect A",
+        ),
+        child(
+            "71-2:0:35",
+            "71-2:0:48",
+            1.2,
+            "BRIDGES-Equinix cross-connect B",
+        ),
         // ---- KREONET children -------------------------------------------
-        child("71-2:0:3b", "71-2:0:4d", 1.4, "KISTI Daejeon-Korea University"),
+        child(
+            "71-2:0:3b",
+            "71-2:0:4d",
+            1.4,
+            "KISTI Daejeon-Korea University",
+        ),
         child("71-2:0:3c", "71-4158", 1.2, "KISTI HK-CityU (HARNET)"),
-        child("71-2:0:3d", "71-2:0:18", 1.2, "KISTI SG-SEC (VXLAN over SingAREN)"),
-        child("71-2:0:3d", "71-2:0:61", 1.2, "KISTI SG-NUS (SingAREN Open Exchange)"),
+        child(
+            "71-2:0:3d",
+            "71-2:0:18",
+            1.2,
+            "KISTI SG-SEC (VXLAN over SingAREN)",
+        ),
+        child(
+            "71-2:0:3d",
+            "71-2:0:61",
+            1.2,
+            "KISTI SG-NUS (SingAREN Open Exchange)",
+        ),
         // App. B recommends at least two physical links per customer AS.
-        child("71-2:0:3d", "71-2:0:4a", 1.2, "KISTI SG-measurement AS link 1"),
-        child("71-2:0:3d", "71-2:0:4a", 1.3, "KISTI SG-measurement AS link 2"),
+        child(
+            "71-2:0:3d",
+            "71-2:0:4a",
+            1.2,
+            "KISTI SG-measurement AS link 1",
+        ),
+        child(
+            "71-2:0:3d",
+            "71-2:0:4a",
+            1.3,
+            "KISTI SG-measurement AS link 2",
+        ),
         child("71-2:0:3d", "71-50999", 1.35, "KISTI SG-KAUST"),
         child("71-2:0:3e", "71-50999", 1.35, "KISTI AMS-KAUST"),
         // ---- ISD 64 -----------------------------------------------------
@@ -130,7 +200,10 @@ pub fn link_inventory() -> Vec<LinkSpec> {
     // KREONET one indirectly via Chicago; the direct circuits:
     links.push(core("71-2:0:3d", "71-2:0:3e", 1.3, "SG-AMS via KREONET"));
     links.push(core("71-2:0:3d", "71-2:0:3e", 1.45, "SG-AMS via CAE-1"));
-    for (i, label) in ["SG-AMS via KAUST I", "SG-AMS via KAUST II"].iter().enumerate() {
+    for (i, label) in ["SG-AMS via KAUST I", "SG-AMS via KAUST II"]
+        .iter()
+        .enumerate()
+    {
         // KAUST circuits detour via Jeddah.
         let via = fiber_latency_ms(geo::SINGAPORE, geo::JEDDAH, 1.3)
             + fiber_latency_ms(geo::JEDDAH, geo::AMSTERDAM, 1.3)
@@ -205,7 +278,8 @@ impl BuiltTopology {
 
     /// One-way latency of the link attached at `(ia, ifid)`.
     pub fn latency_of(&self, ia: IsdAsn, ifid: u16) -> Option<f64> {
-        self.link_index_of(ia, ifid).map(|i| self.links[i].spec.latency_ms)
+        self.link_index_of(ia, ifid)
+            .map(|i| self.links[i].spec.latency_ms)
     }
 
     /// Round-trip time along a combined path, in milliseconds: the sum of
@@ -214,11 +288,7 @@ impl BuiltTopology {
     ///
     /// `link_down` lets callers exclude links (fault injection); returns
     /// `None` if the path crosses a downed or unknown link.
-    pub fn path_rtt_ms(
-        &self,
-        path: &FullPath,
-        link_down: &dyn Fn(usize) -> bool,
-    ) -> Option<f64> {
+    pub fn path_rtt_ms(&self, path: &FullPath, link_down: &dyn Fn(usize) -> bool) -> Option<f64> {
         let mut one_way = 0.0;
         let mut hops = 0u32;
         for h in &path.hops {
@@ -255,9 +325,15 @@ pub fn build_control_graph() -> BuiltTopology {
         let (ifid_a, ifid_b) = graph
             .connect(spec.a, spec.b, spec.link_type)
             .expect("inventory references known ASes");
-        links.push(BuiltLink { spec, ifid_a, ifid_b });
+        links.push(BuiltLink {
+            spec,
+            ifid_a,
+            ifid_b,
+        });
     }
-    graph.validate().expect("SCIERA topology is structurally valid");
+    graph
+        .validate()
+        .expect("SCIERA topology is structurally valid");
     BuiltTopology { graph, links }
 }
 
@@ -303,7 +379,10 @@ mod tests {
         let transatlantic = find("GEANT-BRIDGES transatlantic");
         let transpacific = find("KISTI Daejeon-Seattle transpacific");
         assert!(regional < 5.0, "regional {regional} ms");
-        assert!(transatlantic > 25.0 && transatlantic < 60.0, "transatlantic {transatlantic} ms");
+        assert!(
+            transatlantic > 25.0 && transatlantic < 60.0,
+            "transatlantic {transatlantic} ms"
+        );
         assert!(transpacific > 40.0, "transpacific {transpacific} ms");
         // The KAUST detour circuits are slower than the direct ones.
         assert!(find("SG-AMS via KAUST I") > find("SG-AMS via KREONET"));
@@ -324,11 +403,7 @@ mod tests {
                     continue;
                 }
                 let paths = combine_paths(&store, s, d, 300);
-                assert!(
-                    paths.len() >= 2,
-                    "{s}->{d}: only {} paths",
-                    paths.len()
-                );
+                assert!(paths.len() >= 2, "{s}->{d}: only {} paths", paths.len());
             }
         }
     }
@@ -337,8 +412,13 @@ mod tests {
     fn uva_ufms_has_rich_path_choice() {
         // The Fig. 8 extreme: >100 active paths between UVa and UFMS.
         let built = build_control_graph();
-        let config = BeaconConfig { candidates_per_origin: 32, ..Default::default() };
-        let store = BeaconEngine::new(&built.graph, 1_700_000_000, config).run().unwrap();
+        let config = BeaconConfig {
+            candidates_per_origin: 32,
+            ..Default::default()
+        };
+        let store = BeaconEngine::new(&built.graph, 1_700_000_000, config)
+            .run()
+            .unwrap();
         let paths = combine_paths(&store, ia("71-225"), ia("71-2:0:5c"), 500);
         assert!(paths.len() > 100, "UVa->UFMS: {} paths", paths.len());
     }
@@ -367,7 +447,10 @@ mod tests {
         for (i, l) in built.links.iter().enumerate() {
             assert_eq!(built.link_index_of(l.spec.a, l.ifid_a), Some(i));
             assert_eq!(built.link_index_of(l.spec.b, l.ifid_b), Some(i));
-            assert_eq!(built.latency_of(l.spec.a, l.ifid_a), Some(l.spec.latency_ms));
+            assert_eq!(
+                built.latency_of(l.spec.a, l.ifid_a),
+                Some(l.spec.latency_ms)
+            );
         }
     }
 }
@@ -440,8 +523,10 @@ mod carbon_tests {
             .unwrap();
         let paths = combine_paths(&store, ia("71-2:0:42"), ia("71-2:0:3b"), 50);
         assert!(paths.len() >= 2);
-        let carbons: Vec<f64> =
-            paths.iter().map(|p| built.carbon_g_per_gb(p).unwrap()).collect();
+        let carbons: Vec<f64> = paths
+            .iter()
+            .map(|p| built.carbon_g_per_gb(p).unwrap())
+            .collect();
         // All positive, and not all identical (there is something to
         // optimise).
         assert!(carbons.iter().all(|&c| c > 0.0));
@@ -456,7 +541,10 @@ mod carbon_tests {
         let store = BeaconEngine::new(
             &built.graph,
             1_700_000_000,
-            BeaconConfig { candidates_per_origin: 16, ..Default::default() },
+            BeaconConfig {
+                candidates_per_origin: 16,
+                ..Default::default()
+            },
         )
         .run()
         .unwrap();

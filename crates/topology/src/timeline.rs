@@ -7,7 +7,13 @@ use scion_orchestrator::effort::{ConnectionType, OnboardingEvent};
 /// connection type, coordinating parties and hardware procurement.
 pub fn deployment_timeline() -> Vec<OnboardingEvent> {
     let ev = |name: &str, month: u32, connection: ConnectionType, parties: u8, hw: bool| {
-        OnboardingEvent { name: name.into(), month, connection, parties, hardware_procurement: hw }
+        OnboardingEvent {
+            name: name.into(),
+            month,
+            connection,
+            parties,
+            hardware_procurement: hw,
+        }
     };
     vec![
         // "The SCION setup in GEANT required a major effort. Most of the
@@ -31,9 +37,15 @@ pub fn deployment_timeline() -> Vec<OnboardingEvent> {
         ev("CybExer", 13, ConnectionType::SingleNetworkVlan, 2, false), // July 2023
         // "Connecting Princeton again required more effort … 4 parties."
         ev("Princeton", 14, ConnectionType::MultiNetworkVlan, 4, false), // Aug 2023
-        ev("OVGU", 14, ConnectionType::SingleNetworkVlan, 2, true), // Aug 2023
+        ev("OVGU", 14, ConnectionType::SingleNetworkVlan, 2, true),      // Aug 2023
         // "Connecting Demokritos was straightforward (GEANT Plus via GRNet)."
-        ev("Demokritos", 15, ConnectionType::SingleNetworkVlan, 2, false), // Sept 2023
+        ev(
+            "Demokritos",
+            15,
+            ConnectionType::SingleNetworkVlan,
+            2,
+            false,
+        ), // Sept 2023
         // "Establishing connectivity with the SEC … VXLAN over SingAREN."
         ev("SEC", 16, ConnectionType::VxlanOverlay, 3, false), // Oct 2023
         // "KISTI CHG" — first KREONET node productionised. "Deploying SCION
@@ -85,10 +97,29 @@ pub fn pops_table1() -> Vec<(&'static str, &'static str, &'static str)> {
 /// Appendix D: the commercial NSPs offering SCION connectivity.
 pub fn nsps() -> Vec<&'static str> {
     vec![
-        "Anapaya", "Axpo Systems", "BICS", "BSO Network Solutions", "British Telecom (BT)",
-        "Celeste", "COLT", "Cyberlink", "Everyware", "GEANT", "Iristel / Karrier One",
-        "KREONET", "Litecom", "LG U+", "Megaport", "Odido", "Proximus Luxembourg", "RNP",
-        "Sunrise", "Swisscom", "SWITCH", "Varity BV", "VTX Services",
+        "Anapaya",
+        "Axpo Systems",
+        "BICS",
+        "BSO Network Solutions",
+        "British Telecom (BT)",
+        "Celeste",
+        "COLT",
+        "Cyberlink",
+        "Everyware",
+        "GEANT",
+        "Iristel / Karrier One",
+        "KREONET",
+        "Litecom",
+        "LG U+",
+        "Megaport",
+        "Odido",
+        "Proximus Luxembourg",
+        "RNP",
+        "Sunrise",
+        "Swisscom",
+        "SWITCH",
+        "Varity BV",
+        "VTX Services",
     ]
 }
 
@@ -102,7 +133,12 @@ mod tests {
         let tl = deployment_timeline();
         assert!(tl.len() >= 20);
         for w in tl.windows(2) {
-            assert!(w[0].month <= w[1].month, "{} after {}", w[0].name, w[1].name);
+            assert!(
+                w[0].month <= w[1].month,
+                "{} after {}",
+                w[0].name,
+                w[1].name
+            );
         }
         assert_eq!(tl[0].name, "GEANT");
     }
@@ -113,7 +149,9 @@ mod tests {
         let tl = deployment_timeline();
         let efforts = EffortModel::default().evaluate(&tl);
         let find = |name: &str| {
-            tl.iter().position(|e| e.name == name).unwrap_or_else(|| panic!("{name} missing"))
+            tl.iter()
+                .position(|e| e.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
         };
         // Core buildouts: GEANT >> KISTI HK/STL.
         assert!(efforts[find("GEANT")] > 3.0 * efforts[find("KISTI HK")]);

@@ -19,7 +19,10 @@ fn main() {
     println!("--- Fig. 3: deployment effort over time ---");
     let events = deployment_timeline();
     let efforts = EffortModel::default().evaluate(&events);
-    println!("{:<12}{:>7}{:>10}   relative effort", "site", "month", "hours");
+    println!(
+        "{:<12}{:>7}{:>10}   relative effort",
+        "site", "month", "hours"
+    );
     for (e, hours) in events.iter().zip(&efforts) {
         let bar = "#".repeat((hours / 12.0).ceil() as usize);
         println!("{:<12}{:>7}{:>10.0}   {bar}", e.name, e.month, hours);
@@ -29,8 +32,10 @@ fn main() {
     println!(
         "\nfirst half of the journey: {first_half:.0} h; second half: {second_half:.0} h \
          ({}% cheaper per AS)\n",
-        (100.0 * (1.0 - (second_half / (efforts.len() / 2) as f64)
-            / (first_half / (efforts.len() - efforts.len() / 2) as f64)))
+        (100.0
+            * (1.0
+                - (second_half / (efforts.len() / 2) as f64)
+                    / (first_half / (efforts.len() - efforts.len() / 2) as f64)))
             .round()
     );
 
@@ -60,12 +65,18 @@ fn main() {
 
     // --- §5.6 survey -----------------------------------------------------
     println!("--- §5.6: operator survey ---");
-    println!("{}\n", survey::report(&survey::aggregate(&survey::respondents())));
+    println!(
+        "{}\n",
+        survey::report(&survey::aggregate(&survey::respondents()))
+    );
 
     // --- Table 1 / Appendix D --------------------------------------------
     println!("--- Table 1: SCIERA PoPs ---");
     for (city, nrens, partners) in pops_table1() {
         println!("  {city:<18} {nrens:<18} {partners}");
     }
-    println!("\n{} commercial NSPs offer SCION connectivity (Appendix D).", nsps().len());
+    println!(
+        "\n{} commercial NSPs offer SCION connectivity (Appendix D).",
+        nsps().len()
+    );
 }

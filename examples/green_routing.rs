@@ -17,7 +17,10 @@ fn main() {
     let store = sciera::control::beacon::BeaconEngine::new(
         &built.graph,
         1_700_000_000,
-        sciera::control::beacon::BeaconConfig { candidates_per_origin: 16, ..Default::default() },
+        sciera::control::beacon::BeaconConfig {
+            candidates_per_origin: 16,
+            ..Default::default()
+        },
     )
     .run()
     .expect("beaconing succeeds");
@@ -34,10 +37,16 @@ fn main() {
             }
             let paths = sciera::control::combine::combine_paths(&store, s, d, 100);
             let fastest = paths.iter().min_by(|a, b| {
-                built.path_rtt_ms(a, &up).partial_cmp(&built.path_rtt_ms(b, &up)).unwrap()
+                built
+                    .path_rtt_ms(a, &up)
+                    .partial_cmp(&built.path_rtt_ms(b, &up))
+                    .unwrap()
             });
             let greenest = paths.iter().min_by(|a, b| {
-                built.carbon_g_per_gb(a).partial_cmp(&built.carbon_g_per_gb(b)).unwrap()
+                built
+                    .carbon_g_per_gb(a)
+                    .partial_cmp(&built.carbon_g_per_gb(b))
+                    .unwrap()
             });
             if let (Some(f), Some(g)) = (fastest, greenest) {
                 let saved = built.carbon_g_per_gb(f).unwrap() - built.carbon_g_per_gb(g).unwrap();
@@ -73,7 +82,11 @@ fn main() {
             "{:>6.1} ms  {:>6.1} gCO2/GB  via {}",
             rtt,
             carbon,
-            p.ases().iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" > ")
+            p.ases()
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" > ")
         )
     };
 
@@ -87,8 +100,8 @@ fn main() {
 
     let rtt_cost = built.path_rtt_ms(&greenest, &|_| false).unwrap()
         - built.path_rtt_ms(&fastest, &|_| false).unwrap();
-    let carbon_saved = built.carbon_g_per_gb(&fastest).unwrap()
-        - built.carbon_g_per_gb(&greenest).unwrap();
+    let carbon_saved =
+        built.carbon_g_per_gb(&fastest).unwrap() - built.carbon_g_per_gb(&greenest).unwrap();
     println!(
         "\ntrade-off: {:+.1} ms RTT buys {:.1} gCO2/GB saved ({:.0}% less carbon)",
         rtt_cost,

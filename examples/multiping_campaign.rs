@@ -77,7 +77,13 @@ fn main() {
 
     // --- Figs. 8 & 9 -----------------------------------------------------
     let m8 = fig8(&store);
-    println!("{}", m8.to_table("--- Fig. 8: max active paths between vantage ASes ---"));
+    println!(
+        "{}",
+        m8.to_table("--- Fig. 8: max active paths between vantage ASes ---")
+    );
     let m9 = fig9(&store);
-    println!("{}", m9.to_table("--- Fig. 9: median deviation from the maximum ---"));
+    println!(
+        "{}",
+        m9.to_table("--- Fig. 9: median deviation from the maximum ---")
+    );
 }

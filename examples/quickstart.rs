@@ -33,7 +33,10 @@ fn main() {
     let ovgu = ia("71-2:0:42");
     println!("bootstrapping a host in {ovgu} (OVGU Magdeburg) ...");
     let mut srv = sciera::bootstrap::server::BootstrapServer::new(
-        net.bootstrap_servers[&ovgu].signed_topology().document.clone(),
+        net.bootstrap_servers[&ovgu]
+            .signed_topology()
+            .document
+            .clone(),
         &sciera::crypto::sign::SigningKey::from_seed(format!("as-{ovgu}").as_bytes()),
         net.renewal[&ovgu].chain.clone(),
         Vec::new(),
@@ -73,13 +76,20 @@ fn main() {
     // --- 2. Path lookup: show the choice SCIERA gives this host. ---
     let ufms = ia("71-2:0:5c");
     let paths = net.paths(ovgu, ufms);
-    println!("paths {ovgu} -> {ufms} (UFMS, Brazil): {} options", paths.len());
+    println!(
+        "paths {ovgu} -> {ufms} (UFMS, Brazil): {} options",
+        paths.len()
+    );
     for p in paths.iter().take(4) {
         println!(
             "  [{}] {} hops via {}",
             p.fingerprint(),
             p.len(),
-            p.ases().iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" > ")
+            p.ases()
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" > ")
         );
     }
     println!("  ...\n");
@@ -89,11 +99,18 @@ fn main() {
     let server = net.attach_host(ScionAddr::new(ufms, HostAddr::v4(10, 5, 0, 7)));
     let mut tx = PanSocket::bind(laptop.addr, 40001, laptop.transport());
     let mut rx = PanSocket::bind(server.addr, 8080, server.transport());
-    tx.connect(server.addr, 8080).expect("connect performs the path lookup");
+    tx.connect(server.addr, 8080)
+        .expect("connect performs the path lookup");
     tx.send(b"hello from Magdeburg").expect("datagram sent");
     let (payload, from, sport) = rx.poll_recv().expect("delivered through 5 border routers");
-    println!("UFMS received {:?} from {},{}", String::from_utf8_lossy(&payload), from, sport);
-    rx.send_to(b"oi de Campo Grande", from, sport).expect("reply on reversed path");
+    println!(
+        "UFMS received {:?} from {},{}",
+        String::from_utf8_lossy(&payload),
+        from,
+        sport
+    );
+    rx.send_to(b"oi de Campo Grande", from, sport)
+        .expect("reply on reversed path");
     let (reply, _, _) = tx.poll_recv().expect("reply delivered");
     println!("OVGU received {:?}\n", String::from_utf8_lossy(&reply));
 

@@ -22,7 +22,10 @@ struct LegacyBackend {
 
 impl LegacyBackend {
     fn new() -> Self {
-        LegacyBackend { inbox: VecDeque::new(), outbox: VecDeque::new() }
+        LegacyBackend {
+            inbox: VecDeque::new(),
+            outbox: VecDeque::new(),
+        }
     }
 
     fn poll(&mut self) {
@@ -56,7 +59,10 @@ impl ScionReverseProxy {
         // The Appendix F headers: mark the request as SCION-delivered and
         // record the remote SCION address for the backend's logs.
         let mut annotated = String::from_utf8_lossy(&request).to_string();
-        let insert_at = annotated.find("\r\n\r\n").map(|i| i + 2).unwrap_or(annotated.len());
+        let insert_at = annotated
+            .find("\r\n\r\n")
+            .map(|i| i + 2)
+            .unwrap_or(annotated.len());
         annotated.insert_str(
             insert_at,
             &format!("X-SCION: on\r\nX-SCION-Remote-Addr: {from}\r\n"),
@@ -64,7 +70,9 @@ impl ScionReverseProxy {
         backend.inbox.push_back(annotated.into_bytes());
         backend.poll();
         if let Some(response) = backend.outbox.pop_front() {
-            self.frontend.send_to(&response, from, sport).expect("response over reversed path");
+            self.frontend
+                .send_to(&response, from, sport)
+                .expect("response over reversed path");
         }
         true
     }
@@ -83,7 +91,9 @@ fn main() {
     };
     let mut backend = LegacyBackend::new();
     let mut client = PanSocket::bind(client_host.addr, 43000, client_host.transport());
-    client.connect(proxy_host.addr, 443).expect("path lookup KAUST -> SIDN");
+    client
+        .connect(proxy_host.addr, 443)
+        .expect("path lookup KAUST -> SIDN");
 
     client
         .send(b"GET /dataset/42 HTTP/1.1\r\nHost: data.sciera\r\n\r\n")
@@ -93,7 +103,10 @@ fn main() {
     let (response, _, _) = client.poll_recv().expect("response delivered");
     let text = String::from_utf8_lossy(&response);
     println!("client received:\n{text}");
-    assert!(text.contains("scion=yes"), "backend saw the X-SCION annotation");
+    assert!(
+        text.contains("scion=yes"),
+        "backend saw the X-SCION annotation"
+    );
     println!("the backend never opened a SCION socket — the proxy is the whole integration,");
     println!("matching the caddy plugin's `X-SCION` / `X-SCION-Remote-Addr` headers.");
 }

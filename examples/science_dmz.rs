@@ -22,7 +22,10 @@ fn main() {
 
     // --- Path discovery: pick disjoint paths for striping. -------------
     let paths = net.paths(kaust, kisti);
-    println!("{} SCION paths KAUST -> KISTI Daejeon; selecting disjoint ones:", paths.len());
+    println!(
+        "{} SCION paths KAUST -> KISTI Daejeon; selecting disjoint ones:",
+        paths.len()
+    );
     let mut selected: Vec<&FullPath> = Vec::new();
     for p in &paths {
         if selected
@@ -40,7 +43,11 @@ fn main() {
             "  [{}] {} hops  {}",
             p.fingerprint(),
             p.len(),
-            p.ases().iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" > ")
+            p.ases()
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" > ")
         );
     }
 
@@ -50,9 +57,18 @@ fn main() {
     let mut filter = LightningFilter::new(
         kisti,
         secret,
-        PeerBudget { rate: 10e6, burst: 20e6 }, // best-effort budget
+        PeerBudget {
+            rate: 10e6,
+            burst: 20e6,
+        }, // best-effort budget
     );
-    filter.add_peer(kaust, PeerBudget { rate: 12.5e9, burst: 25e9 }); // 100 Gbps class
+    filter.add_peer(
+        kaust,
+        PeerBudget {
+            rate: 12.5e9,
+            burst: 25e9,
+        },
+    ); // 100 Gbps class
     let digest = [0x5a; 16];
     let good = PacketMeta {
         src_ia: kaust,
@@ -60,14 +76,30 @@ fn main() {
         header_digest: digest,
         auth_tag: Some(LightningFilter::sender_tag(kisti, secret, kaust, &digest)),
     };
-    let forged = PacketMeta { auth_tag: Some([0u8; 6]), ..good };
-    let flood = PacketMeta { src_ia: ia("71-666"), auth_tag: None, ..good };
-    println!("  authenticated KAUST packet: {:?}", filter.check(&good, 0.0));
-    println!("  forged tag:                 {:?}", filter.check(&forged, 0.0));
+    let forged = PacketMeta {
+        auth_tag: Some([0u8; 6]),
+        ..good
+    };
+    let flood = PacketMeta {
+        src_ia: ia("71-666"),
+        auth_tag: None,
+        ..good
+    };
+    println!(
+        "  authenticated KAUST packet: {:?}",
+        filter.check(&good, 0.0)
+    );
+    println!(
+        "  forged tag:                 {:?}",
+        filter.check(&forged, 0.0)
+    );
     for _ in 0..20_000 {
         filter.check(&flood, 0.0);
     }
-    println!("  20k-packet unauthenticated flood -> drops: {}", filter.counters[3]);
+    println!(
+        "  20k-packet unauthenticated flood -> drops: {}",
+        filter.counters[3]
+    );
     let still_good = filter.check(&good, 0.0);
     println!("  KAUST packet during flood:  {still_good:?} (authenticated class unharmed)");
     assert_eq!(still_good, Verdict::Accept);
@@ -83,7 +115,7 @@ fn main() {
                 .unwrap_or(150.0)
         },
         bandwidth_mbps: 1000.0, // 1 Gbps circuits
-        loss: 0.0, // the Science-DMZ isolates transfers from lossy campus traffic
+        loss: 0.0,              // the Science-DMZ isolates transfers from lossy campus traffic
     };
     let profiles: Vec<PathProfile> = selected.iter().map(|p| profile(p)).collect();
     let file = 2_000_000_000u64;
@@ -108,5 +140,7 @@ fn main() {
     );
     println!("  chunks per path: {:?}", multi.chunks_per_path);
     assert!(multi.goodput_mbps > single.goodput_mbps * 1.5);
-    println!("\n\"high-speed file transfers, making use of SCION's multipath capability\" — §4.7.1");
+    println!(
+        "\n\"high-speed file transfers, making use of SCION's multipath capability\" — §4.7.1"
+    );
 }

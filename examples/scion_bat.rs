@@ -66,7 +66,10 @@ mod scionable {
     }
 
     pub fn policy(flags: &ScionFlags) -> PathPolicy {
-        PathPolicy { sequence: flags.sequence.clone(), ..Default::default() }
+        PathPolicy {
+            sequence: flags.sequence.clone(),
+            ..Default::default()
+        }
     }
 }
 // -----------------------------------------------------------------------
@@ -94,7 +97,11 @@ fn main() {
         for (i, fp, seq, hops) in client.selector_mut().listing() {
             println!("  [{i}] {hops} hops  {fp}  {seq}");
         }
-        let pick = client.selector_mut().listing().first().map(|(_, fp, _, _)| fp.clone());
+        let pick = client
+            .selector_mut()
+            .listing()
+            .first()
+            .map(|(_, fp, _, _)| fp.clone());
         if let Some(fp) = pick {
             client.selector_mut().pin(&fp).expect("pin listed path");
         }
@@ -109,12 +116,20 @@ fn main() {
         let (req, from, sport) = server.poll_recv().expect("request arrives");
         assert!(req.starts_with(b"GET "));
         let body = "HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\n\r\nhello from SIDN Labs over native SCION\n";
-        server.send_to(body.as_bytes(), from, sport).expect("response sent");
+        server
+            .send_to(body.as_bytes(), from, sport)
+            .expect("response sent");
     };
 
-    send(format!("GET / HTTP/1.1\r\nHost: sciera\r\n\r\n").as_bytes());
+    send(
+        "GET / HTTP/1.1\r\nHost: sciera\r\n\r\n"
+            .to_string()
+            .as_bytes(),
+    );
     reply_via_server(&mut server);
-    let response = client.poll_recv().map(|(b, _, _)| String::from_utf8_lossy(&b).to_string());
+    let response = client
+        .poll_recv()
+        .map(|(b, _, _)| String::from_utf8_lossy(&b).to_string());
     println!("\nresponse:\n{}", response.expect("response received"));
 
     // The legacy module also works verbatim through closures over the
@@ -131,7 +146,12 @@ fn main() {
     println!(
         "served via [{}] {} ({} hops, preference {:?})",
         active.fingerprint(),
-        active.ases().iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" > "),
+        active
+            .ases()
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" > "),
         active.len(),
         flags.preference,
     );

@@ -63,7 +63,9 @@ struct ScionDatagramSocket {
 
 impl DatagramSocket for ScionDatagramSocket {
     fn send(&mut self, payload: &[u8]) {
-        self.inner.send_to(payload, self.peer.0, self.peer.1).expect("send over SCIERA");
+        self.inner
+            .send_to(payload, self.peer.0, self.peer.1)
+            .expect("send over SCIERA");
     }
     fn recv(&mut self) -> Option<Vec<u8>> {
         self.inner.poll_recv().map(|(p, _, _)| p)
@@ -75,7 +77,10 @@ fn main() {
     println!("== netcat, legacy transport ==");
     let a = std::rc::Rc::new(std::cell::RefCell::new(VecDeque::new()));
     let b = std::rc::Rc::new(std::cell::RefCell::new(VecDeque::new()));
-    let mut legacy_client = LoopbackSocket { tx: a.clone(), rx: b.clone() };
+    let mut legacy_client = LoopbackSocket {
+        tx: a.clone(),
+        rx: b.clone(),
+    };
     let mut legacy_server = LoopbackSocket { tx: b, rx: a };
     for line in netcat_session(&mut legacy_client, &mut legacy_server) {
         println!("  {line}");

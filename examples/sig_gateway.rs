@@ -24,8 +24,14 @@ fn main() {
     let ku = ia("71-2:0:4d");
     let mut sig_ufms = Sig::new(sig_endpoint(ufms, [10, 5, 0, 1]));
     let mut sig_ku = Sig::new(sig_endpoint(ku, [10, 3, 0, 1]));
-    sig_ufms.add_remote(sig_endpoint(ku, [10, 3, 0, 1]), vec![Prefix::new([192, 168, 60, 0], 24)]);
-    sig_ku.add_remote(sig_endpoint(ufms, [10, 5, 0, 1]), vec![Prefix::new([192, 168, 50, 0], 24)]);
+    sig_ufms.add_remote(
+        sig_endpoint(ku, [10, 3, 0, 1]),
+        vec![Prefix::new([192, 168, 60, 0], 24)],
+    );
+    sig_ku.add_remote(
+        sig_endpoint(ufms, [10, 5, 0, 1]),
+        vec![Prefix::new([192, 168, 50, 0], 24)],
+    );
 
     // A legacy IPv4 packet from a UFMS lab machine to a KU server.
     let legacy_packet: Vec<u8> = {
@@ -48,19 +54,30 @@ fn main() {
         .expect("prefix routed");
     println!(
         "  encapsulated into a SCION packet {} -> {} ({} payload bytes)",
-        scion_pkt.src, scion_pkt.dst, scion_pkt.payload.len()
+        scion_pkt.src,
+        scion_pkt.dst,
+        scion_pkt.payload.len()
     );
 
     // Across the real data plane: every border router MAC-verifies.
-    let delivery = net.walk_packet(scion_pkt).expect("SIG traffic crosses SCIERA");
+    let delivery = net
+        .walk_packet(scion_pkt)
+        .expect("SIG traffic crosses SCIERA");
     println!(
         "  forwarded via {} ({:.1} ms one-way)",
-        delivery.route.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" > "),
+        delivery
+            .route
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" > "),
         delivery.latency_ms
     );
 
     // The receiving SIG decapsulates back to the raw IP packet.
-    let decapped = sig_ku.decapsulate(&delivery.packet).expect("known peer SIG");
+    let decapped = sig_ku
+        .decapsulate(&delivery.packet)
+        .expect("known peer SIG");
     assert_eq!(decapped, legacy_packet);
     println!("  KU SIG decapsulated the original IPv4 packet intact\n");
 
@@ -69,7 +86,10 @@ fn main() {
     assert!(sig_ufms
         .encapsulate([192, 168, 60, 20], legacy_packet, &mut path_for)
         .is_none());
-    println!("peer marked unhealthy -> traffic held (stats: {:?})", sig_ufms.stats);
+    println!(
+        "peer marked unhealthy -> traffic held (stats: {:?})",
+        sig_ufms.stats
+    );
     println!("\n\"applications are unaware of the NGN communication\" — and the Edge model");
     println!("lets a campus join SCIERA with nothing but a gateway appliance (App. B).");
 }

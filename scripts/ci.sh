@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: everything the repo requires before a merge.
+# Usage: scripts/ci.sh   (run from anywhere; cds to the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> ci OK"

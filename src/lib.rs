@@ -30,6 +30,10 @@
 #![forbid(unsafe_code)]
 
 pub use netsim;
+pub use sciera_core as core;
+pub use sciera_measure as measure;
+pub use sciera_telemetry as telemetry;
+pub use sciera_topology as topology;
 pub use scion_bootstrap as bootstrap;
 pub use scion_control as control;
 pub use scion_cppki as cppki;
@@ -41,18 +45,16 @@ pub use scion_orchestrator as orchestrator;
 pub use scion_pan as pan;
 pub use scion_proto as proto;
 pub use scion_sig as sig;
-pub use sciera_core as core;
-pub use sciera_measure as measure;
-pub use sciera_topology as topology;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use sciera_core::network::NetworkConfig;
+    pub use sciera_core::{HostHandle, SciEraNetwork};
+    pub use sciera_measure::campaign::{Campaign, CampaignConfig};
+    pub use sciera_telemetry::{Severity, Telemetry, TelemetrySnapshot};
+    pub use sciera_topology::links::build_control_graph;
     pub use scion_control::fullpath::FullPath;
     pub use scion_control::policy::{PathPolicy, Preference};
     pub use scion_pan::socket::{PanSocket, PanTransport};
     pub use scion_proto::addr::{ia, HostAddr, IsdAsn, ScionAddr};
-    pub use sciera_core::network::NetworkConfig;
-    pub use sciera_core::{HostHandle, SciEraNetwork};
-    pub use sciera_measure::campaign::{Campaign, CampaignConfig};
-    pub use sciera_topology::links::build_control_graph;
 }

@@ -9,9 +9,9 @@ use sciera::measure::campaign::{Campaign, CampaignConfig};
 use sciera::measure::paths::{fig10a, fig10b, fig8, fig9};
 use sciera::measure::resilience::fig10c;
 use sciera::measure::survey;
+use sciera::orchestrator::effort::EffortModel;
 use sciera::prelude::*;
 use sciera::topology::timeline::deployment_timeline;
-use sciera::orchestrator::effort::EffortModel;
 
 fn campaign() -> sciera::measure::campaign::MeasurementStore {
     let config = CampaignConfig {
@@ -32,7 +32,11 @@ fn connectivity_experiments_are_mutually_consistent() {
 
     // Fig. 5: SCION wins the median and wins more at the tail.
     let f5 = fig5(&store);
-    assert!(f5.median_reduction_pct() > 0.0, "median reduction {:.2}%", f5.median_reduction_pct());
+    assert!(
+        f5.median_reduction_pct() > 0.0,
+        "median reduction {:.2}%",
+        f5.median_reduction_pct()
+    );
     assert!(f5.p90_reduction_pct() > f5.median_reduction_pct());
 
     // Fig. 6 must agree with Fig. 5 in aggregate: if the median pair ratio
@@ -45,7 +49,10 @@ fn connectivity_experiments_are_mutually_consistent() {
     // Fig. 7's daily ratios must bracket Fig. 6's median.
     let f7 = fig7(&store);
     let avg: f64 = f7.daily_ratio.iter().sum::<f64>() / f7.daily_ratio.len() as f64;
-    assert!((avg - median_ratio).abs() < 0.6, "daily avg {avg} vs median ratio {median_ratio}");
+    assert!(
+        (avg - median_ratio).abs() < 0.6,
+        "daily avg {avg} vs median ratio {median_ratio}"
+    );
 
     // Figs. 8/9: max counts bound the deviations.
     let m8 = fig8(&store);
@@ -111,5 +118,7 @@ fn outliers_trace_back_to_injected_incidents() {
     assert!(ufms_eq.ratio > med);
     // And the incident labels document what was injected.
     assert!(store.incident_labels.contains(&"KR-SG submarine cable cut"));
-    assert!(store.incident_labels.contains(&"UFMS-Equinix routed through GEANT"));
+    assert!(store
+        .incident_labels
+        .contains(&"UFMS-Equinix routed through GEANT"));
 }

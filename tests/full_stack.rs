@@ -115,7 +115,10 @@ fn transit_policy_blocks_commercial_through_sciera() {
     let ovgu = ia("71-2:0:42");
     let terminating = net.paths(eth, ovgu);
     assert!(!terminating.is_empty());
-    assert!(terminating.iter().all(|p| policy.permits(p)), "terminating traffic must pass");
+    assert!(
+        terminating.iter().all(|p| policy.permits(p)),
+        "terminating traffic must pass"
+    );
     // Commercial -> commercial via SCIERA: transit, must be filtered.
     let switch64 = ia("64-559");
     let transit = net.paths(eth, switch64);
@@ -143,7 +146,8 @@ fn multihop_bidirectional_flows_across_all_regions() {
             let hb = net.attach_host(ScionAddr::new(ia(b), HostAddr::v4(10, 0, 0, 2)));
             let mut sa = PanSocket::bind(ha.addr, 50000, ha.transport());
             let mut sb = PanSocket::bind(hb.addr, 50001, hb.transport());
-            sa.connect(hb.addr, 50001).unwrap_or_else(|e| panic!("{a}->{b}: {e}"));
+            sa.connect(hb.addr, 50001)
+                .unwrap_or_else(|e| panic!("{a}->{b}: {e}"));
             sa.send(format!("ping {a}->{b}").as_bytes()).unwrap();
             let (got, from, sport) = sb.poll_recv().expect("delivered");
             assert_eq!(got, format!("ping {a}->{b}").as_bytes());
@@ -158,8 +162,16 @@ fn multihop_bidirectional_flows_across_all_regions() {
 fn all_ases_have_verified_chains_and_bootstrap_servers() {
     let net = network();
     for a in all_ases() {
-        assert!(net.trust.key_of(a.ia).is_some(), "{} not in trust directory", a.name);
-        assert!(net.bootstrap_servers.contains_key(&a.ia), "{} has no bootstrap server", a.name);
+        assert!(
+            net.trust.key_of(a.ia).is_some(),
+            "{} not in trust directory",
+            a.name
+        );
+        assert!(
+            net.bootstrap_servers.contains_key(&a.ia),
+            "{} has no bootstrap server",
+            a.name
+        );
         assert!(net.renewal[&a.ia].certificate_valid(net.now_unix()));
     }
 }

@@ -28,7 +28,9 @@ fn dispatcher_era_demux_delivers_real_pan_packets() {
     let mut raw_transport = b.transport();
     let packet = {
         use sciera::pan::socket::PanTransport;
-        raw_transport.recv_packet().expect("packet crossed the network")
+        raw_transport
+            .recv_packet()
+            .expect("packet crossed the network")
     };
     let dispatcher = Dispatcher::new();
     dispatcher.register(7777, AppId(42)).unwrap();
@@ -54,7 +56,10 @@ fn dispatcherless_mode_owns_per_socket_ports() {
     let mut other = PanSocket::bind(b.addr, p2, b.transport());
     tx.connect(b.addr, 9999).unwrap(); // nobody listens on 9999
     tx.send(b"misdirected").unwrap();
-    assert!(other.poll_recv().is_none(), "socket on {p2} must not see port-9999 traffic");
+    assert!(
+        other.poll_recv().is_none(),
+        "socket on {p2} must not see port-9999 traffic"
+    );
 }
 
 #[test]
@@ -74,7 +79,10 @@ fn mode_fallback_ladder_matches_component_availability() {
             bootstrap_config_available: config,
         });
         assert_eq!(stack.mode, want);
-        assert_eq!(stack.mode.needs_preinstalled_component(), want != OperatingMode::Standalone);
+        assert_eq!(
+            stack.mode.needs_preinstalled_component(),
+            want != OperatingMode::Standalone
+        );
     }
 }
 
@@ -103,8 +111,16 @@ fn happy_eyeballs_with_topology_rtts() {
     assert!(scion_ms < ip_ms, "SCION {scion_ms} vs IP {ip_ms}");
     let outcome = race(
         &[
-            Attempt { family: Family::Scion, duration: Duration::from_secs_f64(scion_ms / 1000.0), succeeds: true },
-            Attempt { family: Family::Ipv6, duration: Duration::from_secs_f64(ip_ms / 1000.0), succeeds: true },
+            Attempt {
+                family: Family::Scion,
+                duration: Duration::from_secs_f64(scion_ms / 1000.0),
+                succeeds: true,
+            },
+            Attempt {
+                family: Family::Ipv6,
+                duration: Duration::from_secs_f64(ip_ms / 1000.0),
+                succeeds: true,
+            },
         ],
         DEFAULT_ATTEMPT_DELAY,
     )
@@ -113,11 +129,22 @@ fn happy_eyeballs_with_topology_rtts() {
 
     // And when SCION connectivity is absent, the race degrades gracefully
     // to the legacy families — no regression for non-SCION destinations.
-    assert_eq!(preference_order(false, true, true), vec![Family::Ipv6, Family::Ipv4]);
+    assert_eq!(
+        preference_order(false, true, true),
+        vec![Family::Ipv6, Family::Ipv4]
+    );
     let fallback = race(
         &[
-            Attempt { family: Family::Ipv6, duration: Duration::from_millis(40), succeeds: false },
-            Attempt { family: Family::Ipv4, duration: Duration::from_millis(35), succeeds: true },
+            Attempt {
+                family: Family::Ipv6,
+                duration: Duration::from_millis(40),
+                succeeds: false,
+            },
+            Attempt {
+                family: Family::Ipv4,
+                duration: Duration::from_millis(35),
+                succeeds: true,
+            },
         ],
         DEFAULT_ATTEMPT_DELAY,
     )

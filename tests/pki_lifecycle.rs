@@ -50,7 +50,10 @@ fn trc_update_rolls_across_the_isd() {
     // through a host's trust store; a forged competitor must fail.
     let net = SciEraNetwork::build(NetworkConfig::default());
     let trust = net.trust;
-    let cores: Vec<_> = all_ases().into_iter().filter(|a| a.ia.isd.0 == 71 && a.core).collect();
+    let cores: Vec<_> = all_ases()
+        .into_iter()
+        .filter(|a| a.ia.isd.0 == 71 && a.core)
+        .collect();
     assert_eq!(trust.trc_serial(IsdNumber(71)), Some(1));
 
     // Reconstruct the base TRC the network installed (same deterministic
@@ -67,11 +70,17 @@ fn trc_update_rolls_across_the_isd() {
         authoritative_ases: core_ias.clone(),
         voting_keys: core_ias
             .iter()
-            .map(|&ia| sciera::cppki::trc::TrcKeyEntry { holder: ia, key: root_key(ia).verifying_key() })
+            .map(|&ia| sciera::cppki::trc::TrcKeyEntry {
+                holder: ia,
+                key: root_key(ia).verifying_key(),
+            })
             .collect(),
         root_keys: core_ias
             .iter()
-            .map(|&ia| sciera::cppki::trc::TrcKeyEntry { holder: ia, key: root_key(ia).verifying_key() })
+            .map(|&ia| sciera::cppki::trc::TrcKeyEntry {
+                holder: ia,
+                key: root_key(ia).verifying_key(),
+            })
             .collect(),
         quorum: core_ias.len() / 2 + 1,
         votes: vec![],
@@ -82,7 +91,9 @@ fn trc_update_rolls_across_the_isd() {
     for ia in core_ias.iter().take(base.quorum) {
         next.add_vote(*ia, &root_key(*ia));
     }
-    trust.apply_trc_update(next).expect("quorum update accepted");
+    trust
+        .apply_trc_update(next)
+        .expect("quorum update accepted");
     assert_eq!(trust.trc_serial(IsdNumber(71)), Some(2));
 
     // A forged update (non-core signer) is rejected.
@@ -121,7 +132,12 @@ fn ca_interoperates_with_both_stacks() {
         ca.enrol(subject, enrol.verifying_key());
         let csr = CsrRequest::build(subject, as_key.verifying_key(), profile, &enrol);
         let chain = ca.process_csr(&csr, now).expect("CSR accepted");
-        net.trust.verify_chain(&chain, now).expect("chain verifies against ISD 71 TRC");
+        net.trust
+            .verify_chain(&chain, now)
+            .expect("chain verifies against ISD 71 TRC");
     }
-    assert_eq!(CaService::needs_renewal(&net.renewal[&ia("71-88")].chain.as_cert, now), false);
+    assert!(!CaService::needs_renewal(
+        &net.renewal[&ia("71-88")].chain.as_cert,
+        now
+    ));
 }

@@ -25,9 +25,9 @@ struct RandomTopo {
     n_mid: usize,
     n_leaf: usize,
     core_edges: Vec<(usize, usize)>,
-    mid_parents: Vec<Vec<usize>>,   // indices into cores
-    leaf_parents: Vec<Vec<usize>>,  // indices into mids (or cores if empty mids)
-    peerings: Vec<(usize, usize)>,  // indices into non-core space
+    mid_parents: Vec<Vec<usize>>,  // indices into cores
+    leaf_parents: Vec<Vec<usize>>, // indices into mids (or cores if empty mids)
+    peerings: Vec<(usize, usize)>, // indices into non-core space
 }
 
 fn arb_topo() -> impl Strategy<Value = RandomTopo> {
@@ -45,9 +45,19 @@ fn arb_topo() -> impl Strategy<Value = RandomTopo> {
             leaf_parents,
             peerings,
         )
-            .prop_map(|((n_core, n_mid, n_leaf), core_edges, mid_parents, leaf_parents, peerings)| {
-                RandomTopo { n_core, n_mid, n_leaf, core_edges, mid_parents, leaf_parents, peerings }
-            })
+            .prop_map(
+                |((n_core, n_mid, n_leaf), core_edges, mid_parents, leaf_parents, peerings)| {
+                    RandomTopo {
+                        n_core,
+                        n_mid,
+                        n_leaf,
+                        core_edges,
+                        mid_parents,
+                        leaf_parents,
+                        peerings,
+                    }
+                },
+            )
     })
 }
 
@@ -90,7 +100,8 @@ fn build(t: &RandomTopo) -> Option<ControlGraph> {
     }
     for (l, parents) in t.leaf_parents.iter().enumerate() {
         for &p in parents {
-            g.connect(mid_ia(p % t.n_mid.max(1)), leaf_ia(l), LinkType::Child).ok()?;
+            g.connect(mid_ia(p % t.n_mid.max(1)), leaf_ia(l), LinkType::Child)
+                .ok()?;
         }
     }
     let noncore = |i: usize| {
@@ -101,7 +112,10 @@ fn build(t: &RandomTopo) -> Option<ControlGraph> {
         }
     };
     for &(a, b) in &t.peerings {
-        let (x, y) = (noncore(a % (t.n_mid + t.n_leaf)), noncore(b % (t.n_mid + t.n_leaf)));
+        let (x, y) = (
+            noncore(a % (t.n_mid + t.n_leaf)),
+            noncore(b % (t.n_mid + t.n_leaf)),
+        );
         if x != y {
             g.connect(x, y, LinkType::Peer).ok()?;
         }
@@ -121,9 +135,14 @@ fn walk(
     let mut ingress = 0u16;
     let mut route = vec![current];
     for _ in 0..64 {
-        let sec = secrets.get(&current).ok_or_else(|| format!("no secrets for {current}"))?;
+        let sec = secrets
+            .get(&current)
+            .ok_or_else(|| format!("no secrets for {current}"))?;
         let mut router = BorderRouter::new(current, sec.hop_key.clone());
-        match router.process(pkt, ingress, 1_700_000_100).map_err(|e| format!("{current}: {e:?}"))? {
+        match router
+            .process(pkt, ingress, 1_700_000_100)
+            .map_err(|e| format!("{current}: {e:?}"))?
+        {
             Decision::Deliver(_) => return Ok(route),
             Decision::Forward { ifid, packet } => {
                 let (next, next_if) = graph

@@ -34,9 +34,10 @@ fn path_from(ases: &[u16]) -> FullPath {
 fn reference_matches(preds: &[Option<u16>], hops: &[u16]) -> bool {
     match preds.split_first() {
         None => hops.is_empty(),
-        Some((Some(want), rest)) => {
-            hops.split_first().map(|(h, tail)| h == want && reference_matches(rest, tail)).unwrap_or(false)
-        }
+        Some((Some(want), rest)) => hops
+            .split_first()
+            .map(|(h, tail)| h == want && reference_matches(rest, tail))
+            .unwrap_or(false),
         Some((None, rest)) => {
             // Wildcard: consume 0..=len hops.
             (0..=hops.len()).any(|k| reference_matches(rest, &hops[k..]))

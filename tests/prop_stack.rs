@@ -19,7 +19,11 @@ fn net() -> &'static SciEraNetwork {
 }
 
 fn isd71() -> Vec<IsdAsn> {
-    all_ases().into_iter().filter(|a| a.ia.isd.0 == 71).map(|a| a.ia).collect()
+    all_ases()
+        .into_iter()
+        .filter(|a| a.ia.isd.0 == 71)
+        .map(|a| a.ia)
+        .collect()
 }
 
 proptest! {

@@ -1,0 +1,196 @@
+//! Offline stand-in for `criterion`: a small wall-clock benchmarking harness
+//! with the same surface the workspace's bench targets use. Each benchmark
+//! warms up briefly, then takes `sample_size` timed samples and reports the
+//! median time per iteration plus derived throughput.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched iteration amortizes setup cost (shape-compatible subset).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup re-run per iteration).
+    LargeInput,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(300), measurement: Duration::from_millis(1200) }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 50,
+        }
+    }
+}
+
+/// A named group sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&self.name, id, self.throughput);
+        self
+    }
+
+    /// Ends the group (reporting is per-function; nothing further to do).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let sample_target = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_target / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        // Warm-up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        self.samples_ns.clear();
+        let per_sample_iters = 8u64;
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..per_sample_iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.samples_ns.push(total.as_nanos() as f64 / per_sample_iters as f64);
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples_ns.is_empty() {
+            println!("{group}/{id}: no samples");
+            return;
+        }
+        self.samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let lo = self.samples_ns[self.samples_ns.len() / 20];
+        let hi = self.samples_ns[self.samples_ns.len() - 1 - self.samples_ns.len() / 20];
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.2} Melem/s", n as f64 / median * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.2} MiB/s", n as f64 / median * 1e9 / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("{group}/{id}: {median:.1} ns/iter  [{lo:.1} .. {hi:.1}]{rate}");
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,732 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace uses:
+//! `proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assume!`,
+//! `prop_assert*!`, `any::<T>()`, `Just`, range strategies, tuple strategies,
+//! `prop::collection::vec`, `prop::option::weighted`, `prop_map`,
+//! `prop_flat_map`, and `boxed()`.
+//!
+//! Generation is deterministic (seeded from the test name) and there is no
+//! shrinking: a failing case panics with the assertion message directly.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A reusable generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (backs `prop_oneof!`).
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        /// Builds a union; panics on an empty alternative list.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union(options)
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].generate(rng)
+        }
+    }
+
+    /// Closure-backed strategy (used by `prop_compose!`).
+    pub struct FnStrategy<F> {
+        f: F,
+    }
+
+    impl<V, F: Fn(&mut TestRng) -> V> FnStrategy<F> {
+        /// Wraps a generation closure.
+        pub fn new(f: F) -> Self {
+            FnStrategy { f }
+        }
+    }
+
+    impl<V, F: Fn(&mut TestRng) -> V> Strategy for FnStrategy<F> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.f)(rng)
+        }
+    }
+
+    /// String-literal strategies: a `&str` is treated as a regex over a small
+    /// subset (literal chars, `[...]` classes with ranges, and `{m,n}` / `{n}`
+    /// / `*` / `+` / `?` quantifiers) and generates matching strings.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (chars, min, max) in &atoms {
+                let n = min + rng.below((max - min) as u64 + 1) as usize;
+                for _ in 0..n {
+                    out.push(chars[rng.below(chars.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Compiles the regex subset into (alternatives, min-reps, max-reps) runs.
+    fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut atoms: Vec<(Vec<char>, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alternatives = match chars[i] {
+                '[' => {
+                    let mut set = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if chars[i + 1..].first() == Some(&'-')
+                            && chars.get(i + 2).is_some_and(|c| *c != ']')
+                        {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            assert!(lo <= hi, "bad range in pattern `{pat}`");
+                            set.extend((lo..=hi).filter(|c| c.is_ascii() || lo == hi));
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in pattern `{pat}`");
+                    i += 1; // closing ']'
+                    set
+                }
+                '\\' => {
+                    i += 2;
+                    vec![chars[i - 1]]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..].iter().position(|c| *c == '}').expect("unterminated {") + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n: usize = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(!alternatives.is_empty() || min == 0, "empty class in pattern `{pat}`");
+            if !alternatives.is_empty() {
+                atoms.push((alternatives, min, max));
+            }
+        }
+        atoms
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = if span > u64::MAX as u128 {
+                        rng.next_u64()
+                    } else {
+                        rng.below(span as u64)
+                    };
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary + Default + Copy, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let mut out = [T::default(); N];
+            for slot in &mut out {
+                *slot = T::arbitrary(rng);
+            }
+            out
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_incl: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max_incl: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange { min: *r.start(), max_incl: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_incl - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>` that is `Some` with probability `p`.
+    pub struct WeightedOption<S> {
+        prob_some: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for WeightedOption<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_f64() < self.prob_some {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some(inner)` with probability `prob_some`, else `None`.
+    pub fn weighted<S: Strategy>(prob_some: f64, inner: S) -> WeightedOption<S> {
+        WeightedOption { prob_some, inner }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a test-case closure exited early.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Case discarded by `prop_assume!` — does not count as a run.
+        Reject,
+        /// Case failed with a message — the test panics.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing outcome with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A discarded-case outcome.
+        pub fn reject(_msg: impl Into<String>) -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Deterministic generator (xoshiro256++) seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds from a raw 64-bit value via SplitMix64 expansion.
+        pub fn from_seed(seed: u64) -> Self {
+            fn splitmix64(state: &mut u64) -> u64 {
+                *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = *state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+            let mut sm = seed;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Seeds deterministically from a test name (FNV-1a).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self::from_seed(h)
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "TestRng::below(0)");
+            self.next_u64() % bound
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Runs property tests: each `fn` body is executed for `cases` accepted
+/// random bindings of its arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!([$cfg] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!([$crate::test_runner::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr] $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_args!(@munch [$cfg] [stringify!($name)] [] [$($args)*] $body);
+        }
+        $crate::__proptest_fns!([$cfg] $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_args {
+    (@munch [$cfg:expr] [$name:expr] [$($acc:tt)*] [$n:ident in $s:expr, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_args!(@munch [$cfg] [$name] [$($acc)* ($n, $s)] [$($rest)*] $body)
+    };
+    (@munch [$cfg:expr] [$name:expr] [$($acc:tt)*] [$n:ident in $s:expr] $body:block) => {
+        $crate::__proptest_args!(@munch [$cfg] [$name] [$($acc)* ($n, $s)] [] $body)
+    };
+    (@munch [$cfg:expr] [$name:expr] [$($acc:tt)*] [$n:ident : $t:ty, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_args!(@munch [$cfg] [$name] [$($acc)* ($n, $crate::arbitrary::any::<$t>())] [$($rest)*] $body)
+    };
+    (@munch [$cfg:expr] [$name:expr] [$($acc:tt)*] [$n:ident : $t:ty] $body:block) => {
+        $crate::__proptest_args!(@munch [$cfg] [$name] [$($acc)* ($n, $crate::arbitrary::any::<$t>())] [] $body)
+    };
+    (@munch [$cfg:expr] [$name:expr] [$(($n:ident, $s:expr))*] [] $body:block) => {{
+        let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+        let mut __rng = $crate::test_runner::TestRng::from_name($name);
+        $(let $n = $s;)*
+        let mut __accepted: u32 = 0;
+        let mut __attempts: u32 = 0;
+        let __max_attempts = __cfg.cases.saturating_mul(16).saturating_add(256);
+        while __accepted < __cfg.cases && __attempts < __max_attempts {
+            __attempts += 1;
+            let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                $(let $n = $crate::strategy::Strategy::generate(&$n, &mut __rng);)*
+                #[allow(clippy::redundant_closure_call)]
+                (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })()
+            };
+            match __outcome {
+                ::core::result::Result::Ok(()) => __accepted += 1,
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                    panic!("proptest {} failed: {}", $name, __msg);
+                }
+            }
+        }
+        assert!(
+            __accepted > 0,
+            "proptest {}: every generated case was rejected by prop_assume!",
+            $name
+        );
+    }};
+}
+
+/// Defines a named strategy function from component strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident()($($args:tt)*) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::__prop_compose_args!(@munch [] [$($args)*] -> $ret $body)
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __prop_compose_args {
+    (@munch [$($acc:tt)*] [$n:ident in $s:expr, $($rest:tt)*] -> $ret:ty $body:block) => {
+        $crate::__prop_compose_args!(@munch [$($acc)* ($n, $s)] [$($rest)*] -> $ret $body)
+    };
+    (@munch [$($acc:tt)*] [$n:ident in $s:expr] -> $ret:ty $body:block) => {
+        $crate::__prop_compose_args!(@munch [$($acc)* ($n, $s)] [] -> $ret $body)
+    };
+    (@munch [$($acc:tt)*] [$n:ident : $t:ty, $($rest:tt)*] -> $ret:ty $body:block) => {
+        $crate::__prop_compose_args!(@munch [$($acc)* ($n, $crate::arbitrary::any::<$t>())] [$($rest)*] -> $ret $body)
+    };
+    (@munch [$($acc:tt)*] [$n:ident : $t:ty] -> $ret:ty $body:block) => {
+        $crate::__prop_compose_args!(@munch [$($acc)* ($n, $crate::arbitrary::any::<$t>())] [] -> $ret $body)
+    };
+    (@munch [$(($n:ident, $s:expr))*] [] -> $ret:ty $body:block) => {{
+        $(let $n = $s;)*
+        $crate::strategy::FnStrategy::new(move |__rng: &mut $crate::test_runner::TestRng| {
+            $(let $n = $crate::strategy::Strategy::generate(&$n, __rng);)*
+            $body
+        })
+    }};
+}
+
+/// Uniform choice among the listed strategies (boxed internally).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts inside a property test (no shrinking: plain panic on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..100, b: bool) -> (u32, bool) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(v in 5u64..10, w in 1u16..=3, (x, y) in (0usize..4, 0usize..4)) {
+            prop_assert!((5..10).contains(&v));
+            prop_assert!((1..=3).contains(&w));
+            prop_assert!(x < 4 && y < 4);
+        }
+
+        #[test]
+        fn composed_and_collections(
+            p in arb_pair(),
+            items in prop::collection::vec(any::<u8>(), 0..16),
+            opt in prop::option::weighted(0.5, 1u16..4),
+            choice in prop_oneof![Just(1u8), Just(2u8), (3u8..5).prop_map(|v| v)],
+        ) {
+            prop_assume!(p.0 != 99);
+            prop_assert!(p.0 < 100);
+            prop_assert!(items.len() < 16);
+            if let Some(o) = opt {
+                prop_assert!((1..4).contains(&o));
+            }
+            prop_assert!((1..5).contains(&choice));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = (0u64..1000).prop_flat_map(|n| (Just(n), 0u64..(n + 1)));
+        let mut r1 = crate::test_runner::TestRng::from_name("x");
+        let mut r2 = crate::test_runner::TestRng::from_name("x");
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

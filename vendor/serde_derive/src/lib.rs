@@ -1,0 +1,349 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are not
+//! available. Instead this crate walks the raw [`TokenStream`] by hand and
+//! emits the trait impls as source strings, which is entirely adequate for
+//! the non-generic structs and enums this workspace derives on.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (Value-tree serialization).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let ty = parse_type(input);
+    gen_serialize(&ty).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (Value-tree deserialization).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let ty = parse_type(input);
+    gen_deserialize(&ty).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+/// Field layout of a struct or of one enum variant.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Data {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+struct TypeDef {
+    name: String,
+    data: Data,
+}
+
+// --- parsing ----------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the offline stub");
+    }
+    let data = match kind.as_str() {
+        "struct" => Data::Struct(match toks.next() {
+            None => Shape::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+        }),
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    TypeDef { name, data }
+}
+
+/// Skips any number of `#[...]` attributes and an optional `pub`/`pub(...)`.
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next(); // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a brace-delimited named-field body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(name)) => {
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+                }
+                fields.push(name.to_string());
+                skip_type_until_comma(&mut toks);
+            }
+            Some(other) => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Consumes a type (plus optional default expression) up to a top-level `,`.
+/// Angle brackets are the only grouping that arrives as loose punctuation.
+fn skip_type_until_comma(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle = 0i32;
+    for t in toks.by_ref() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut count = 0usize;
+    let mut pending = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        pending = true;
+    }
+    count + usize::from(pending)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        skip_type_until_comma(&mut toks);
+        variants.push((name, shape));
+    }
+    variants
+}
+
+// --- codegen ----------------------------------------------------------------
+
+fn gen_serialize(ty: &TypeDef) -> String {
+    let name = &ty.name;
+    let body = match &ty.data {
+        Data::Struct(shape) => ser_struct_body(shape),
+        Data::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(vname, shape)| match shape {
+                    Shape::Unit => format!(
+                        "Self::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "Self::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            fields.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn ser_struct_body(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(ty: &TypeDef) -> String {
+    let name = &ty.name;
+    let body = match &ty.data {
+        Data::Struct(shape) => de_struct_body(shape),
+        Data::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(vname, _)| format!("\"{vname}\" => Ok(Self::{vname}),\n"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|(vname, shape)| match shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(1) => Some(format!(
+                        "\"{vname}\" => Ok(Self::{vname}(::serde::Deserialize::deserialize(__payload)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize(__payload.index({i})?)?")
+                            })
+                            .collect();
+                        Some(format!("\"{vname}\" => Ok(Self::{vname}({})),\n", items.join(", ")))
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize(__payload.field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{vname}\" => Ok(Self::{vname} {{ {} }}),\n",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::Error(format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err(::serde::Error(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::Error(format!(\"invalid value for enum {name}: {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn de_struct_body(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "Ok(Self)".to_string(),
+        Shape::Tuple(1) => "Ok(Self(::serde::Deserialize::deserialize(v)?))".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(v.index({i})?)?"))
+                .collect();
+            format!("Ok(Self({}))", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(v.field(\"{f}\")?)?"))
+                .collect();
+            format!("Ok(Self {{ {} }})", items.join(", "))
+        }
+    }
+}
