@@ -1,0 +1,199 @@
+//! The operator console (§4.4's monitoring surface).
+//!
+//! One handle, three views of a running network:
+//!
+//! * [`OperatorConsole::prometheus`] — the full metrics registry in
+//!   Prometheus text exposition, ready for a scrape endpoint;
+//! * [`OperatorConsole::render`] — a live health table (one row per probed
+//!   path, scores, RTT quantiles, churn count) plus counter *rates* since
+//!   the previous render;
+//! * [`OperatorConsole::snapshot_json`] — the raw snapshot as JSON, the
+//!   archival format the rate computation diffs against.
+//!
+//! Rates are computed by JSON-round-tripping the previous snapshot — the
+//! console diffs exactly what an external consumer would have archived, so
+//! the arithmetic is guaranteed to survive serialization.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sciera_telemetry::{counter_rates, prometheus_text, CounterRate, Telemetry, TelemetrySnapshot};
+use scion_orchestrator::health::HealthBoard;
+
+use crate::network::Inner;
+
+/// How many counter-rate lines a render shows at most.
+const MAX_RATE_LINES: usize = 12;
+
+/// A live operator view over one network's telemetry and health board.
+pub struct OperatorConsole {
+    telemetry: Telemetry,
+    health: Arc<Mutex<HealthBoard>>,
+    net: Arc<Mutex<Inner>>,
+    /// The previous render's snapshot (JSON round-tripped) and sim time.
+    last: Option<(u64, TelemetrySnapshot)>,
+}
+
+impl OperatorConsole {
+    pub(crate) fn new(
+        telemetry: Telemetry,
+        health: Arc<Mutex<HealthBoard>>,
+        net: Arc<Mutex<Inner>>,
+    ) -> Self {
+        OperatorConsole {
+            telemetry,
+            health,
+            net,
+            last: None,
+        }
+    }
+
+    /// Prometheus text exposition of the current metrics registry.
+    pub fn prometheus(&self) -> String {
+        prometheus_text(&self.telemetry.snapshot())
+    }
+
+    /// The current telemetry snapshot as JSON — the archival format that
+    /// [`render`](Self::render) diffs against for rates.
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string(&self.telemetry.snapshot()).unwrap_or_default()
+    }
+
+    /// Counter rates between two archived JSON snapshots taken `dt_secs`
+    /// apart (what an external dashboard would compute from two scrapes).
+    pub fn rates_between(prev_json: &str, cur_json: &str, dt_secs: f64) -> Vec<CounterRate> {
+        let Ok(prev) = serde_json::from_str::<TelemetrySnapshot>(prev_json) else {
+            return Vec::new();
+        };
+        let Ok(cur) = serde_json::from_str::<TelemetrySnapshot>(cur_json) else {
+            return Vec::new();
+        };
+        counter_rates(&prev, &cur, dt_secs)
+    }
+
+    /// Renders the live console: health table, churn count, and counter
+    /// rates since the previous `render` call (rates are omitted on the
+    /// first call — there is nothing to diff yet).
+    pub fn render(&mut self) -> String {
+        let now = self.net.lock().now_unix;
+        let snap = self.telemetry.snapshot();
+        let (rows, churn) = {
+            let board = self.health.lock();
+            (board.rows(), board.churn_events().len())
+        };
+
+        let mut out = String::new();
+        let _ = writeln!(out, "SCIERA operator console — t={now}");
+        let _ = writeln!(
+            out,
+            "{:<14} {:<14} {:<14} {:<5} {:>6} {:>5} {:>5} {:>9} {:>9}",
+            "src", "dst", "path", "state", "score", "sent", "lost", "p50ms", "p90ms"
+        );
+        if rows.is_empty() {
+            let _ = writeln!(out, "(no probed paths — register_probe_pair + probe_round)");
+        }
+        for r in &rows {
+            let fp: String = r.fingerprint.chars().take(14).collect();
+            let _ = writeln!(
+                out,
+                "{:<14} {:<14} {:<14} {:<5} {:>6.1} {:>5} {:>5} {:>9.3} {:>9.3}",
+                r.src.to_string(),
+                r.dst.to_string(),
+                fp,
+                if r.alive { "up" } else { "DOWN" },
+                r.score,
+                r.sent,
+                r.lost,
+                r.p50_ms,
+                r.p90_ms,
+            );
+        }
+        let _ = writeln!(out, "churn events: {churn}");
+
+        if let Some((t0, prev)) = &self.last {
+            let dt = now.saturating_sub(*t0) as f64;
+            let mut rates: Vec<CounterRate> = counter_rates(prev, &snap, dt)
+                .into_iter()
+                .filter(|r| r.delta > 0)
+                .collect();
+            rates.sort_by(|a, b| b.delta.cmp(&a.delta).then(a.name.cmp(&b.name)));
+            if rates.len() > MAX_RATE_LINES {
+                let hidden = rates.len() - MAX_RATE_LINES;
+                rates.truncate(MAX_RATE_LINES);
+                let _ = writeln!(
+                    out,
+                    "rates since last render ({dt}s, {hidden} more hidden):"
+                );
+            } else {
+                let _ = writeln!(out, "rates since last render ({dt}s):");
+            }
+            for r in &rates {
+                let _ = writeln!(
+                    out,
+                    "  {:<36} +{:<8} {:>10.3}/s",
+                    r.name, r.delta, r.per_sec
+                );
+            }
+        }
+
+        // Archive this snapshot the way a consumer would — through JSON.
+        let archived = serde_json::to_string(&snap)
+            .ok()
+            .and_then(|j| serde_json::from_str(&j).ok())
+            .unwrap_or(snap);
+        self.last = Some((now, archived));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::network::{NetworkConfig, SciEraNetwork};
+    use scion_proto::addr::ia;
+
+    #[test]
+    fn console_renders_health_table_and_rates() {
+        let net = SciEraNetwork::build(NetworkConfig::default());
+        let n = net.register_probe_pair(ia("71-225"), ia("71-88"));
+        assert!(n >= 1);
+        let mut console = net.console();
+
+        let first = console.render();
+        assert!(first.contains("no probed paths") || first.contains("71-225"));
+
+        net.probe_round();
+        net.advance_time(10);
+        net.probe_round();
+        let second = console.render();
+        assert!(second.contains("71-225"), "table row present:\n{second}");
+        assert!(second.contains("up"), "live path is up:\n{second}");
+        assert!(second.contains("churn events:"), "{second}");
+        assert!(
+            second.contains("prober.echo_sent"),
+            "echo counter moved between renders:\n{second}"
+        );
+
+        let prom = console.prometheus();
+        assert!(prom.contains("# TYPE sciera_prober_echo_sent counter"));
+        assert!(prom.contains("sciera_health_rtt_ms{quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn rates_between_json_snapshots() {
+        let net = SciEraNetwork::build(NetworkConfig::default());
+        net.register_probe_pair(ia("71-225"), ia("71-88"));
+        let console = net.console();
+        let before = console.snapshot_json();
+        net.probe_round();
+        let after = console.snapshot_json();
+        let rates = super::OperatorConsole::rates_between(&before, &after, 5.0);
+        let sent = rates
+            .iter()
+            .find(|r| r.name == "prober.echo_sent")
+            .expect("prober counter in diff");
+        assert!(sent.delta >= 1);
+        assert!(sent.per_sec > 0.0);
+    }
+}

@@ -13,7 +13,12 @@
 //! 5. bootstrap servers with signed topology documents (`scion-bootstrap`),
 //! 6. host attachment: [`HostHandle`]s whose [`SimTransport`] implements
 //!    `scion-pan`'s transport trait, so PAN sockets send real SCION
-//!    packets that real border routers MAC-verify hop by hop.
+//!    packets that real border routers MAC-verify hop by hop,
+//! 7. observability: every host-originated packet opens a causal trace
+//!    whose span chain advances at each border router, an SCMP echo prober
+//!    scores every registered path on a health board, and the
+//!    [`OperatorConsole`] renders it all (Prometheus exposition, live
+//!    health table, counter rates).
 //!
 //! Packets traverse [`SciEraNetwork::walk_packet`]: each AS's router
 //! verifies the current hop field, link state is honoured (cut links drop
@@ -25,8 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod console;
 pub mod evolution;
 pub mod network;
 
+pub use console::OperatorConsole;
 pub use evolution::RegionalSplit;
 pub use network::{HostHandle, NetError, NetworkConfig, SciEraNetwork, SimTransport};

@@ -5,9 +5,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use sciera_telemetry::Telemetry;
+use sciera_telemetry::{Event, Severity, Telemetry};
 use sciera_topology::ases::{all_ases, AsInfo};
-use sciera_topology::links::{build_control_graph, BuiltTopology};
+use sciera_topology::links::{build_control_graph, BuiltTopology, PER_AS_OVERHEAD_MS};
 use scion_bootstrap::server::{BootstrapServer, TopologyDocument};
 use scion_control::beacon::{BeaconConfig, BeaconEngine};
 use scion_control::combine::combine_paths_traced;
@@ -19,10 +19,18 @@ use scion_cppki::cert::{CertType, Certificate};
 use scion_cppki::trc::{Trc, TrcKeyEntry};
 use scion_daemon::trust::TrustStore;
 use scion_dataplane::router::{BorderRouter, Decision};
+use scion_orchestrator::health::{ChurnEvent, HealthBoard, HealthRow};
+use scion_orchestrator::prober::{
+    EchoOutcome, EchoTransport, PathProber, ProbeResult, ProberConfig,
+};
 use scion_orchestrator::renewal::{bootstrap_driver, RenewalDriver};
-use scion_proto::addr::{IsdAsn, IsdNumber, ScionAddr};
+use scion_proto::addr::{HostAddr, IsdAsn, IsdNumber, ScionAddr};
 use scion_proto::encap::UnderlayAddr;
-use scion_proto::packet::ScionPacket;
+use scion_proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
+use scion_proto::scmp::ScmpMessage;
+use scion_proto::trace::TraceContext;
+
+use crate::console::OperatorConsole;
 
 /// Errors from network operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,11 +90,11 @@ impl Default for NetworkConfig {
     }
 }
 
-struct Inner {
+pub(crate) struct Inner {
     topo: BuiltTopology,
     routers: BTreeMap<IsdAsn, BorderRouter>,
     link_down: Vec<bool>,
-    now_unix: u64,
+    pub(crate) now_unix: u64,
     /// Host inboxes keyed by (AS, host address bytes).
     inboxes: BTreeMap<ScionAddr, VecDeque<ScionPacket>>,
 }
@@ -109,6 +117,8 @@ pub struct SciEraNetwork {
     pub bootstrap_servers: BTreeMap<IsdAsn, BootstrapServer>,
     telemetry: Telemetry,
     inner: Arc<Mutex<Inner>>,
+    prober: Arc<Mutex<PathProber>>,
+    health: Arc<Mutex<HealthBoard>>,
 }
 
 impl SciEraNetwork {
@@ -252,6 +262,11 @@ impl SciEraNetwork {
             renewal,
             ca71: cas.remove(&71).expect("ISD 71 CA"),
             bootstrap_servers,
+            prober: Arc::new(Mutex::new(PathProber::new(
+                telemetry.clone(),
+                ProberConfig::default(),
+            ))),
+            health: Arc::new(Mutex::new(HealthBoard::new(telemetry.clone()))),
             telemetry,
             inner: Arc::new(Mutex::new(Inner {
                 topo,
@@ -349,6 +364,53 @@ impl SciEraNetwork {
         out
     }
 
+    /// Registers a (src, dst) pair with the path prober: every currently
+    /// known live path is snapshotted into the probe set. Returns how many
+    /// paths will be probed. The prober keeps probing paths that later die,
+    /// so outages are confirmed rather than silently dropped from view.
+    pub fn register_probe_pair(&self, src: IsdAsn, dst: IsdAsn) -> usize {
+        let paths = self.paths(src, dst);
+        let n = paths.len();
+        self.prober.lock().register(src, dst, paths);
+        n
+    }
+
+    /// Runs one SCMP echo campaign over every registered pair's path set,
+    /// feeding outcomes into the health board and closing the round (churn
+    /// detection happens exactly once per campaign).
+    pub fn probe_round(&self) -> Vec<ProbeResult> {
+        let now = self.now_unix();
+        let mut transport = NetEchoTransport { net: &self.inner };
+        let mut prober = self.prober.lock();
+        let mut board = self.health.lock();
+        prober.run_round(&mut transport, &mut board, now)
+    }
+
+    /// The operator console's health table, one row per probed path.
+    pub fn health_rows(&self) -> Vec<HealthRow> {
+        self.health.lock().rows()
+    }
+
+    /// Healthy-set churn events observed so far, oldest first.
+    pub fn churn_events(&self) -> Vec<ChurnEvent> {
+        self.health.lock().churn_events().to_vec()
+    }
+
+    /// Mean health score over all probed paths of a pair, if probed.
+    pub fn pair_score(&self, src: IsdAsn, dst: IsdAsn) -> Option<f64> {
+        self.health.lock().pair_score(src, dst)
+    }
+
+    /// An operator console bound to this network's telemetry and health
+    /// board: Prometheus exposition, counter rates, live health table.
+    pub fn console(&self) -> OperatorConsole {
+        OperatorConsole::new(
+            self.telemetry.clone(),
+            Arc::clone(&self.health),
+            Arc::clone(&self.inner),
+        )
+    }
+
     /// Attaches a host in `ia`, returning its handle.
     pub fn attach_host(&self, addr: ScionAddr) -> HostHandle {
         {
@@ -413,12 +475,19 @@ impl Inner {
         let mut pkt = packet;
         let mut route = vec![current];
         let mut latency = 0.0f64;
-        for _hop in 0..64 {
+        let base_ns = self.now_unix.saturating_mul(1_000_000_000);
+        for hop in 0..64u64 {
             let router = self
                 .routers
                 .get_mut(&current)
                 .ok_or_else(|| NetError::Unknown(format!("no router for {current}")))?;
-            match router.process(pkt, ingress, self.now_unix) {
+            // Simulated time at which this router takes custody: cumulative
+            // link latency plus one per-AS processing overhead per router
+            // crossed so far. Strictly monotone along the path, so per-hop
+            // latency attribution can be read off the flight recorder.
+            let sim_ns =
+                base_ns + ((latency + (hop + 1) as f64 * PER_AS_OVERHEAD_MS) * 1_000_000.0) as u64;
+            match router.process_at(pkt, ingress, self.now_unix, sim_ns) {
                 Ok(Decision::Deliver(p)) => {
                     let dst = p.dst;
                     self.inboxes.entry(dst).or_default().push_back(p.clone());
@@ -460,6 +529,110 @@ impl Inner {
         }
         Err(NetError::HopBudgetExceeded)
     }
+
+    /// Carries one SCMP echo over `path` and reports the verdict.
+    ///
+    /// The request walks the data plane to `dst`, the reply walks back over
+    /// the reversed path; both legs pay link latency plus per-AS processing
+    /// overhead, so the measured RTT matches the analytic
+    /// `path_rtt_ms` of the topology exactly. A dead link surfaces as the
+    /// SCMP `ExternalInterfaceDown` the on-path router queued to the
+    /// prober's inbox.
+    fn scmp_echo(
+        &mut self,
+        src: IsdAsn,
+        dst: IsdAsn,
+        path: &FullPath,
+        id: u16,
+        seq: u16,
+    ) -> EchoOutcome {
+        let Ok(dp) = path.to_dataplane() else {
+            return EchoOutcome::Lost;
+        };
+        // Dedicated prober host addresses keep echo traffic out of real
+        // host inboxes.
+        let src_addr = ScionAddr::new(src, HostAddr::v4(10, 255, 255, 1));
+        let dst_addr = ScionAddr::new(dst, HostAddr::v4(10, 255, 255, 2));
+        let request = ScionPacket::new(
+            src_addr,
+            dst_addr,
+            L4Protocol::Scmp,
+            DataPlanePath::Scion(dp),
+            ScmpMessage::EchoRequest {
+                id,
+                seq,
+                data: vec![],
+            }
+            .encode(),
+        );
+        let fwd = match self.walk(request) {
+            Ok(d) => d,
+            Err(NetError::LinkDown { at, ifid }) => {
+                // The on-path router notified the source; consume and decode
+                // the queued SCMP so the correlation uses the wire message.
+                if let Some(scmp) = self.inboxes.get_mut(&src_addr).and_then(|q| q.pop_back()) {
+                    if let Ok(ScmpMessage::ExternalInterfaceDown { ia, interface }) =
+                        ScmpMessage::decode(&scmp.payload)
+                    {
+                        return EchoOutcome::ExtIfDown { ia, interface };
+                    }
+                }
+                return EchoOutcome::ExtIfDown {
+                    ia: at,
+                    interface: ifid as u64,
+                };
+            }
+            Err(_) => return EchoOutcome::Lost,
+        };
+        // The delivered request is ours; take it back out of the inbox.
+        if let Some(q) = self.inboxes.get_mut(&fwd.packet.dst) {
+            q.pop_back();
+        }
+        let Some((rsrc, rdst, rpath)) = fwd.packet.reply_template() else {
+            return EchoOutcome::Lost;
+        };
+        let reply = ScionPacket::new(
+            rsrc,
+            rdst,
+            L4Protocol::Scmp,
+            rpath,
+            ScmpMessage::EchoReply {
+                id,
+                seq,
+                data: vec![],
+            }
+            .encode(),
+        );
+        let back = match self.walk(reply) {
+            Ok(d) => d,
+            Err(_) => return EchoOutcome::Lost,
+        };
+        if let Some(q) = self.inboxes.get_mut(&back.packet.dst) {
+            q.pop_back();
+        }
+        let rtt_ms = fwd.latency_ms
+            + back.latency_ms
+            + (fwd.route.len() + back.route.len()) as f64 * PER_AS_OVERHEAD_MS;
+        EchoOutcome::Reply { rtt_ms }
+    }
+}
+
+/// [`EchoTransport`] over the simulated data plane.
+struct NetEchoTransport<'a> {
+    net: &'a Mutex<Inner>,
+}
+
+impl EchoTransport for NetEchoTransport<'_> {
+    fn echo(
+        &mut self,
+        src: IsdAsn,
+        dst: IsdAsn,
+        path: &FullPath,
+        id: u16,
+        seq: u16,
+    ) -> EchoOutcome {
+        self.net.lock().scmp_echo(src, dst, path, id, seq)
+    }
 }
 
 /// A host attached to the network.
@@ -492,8 +665,28 @@ pub struct SimTransport {
 }
 
 impl scion_pan::socket::PanTransport for SimTransport {
-    fn send_packet(&mut self, packet: ScionPacket) {
+    fn send_packet(&mut self, mut packet: ScionPacket) {
         let mut inner = self.net.lock();
+        // Every packet leaving a host opens a causal trace: the host is the
+        // root span, each border router along the walk derives a child.
+        if packet.trace.is_none() && self.telemetry.enabled(Severity::Trace) {
+            let ctx = TraceContext::root(self.telemetry.next_trace_id());
+            packet.trace = Some(ctx);
+            self.telemetry.emit(
+                Event::new(
+                    inner.now_unix.saturating_mul(1_000_000_000),
+                    self.local.ia.to_string(),
+                    "host",
+                    Severity::Trace,
+                    "pkt.send",
+                )
+                .field("trace_id", ctx.trace_id)
+                .field("span_id", ctx.span_id)
+                .field("parent_span_id", ctx.parent_span_id)
+                .field("hop", ctx.hop)
+                .field("dst", packet.dst.ia),
+            );
+        }
         // Delivery failures surface as SCMP to the sender's inbox (link
         // down) or silent drops (bad MAC etc.) — like a real network.
         let _ = inner.walk(packet);

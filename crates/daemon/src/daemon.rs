@@ -213,6 +213,33 @@ impl<P: PathProvider> Daemon<P> {
         removed
     }
 
+    /// Reacts to an incoming SCMP error message: connectivity-down
+    /// notifications invalidate every cached path over the dead interface,
+    /// everything else (echo, traceroute) is not the daemon's business.
+    /// Returns how many cached paths were dropped.
+    pub fn handle_scmp(&self, msg: &scion_proto::scmp::ScmpMessage) -> usize {
+        use scion_proto::scmp::ScmpMessage;
+        match msg {
+            ScmpMessage::ExternalInterfaceDown { ia, interface } => u16::try_from(*interface)
+                .map(|ifid| self.invalidate_interface(*ia, ifid))
+                .unwrap_or(0),
+            ScmpMessage::InternalConnectivityDown {
+                ia,
+                ingress,
+                egress,
+            } => {
+                let mut removed = 0;
+                for ifid in [ingress, egress] {
+                    if let Ok(ifid) = u16::try_from(*ifid) {
+                        removed += self.invalidate_interface(*ia, ifid);
+                    }
+                }
+                removed
+            }
+            _ => 0,
+        }
+    }
+
     /// Cache statistics snapshot.
     pub fn stats(&self) -> CacheStats {
         *self.stats.lock()
@@ -361,5 +388,56 @@ mod tests {
         assert_eq!(removed, 1);
         let removed_again = d.invalidate_interface(ia("71-1"), 2);
         assert_eq!(removed_again, 0);
+    }
+
+    #[test]
+    fn handle_scmp_invalidates_on_connectivity_down() {
+        use scion_proto::scmp::ScmpMessage;
+        let p = CountingProvider {
+            calls: AtomicU64::new(0),
+        };
+        let d = Daemon::new(
+            ia("71-100"),
+            UnderlayAddr::new([10, 0, 0, 2], 30252),
+            &p,
+            DaemonConfig::default(),
+        );
+        d.paths(ia("71-200"), 0);
+        // Echoes are not the daemon's business.
+        assert_eq!(
+            d.handle_scmp(&ScmpMessage::EchoReply {
+                id: 1,
+                seq: 1,
+                data: vec![]
+            }),
+            0
+        );
+        // The mid hop (71-1 ingress 2) dies: the cached path goes with it.
+        assert_eq!(
+            d.handle_scmp(&ScmpMessage::ExternalInterfaceDown {
+                ia: ia("71-1"),
+                interface: 2
+            }),
+            1
+        );
+        // Re-prime, then kill via internal-connectivity-down on the egress.
+        d.flush_cache();
+        d.paths(ia("71-200"), 1);
+        assert_eq!(
+            d.handle_scmp(&ScmpMessage::InternalConnectivityDown {
+                ia: ia("71-1"),
+                ingress: 9,
+                egress: 3
+            }),
+            1
+        );
+        // An interface id beyond u16 can never match a simulated hop.
+        assert_eq!(
+            d.handle_scmp(&ScmpMessage::ExternalInterfaceDown {
+                ia: ia("71-1"),
+                interface: u64::from(u16::MAX) + 10
+            }),
+            0
+        );
     }
 }

@@ -21,7 +21,7 @@ use std::thread;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use sciera_telemetry::{Counter, Telemetry};
+use sciera_telemetry::{Counter, Event, Severity, Telemetry};
 
 use scion_proto::encap::DISPATCHER_PORT;
 use scion_proto::packet::{L4Protocol, ScionPacket};
@@ -42,6 +42,7 @@ pub struct Dispatcher {
     pub no_listener: Mutex<u64>,
     lookups: Counter,
     misses: Counter,
+    telemetry: Telemetry,
 }
 
 impl Default for Dispatcher {
@@ -60,6 +61,7 @@ impl Dispatcher {
             no_listener: Mutex::new(0),
             lookups: telemetry.counter("dispatcher.lookups"),
             misses: telemetry.counter("dispatcher.misses"),
+            telemetry,
         }
     }
 
@@ -67,6 +69,7 @@ impl Dispatcher {
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.lookups = telemetry.counter("dispatcher.lookups");
         self.misses = telemetry.counter("dispatcher.misses");
+        self.telemetry = telemetry;
     }
 
     /// The single underlay port the dispatcher binds.
@@ -88,6 +91,25 @@ impl Dispatcher {
     /// Removes a registration.
     pub fn unregister(&self, port: u16) {
         self.table.lock().retain(|(p, _)| *p != port);
+    }
+
+    /// [`Dispatcher::dispatch`] with a simulation timestamp: a traced packet
+    /// gets a final `pkt.dispatch` span attributed to the dispatcher — the
+    /// last custody change before the application — so per-hop attribution
+    /// covers the legacy host stack too.
+    pub fn dispatch_at(&self, packet: &ScionPacket, node: &str, sim_ns: u64) -> Option<AppId> {
+        if let Some(ctx) = packet.trace.map(|c| c.child()) {
+            if self.telemetry.enabled(Severity::Trace) {
+                self.telemetry.emit(
+                    Event::new(sim_ns, node, "dispatcher", Severity::Trace, "pkt.dispatch")
+                        .field("trace_id", ctx.trace_id)
+                        .field("span_id", ctx.span_id)
+                        .field("parent_span_id", ctx.parent_span_id)
+                        .field("hop", ctx.hop),
+                );
+            }
+        }
+        self.dispatch(packet)
     }
 
     /// Demultiplexes one SCION packet to an application by UDP destination
@@ -264,6 +286,27 @@ mod tests {
             msg.encode(),
         );
         assert_eq!(d.dispatch(&pkt), Some(AppId(9)));
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn dispatch_at_emits_trace_span_for_traced_packets() {
+        let tele = Telemetry::with_severity(Severity::Trace);
+        let mut d = Dispatcher::new();
+        d.set_telemetry(tele.clone());
+        d.register(8080, AppId(1)).unwrap();
+        let mut pkt = udp_packet(8080);
+        pkt.trace = Some(scion_proto::trace::TraceContext::root(3));
+        assert_eq!(d.dispatch_at(&pkt, "host-b", 50), Some(AppId(1)));
+        // Untraced packets dispatch silently.
+        assert_eq!(
+            d.dispatch_at(&udp_packet(8080), "host-b", 60),
+            Some(AppId(1))
+        );
+        let events = tele.flight_recorder().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].message, "pkt.dispatch");
+        assert!(events[0].fields.iter().any(|(k, v)| k == "hop" && v == "1"));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use scion_proto::addr::IsdAsn;
 use scion_proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
 use scion_proto::path::ScionPath;
 use scion_proto::scmp::ScmpMessage;
+use scion_proto::trace::TraceContext;
 
 /// Why a packet was dropped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,14 +134,33 @@ impl BorderRouter {
     }
 
     /// Processes a packet arriving on `ingress_ifid` (0 = from a host or
-    /// service inside this AS) at Unix time `now`.
+    /// service inside this AS) at Unix time `now`. Hop events are stamped
+    /// at `now` on the simulation clock; use [`BorderRouter::process_at`]
+    /// when a finer per-hop timestamp is known.
     pub fn process(
+        &mut self,
+        packet: ScionPacket,
+        ingress_ifid: u16,
+        now: u64,
+    ) -> Result<Decision, DropReason> {
+        self.process_at(packet, ingress_ifid, now, now.saturating_mul(1_000_000_000))
+    }
+
+    /// [`BorderRouter::process`] with an explicit simulation timestamp
+    /// (nanoseconds) for the emitted hop/drop events. If the packet carries
+    /// a trace context the router takes custody of it — advancing the span
+    /// chain — before deciding the packet's fate, so forwarded, delivered
+    /// *and* dropped packets all attribute to this hop.
+    pub fn process_at(
         &mut self,
         mut packet: ScionPacket,
         ingress_ifid: u16,
         now: u64,
+        sim_ns: u64,
     ) -> Result<Decision, DropReason> {
         self.processed += 1;
+        let trace = packet.trace.map(|ctx| ctx.child());
+        packet.trace = trace;
         let result = match &mut packet.path {
             DataPlanePath::Empty => {
                 // AS-local packet: deliverable iff we are the destination AS.
@@ -158,38 +178,78 @@ impl BorderRouter {
         match result {
             Ok(Some(ifid)) => {
                 self.metrics.forwarded.inc();
+                self.emit_hop(trace.as_ref(), "pkt.hop", ingress_ifid, ifid, sim_ns);
                 Ok(Decision::Forward { ifid, packet })
             }
             Ok(None) => {
                 if packet.dst.ia != self.ia {
                     self.dropped += 1;
-                    self.on_drop(&DropReason::WrongDestination, now);
+                    self.on_drop(&DropReason::WrongDestination, trace.as_ref(), sim_ns);
                     return Err(DropReason::WrongDestination);
                 }
                 self.metrics.delivered.inc();
+                self.emit_hop(trace.as_ref(), "pkt.deliver", ingress_ifid, 0, sim_ns);
                 Ok(Decision::Deliver(packet))
             }
             Err(e) => {
                 self.dropped += 1;
-                self.on_drop(&e, now);
+                self.on_drop(&e, trace.as_ref(), sim_ns);
                 Err(e)
             }
         }
     }
 
-    fn on_drop(&self, reason: &DropReason, now: u64) {
+    /// Emits the per-hop trace event carrying the span chain. Only packets
+    /// that carry a trace context produce events, so untraced traffic pays
+    /// nothing beyond the `Option` check.
+    fn emit_hop(
+        &self,
+        trace: Option<&TraceContext>,
+        message: &str,
+        ingress: u16,
+        egress: u16,
+        sim_ns: u64,
+    ) {
+        let Some(ctx) = trace else { return };
+        if !self.metrics.telemetry.enabled(Severity::Trace) {
+            return;
+        }
+        self.metrics.telemetry.emit(
+            Event::new(
+                sim_ns,
+                self.ia.to_string(),
+                "router",
+                Severity::Trace,
+                message,
+            )
+            .field("trace_id", ctx.trace_id)
+            .field("span_id", ctx.span_id)
+            .field("parent_span_id", ctx.parent_span_id)
+            .field("hop", ctx.hop)
+            .field("ingress", ingress)
+            .field("egress", egress),
+        );
+    }
+
+    fn on_drop(&self, reason: &DropReason, trace: Option<&TraceContext>, sim_ns: u64) {
         self.metrics.drop_counter(reason).inc();
         if self.metrics.telemetry.enabled(Severity::Warn) {
-            self.metrics.telemetry.emit(
-                Event::new(
-                    now.saturating_mul(1_000_000_000),
-                    self.ia.to_string(),
-                    "router",
-                    Severity::Warn,
-                    "packet dropped",
-                )
-                .field("reason", format!("{reason:?}")),
-            );
+            let mut event = Event::new(
+                sim_ns,
+                self.ia.to_string(),
+                "router",
+                Severity::Warn,
+                "packet dropped",
+            )
+            .field("reason", format!("{reason:?}"));
+            if let Some(ctx) = trace {
+                event = event
+                    .field("trace_id", ctx.trace_id)
+                    .field("span_id", ctx.span_id)
+                    .field("parent_span_id", ctx.parent_span_id)
+                    .field("hop", ctx.hop);
+            }
+            self.metrics.telemetry.emit(event);
         }
     }
 
@@ -546,6 +606,83 @@ mod tests {
             &[31, 25, 0],
         );
         assert_eq!(delivered.payload, b"payload");
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn trace_context_advances_and_emits_chain() {
+        use sciera_telemetry::{reconstruct_trace, validate_chain, Telemetry};
+
+        let tele = Telemetry::with_severity(Severity::Trace);
+        let dp = full_transit_path().to_dataplane().unwrap();
+        let mut pkt = packet_with(dp);
+        let root = TraceContext::root(77);
+        pkt.trace = Some(root);
+        // The sending host's root span, as `core` emits it.
+        tele.emit(
+            Event::new(5, "host", "transport", Severity::Trace, "pkt.send")
+                .field("trace_id", root.trace_id)
+                .field("span_id", root.span_id)
+                .field("parent_span_id", root.parent_span_id)
+                .field("hop", root.hop),
+        );
+        let stations: [(&str, u16); 6] = [
+            ("71-100", 0),
+            ("71-10", 22),
+            ("71-1", 11),
+            ("71-2", 41),
+            ("71-20", 23),
+            ("71-200", 33),
+        ];
+        let mut cur = pkt;
+        for (i, (as_str, ingress)) in stations.iter().enumerate() {
+            let mut r = router(as_str);
+            r.set_telemetry(tele.clone());
+            match r.process_at(cur, *ingress, NOW, 10 + 10 * i as u64) {
+                Ok(Decision::Forward { packet, .. }) => cur = packet,
+                Ok(Decision::Deliver(p)) => cur = p,
+                Err(e) => panic!("station {as_str} dropped: {e:?}"),
+            }
+        }
+        assert_eq!(cur.trace.unwrap().hop, 6, "one span per router");
+        let events = tele.flight_recorder().events();
+        let chain = reconstruct_trace(&events, 77);
+        assert_eq!(chain.len(), 7, "root + six router hops");
+        validate_chain(&chain).unwrap();
+        assert_eq!(chain.last().unwrap().message, "pkt.deliver");
+        // The chain is exactly the deterministic child() derivation.
+        let mut expect = root;
+        for hop in &chain[1..] {
+            expect = expect.child();
+            assert_eq!(hop.span_id, expect.span_id);
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn dropped_traced_packet_attributes_the_hop() {
+        use sciera_telemetry::Telemetry;
+
+        let tele = Telemetry::with_severity(Severity::Trace);
+        let dp = full_transit_path().to_dataplane().unwrap();
+        let mut pkt = packet_with(dp);
+        pkt.trace = Some(TraceContext::root(88));
+        if let DataPlanePath::Scion(p) = &mut pkt.path {
+            p.hops[0].mac[3] ^= 1;
+        }
+        let mut r = router("71-100");
+        r.set_telemetry(tele.clone());
+        assert_eq!(r.process(pkt, 0, NOW), Err(DropReason::BadMac));
+        let events = tele.flight_recorder().events();
+        let drop = events
+            .iter()
+            .find(|e| e.message == "packet dropped")
+            .unwrap();
+        assert!(drop
+            .fields
+            .iter()
+            .any(|(k, v)| k == "trace_id" && v == "88"));
+        assert!(drop.fields.iter().any(|(k, v)| k == "hop" && v == "1"));
     }
 
     #[test]

@@ -380,6 +380,13 @@ impl Campaign {
         let mut ip_pings = 0u64;
         let mut excluded_rounds = 0u64;
 
+        // Per-sample RTT and loss also land in the shared telemetry
+        // registry, so the operator console sees the campaign live (the
+        // local `Histogram`s above remain the figure-grade store).
+        let tele_scion_rtt = self.telemetry.histogram("campaign.scion_rtt_ms");
+        let tele_ip_rtt = self.telemetry.histogram("campaign.ip_rtt_ms");
+        let tele_lost = self.telemetry.counter("campaign.scion_ping_failures");
+
         let rounds = total_secs / cfg.round_secs;
         let mut down = vec![false; n_links];
         for round in 0..rounds {
@@ -473,6 +480,7 @@ impl Campaign {
                 }
                 if let Some(rtt) = best_rtt {
                     scion_hist.record(rtt);
+                    tele_scion_rtt.record(rtt);
                     pair.scion_sum += rtt;
                     pair.scion_n += 1;
                     let d = &mut pair.daily[day_idx];
@@ -480,6 +488,7 @@ impl Campaign {
                     d.1 += 1;
                 } else {
                     pair.scion_failures += 1;
+                    tele_lost.inc();
                 }
 
                 // ICMP over the BGP baseline: commercial transit carries
@@ -493,6 +502,7 @@ impl Campaign {
                     };
                     let rtt = base * congestion + 0.2;
                     ip_hist.record(rtt);
+                    tele_ip_rtt.record(rtt);
                     ip_pings += 1;
                     pair.ip_sum += rtt;
                     pair.ip_n += 1;
@@ -641,5 +651,26 @@ mod tests {
         let b = quick_store();
         assert_eq!(a.scion_pings, b.scion_pings);
         assert_eq!(a.scion_hist.quantile(0.5), b.scion_hist.quantile(0.5));
+    }
+
+    #[test]
+    fn run_feeds_shared_telemetry_registry() {
+        let tele = sciera_telemetry::Telemetry::quiet();
+        let mut campaign = Campaign::new(CampaignConfig::quick());
+        campaign.set_telemetry(tele.clone());
+        let store = campaign.run();
+        let snap = tele.snapshot();
+        let rtt = snap
+            .histogram("campaign.scion_rtt_ms")
+            .expect("per-sample RTT histogram registered");
+        assert_eq!(
+            rtt.count,
+            store.scion_hist.count(),
+            "every figure-grade sample also lands in telemetry"
+        );
+        let ip = snap.histogram("campaign.ip_rtt_ms").unwrap();
+        assert_eq!(ip.count, store.ip_pings);
+        // The failure counter exists even when nothing was lost.
+        assert!(snap.counter("campaign.scion_ping_failures").is_some());
     }
 }

@@ -16,16 +16,25 @@
 //! * [`effort`] — the deployment-effort model behind Fig. 3: base effort
 //!   per connection type, coordination overhead per involved party,
 //!   discounted by accumulated experience and by orchestrator automation.
+//! * [`prober`] — the SCMP echo probing engine: periodic per-path echo
+//!   campaigns recording RTT/loss per path and per interface.
+//! * [`health`] — path-health aggregation: rolling RTT quantiles, loss and
+//!   liveness per (src, dst, path), with churn events when the healthy
+//!   path set changes (Fig. 8's signal).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod effort;
+pub mod health;
 pub mod monitor;
+pub mod prober;
 pub mod renewal;
 pub mod setup;
 
 pub use effort::{EffortModel, OnboardingEvent};
+pub use health::{ChurnEvent, HealthBoard, HealthRow, PathHealth};
 pub use monitor::{AlertSink, ConnectivityMonitor};
+pub use prober::{EchoOutcome, EchoTransport, PathProber, ProbeResult, ProberConfig};
 pub use renewal::RenewalDriver;
 pub use setup::{AsDeclaration, SetupPlan};

@@ -18,6 +18,8 @@
 //! * [`scmp`] — the SCION Control Message Protocol: echo (used by the
 //!   measurement campaign of §5.4), external-interface-down and
 //!   destination-unreachable notifications.
+//! * [`trace`] — the causal trace context: a hop-by-hop extension carrying
+//!   a trace id and span chain that border routers advance per hop.
 //! * [`udp`] — UDP/SCION, the transport the PAN socket API exposes.
 //! * [`encap`] — the IP-UDP "Layer 2.5" underlay encapsulation (§4.3.1)
 //!   that lets SCION packets traverse unmodified intra-AS IP networks.
@@ -30,11 +32,13 @@ pub mod encap;
 pub mod packet;
 pub mod path;
 pub mod scmp;
+pub mod trace;
 pub mod udp;
 
 pub use addr::{Asn, HostAddr, IsdAsn, IsdNumber};
 pub use packet::ScionPacket;
 pub use path::{HopField, InfoField, PathMeta, ScionPath};
+pub use trace::TraceContext;
 
 /// Errors produced while parsing or building wire formats.
 #[derive(Debug, Clone, PartialEq, Eq)]

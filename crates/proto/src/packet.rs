@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::addr::{HostAddr, IsdAsn, ScionAddr};
 use crate::path::ScionPath;
+use crate::trace::{TraceContext, HBH_EXT_PROTOCOL, TRACE_EXT_LEN};
 use crate::ProtoError;
 
 /// SCION header version implemented here.
@@ -186,6 +187,9 @@ pub struct ScionPacket {
     pub path: DataPlanePath,
     /// L4 payload (e.g. a serialised UDP/SCION or SCMP message).
     pub payload: Vec<u8>,
+    /// Causal trace context, carried as a hop-by-hop extension when set.
+    /// Outside the hop-field MACs, so stamping never invalidates a path.
+    pub trace: Option<TraceContext>,
 }
 
 impl ScionPacket {
@@ -205,6 +209,7 @@ impl ScionPacket {
             src,
             path,
             payload,
+            trace: None,
         }
     }
 
@@ -233,21 +238,39 @@ impl ScionPacket {
                 detail: format!("header length {hdr_len} exceeds 1020 bytes"),
             });
         }
-        if self.payload.len() > u16::MAX as usize {
+        // The trace extension rides in the payload region (after the path
+        // header, before L4), so `payload_len` covers it.
+        let ext_len = if self.trace.is_some() {
+            TRACE_EXT_LEN
+        } else {
+            0
+        };
+        if self.payload.len() + ext_len > u16::MAX as usize {
             return Err(ProtoError::InvalidField {
                 field: "payload_len",
                 detail: format!("payload of {} bytes exceeds 65535", self.payload.len()),
             });
         }
-        let mut out = Vec::with_capacity(hdr_len + self.payload.len());
+        if self.trace.is_some() && self.next_hdr.to_u8() == HBH_EXT_PROTOCOL {
+            return Err(ProtoError::InvalidField {
+                field: "next_hdr",
+                detail: "cannot nest a hop-by-hop extension inside itself".into(),
+            });
+        }
+        let mut out = Vec::with_capacity(hdr_len + ext_len + self.payload.len());
 
-        // Common header.
+        // Common header. A present trace context wraps the L4 protocol in
+        // the hop-by-hop extension number.
         let w0: u32 =
             ((VERSION as u32) << 28) | ((self.qos as u32) << 20) | (self.flow_id & 0xf_ffff);
         out.extend_from_slice(&w0.to_be_bytes());
-        out.push(self.next_hdr.to_u8());
+        out.push(if self.trace.is_some() {
+            HBH_EXT_PROTOCOL
+        } else {
+            self.next_hdr.to_u8()
+        });
         out.push((hdr_len / 4) as u8);
-        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&((self.payload.len() + ext_len) as u16).to_be_bytes());
         out.push(self.path.path_type().to_u8());
         let (dt, dl) = self.dst.host.type_len_nibbles();
         let (st, sl) = self.src.host.type_len_nibbles();
@@ -264,6 +287,9 @@ impl ScionPacket {
         self.path.write(&mut out);
         debug_assert_eq!(out.len(), hdr_len);
 
+        if let Some(ctx) = &self.trace {
+            out.extend_from_slice(&ctx.encode_ext(self.next_hdr.to_u8()));
+        }
         out.extend_from_slice(&self.payload);
         Ok(out)
     }
@@ -316,6 +342,16 @@ impl ScionPacket {
             });
         }
 
+        // Unwrap a hop-by-hop trace extension from the payload region.
+        let mut l4 = &buf[hdr_len..hdr_len + payload_len];
+        let (trace, next_hdr) = if next_hdr.to_u8() == HBH_EXT_PROTOCOL {
+            let (ctx, real) = TraceContext::decode_ext(l4)?;
+            l4 = &l4[TRACE_EXT_LEN..];
+            (Some(ctx), L4Protocol::from_u8(real))
+        } else {
+            (None, next_hdr)
+        };
+
         Ok(ScionPacket {
             qos,
             flow_id,
@@ -323,7 +359,8 @@ impl ScionPacket {
             dst: ScionAddr::new(dst_ia, dst_host),
             src: ScionAddr::new(src_ia, src_host),
             path,
-            payload: buf[hdr_len..hdr_len + payload_len].to_vec(),
+            payload: l4.to_vec(),
+            trace,
         })
     }
 
@@ -468,6 +505,35 @@ mod tests {
             }
             _ => panic!("wrong path variant"),
         }
+    }
+
+    #[test]
+    fn traced_packet_roundtrip() {
+        let mut p = sample_packet();
+        p.trace = Some(crate::trace::TraceContext::root(0x5c1e_7a00).child());
+        let wire = p.encode().unwrap();
+        let back = ScionPacket::decode(&wire).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.next_hdr, L4Protocol::Udp, "L4 protocol survives");
+        assert_eq!(back.payload, p.payload, "extension stripped from payload");
+    }
+
+    #[test]
+    fn trace_extension_declares_hbh_protocol_on_wire() {
+        let mut p = sample_packet();
+        p.trace = Some(crate::trace::TraceContext::root(9));
+        let wire = p.encode().unwrap();
+        assert_eq!(wire[4], crate::trace::HBH_EXT_PROTOCOL);
+        // Untraced packets keep the plain L4 number.
+        assert_eq!(sample_packet().encode().unwrap()[4], 17);
+    }
+
+    #[test]
+    fn nested_hbh_rejected() {
+        let mut p = sample_packet();
+        p.next_hdr = L4Protocol::Other(crate::trace::HBH_EXT_PROTOCOL);
+        p.trace = Some(crate::trace::TraceContext::root(1));
+        assert!(p.encode().is_err());
     }
 
     #[test]

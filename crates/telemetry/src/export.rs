@@ -1,0 +1,150 @@
+//! Operator-facing exposition formats.
+//!
+//! Two complementary views of a [`TelemetrySnapshot`]:
+//!
+//! * [`prometheus_text`] — the Prometheus text exposition format (§4.4 of
+//!   the paper runs a Prometheus/Grafana stack against the production
+//!   gateways); histograms export as summaries with `quantile` labels.
+//! * [`counter_rates`] — snapshot *diffing*: two JSON-serializable
+//!   snapshots taken `dt` apart yield per-second rates, which is how the
+//!   operator console turns monotonic counters into live throughput.
+
+use crate::snapshot::TelemetrySnapshot;
+
+/// Maps a dotted metric name (`router.drop.bad_mac`) to a Prometheus metric
+/// name (`sciera_router_drop_bad_mac`): every character outside
+/// `[a-zA-Z0-9_:]` becomes `_`, and a `sciera_` namespace prefix is added.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("sciera_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the snapshot in the Prometheus text exposition format (version
+/// 0.0.4): `# TYPE` lines followed by samples, histograms as summaries.
+pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let p = prometheus_name(name);
+        out.push_str(&format!("# TYPE {p} counter\n{p} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let p = prometheus_name(name);
+        out.push_str(&format!("# TYPE {p} gauge\n{p} {value}\n"));
+    }
+    for h in &snap.histograms {
+        let p = prometheus_name(&h.name);
+        out.push_str(&format!("# TYPE {p} summary\n"));
+        for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
+            out.push_str(&format!("{p}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        out.push_str(&format!("{p}_sum {}\n{p}_count {}\n", h.sum, h.count));
+    }
+    let rec = prometheus_name("telemetry.events_recorded");
+    let drop = prometheus_name("telemetry.events_dropped");
+    out.push_str(&format!(
+        "# TYPE {rec} counter\n{rec} {}\n",
+        snap.events_recorded
+    ));
+    out.push_str(&format!(
+        "# TYPE {drop} counter\n{drop} {}\n",
+        snap.events_dropped
+    ));
+    out
+}
+
+/// One counter's per-second rate between two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterRate {
+    /// Counter name.
+    pub name: String,
+    /// Absolute increase between the snapshots.
+    pub delta: u64,
+    /// Per-second rate (`delta / dt_secs`).
+    pub per_sec: f64,
+}
+
+/// Diffs two snapshots (typically deserialized from persisted JSON) taken
+/// `dt_secs` apart, returning per-second rates for every counter present in
+/// `cur`. Counters absent from `prev` rate from zero; counters that went
+/// backwards (a restarted node) clamp to zero rather than going negative.
+pub fn counter_rates(
+    prev: &TelemetrySnapshot,
+    cur: &TelemetrySnapshot,
+    dt_secs: f64,
+) -> Vec<CounterRate> {
+    cur.counters
+        .iter()
+        .map(|(name, now)| {
+            let before = prev.counter(name).unwrap_or(0);
+            let delta = now.saturating_sub(before);
+            CounterRate {
+                name: name.clone(),
+                delta,
+                per_sec: if dt_secs > 0.0 {
+                    delta as f64 / dt_secs
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn snap_with(counters: &[(&str, u64)]) -> TelemetrySnapshot {
+        let reg = MetricsRegistry::new();
+        for (name, v) in counters {
+            reg.counter(name).add(*v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn names_sanitize() {
+        assert_eq!(
+            prometheus_name("router.drop.bad_mac"),
+            "sciera_router_drop_bad_mac"
+        );
+        assert_eq!(prometheus_name("a b-c"), "sciera_a_b_c");
+    }
+
+    #[test]
+    fn exposition_covers_all_metric_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("pkts.fwd").add(7);
+        reg.gauge("queue.hwm").set(3);
+        reg.histogram("rtt.ms").record(12.0);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE sciera_pkts_fwd counter\nsciera_pkts_fwd 7\n"));
+        assert!(text.contains("# TYPE sciera_queue_hwm gauge\nsciera_queue_hwm 3\n"));
+        assert!(text.contains("# TYPE sciera_rtt_ms summary\n"));
+        assert!(text.contains("sciera_rtt_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("sciera_rtt_ms_count 1\n"));
+        assert!(text.contains("sciera_telemetry_events_recorded 0\n"));
+    }
+
+    #[test]
+    fn rates_diff_and_clamp() {
+        let prev = snap_with(&[("a", 10), ("shrunk", 100)]);
+        let cur = snap_with(&[("a", 30), ("new", 5), ("shrunk", 40)]);
+        let rates = counter_rates(&prev, &cur, 10.0);
+        let get = |n: &str| rates.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(get("a").delta, 20);
+        assert!((get("a").per_sec - 2.0).abs() < 1e-12);
+        assert_eq!(get("new").delta, 5);
+        assert_eq!(get("shrunk").delta, 0, "restart clamps to zero");
+        assert_eq!(counter_rates(&prev, &cur, 0.0)[0].per_sec, 0.0);
+    }
+}

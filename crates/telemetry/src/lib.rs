@@ -20,16 +20,20 @@
 //! components, while events carry per-node identity.
 
 mod event;
+pub mod export;
 mod metrics;
 mod recorder;
 mod snapshot;
+pub mod spans;
 
 pub use event::{Event, Severity};
+pub use export::{counter_rates, prometheus_text, CounterRate};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use recorder::FlightRecorder;
 pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
+pub use spans::{hop_latencies, reconstruct_trace, validate_chain, TraceHop};
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Severity filter value meaning "no events at all".
@@ -39,6 +43,7 @@ struct Inner {
     metrics: MetricsRegistry,
     recorder: FlightRecorder,
     min_severity: AtomicU8,
+    trace_seq: AtomicU64,
 }
 
 /// Shared observability handle: metrics registry + event tracing + flight
@@ -75,6 +80,7 @@ impl Telemetry {
                 metrics: MetricsRegistry::new(),
                 recorder: FlightRecorder::new(4096),
                 min_severity: AtomicU8::new(min as u8),
+                trace_seq: AtomicU64::new(0),
             }),
         }
     }
@@ -88,6 +94,7 @@ impl Telemetry {
                 metrics: MetricsRegistry::new(),
                 recorder: FlightRecorder::new(4096),
                 min_severity: AtomicU8::new(SEVERITY_OFF),
+                trace_seq: AtomicU64::new(0),
             }),
         }
     }
@@ -145,6 +152,20 @@ impl Telemetry {
         }
     }
 
+    /// Allocates the next trace id on this handle. Ids start at 1 (0 means
+    /// "no parent" in the span chain) and are unique per network because the
+    /// whole simulated network shares one telemetry handle.
+    pub fn next_trace_id(&self) -> u64 {
+        self.inner.trace_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Folds another handle's metrics into this one (counters add, gauges
+    /// keep the high-water mark, histograms merge bucket-by-bucket). Events
+    /// are not copied — the fleet view is a metrics aggregate.
+    pub fn merge_from(&self, other: &Telemetry) {
+        self.inner.metrics.merge_from(&other.inner.metrics);
+    }
+
     /// The underlying metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.inner.metrics
@@ -160,6 +181,8 @@ impl Telemetry {
         let mut snap = self.inner.metrics.snapshot();
         snap.events_recorded = self.inner.recorder.recorded();
         snap.events_dropped = self.inner.recorder.dropped();
+        snap.recorder_len = self.inner.recorder.len() as u64;
+        snap.recorder_capacity = self.inner.recorder.capacity() as u64;
         snap
     }
 
@@ -205,6 +228,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "trace")]
     fn severity_filter_gates_events() {
         let tele = Telemetry::new(); // Info floor
         tele.emit(Event::new(1, "n1", "comp", Severity::Debug, "dropped"));
@@ -231,6 +255,15 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(feature = "trace"))]
+    fn trace_feature_off_compiles_events_out() {
+        let tele = Telemetry::with_severity(Severity::Trace);
+        assert!(!tele.enabled(Severity::Error));
+        tele.emit(Event::new(1, "n", "comp", Severity::Error, "compiled out"));
+        assert_eq!(tele.snapshot().events_recorded, 0);
+    }
+
+    #[test]
     fn quiet_handle_still_counts() {
         let tele = Telemetry::quiet();
         tele.counter("c").inc();
@@ -238,5 +271,29 @@ mod tests {
         let snap = tele.snapshot();
         assert_eq!(snap.events_recorded, 0);
         assert_eq!(snap.counters, vec![("c".to_string(), 1)]);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let tele = Telemetry::new();
+        let a = tele.next_trace_id();
+        let b = tele.clone().next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn snapshot_surfaces_recorder_overflow() {
+        let tele = Telemetry::with_severity(Severity::Trace);
+        // Overflow the 4096-slot ring by one.
+        for t in 0..4097u64 {
+            tele.emit(Event::new(t, "n", "comp", Severity::Info, "e"));
+        }
+        let snap = tele.snapshot();
+        assert_eq!(snap.events_dropped, 1);
+        assert_eq!(snap.recorder_len, 4096);
+        assert_eq!(snap.recorder_capacity, 4096);
+        assert!(snap.render_table().contains("overflowed"));
     }
 }

@@ -202,6 +202,33 @@ impl Histogram {
         v.is_finite().then_some(v)
     }
 
+    /// Folds another histogram's samples into this one, bucket by bucket, so
+    /// per-node histograms aggregate into a fleet view without losing bucket
+    /// precision (both sides share the same fixed log-bucket layout). Counts,
+    /// rejections, sum, min and max all carry over.
+    pub fn merge(&self, other: &Histogram) {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return; // merging a histogram into itself would double it
+        }
+        for (dst, src) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.0.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.0
+            .rejected
+            .fetch_add(other.rejected(), Ordering::Relaxed);
+        atomic_f64_add(&self.0.sum_bits, other.sum());
+        if let Some(m) = other.min() {
+            atomic_f64_min(&self.0.min_bits, m);
+        }
+        if let Some(m) = other.max() {
+            atomic_f64_max(&self.0.max_bits, m);
+        }
+    }
+
     fn snapshot_named(&self, name: &str) -> HistogramSnapshot {
         HistogramSnapshot {
             name: name.to_string(),
@@ -320,6 +347,22 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Folds every metric of `other` into this registry: counters add,
+    /// gauges keep the high-water mark, histograms merge bucket-by-bucket.
+    /// Metrics named only in `other` are registered here first, so a fleet
+    /// view is just `fleet.merge_from(node)` per node.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        for (name, c) in other.counters.read().iter() {
+            self.counter(name).add(c.get());
+        }
+        for (name, g) in other.gauges.read().iter() {
+            self.gauge(name).set_max(g.get());
+        }
+        for (name, h) in other.histograms.read().iter() {
+            self.histogram(name).merge(h);
+        }
+    }
+
     /// Point-in-time snapshot of every registered metric (event counts are
     /// filled in by `Telemetry::snapshot`).
     pub fn snapshot(&self) -> TelemetrySnapshot {
@@ -344,6 +387,8 @@ impl MetricsRegistry {
                 .collect(),
             events_recorded: 0,
             events_dropped: 0,
+            recorder_len: 0,
+            recorder_capacity: 0,
         }
     }
 }
@@ -396,6 +441,59 @@ mod tests {
             let (lo, hi) = Histogram::default().bucket_bounds(v);
             assert!(lo <= v && v < hi * (1.0 + 1e-12), "{v} not in [{lo}, {hi})");
         }
+    }
+
+    #[test]
+    fn histogram_merge_preserves_bucket_precision() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let reference = Histogram::default();
+        for i in 1..=500 {
+            let v = i as f64 * 1.3;
+            a.record(v);
+            reference.record(v);
+        }
+        for i in 501..=1000 {
+            let v = i as f64 * 1.3;
+            b.record(v);
+            reference.record(v);
+        }
+        b.record(f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        assert_eq!(a.rejected(), 1);
+        assert_eq!(a.min(), reference.min());
+        assert_eq!(a.max(), reference.max());
+        assert!((a.sum() - reference.sum()).abs() < 1e-6);
+        // Merged quantiles are bit-identical to recording into one histogram:
+        // the buckets are the same, so no precision was lost in the merge.
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), reference.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_self_is_noop() {
+        let h = Histogram::default();
+        h.record(4.0);
+        h.merge(&h.clone());
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn registry_merge_from_aggregates_all_kinds() {
+        let fleet = MetricsRegistry::new();
+        fleet.counter("pkts").add(10);
+        let node = MetricsRegistry::new();
+        node.counter("pkts").add(5);
+        node.counter("only_node").inc();
+        node.gauge("hwm").set(9);
+        node.histogram("rtt").record(3.0);
+        fleet.merge_from(&node);
+        assert_eq!(fleet.counter("pkts").get(), 15);
+        assert_eq!(fleet.counter("only_node").get(), 1);
+        assert_eq!(fleet.gauge("hwm").get(), 9);
+        assert_eq!(fleet.histogram("rtt").count(), 1);
     }
 
     #[test]

@@ -50,6 +50,11 @@ impl FlightRecorder {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Maximum number of events the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of events currently held.
     pub fn len(&self) -> usize {
         self.ring.lock().len()

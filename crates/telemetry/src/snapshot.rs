@@ -50,8 +50,13 @@ pub struct TelemetrySnapshot {
     pub histograms: Vec<HistogramSnapshot>,
     /// Events accepted by the severity filter.
     pub events_recorded: u64,
-    /// Events evicted from the flight-recorder ring.
+    /// Events evicted from the flight-recorder ring. Non-zero means the
+    /// post-mortem record is incomplete — older events were overwritten.
     pub events_dropped: u64,
+    /// Events currently retained in the flight-recorder ring.
+    pub recorder_len: u64,
+    /// Flight-recorder ring capacity.
+    pub recorder_capacity: u64,
 }
 
 impl TelemetrySnapshot {
@@ -135,9 +140,15 @@ impl TelemetrySnapshot {
             out.push('\n');
         }
         out.push_str(&format!(
-            "events: {} recorded, {} evicted from flight recorder\n",
-            self.events_recorded, self.events_dropped
+            "events: {} recorded, {} evicted from flight recorder (ring {}/{})\n",
+            self.events_recorded, self.events_dropped, self.recorder_len, self.recorder_capacity
         ));
+        if self.events_dropped > 0 {
+            out.push_str(&format!(
+                "warning: flight recorder overflowed; oldest {} events lost\n",
+                self.events_dropped
+            ));
+        }
         out
     }
 }
@@ -166,6 +177,8 @@ mod tests {
             }],
             events_recorded: 9,
             events_dropped: 1,
+            recorder_len: 8,
+            recorder_capacity: 4096,
         }
     }
 
@@ -197,6 +210,8 @@ mod tests {
             "world.queue_depth_hwm",
             "bootstrap.phase.hint",
             "9 recorded",
+            "ring 8/4096",
+            "overflowed",
         ] {
             assert!(table.contains(needle), "missing {needle} in:\n{table}");
         }

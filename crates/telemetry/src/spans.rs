@@ -1,0 +1,180 @@
+//! Offline reconstruction of per-packet span chains from flight-recorder
+//! events.
+//!
+//! Components on the packet path emit one event per hop carrying the trace
+//! context as structured fields (`trace_id`, `span_id`, `parent_span_id`,
+//! `hop` — decimal strings, the flight recorder's native field encoding).
+//! Given the recorder's event dump, [`reconstruct_trace`] recovers one
+//! packet's full journey and [`validate_chain`] checks it is causally sound:
+//! contiguous hops, each span parented on the previous one, strictly
+//! monotone simulation timestamps. The per-hop deltas are the latency
+//! attribution the per-path aggregates of Fig. 6 cannot provide.
+
+use crate::event::Event;
+
+/// One hop of a reconstructed trace: the emitting node plus the span chain
+/// fields the packet carried when the event fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHop {
+    /// Simulation timestamp of the hop event (ns).
+    pub sim_time: u64,
+    /// Emitting node (AS or host identity).
+    pub node: String,
+    /// Event message (`pkt.send`, `pkt.hop`, `pkt.deliver`, ...).
+    pub message: String,
+    /// Trace this hop belongs to.
+    pub trace_id: u64,
+    /// This hop's span.
+    pub span_id: u64,
+    /// The span this one descends from (0 for the root).
+    pub parent_span_id: u64,
+    /// Hop counter carried on the packet (0 at the sending host).
+    pub hop: u8,
+}
+
+fn field_u64(event: &Event, key: &str) -> Option<u64> {
+    event
+        .fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+/// Extracts and orders the hops of one trace from a slice of events (e.g.
+/// `FlightRecorder::events`). Events without a matching `trace_id` field or
+/// with unparsable chain fields are skipped. Hops come back ordered by hop
+/// counter, ties broken by `sim_time`.
+pub fn reconstruct_trace(events: &[Event], trace_id: u64) -> Vec<TraceHop> {
+    let mut hops: Vec<TraceHop> = events
+        .iter()
+        .filter(|e| field_u64(e, "trace_id") == Some(trace_id))
+        .filter_map(|e| {
+            Some(TraceHop {
+                sim_time: e.sim_time,
+                node: e.node.clone(),
+                message: e.message.clone(),
+                trace_id,
+                span_id: field_u64(e, "span_id")?,
+                parent_span_id: field_u64(e, "parent_span_id")?,
+                hop: field_u64(e, "hop")? as u8,
+            })
+        })
+        .collect();
+    hops.sort_by_key(|h| (h.hop, h.sim_time));
+    hops
+}
+
+/// Checks a reconstructed chain is causally sound: non-empty, rooted
+/// (`hop == 0`, `parent_span_id == 0`), hop counters contiguous, each span
+/// parented on its predecessor's span, and simulation timestamps strictly
+/// increasing. Returns a description of the first violation.
+pub fn validate_chain(hops: &[TraceHop]) -> Result<(), String> {
+    let first = hops.first().ok_or("empty chain")?;
+    if first.hop != 0 || first.parent_span_id != 0 {
+        return Err(format!(
+            "chain does not start at a root span (hop {}, parent {})",
+            first.hop, first.parent_span_id
+        ));
+    }
+    for (i, pair) in hops.windows(2).enumerate() {
+        let (prev, next) = (&pair[0], &pair[1]);
+        if next.hop != prev.hop + 1 {
+            return Err(format!("hop gap after #{i}: {} -> {}", prev.hop, next.hop));
+        }
+        if next.parent_span_id != prev.span_id {
+            return Err(format!(
+                "broken parent link at hop {}: parent {:#x} != previous span {:#x}",
+                next.hop, next.parent_span_id, prev.span_id
+            ));
+        }
+        if next.sim_time <= prev.sim_time {
+            return Err(format!(
+                "sim_time not strictly monotone at hop {}: {} <= {}",
+                next.hop, next.sim_time, prev.sim_time
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Per-hop latency attribution: `(node, delta_ns)` for each hop after the
+/// first, where `delta_ns` is the sim time spent reaching that node from the
+/// previous hop.
+pub fn hop_latencies(hops: &[TraceHop]) -> Vec<(String, u64)> {
+    hops.windows(2)
+        .map(|pair| {
+            (
+                pair[1].node.clone(),
+                pair[1].sim_time.saturating_sub(pair[0].sim_time),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Severity;
+
+    fn hop_event(t: u64, node: &str, tid: u64, span: u64, parent: u64, hop: u8) -> Event {
+        Event::new(t, node, "router", Severity::Trace, "pkt.hop")
+            .field("trace_id", tid)
+            .field("span_id", span)
+            .field("parent_span_id", parent)
+            .field("hop", hop)
+    }
+
+    #[test]
+    fn reconstructs_and_validates_a_chain() {
+        let events = vec![
+            hop_event(30, "71-3", 7, 103, 102, 2),
+            hop_event(10, "host", 7, 101, 0, 0),
+            hop_event(20, "71-2", 7, 102, 101, 1),
+            hop_event(15, "71-9", 8, 901, 0, 0), // different trace
+            Event::new(5, "x", "y", Severity::Info, "untraced"),
+        ];
+        let chain = reconstruct_trace(&events, 7);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(
+            chain.iter().map(|h| h.node.as_str()).collect::<Vec<_>>(),
+            vec!["host", "71-2", "71-3"]
+        );
+        validate_chain(&chain).unwrap();
+        assert_eq!(
+            hop_latencies(&chain),
+            vec![("71-2".to_string(), 10), ("71-3".to_string(), 10)]
+        );
+    }
+
+    #[test]
+    fn validation_catches_breakage() {
+        assert!(validate_chain(&[]).is_err());
+        // Gap in hop counters.
+        let gap = reconstruct_trace(
+            &[
+                hop_event(10, "a", 1, 11, 0, 0),
+                hop_event(20, "b", 1, 13, 11, 2),
+            ],
+            1,
+        );
+        assert!(validate_chain(&gap).unwrap_err().contains("hop gap"));
+        // Parent link broken.
+        let broken = reconstruct_trace(
+            &[
+                hop_event(10, "a", 1, 11, 0, 0),
+                hop_event(20, "b", 1, 12, 99, 1),
+            ],
+            1,
+        );
+        assert!(validate_chain(&broken).unwrap_err().contains("parent link"));
+        // Non-monotone time.
+        let stalled = reconstruct_trace(
+            &[
+                hop_event(10, "a", 1, 11, 0, 0),
+                hop_event(10, "b", 1, 12, 11, 1),
+            ],
+            1,
+        );
+        assert!(validate_chain(&stalled).unwrap_err().contains("monotone"));
+    }
+}

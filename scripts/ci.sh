@@ -10,6 +10,15 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Feature matrix: the trace feature must compile out cleanly everywhere
+# (metrics stay, events vanish), and the telemetry crate's own tests must
+# pass in both configurations.
+echo "==> cargo build --workspace --no-default-features (trace compiled out)"
+cargo build --workspace --no-default-features
+
+echo "==> cargo test -q -p sciera-telemetry --no-default-features"
+cargo test -q -p sciera-telemetry --no-default-features
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -49,12 +49,16 @@ pub use scion_sig as sig;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use sciera_core::network::NetworkConfig;
-    pub use sciera_core::{HostHandle, SciEraNetwork};
+    pub use sciera_core::{HostHandle, OperatorConsole, SciEraNetwork};
     pub use sciera_measure::campaign::{Campaign, CampaignConfig};
-    pub use sciera_telemetry::{Severity, Telemetry, TelemetrySnapshot};
+    pub use sciera_telemetry::{
+        prometheus_text, reconstruct_trace, validate_chain, Severity, Telemetry, TelemetrySnapshot,
+    };
     pub use sciera_topology::links::build_control_graph;
     pub use scion_control::fullpath::FullPath;
     pub use scion_control::policy::{PathPolicy, Preference};
+    pub use scion_orchestrator::{ChurnEvent, EchoOutcome, HealthRow};
     pub use scion_pan::socket::{PanSocket, PanTransport};
     pub use scion_proto::addr::{ia, HostAddr, IsdAsn, ScionAddr};
+    pub use scion_proto::trace::TraceContext;
 }

@@ -1,0 +1,86 @@
+//! SCMP `ExternalInterfaceDown` end to end: the border router emits it,
+//! the end-host daemon invalidates every cached path over the dead
+//! interface, and the prober independently confirms the outage.
+
+use sciera::daemon::daemon::{Daemon, DaemonConfig};
+use sciera::orchestrator::prober::EchoOutcome;
+use sciera::pan::socket::PanTransport;
+use sciera::prelude::*;
+use sciera::proto::encap::UnderlayAddr;
+use sciera::proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
+use sciera::proto::scmp::ScmpMessage;
+
+#[test]
+fn ext_if_down_invalidates_daemon_cache_and_prober_confirms() {
+    let net = SciEraNetwork::build(NetworkConfig::default());
+    let src = ia("71-225");
+    let dst = ia("71-88"); // Princeton: single uplink via BRIDGES
+
+    // An end-host daemon in the source AS, fetching from the live control
+    // plane (path lookups honour link state, like a real control service).
+    let daemon = Daemon::new(
+        src,
+        UnderlayAddr::new([10, 0, 0, 2], 30252),
+        |s: IsdAsn, d: IsdAsn, _now: u64| net.paths(s, d),
+        DaemonConfig::default(),
+    );
+    let cached = daemon.paths(dst, net.now_unix());
+    assert!(!cached.is_empty(), "daemon cached live paths");
+
+    // The prober watches the same pair.
+    assert!(net.register_probe_pair(src, dst) >= 1);
+    net.probe_round(); // healthy baseline
+
+    // Kill the uplink, then walk a packet into it: the router must emit
+    // SCMP ExternalInterfaceDown back to the source host.
+    assert_eq!(net.set_links("BRIDGES-Princeton", false), 1);
+    let host = net.attach_host(ScionAddr::new(src, HostAddr::v4(10, 0, 0, 77)));
+    let pkt = ScionPacket::new(
+        host.addr,
+        ScionAddr::new(dst, HostAddr::v4(10, 0, 0, 78)),
+        L4Protocol::Udp,
+        DataPlanePath::Scion(cached[0].to_dataplane().unwrap()),
+        sciera::proto::udp::UdpDatagram::new(1, 2, b"x".to_vec()).encode(),
+    );
+    let err = net.walk_packet(pkt).unwrap_err();
+    assert!(matches!(err, sciera::core::NetError::LinkDown { .. }));
+
+    // 1. Router emitted it: the SCMP arrives in the source host's inbox.
+    let mut transport = host.transport();
+    let scmp_pkt = transport.recv_packet().expect("SCMP notification queued");
+    let msg = ScmpMessage::decode(&scmp_pkt.payload).expect("decodes as SCMP");
+    let ScmpMessage::ExternalInterfaceDown {
+        ia: origin,
+        interface,
+    } = msg
+    else {
+        panic!("expected ExternalInterfaceDown, got {msg:?}");
+    };
+    assert!(interface > 0);
+
+    // 2. Daemon reacts: every cached path over the dead interface dies.
+    let removed = daemon.handle_scmp(&msg);
+    assert!(removed >= 1, "cached paths invalidated");
+    let ifid = u16::try_from(interface).unwrap();
+    for p in daemon.paths(dst, net.now_unix()) {
+        assert!(
+            !p.interfaces().contains(&(origin, ifid)),
+            "no surviving cached path crosses the dead interface"
+        );
+    }
+
+    // 3. Prober confirms: the next campaign sees ext-if-down on the pair,
+    // correlated to the same originating AS.
+    net.advance_time(10);
+    let results = net.probe_round();
+    let confirmed = results.iter().any(|r| {
+        r.src == src
+            && r.dst == dst
+            && matches!(
+                r.outcome,
+                EchoOutcome::ExtIfDown { ia, .. } if ia == origin
+            )
+    });
+    assert!(confirmed, "prober confirms the outage: {results:?}");
+    assert_eq!(net.pair_score(src, dst), Some(0.0));
+}

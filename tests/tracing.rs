@@ -1,0 +1,168 @@
+//! End-to-end causal tracing and path-health observability.
+//!
+//! The tentpole acceptance tests: a packet crossing several ASes leaves a
+//! reconstructable span chain in the flight recorder with strictly monotone
+//! per-hop sim times; SCMP probe RTTs agree with the topology's analytic
+//! ground truth to within one histogram bucket; and killing a link produces
+//! an ext-if-down-correlated health drop with exactly one churn event.
+
+#![cfg(feature = "trace")]
+
+use sciera::prelude::*;
+use sciera::telemetry::{hop_latencies, reconstruct_trace, validate_chain, Severity};
+
+/// One octave in the log-bucketed telemetry histogram spans 16 sub-buckets:
+/// two values land in the same or adjacent bucket iff they differ by less
+/// than `2^(1/16) - 1` relatively.
+const ONE_BUCKET_REL: f64 = 0.044_3;
+
+#[test]
+fn span_chain_reconstructs_across_the_world() {
+    let net = SciEraNetwork::build(NetworkConfig::default());
+    net.telemetry().set_min_severity(Severity::Trace);
+
+    let src = ia("71-225"); // Uva Wellassa, Sri Lanka
+    let dst = ia("71-2:0:3b"); // several ASes away
+    let path = net.paths(src, dst).into_iter().next().expect("live path");
+    assert!(path.len() >= 3, "need a >=3-AS path, got {}", path.len());
+
+    let tx_host = net.attach_host(ScionAddr::new(src, HostAddr::v4(10, 0, 0, 1)));
+    let rx_host = net.attach_host(ScionAddr::new(dst, HostAddr::v4(10, 0, 0, 2)));
+    let mut tx = PanSocket::bind(tx_host.addr, 40100, tx_host.transport());
+    let mut rx = PanSocket::bind(rx_host.addr, 40101, rx_host.transport());
+    tx.connect(rx_host.addr, 40101).unwrap();
+    tx.send(b"traced").unwrap();
+    assert!(rx.poll_recv().is_some(), "packet delivered");
+
+    // The host's pkt.send event names the trace; reconstruct from there.
+    let events = net.telemetry().flight_recorder().events();
+    let send = events
+        .iter()
+        .find(|e| e.message == "pkt.send")
+        .expect("host emitted the root span");
+    let trace_id: u64 = send
+        .fields
+        .iter()
+        .find(|(k, _)| k == "trace_id")
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("trace_id field");
+
+    let chain = reconstruct_trace(&events, trace_id);
+    // Host root span + one span per AS on the path.
+    let route: Vec<IsdAsn> = path.ases();
+    assert_eq!(
+        chain.len(),
+        route.len() + 1,
+        "root + one hop per AS: {chain:#?}"
+    );
+    validate_chain(&chain).expect("causally sound chain");
+    assert_eq!(chain[0].message, "pkt.send");
+    assert_eq!(chain.last().unwrap().message, "pkt.deliver");
+    // The chain names the exact AS-level route, in order.
+    let chain_route: Vec<String> = chain[1..].iter().map(|h| h.node.clone()).collect();
+    let expect_route: Vec<String> = route.iter().map(|ia| ia.to_string()).collect();
+    assert_eq!(chain_route, expect_route);
+    // Strictly monotone per-hop times, and every hop costs at least the
+    // per-AS processing overhead (0.75 ms).
+    for (node, delta_ns) in hop_latencies(&chain) {
+        assert!(
+            delta_ns >= 750_000,
+            "hop into {node} took {delta_ns} ns < per-AS overhead"
+        );
+    }
+}
+
+#[test]
+fn probe_rtt_matches_analytic_ground_truth_within_one_bucket() {
+    let net = SciEraNetwork::build(NetworkConfig::default());
+    let src = ia("71-225");
+    let dst = ia("71-2:0:3b");
+    let n = net.register_probe_pair(src, dst);
+    assert!(n >= 1);
+    for _ in 0..3 {
+        net.probe_round();
+        net.advance_time(10);
+    }
+
+    // Ground truth from an identically-built topology (deterministic).
+    let topo = build_control_graph();
+    let up = |_: usize| false;
+    for path in net.paths(src, dst) {
+        let analytic = topo
+            .path_rtt_ms(&path, &up)
+            .expect("live path has an analytic RTT");
+        let rows = net.health_rows();
+        let row = rows
+            .iter()
+            .find(|r| r.src == src && r.dst == dst && r.fingerprint == path.fingerprint())
+            .expect("probed path has a health row");
+        assert!(row.alive);
+        assert!(
+            (row.p50_ms - analytic).abs() / analytic < ONE_BUCKET_REL,
+            "probe p50 {} vs analytic {} differs by more than one bucket",
+            row.p50_ms,
+            analytic
+        );
+    }
+}
+
+#[test]
+fn link_kill_correlates_ext_if_down_and_churns_once() {
+    let net = SciEraNetwork::build(NetworkConfig::default());
+    let src = ia("71-225");
+    let dst = ia("71-88"); // Princeton: single uplink via BRIDGES
+    assert!(net.register_probe_pair(src, dst) >= 1);
+
+    // Round 1: healthy baseline.
+    net.probe_round();
+    let healthy = net.pair_score(src, dst).expect("scored");
+    assert!(healthy > 99.0, "baseline score {healthy}");
+    assert_eq!(net.churn_events().len(), 0, "baseline is not churn");
+
+    // The uplink dies; the next campaign must see SCMP ext-if-down.
+    assert_eq!(net.set_links("BRIDGES-Princeton", false), 1);
+    net.advance_time(10);
+    let results = net.probe_round();
+    let on_pair: Vec<_> = results
+        .iter()
+        .filter(|r| r.src == src && r.dst == dst)
+        .collect();
+    assert!(!on_pair.is_empty());
+    assert!(
+        on_pair.iter().all(|r| matches!(
+            r.outcome,
+            sciera::orchestrator::prober::EchoOutcome::ExtIfDown { .. }
+        )),
+        "every probe over the dead link reports ext-if-down: {on_pair:?}"
+    );
+
+    // Health collapsed, correlated with the SCMP notification, exactly one
+    // churn event for the pair.
+    let dead = net.pair_score(src, dst).unwrap();
+    assert!(dead < healthy, "score must drop: {healthy} -> {dead}");
+    assert_eq!(dead, 0.0, "every path of the pair is dead");
+    let churn: Vec<_> = net
+        .churn_events()
+        .into_iter()
+        .filter(|c| c.src == src && c.dst == dst)
+        .collect();
+    assert_eq!(churn.len(), 1, "exactly one churn event: {churn:?}");
+    assert!(churn[0].added.is_empty());
+    assert!(!churn[0].removed.is_empty());
+
+    let snap = net.telemetry().snapshot();
+    assert!(snap.counter("health.extif_correlated").unwrap_or(0) >= 1);
+    assert!(snap.counter("prober.ext_if_down").unwrap_or(0) >= 1);
+
+    // A third round with nothing changed must not churn again.
+    net.advance_time(10);
+    net.probe_round();
+    assert_eq!(
+        net.churn_events()
+            .into_iter()
+            .filter(|c| c.src == src && c.dst == dst)
+            .count(),
+        1,
+        "steady dead state does not re-churn"
+    );
+}

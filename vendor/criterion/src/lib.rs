@@ -37,7 +37,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { warm_up: Duration::from_millis(300), measurement: Duration::from_millis(1200) }
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1200),
+        }
     }
 }
 
@@ -148,7 +151,8 @@ impl Bencher {
                 black_box(routine(input));
                 total += start.elapsed();
             }
-            self.samples_ns.push(total.as_nanos() as f64 / per_sample_iters as f64);
+            self.samples_ns
+                .push(total.as_nanos() as f64 / per_sample_iters as f64);
         }
     }
 

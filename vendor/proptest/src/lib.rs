@@ -100,7 +100,10 @@ pub mod strategy {
     impl<V> Union<V> {
         /// Builds a union; panics on an empty alternative list.
         pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
-            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
             Union(options)
         }
     }
@@ -192,7 +195,11 @@ pub mod strategy {
             // Optional quantifier.
             let (min, max) = match chars.get(i) {
                 Some('{') => {
-                    let close = chars[i..].iter().position(|c| *c == '}').expect("unterminated {") + i;
+                    let close = chars[i..]
+                        .iter()
+                        .position(|c| *c == '}')
+                        .expect("unterminated {")
+                        + i;
                     let body: String = chars[i + 1..close].iter().collect();
                     i = close + 1;
                     match body.split_once(',') {
@@ -220,7 +227,10 @@ pub mod strategy {
                 }
                 _ => (1, 1),
             };
-            assert!(!alternatives.is_empty() || min == 0, "empty class in pattern `{pat}`");
+            assert!(
+                !alternatives.is_empty() || min == 0,
+                "empty class in pattern `{pat}`"
+            );
             if !alternatives.is_empty() {
                 atoms.push((alternatives, min, max));
             }
@@ -352,21 +362,30 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { min: n, max_incl: n }
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
         }
     }
 
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            SizeRange { min: r.start, max_incl: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty collection size range");
-            SizeRange { min: *r.start(), max_incl: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
         }
     }
 
@@ -388,7 +407,10 @@ pub mod collection {
 
     /// Generates vectors of `element` with lengths in `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 

@@ -49,7 +49,9 @@ impl Value {
                 .find(|(k, _)| k == name)
                 .map(|(_, v)| v)
                 .unwrap_or(&NULL)),
-            other => Err(Error(format!("expected object with field `{name}`, got {other:?}"))),
+            other => Err(Error(format!(
+                "expected object with field `{name}`, got {other:?}"
+            ))),
         }
     }
 
@@ -201,7 +203,10 @@ impl Deserialize for char {
     fn deserialize(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
-            other => Err(Error(format!("expected single-char string, got {}", other.type_name()))),
+            other => Err(Error(format!(
+                "expected single-char string, got {}",
+                other.type_name()
+            ))),
         }
     }
 }
@@ -350,7 +355,9 @@ fn serialize_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
     entries: impl Iterator<Item = (&'a K, &'a V)>,
 ) -> Value {
     Value::Array(
-        entries.map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()])).collect(),
+        entries
+            .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+            .collect(),
     )
 }
 
@@ -360,9 +367,17 @@ fn deserialize_map_entries<K: Deserialize, V: Deserialize>(
     match v {
         Value::Array(items) => items
             .iter()
-            .map(|pair| Ok((K::deserialize(pair.index(0)?)?, V::deserialize(pair.index(1)?)?)))
+            .map(|pair| {
+                Ok((
+                    K::deserialize(pair.index(0)?)?,
+                    V::deserialize(pair.index(1)?)?,
+                ))
+            })
             .collect(),
-        other => Err(Error(format!("expected map array, got {}", other.type_name()))),
+        other => Err(Error(format!(
+            "expected map array, got {}",
+            other.type_name()
+        ))),
     }
 }
 
@@ -400,7 +415,10 @@ impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
     fn deserialize(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Array(items) => items.iter().map(T::deserialize).collect(),
-            other => Err(Error(format!("expected set array, got {}", other.type_name()))),
+            other => Err(Error(format!(
+                "expected set array, got {}",
+                other.type_name()
+            ))),
         }
     }
 }
@@ -415,7 +433,10 @@ impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
     fn deserialize(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Array(items) => items.iter().map(T::deserialize).collect(),
-            other => Err(Error(format!("expected set array, got {}", other.type_name()))),
+            other => Err(Error(format!(
+                "expected set array, got {}",
+                other.type_name()
+            ))),
         }
     }
 }

@@ -11,14 +11,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let ty = parse_type(input);
-    gen_serialize(&ty).parse().expect("serde_derive: generated invalid Serialize impl")
+    gen_serialize(&ty)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
 }
 
 /// Derives `serde::Deserialize` (Value-tree deserialization).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let ty = parse_type(input);
-    gen_deserialize(&ty).parse().expect("serde_derive: generated invalid Deserialize impl")
+    gen_deserialize(&ty)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
 }
 
 /// Field layout of a struct or of one enum variant.
@@ -108,7 +112,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             Some(TokenTree::Ident(name)) => {
                 match toks.next() {
                     Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-                    other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+                    other => {
+                        panic!("serde_derive: expected `:` after field `{name}`, got {other:?}")
+                    }
                 }
                 fields.push(name.to_string());
                 skip_type_until_comma(&mut toks);
@@ -249,8 +255,9 @@ fn ser_struct_body(shape: &Shape) -> String {
         Shape::Unit => "::serde::Value::Null".to_string(),
         Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
         Shape::Tuple(n) => {
-            let items: Vec<String> =
-                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
             format!("::serde::Value::Array(vec![{}])", items.join(", "))
         }
         Shape::Named(fields) => {

@@ -142,7 +142,10 @@ struct Parser<'a> {
 
 /// Parses a JSON document into a [`Value`] tree.
 pub fn parse_value(text: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value(0)?;
     p.skip_ws();
@@ -174,7 +177,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error(format!("expected `{}` at byte {}", b as char, self.pos)))
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
         }
     }
 
@@ -190,7 +196,11 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.array(depth),
             Some(b'{') => self.object(depth),
             Some(b'-') | Some(b'0'..=b'9') => self.number(),
-            other => Err(Error(format!("unexpected {:?} at byte {}", other.map(|b| b as char), self.pos))),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
         }
     }
 
@@ -295,7 +305,10 @@ impl<'a> Parser<'a> {
                             continue;
                         }
                         other => {
-                            return Err(Error(format!("invalid escape {:?}", other.map(|b| b as char))))
+                            return Err(Error(format!(
+                                "invalid escape {:?}",
+                                other.map(|b| b as char)
+                            )))
                         }
                     }
                     self.pos += 1;
@@ -341,11 +354,17 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         if is_float {
-            text.parse::<f64>().map(Value::Float).map_err(|e| Error(format!("bad number `{text}`: {e}")))
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
         } else if text.starts_with('-') {
-            text.parse::<i64>().map(Value::Int).map_err(|e| Error(format!("bad number `{text}`: {e}")))
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
         } else {
-            text.parse::<u64>().map(Value::UInt).map_err(|e| Error(format!("bad number `{text}`: {e}")))
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
         }
     }
 }
@@ -358,7 +377,10 @@ mod tests {
     fn roundtrip_compact_and_pretty() {
         let v = Value::Object(vec![
             ("a".to_string(), Value::UInt(1)),
-            ("b".to_string(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
             ("c".to_string(), Value::Str("x\n\"y\"".to_string())),
             ("d".to_string(), Value::Float(1.5)),
             ("e".to_string(), Value::Int(-3)),
