@@ -1,13 +1,24 @@
 //! Border-router forwarding microbenchmarks: the per-packet cost of hop
 //! verification + header rewrite (the §2 "efficient symmetric
 //! cryptographic operation").
+//!
+//! Besides the criterion groups, this target runs an *interleaved* A/B
+//! comparison of the reference path (decode → process → encode) against the
+//! zero-copy fast path ([`BorderRouter::process_frame`]), warm and cold MAC
+//! cache. Interleaving the batches (A,B,C,A,B,C,…) rather than running each
+//! variant in one block keeps frequency scaling and cache pollution from
+//! biasing one side. Results land in `BENCH_router.json` at the repo root.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion, Throughput};
 use scion_control::fullpath::{Direction, FullPath, PathKind, SegmentUse};
 use scion_control::segment::{AsSecrets, SegmentBuilder, SegmentType};
-use scion_dataplane::router::{BorderRouter, Decision};
+use scion_dataplane::router::{BorderRouter, Decision, FrameDecision};
 use scion_proto::addr::{ia, HostAddr, ScionAddr};
 use scion_proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
+
+const NOW: u64 = 1_700_000_100;
 
 fn setup() -> (BorderRouter, ScionPacket) {
     let mk = |s: &str| AsSecrets::derive(ia(s));
@@ -34,17 +45,124 @@ fn setup() -> (BorderRouter, ScionPacket) {
     (BorderRouter::new(sec.ia, sec.hop_key), pkt)
 }
 
+/// One wire-to-wire step on the reference path.
+fn reference_step(router: &mut BorderRouter, template: &[u8]) -> Vec<u8> {
+    let p = ScionPacket::decode(template).unwrap();
+    match router.process(p, 0, NOW).unwrap() {
+        Decision::Forward { ifid, packet } => {
+            assert_eq!(ifid, 31);
+            packet.encode().unwrap()
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// One wire-to-wire step on the fast path.
+fn fastpath_step(router: &mut BorderRouter, template: &[u8]) -> Vec<u8> {
+    let mut frame = template.to_vec();
+    match router.process_frame(&mut frame, 0, NOW).unwrap() {
+        FrameDecision::Forward { ifid } => assert_eq!(ifid, 31),
+        _ => unreachable!(),
+    }
+    frame
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// Interleaved A/B/C comparison; returns median ns/packet for
+/// (reference, fastpath warm cache, fastpath cold cache).
+fn ab_compare(rounds: usize, batch: usize) -> (f64, f64, f64) {
+    let (mut router, pkt) = setup();
+    let template = pkt.encode().unwrap();
+
+    // Differential sanity: both paths must emit the same forwarded frame.
+    assert_eq!(
+        reference_step(&mut router, &template),
+        fastpath_step(&mut router, &template),
+        "paths diverged — benchmark would compare different work"
+    );
+
+    let (mut ref_ns, mut warm_ns, mut cold_ns) = (Vec::new(), Vec::new(), Vec::new());
+    for round in 0..=rounds {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(reference_step(&mut router, &template));
+        }
+        let a = t.elapsed().as_nanos() as f64 / batch as f64;
+
+        // Cache warmed by the sanity check / previous rounds.
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(fastpath_step(&mut router, &template));
+        }
+        let b = t.elapsed().as_nanos() as f64 / batch as f64;
+
+        let t = Instant::now();
+        for _ in 0..batch {
+            router.reset_mac_cache();
+            std::hint::black_box(fastpath_step(&mut router, &template));
+        }
+        let c = t.elapsed().as_nanos() as f64 / batch as f64;
+
+        if round > 0 {
+            // Round 0 is warm-up for all three variants.
+            ref_ns.push(a);
+            warm_ns.push(b);
+            cold_ns.push(c);
+        }
+    }
+    (median(ref_ns), median(warm_ns), median(cold_ns))
+}
+
+fn emit_json(reference: f64, warm: f64, cold: f64, rounds: usize, batch: usize) {
+    let json = format!(
+        "{{\n  \"bench\": \"router_forwarding\",\n  \"reference_ns_per_pkt\": {reference:.1},\n  \"fastpath_warm_ns_per_pkt\": {warm:.1},\n  \"fastpath_cold_ns_per_pkt\": {cold:.1},\n  \"speedup_warm\": {:.2},\n  \"speedup_cold\": {:.2},\n  \"rounds\": {rounds},\n  \"batch\": {batch}\n}}\n",
+        reference / warm,
+        reference / cold,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_router.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("[router_forwarding] could not write {path}: {e}");
+    }
+    eprintln!("[router_forwarding] interleaved A/B over {rounds}x{batch} packets:");
+    eprintln!("  reference      {reference:>8.1} ns/pkt");
+    eprintln!(
+        "  fastpath warm  {warm:>8.1} ns/pkt  ({:.2}x)",
+        reference / warm
+    );
+    eprintln!(
+        "  fastpath cold  {cold:>8.1} ns/pkt  ({:.2}x)",
+        reference / cold
+    );
+}
+
 fn bench_forwarding(c: &mut Criterion) {
     let (mut router, pkt) = setup();
+    let template = pkt.encode().unwrap();
     let mut g = c.benchmark_group("border_router");
     g.throughput(Throughput::Elements(1));
     g.bench_function("verify_and_forward", |b| {
         b.iter(|| {
             let p = pkt.clone();
-            match router.process(p, 0, 1_700_000_100).unwrap() {
+            match router.process(p, 0, NOW).unwrap() {
                 Decision::Forward { ifid, .. } => assert_eq!(ifid, 31),
                 _ => unreachable!(),
             }
+        })
+    });
+    g.bench_function("wire_reference", |b| {
+        b.iter(|| reference_step(&mut router, &template))
+    });
+    g.bench_function("fastpath_warm", |b| {
+        b.iter(|| fastpath_step(&mut router, &template))
+    });
+    g.bench_function("fastpath_cold", |b| {
+        b.iter(|| {
+            router.reset_mac_cache();
+            fastpath_step(&mut router, &template)
         })
     });
     g.bench_function("encode_decode_1000B", |b| {
@@ -57,4 +175,9 @@ fn bench_forwarding(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_forwarding);
-criterion_main!(benches);
+
+fn main() {
+    let (reference, warm, cold) = ab_compare(25, 2_000);
+    emit_json(reference, warm, cold, 25, 2_000);
+    benches();
+}

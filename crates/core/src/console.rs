@@ -112,6 +112,22 @@ impl OperatorConsole {
         }
         let _ = writeln!(out, "churn events: {churn}");
 
+        // Forwarding fast-path health: in-place hits vs decode fallbacks,
+        // MAC-verification cache effectiveness, frame-pool occupancy.
+        let c = |name: &str| snap.counter(name).unwrap_or(0);
+        let g = |name: &str| snap.gauge(name).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "fastpath: {} hit / {} fallback — mac cache: {} hit / {} miss / {} evict — pool: {} free / {} outstanding",
+            c("router.fastpath.hit"),
+            c("router.fastpath.fallback"),
+            c("router.maccache.hit"),
+            c("router.maccache.miss"),
+            c("router.maccache.evict"),
+            g("pool.frame.free"),
+            g("pool.frame.outstanding"),
+        );
+
         if let Some((t0, prev)) = &self.last {
             let dt = now.saturating_sub(*t0) as f64;
             let mut rates: Vec<CounterRate> = counter_rates(prev, &snap, dt)
@@ -170,6 +186,8 @@ mod tests {
         assert!(second.contains("71-225"), "table row present:\n{second}");
         assert!(second.contains("up"), "live path is up:\n{second}");
         assert!(second.contains("churn events:"), "{second}");
+        assert!(second.contains("fastpath:"), "{second}");
+        assert!(second.contains("mac cache:"), "{second}");
         assert!(
             second.contains("prober.echo_sent"),
             "echo counter moved between renders:\n{second}"

@@ -54,37 +54,51 @@ impl HopMacInput {
 #[derive(Clone, Debug)]
 pub struct HopKey {
     cmac: Cmac,
+    epoch: u32,
 }
+
+/// Serialised length of the derivation label: `"scion-hop-key-"` plus the
+/// big-endian epoch.
+const DERIVE_LABEL_LEN: usize = 14 + 4;
 
 impl HopKey {
     /// Derives the hop key from an AS master secret and a key epoch label.
     pub fn derive(master_secret: &[u8], epoch: u32) -> Self {
-        let label = {
-            let mut l = b"scion-hop-key-".to_vec();
-            l.extend_from_slice(&epoch.to_be_bytes());
-            l
-        };
+        let mut label = [0u8; DERIVE_LABEL_LEN];
+        label[..14].copy_from_slice(b"scion-hop-key-");
+        label[14..].copy_from_slice(&epoch.to_be_bytes());
         let key = derive_key16(master_secret, &label);
         HopKey {
             cmac: Cmac::new(&key),
+            epoch,
         }
     }
 
-    /// Creates a hop key directly from 16 bytes of key material.
+    /// Creates a hop key directly from 16 bytes of key material (epoch 0).
     pub fn from_raw(key: &[u8; 16]) -> Self {
         HopKey {
             cmac: Cmac::new(key),
+            epoch: 0,
         }
     }
 
+    /// The key epoch this key was derived for. Part of any cache key over
+    /// verification results: rotating the key must invalidate cached MACs.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
     /// Computes the 6-byte hop-field MAC.
+    ///
+    /// The input is always exactly one cipher block, so this takes the
+    /// single-block CMAC path (one AES call, precomputed subkey).
     pub fn mac(&self, input: &HopMacInput) -> [u8; 6] {
-        self.cmac.tag6(&input.to_bytes())
+        self.cmac.tag6_block(&input.to_bytes())
     }
 
     /// Computes the full 16-byte tag; the first two bytes update `beta`.
     pub fn full_mac(&self, input: &HopMacInput) -> [u8; 16] {
-        self.cmac.tag(&input.to_bytes())
+        self.cmac.tag_block(&input.to_bytes())
     }
 
     /// Verifies a 6-byte hop-field MAC in constant time.
@@ -179,6 +193,20 @@ mod tests {
             ..a
         };
         assert_ne!(key.chain_beta(&a), key.chain_beta(&b));
+    }
+
+    #[test]
+    fn epoch_is_recorded() {
+        assert_eq!(HopKey::derive(b"s", 7).epoch(), 7);
+        assert_eq!(HopKey::from_raw(&[1u8; 16]).epoch(), 0);
+    }
+
+    #[test]
+    fn block_path_matches_generic_cmac() {
+        let key = HopKey::derive(b"as-master-secret", 3);
+        let input = sample_input();
+        assert_eq!(key.mac(&input), key.cmac.tag6(&input.to_bytes()));
+        assert_eq!(key.full_mac(&input), key.cmac.tag(&input.to_bytes()));
     }
 
     #[test]

@@ -4,7 +4,12 @@
 //!   AES-CMAC (the "efficient symmetric cryptographic operation" of §2),
 //!   checks interfaces and expiry, advances the path pointers, handles
 //!   segment crossings and peering hops, and builds SCMP notifications for
-//!   failures.
+//!   failures. Raw frames take the in-place fast path
+//!   ([`router::BorderRouter::process_frame`]); decoded packets use the
+//!   reference path.
+//! * [`maccache`] — the bounded LRU cache over successful hop-MAC
+//!   verifications that lets repeated packets on a stable path skip the
+//!   block cipher.
 //! * [`dispatcher`] — the legacy shared end-host dispatcher of §4.8: one
 //!   fixed UDP underlay port, demultiplexing to applications — a faithful
 //!   recreation of a kernel socket in user space, and a deliberate
@@ -22,6 +27,8 @@
 pub mod dispatcher;
 pub mod hostnet;
 pub mod lightningfilter;
+pub mod maccache;
 pub mod router;
 
-pub use router::{BorderRouter, Decision, DropReason};
+pub use maccache::{MacCache, MacCacheKey};
+pub use router::{BorderRouter, Decision, DropReason, FrameDecision, FrameError};

@@ -19,10 +19,13 @@
 use sciera_telemetry::{Counter, Event, Severity, Telemetry};
 use scion_crypto::mac::{HopKey, HopMacInput};
 use scion_proto::addr::IsdAsn;
-use scion_proto::packet::{DataPlanePath, L4Protocol, ScionPacket};
+use scion_proto::packet::{DataPlanePath, L4Protocol, PathType, ScionPacket};
 use scion_proto::path::ScionPath;
 use scion_proto::scmp::ScmpMessage;
 use scion_proto::trace::TraceContext;
+use scion_proto::wire::{HeaderOffsets, WireCursor};
+
+use crate::maccache::{MacCache, MacCacheKey, DEFAULT_MAC_CACHE_CAPACITY};
 
 /// Why a packet was dropped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +63,30 @@ pub enum Decision {
     },
 }
 
+/// The router's verdict on a raw frame processed in place (the frame buffer
+/// itself *is* the rewritten packet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameDecision {
+    /// Deliver the frame to the local destination host.
+    Deliver,
+    /// Forward the frame out of the given local interface.
+    Forward {
+        /// Egress interface identifier.
+        ifid: u16,
+    },
+}
+
+/// Why a raw frame was not forwarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame failed to parse as a SCION packet. Matches exactly the
+    /// frames `ScionPacket::decode` rejects; such frames never reach the
+    /// router's processing counters.
+    Malformed(String),
+    /// The frame parsed but the router dropped it.
+    Drop(DropReason),
+}
+
 /// Pre-registered router counters: the forwarding hot path only ever does
 /// relaxed atomic increments, never a registry name lookup.
 #[derive(Debug, Clone)]
@@ -73,6 +100,11 @@ struct RouterMetrics {
     drop_wrong_destination: Counter,
     drop_malformed_path: Counter,
     drop_unsupported_path: Counter,
+    /// Frames fully handled in place, without a decode/encode cycle.
+    fastpath_hit: Counter,
+    /// Frames handed to the reference decode path (trace extension,
+    /// one-hop path, trailing bytes, or malformed input).
+    fastpath_fallback: Counter,
 }
 
 impl RouterMetrics {
@@ -86,6 +118,8 @@ impl RouterMetrics {
             drop_wrong_destination: telemetry.counter("router.drop.wrong_destination"),
             drop_malformed_path: telemetry.counter("router.drop.malformed_path"),
             drop_unsupported_path: telemetry.counter("router.drop.unsupported_path"),
+            fastpath_hit: telemetry.counter("router.fastpath.hit"),
+            fastpath_fallback: telemetry.counter("router.fastpath.fallback"),
             telemetry,
         }
     }
@@ -113,6 +147,7 @@ pub struct BorderRouter {
     /// Packets dropped.
     pub dropped: u64,
     metrics: RouterMetrics,
+    mac_cache: MacCache,
 }
 
 impl BorderRouter {
@@ -125,12 +160,24 @@ impl BorderRouter {
             processed: 0,
             dropped: 0,
             metrics: RouterMetrics::register(Telemetry::quiet()),
+            mac_cache: MacCache::new(DEFAULT_MAC_CACHE_CAPACITY),
         }
     }
 
     /// Re-registers the router's counters on a shared telemetry handle.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.mac_cache.set_telemetry(&telemetry);
         self.metrics = RouterMetrics::register(telemetry);
+    }
+
+    /// Drops all cached MAC verifications (for benchmarks and key events).
+    pub fn reset_mac_cache(&mut self) {
+        self.mac_cache.clear();
+    }
+
+    /// Number of hop-MAC verifications currently cached.
+    pub fn mac_cache_len(&self) -> usize {
+        self.mac_cache.len()
     }
 
     /// Processes a packet arriving on `ingress_ifid` (0 = from a host or
@@ -197,6 +244,266 @@ impl BorderRouter {
                 Err(e)
             }
         }
+    }
+
+    /// Processes a raw frame *in place* — the forwarding fast path.
+    ///
+    /// For the common case (untraced packet, standard SCION or empty path,
+    /// exact-length frame) this verifies the hop MAC — consulting the
+    /// per-router verification cache first — and rewrites only the affected
+    /// header bytes (`seg_id` chaining, pointer advance) directly in
+    /// `frame`, with no decode, no allocation and at most one AES call.
+    ///
+    /// Frames outside that envelope — carrying a hop-by-hop extension whose
+    /// trace context must be advanced, using a one-hop path, carrying
+    /// trailing bytes, or malformed — fall back to the reference
+    /// decode/process/encode path, so the observable behaviour (output
+    /// bytes, drop decisions, `router.*` counters) is identical to feeding
+    /// the decoded packet through [`BorderRouter::process`].
+    pub fn process_frame(
+        &mut self,
+        frame: &mut Vec<u8>,
+        ingress_ifid: u16,
+        now: u64,
+    ) -> Result<FrameDecision, FrameError> {
+        self.process_frame_at(frame, ingress_ifid, now, now.saturating_mul(1_000_000_000))
+    }
+
+    /// [`BorderRouter::process_frame`] with an explicit simulation
+    /// timestamp for emitted events (mirror of [`BorderRouter::process_at`]).
+    pub fn process_frame_at(
+        &mut self,
+        frame: &mut Vec<u8>,
+        ingress_ifid: u16,
+        now: u64,
+        sim_ns: u64,
+    ) -> Result<FrameDecision, FrameError> {
+        // A hop-by-hop extension carries a trace context the router must
+        // advance and re-serialise: reference path territory.
+        if HeaderOffsets::has_hbh_ext(frame) {
+            return self.process_frame_fallback(frame, ingress_ifid, now, sim_ns);
+        }
+        let Ok(off) = HeaderOffsets::locate(frame) else {
+            return self.process_frame_fallback(frame, ingress_ifid, now, sim_ns);
+        };
+        // `decode` tolerates trailing bytes and non-zero reserved bits but
+        // `encode` strips/zeroes both; only exact-length canonical frames
+        // stay byte-identical under in-place rewriting.
+        if !off.is_exact_length(frame)
+            || !off.is_canonical(frame)
+            || off.path_type() == PathType::OneHop
+        {
+            return self.process_frame_fallback(frame, ingress_ifid, now, sim_ns);
+        }
+
+        // Committed to in-place processing: mirror of `process_at` for a
+        // packet without a trace context.
+        self.processed += 1;
+        self.metrics.fastpath_hit.inc();
+        let mut cursor = WireCursor::from_offsets(frame, off);
+        let result = match off.path_type() {
+            PathType::Empty => {
+                if cursor.dst_ia() == self.ia {
+                    Ok(None)
+                } else {
+                    Err(DropReason::WrongDestination)
+                }
+            }
+            PathType::Scion => Self::process_scion_frame(
+                &self.hop_key,
+                &mut self.mac_cache,
+                &mut cursor,
+                ingress_ifid,
+                now,
+            ),
+            PathType::OneHop => unreachable!("one-hop frames fall back above"),
+        };
+        match result {
+            Ok(Some(ifid)) => {
+                self.metrics.forwarded.inc();
+                Ok(FrameDecision::Forward { ifid })
+            }
+            Ok(None) => {
+                if cursor.dst_ia() != self.ia {
+                    self.dropped += 1;
+                    self.on_drop(&DropReason::WrongDestination, None, sim_ns);
+                    return Err(FrameError::Drop(DropReason::WrongDestination));
+                }
+                self.metrics.delivered.inc();
+                Ok(FrameDecision::Deliver)
+            }
+            Err(e) => {
+                self.dropped += 1;
+                self.on_drop(&e, None, sim_ns);
+                Err(FrameError::Drop(e))
+            }
+        }
+    }
+
+    /// Reference-path escape hatch for frames the fast path cannot handle:
+    /// decode, run the packet-level machinery, re-encode into `frame`.
+    fn process_frame_fallback(
+        &mut self,
+        frame: &mut Vec<u8>,
+        ingress_ifid: u16,
+        now: u64,
+        sim_ns: u64,
+    ) -> Result<FrameDecision, FrameError> {
+        self.metrics.fastpath_fallback.inc();
+        let packet =
+            ScionPacket::decode(frame).map_err(|e| FrameError::Malformed(e.to_string()))?;
+        match self.process_at(packet, ingress_ifid, now, sim_ns) {
+            Ok(Decision::Deliver(p)) => {
+                *frame = p
+                    .encode()
+                    .map_err(|e| FrameError::Malformed(e.to_string()))?;
+                Ok(FrameDecision::Deliver)
+            }
+            Ok(Decision::Forward { ifid, packet }) => {
+                *frame = packet
+                    .encode()
+                    .map_err(|e| FrameError::Malformed(e.to_string()))?;
+                Ok(FrameDecision::Forward { ifid })
+            }
+            Err(e) => Err(FrameError::Drop(e)),
+        }
+    }
+
+    /// In-place mirror of `BorderRouter::process_scion_path`, operating
+    /// on the wire cursor and consulting the MAC verification cache.
+    fn process_scion_frame(
+        hop_key: &HopKey,
+        cache: &mut MacCache,
+        cursor: &mut WireCursor<'_>,
+        ingress_ifid: u16,
+        now: u64,
+    ) -> Result<Option<u16>, DropReason> {
+        Self::verify_hop_in_frame(hop_key, cache, cursor, now)?;
+
+        if ingress_ifid != 0 {
+            let info = cursor.current_info();
+            let hf = cursor.current_hop();
+            let expected = if info.cons_dir {
+                hf.cons_ingress
+            } else {
+                hf.cons_egress
+            };
+            if expected != ingress_ifid {
+                return Err(DropReason::IngressMismatch {
+                    expected,
+                    actual: ingress_ifid,
+                });
+            }
+        }
+
+        Self::chain_on_egress_in_frame(cursor);
+
+        if cursor.at_last_hop() {
+            return Ok(None);
+        }
+
+        if Self::frame_at_segment_traversal_end(cursor) && !cursor.current_info().peering {
+            cursor
+                .advance()
+                .map_err(|e| DropReason::MalformedPath(e.to_string()))?;
+            Self::verify_hop_in_frame(hop_key, cache, cursor, now)?;
+            Self::chain_on_egress_in_frame(cursor);
+            if cursor.at_last_hop() {
+                return Ok(None);
+            }
+        }
+
+        let info = cursor.current_info();
+        let hf = cursor.current_hop();
+        let egress = if info.cons_dir {
+            hf.cons_egress
+        } else {
+            hf.cons_ingress
+        };
+        if egress == 0 {
+            return Err(DropReason::MalformedPath(
+                "interior hop without an egress interface".into(),
+            ));
+        }
+        cursor
+            .advance()
+            .map_err(|e| DropReason::MalformedPath(e.to_string()))?;
+        Ok(Some(egress))
+    }
+
+    /// Mirror of `BorderRouter::at_segment_traversal_end` on a cursor.
+    fn frame_at_segment_traversal_end(cursor: &WireCursor<'_>) -> bool {
+        let seg = cursor.curr_inf();
+        let off = cursor.offsets();
+        cursor.curr_hf() == off.seg_start(seg) + off.seg_len(seg) - 1
+    }
+
+    /// Mirror of `BorderRouter::at_segment_cons_start` on a cursor.
+    fn frame_at_segment_cons_start(cursor: &WireCursor<'_>) -> bool {
+        let seg = cursor.curr_inf();
+        let off = cursor.offsets();
+        let idx = cursor.curr_hf();
+        if cursor.current_info().cons_dir {
+            idx == off.seg_start(seg)
+        } else {
+            idx == off.seg_start(seg) + off.seg_len(seg) - 1
+        }
+    }
+
+    /// Mirror of `BorderRouter::verify_current_hop` on a cursor, with the
+    /// MAC verification cache in front of the block cipher. Expiry stays a
+    /// direct comparison — it depends on `now` and must never be cached.
+    fn verify_hop_in_frame(
+        hop_key: &HopKey,
+        cache: &mut MacCache,
+        cursor: &mut WireCursor<'_>,
+        now: u64,
+    ) -> Result<(), DropReason> {
+        let info = cursor.current_info();
+        let hf = cursor.current_hop();
+        if hf.expiry_unix(info.timestamp) < now {
+            return Err(DropReason::Expired);
+        }
+        let is_peer_hop = info.peering && Self::frame_at_segment_cons_start(cursor);
+        let mac2 = u16::from_be_bytes([hf.mac[0], hf.mac[1]]);
+        let beta = if info.cons_dir || is_peer_hop {
+            info.seg_id
+        } else {
+            // Against construction: un-chain our own MAC first, in place.
+            let unchained = info.seg_id ^ mac2;
+            cursor.set_seg_id(cursor.curr_inf(), unchained);
+            unchained
+        };
+        let input = HopMacInput {
+            beta,
+            timestamp: info.timestamp,
+            exp_time: hf.exp_time,
+            cons_ingress: hf.cons_ingress,
+            cons_egress: hf.cons_egress,
+        };
+        let key = MacCacheKey::new(&input, hf.mac, hop_key.epoch());
+        if cache.check(&key) {
+            return Ok(());
+        }
+        if !hop_key.verify(&input, &hf.mac) {
+            return Err(DropReason::BadMac);
+        }
+        cache.remember(key);
+        Ok(())
+    }
+
+    /// Mirror of `BorderRouter::chain_on_egress` on a cursor.
+    fn chain_on_egress_in_frame(cursor: &mut WireCursor<'_>) {
+        let info = cursor.current_info();
+        if !info.cons_dir {
+            return; // already un-chained during verification
+        }
+        if info.peering && Self::frame_at_segment_cons_start(cursor) {
+            return; // peer hops do not chain
+        }
+        let hf = cursor.current_hop();
+        let mac2 = u16::from_be_bytes([hf.mac[0], hf.mac[1]]);
+        cursor.xor_seg_id(cursor.curr_inf(), mac2);
     }
 
     /// Emits the per-hop trace event carrying the span chain. Only packets
@@ -422,18 +729,18 @@ mod tests {
     const TS: u32 = 1_700_000_000;
     const NOW: u64 = 1_700_000_100;
 
-    fn secrets(s: &str) -> AsSecrets {
+    pub(crate) fn secrets(s: &str) -> AsSecrets {
         AsSecrets::derive(ia(s))
     }
 
-    fn router(s: &str) -> BorderRouter {
+    pub(crate) fn router(s: &str) -> BorderRouter {
         let sec = secrets(s);
         BorderRouter::new(sec.ia, sec.hop_key)
     }
 
     /// Up segment: core 71-1 (eg 11) -> mid 71-10 (in 21, eg 22, peer to
     /// 71-20 via 29/39) -> leaf 71-100 (in 31).
-    fn up_segment() -> scion_control::segment::PathSegment {
+    pub(crate) fn up_segment() -> scion_control::segment::PathSegment {
         let mut b = SegmentBuilder::originate(SegmentType::UpDown, TS, 0x1001);
         b.extend(&secrets("71-1"), 0, 11, &[]);
         b.extend(&secrets("71-10"), 21, 22, &[(ia("71-20"), 29, 39)]);
@@ -443,7 +750,7 @@ mod tests {
 
     /// Down segment: core 71-2 (eg 12) -> mid 71-20 (in 23, eg 24, peer to
     /// 71-10 via 39/29) -> leaf 71-200 (in 33).
-    fn down_segment() -> scion_control::segment::PathSegment {
+    pub(crate) fn down_segment() -> scion_control::segment::PathSegment {
         let mut b = SegmentBuilder::originate(SegmentType::UpDown, TS, 0x2002);
         b.extend(&secrets("71-2"), 0, 12, &[]);
         b.extend(&secrets("71-20"), 23, 24, &[(ia("71-10"), 39, 29)]);
@@ -452,14 +759,14 @@ mod tests {
     }
 
     /// Core segment constructed 71-2 (eg 41) -> 71-1 (in 42).
-    fn core_segment() -> scion_control::segment::PathSegment {
+    pub(crate) fn core_segment() -> scion_control::segment::PathSegment {
         let mut b = SegmentBuilder::originate(SegmentType::Core, TS, 0x3003);
         b.extend(&secrets("71-2"), 0, 41, &[]);
         b.extend(&secrets("71-1"), 42, 0, &[]);
         b.finish()
     }
 
-    fn full_transit_path() -> FullPath {
+    pub(crate) fn full_transit_path() -> FullPath {
         FullPath::assemble(
             ia("71-100"),
             ia("71-200"),
@@ -473,11 +780,11 @@ mod tests {
         .unwrap()
     }
 
-    fn packet_with(path: ScionPath) -> ScionPacket {
+    pub(crate) fn packet_with(path: ScionPath) -> ScionPacket {
         packet_to(path, "71-200")
     }
 
-    fn packet_to(path: ScionPath, dst: &str) -> ScionPacket {
+    pub(crate) fn packet_to(path: ScionPath, dst: &str) -> ScionPacket {
         ScionPacket::new(
             ScionAddr::new(ia("71-100"), HostAddr::v4(10, 0, 0, 1)),
             ScionAddr::new(ia(dst), HostAddr::v4(10, 0, 0, 2)),
@@ -961,5 +1268,336 @@ mod traceroute_tests {
         let mut r100 = BorderRouter::new(sec100.ia, sec100.hop_key);
         let pkt = probe_packet(0);
         assert!(r100.process(pkt, 0, 1_700_000_100).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod fastpath_tests {
+    use super::tests::{full_transit_path, packet_to, packet_with, router, secrets};
+    use super::*;
+    use sciera_telemetry::Telemetry;
+    use scion_proto::addr::{ia, HostAddr, ScionAddr};
+
+    const NOW: u64 = 1_700_000_100;
+
+    /// Runs one frame through the reference path (decode → process →
+    /// encode) on `r_ref` and through the fast path on `r_fast`, asserting
+    /// identical verdicts and identical output bytes, and returns the
+    /// shared outcome.
+    fn differential_step(
+        r_ref: &mut BorderRouter,
+        r_fast: &mut BorderRouter,
+        frame: &mut Vec<u8>,
+        ingress: u16,
+        now: u64,
+    ) -> Result<FrameDecision, FrameError> {
+        let reference: Result<(FrameDecision, Vec<u8>), FrameError> =
+            match ScionPacket::decode(frame) {
+                Err(e) => Err(FrameError::Malformed(e.to_string())),
+                Ok(pkt) => match r_ref.process(pkt, ingress, now) {
+                    Ok(Decision::Deliver(p)) => Ok((FrameDecision::Deliver, p.encode().unwrap())),
+                    Ok(Decision::Forward { ifid, packet }) => {
+                        Ok((FrameDecision::Forward { ifid }, packet.encode().unwrap()))
+                    }
+                    Err(e) => Err(FrameError::Drop(e)),
+                },
+            };
+        let fast = r_fast.process_frame(frame, ingress, now);
+        match (&reference, &fast) {
+            (Ok((want, want_bytes)), Ok(got)) => {
+                assert_eq!(got, want, "verdict diverged");
+                assert_eq!(frame, want_bytes, "output frame bytes diverged");
+            }
+            (Err(we), Err(ge)) => assert_eq!(ge, we, "error diverged"),
+            other => panic!("reference/fast disagree: {other:?}"),
+        }
+        fast
+    }
+
+    #[test]
+    fn fastpath_walk_is_byte_identical_to_reference() {
+        let stations: [(&str, u16); 6] = [
+            ("71-100", 0),
+            ("71-10", 22),
+            ("71-1", 11),
+            ("71-2", 41),
+            ("71-20", 23),
+            ("71-200", 33),
+        ];
+        let pkt = packet_with(full_transit_path().to_dataplane().unwrap());
+        let mut frame = pkt.encode().unwrap();
+        for (as_str, ingress) in stations {
+            let mut r_ref = router(as_str);
+            let mut r_fast = router(as_str);
+            let step = differential_step(&mut r_ref, &mut r_fast, &mut frame, ingress, NOW);
+            assert!(step.is_ok(), "station {as_str}: {step:?}");
+            // The fast path really did stay in place for these frames.
+            assert_eq!(r_fast.processed, 1);
+        }
+        let delivered = ScionPacket::decode(&frame).unwrap();
+        assert_eq!(delivered.payload, b"payload");
+    }
+
+    #[test]
+    fn warm_cache_skips_cipher_and_agrees() {
+        let tele = Telemetry::quiet();
+        let mut r = router("71-100");
+        r.set_telemetry(tele.clone());
+        let pkt = packet_with(full_transit_path().to_dataplane().unwrap());
+        let template = pkt.encode().unwrap();
+
+        let mut first = template.clone();
+        let d1 = r.process_frame(&mut first, 0, NOW).unwrap();
+        let mut second = template.clone();
+        let d2 = r.process_frame(&mut second, 0, NOW).unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(first, second, "warm-cache rewrite must be identical");
+        let snap = tele.snapshot();
+        // First frame misses then fills; second hits for both hop checks.
+        assert_eq!(snap.counter("router.maccache.hit"), Some(1));
+        assert!(snap.counter("router.maccache.miss") >= Some(1));
+        assert!(r.mac_cache_len() >= 1);
+
+        // A cache reset restores the cold behaviour.
+        r.reset_mac_cache();
+        assert_eq!(r.mac_cache_len(), 0);
+        let mut third = template.clone();
+        assert_eq!(r.process_frame(&mut third, 0, NOW).unwrap(), d1);
+        assert_eq!(third, first);
+    }
+
+    #[test]
+    fn corrupted_frames_drop_identically() {
+        // Flip every byte of the header region one at a time: fast path and
+        // reference must agree on accept/drop/malformed every single time.
+        let pkt = packet_with(full_transit_path().to_dataplane().unwrap());
+        let template = pkt.encode().unwrap();
+        for pos in 0..template.len() {
+            let mut frame = template.clone();
+            frame[pos] ^= 0x40;
+            let mut r_ref = router("71-100");
+            let mut r_fast = router("71-100");
+            // Verdict agreement (Ok or any Err) is checked inside the helper.
+            let _ = differential_step(&mut r_ref, &mut r_fast, &mut frame, 0, NOW);
+            assert_eq!(r_ref.processed, r_fast.processed, "byte {pos}");
+            assert_eq!(r_ref.dropped, r_fast.dropped, "byte {pos}");
+        }
+    }
+
+    #[test]
+    fn expired_and_wrong_ingress_drop_identically() {
+        let pkt = packet_with(full_transit_path().to_dataplane().unwrap());
+        let template = pkt.encode().unwrap();
+
+        let mut frame = template.clone();
+        let mut r = router("71-100");
+        let too_late = 1_700_000_000u64 + 22_000;
+        assert_eq!(
+            r.process_frame(&mut frame, 0, too_late),
+            Err(FrameError::Drop(DropReason::Expired))
+        );
+
+        // Forward once, then present the frame on the wrong interface.
+        let mut frame = template.clone();
+        router("71-100").process_frame(&mut frame, 0, NOW).unwrap();
+        let mut r10 = router("71-10");
+        assert_eq!(
+            r10.process_frame(&mut frame, 27, NOW),
+            Err(FrameError::Drop(DropReason::IngressMismatch {
+                expected: 22,
+                actual: 27
+            }))
+        );
+    }
+
+    #[test]
+    fn traced_frames_fall_back_and_still_match_reference() {
+        let tele = Telemetry::quiet();
+        let mut pkt = packet_with(full_transit_path().to_dataplane().unwrap());
+        pkt.trace = Some(TraceContext::root(42));
+        let mut frame = pkt.encode().unwrap();
+        let mut r_ref = router("71-100");
+        let mut r_fast = router("71-100");
+        r_fast.set_telemetry(tele.clone());
+        let step = differential_step(&mut r_ref, &mut r_fast, &mut frame, 0, NOW);
+        assert!(matches!(step, Ok(FrameDecision::Forward { .. })));
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("router.fastpath.fallback"), Some(1));
+        assert_eq!(snap.counter("router.fastpath.hit"), Some(0));
+        // The trace context advanced exactly once.
+        let out = ScionPacket::decode(&frame).unwrap();
+        assert_eq!(out.trace.unwrap().hop, 1);
+    }
+
+    #[test]
+    fn malformed_frames_do_not_touch_router_state() {
+        let mut r = router("71-100");
+        let mut garbage = vec![0xde, 0xad, 0xbe, 0xef];
+        match r.process_frame(&mut garbage, 0, NOW) {
+            Err(FrameError::Malformed(_)) => {}
+            other => panic!("expected malformed, got {other:?}"),
+        }
+        assert_eq!(
+            r.processed, 0,
+            "undecodable frames never count as processed"
+        );
+        assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn trailing_bytes_fall_back_to_reference_semantics() {
+        let tele = Telemetry::quiet();
+        let pkt = packet_with(full_transit_path().to_dataplane().unwrap());
+        let mut frame = pkt.encode().unwrap();
+        frame.push(0xcc); // decode tolerates, encode strips
+        let mut r_ref = router("71-100");
+        let mut r_fast = router("71-100");
+        r_fast.set_telemetry(tele.clone());
+        let step = differential_step(&mut r_ref, &mut r_fast, &mut frame, 0, NOW);
+        assert!(matches!(step, Ok(FrameDecision::Forward { .. })));
+        assert_eq!(tele.snapshot().counter("router.fastpath.fallback"), Some(1));
+    }
+
+    #[test]
+    fn reserved_bits_fall_back_and_are_canonicalised() {
+        // decode ignores reserved bits, encode zeroes them: such frames must
+        // take the reference path so both paths emit the canonical frame.
+        let tele = Telemetry::quiet();
+        let pkt = packet_with(full_transit_path().to_dataplane().unwrap());
+        let mut frame = pkt.encode().unwrap();
+        frame[10] |= 0x40; // common-header RSV byte
+        let mut r_ref = router("71-100");
+        let mut r_fast = router("71-100");
+        r_fast.set_telemetry(tele.clone());
+        let step = differential_step(&mut r_ref, &mut r_fast, &mut frame, 0, NOW);
+        assert!(matches!(step, Ok(FrameDecision::Forward { .. })));
+        assert_eq!(frame[10], 0, "output frame must be canonical");
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("router.fastpath.fallback"), Some(1));
+        assert_eq!(snap.counter("router.fastpath.hit"), Some(0));
+    }
+
+    #[test]
+    fn empty_path_frames_processed_inline() {
+        let tele = Telemetry::quiet();
+        let local = ScionPacket::new(
+            ScionAddr::new(ia("71-100"), HostAddr::v4(10, 0, 0, 1)),
+            ScionAddr::new(ia("71-100"), HostAddr::v4(10, 0, 0, 2)),
+            L4Protocol::Udp,
+            DataPlanePath::Empty,
+            b"local".to_vec(),
+        );
+        let mut r = router("71-100");
+        r.set_telemetry(tele.clone());
+        let mut frame = local.encode().unwrap();
+        let before = frame.clone();
+        assert_eq!(
+            r.process_frame(&mut frame, 0, NOW),
+            Ok(FrameDecision::Deliver)
+        );
+        assert_eq!(frame, before, "delivery leaves the frame untouched");
+
+        let mut foreign = local.clone();
+        foreign.dst.ia = ia("71-200");
+        let mut frame = foreign.encode().unwrap();
+        assert_eq!(
+            r.process_frame(&mut frame, 0, NOW),
+            Err(FrameError::Drop(DropReason::WrongDestination))
+        );
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("router.fastpath.hit"), Some(2));
+        assert_eq!(snap.counter("router.fastpath.fallback"), Some(0));
+    }
+
+    #[test]
+    fn one_hop_frames_fall_back_to_unsupported() {
+        use scion_proto::path::{HopField, InfoField};
+        let pkt = ScionPacket::new(
+            ScionAddr::new(ia("71-100"), HostAddr::v4(10, 0, 0, 1)),
+            ScionAddr::new(ia("71-10"), HostAddr::v4(10, 0, 0, 2)),
+            L4Protocol::Udp,
+            DataPlanePath::OneHop {
+                info: InfoField {
+                    peering: false,
+                    cons_dir: true,
+                    seg_id: 1,
+                    timestamp: 1_700_000_000,
+                },
+                first_hop: HopField {
+                    ingress_alert: false,
+                    egress_alert: false,
+                    exp_time: 63,
+                    cons_ingress: 0,
+                    cons_egress: 7,
+                    mac: [1, 2, 3, 4, 5, 6],
+                },
+                second_hop: HopField {
+                    ingress_alert: false,
+                    egress_alert: false,
+                    exp_time: 0,
+                    cons_ingress: 0,
+                    cons_egress: 0,
+                    mac: [0; 6],
+                },
+            },
+            vec![],
+        );
+        let mut frame = pkt.encode().unwrap();
+        let mut r = router("71-100");
+        assert_eq!(
+            r.process_frame(&mut frame, 0, NOW),
+            Err(FrameError::Drop(DropReason::UnsupportedPath))
+        );
+        assert_eq!(r.processed, 1, "fallback still processes the packet");
+    }
+
+    #[test]
+    fn peering_walk_is_byte_identical() {
+        use scion_control::fullpath::{Direction, FullPath, PathKind, SegmentUse};
+        use scion_control::segment::{SegmentBuilder, SegmentType};
+
+        let ts = 1_700_000_000u32;
+        let mut b = SegmentBuilder::originate(SegmentType::UpDown, ts, 0x1001);
+        b.extend(&secrets("71-1"), 0, 11, &[]);
+        b.extend(&secrets("71-10"), 21, 22, &[(ia("71-20"), 29, 39)]);
+        b.extend(&secrets("71-100"), 31, 0, &[]);
+        let up = b.finish();
+        let mut b = SegmentBuilder::originate(SegmentType::UpDown, ts, 0x2002);
+        b.extend(&secrets("71-2"), 0, 12, &[]);
+        b.extend(&secrets("71-20"), 23, 24, &[(ia("71-10"), 39, 29)]);
+        b.extend(&secrets("71-200"), 33, 0, &[]);
+        let down = b.finish();
+        let p = FullPath::assemble(
+            ia("71-100"),
+            ia("71-200"),
+            PathKind::Peering,
+            vec![
+                SegmentUse {
+                    segment: up,
+                    dir: Direction::AgainstCons,
+                    from_idx: 1,
+                    to_idx: 2,
+                    peer_with: Some(ia("71-20")),
+                },
+                SegmentUse {
+                    segment: down,
+                    dir: Direction::Cons,
+                    from_idx: 1,
+                    to_idx: 2,
+                    peer_with: Some(ia("71-10")),
+                },
+            ],
+        )
+        .unwrap();
+        let pkt = packet_to(p.to_dataplane().unwrap(), "71-200");
+        let mut frame = pkt.encode().unwrap();
+        let stations: [(&str, u16); 4] =
+            [("71-100", 0), ("71-10", 22), ("71-20", 39), ("71-200", 33)];
+        for (as_str, ingress) in stations {
+            let mut r_ref = router(as_str);
+            let mut r_fast = router(as_str);
+            let step = differential_step(&mut r_ref, &mut r_fast, &mut frame, ingress, NOW);
+            assert!(step.is_ok(), "station {as_str}: {step:?}");
+        }
     }
 }

@@ -16,6 +16,9 @@
 //!   maintenance events, mirroring the incidents of §5.4 (KREONET cable cut,
 //!   BRIDGES instabilities, January maintenance).
 //! * [`metrics`] — counters and streaming histograms for experiment output.
+//! * [`pool`] — a bounded frame-buffer pool so steady-state traffic reuses
+//!   `Vec<u8>` allocations instead of hammering the global allocator; the
+//!   [`world::World`] owns one and exposes it through [`world::NodeCtx`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,9 +26,11 @@
 pub mod faults;
 pub mod link;
 pub mod metrics;
+pub mod pool;
 pub mod time;
 pub mod world;
 
 pub use link::{Link, LinkId, LinkQuality};
+pub use pool::FramePool;
 pub use time::{SimDuration, SimTime};
 pub use world::{Node, NodeCtx, NodeId, World};

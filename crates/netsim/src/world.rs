@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use sciera_telemetry::{Counter, Event as TraceEvent, Gauge, Severity, Telemetry};
 
 use crate::link::{Link, LinkId, LinkQuality};
+use crate::pool::FramePool;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a node within a [`World`].
@@ -102,6 +103,7 @@ pub struct NodeCtx<'a> {
     link_states: &'a [(NodeId, NodeId, bool)],
     actions: &'a mut Vec<Action>,
     stats: &'a mut WorldStats,
+    pool: &'a mut FramePool,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -151,6 +153,18 @@ impl<'a> NodeCtx<'a> {
             link,
             frame,
         });
+    }
+
+    /// Takes a cleared frame buffer from the world's pool (see
+    /// [`FramePool::alloc`]); recycled allocations when available.
+    pub fn alloc_frame(&mut self, len_hint: usize) -> Vec<u8> {
+        self.pool.alloc(len_hint)
+    }
+
+    /// Returns a consumed frame buffer to the world's pool so its
+    /// allocation can back a future frame.
+    pub fn recycle_frame(&mut self, frame: Vec<u8>) {
+        self.pool.recycle(frame);
     }
 
     /// Arms a one-shot timer firing `after` from now with `token`.
@@ -207,6 +221,7 @@ pub struct World<N: Node> {
     rng: StdRng,
     stats: WorldStats,
     started: bool,
+    pool: FramePool,
     telemetry: Telemetry,
     link_counters: Vec<LinkCounters>,
     events_counter: Counter,
@@ -230,6 +245,7 @@ impl<N: Node> World<N> {
             rng: StdRng::seed_from_u64(seed),
             stats: WorldStats::default(),
             started: false,
+            pool: FramePool::default(),
             telemetry,
             link_counters: Vec::new(),
             events_counter,
@@ -242,6 +258,7 @@ impl<N: Node> World<N> {
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.events_counter = telemetry.counter("world.events_processed");
         self.queue_depth_hwm = telemetry.gauge("world.queue_depth_hwm");
+        self.pool.set_telemetry(&telemetry);
         self.link_counters = (0..self.links.len())
             .map(|i| LinkCounters::register(&telemetry, LinkId(i)))
             .collect();
@@ -317,6 +334,17 @@ impl<N: Node> World<N> {
         &self.stats
     }
 
+    /// The world's frame-buffer pool.
+    pub fn pool(&self) -> &FramePool {
+        &self.pool
+    }
+
+    /// Mutable access to the frame-buffer pool (e.g. to pre-warm it or
+    /// recycle buffers from outside a node callback).
+    pub fn pool_mut(&mut self) -> &mut FramePool {
+        &mut self.pool
+    }
+
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
@@ -349,6 +377,7 @@ impl<N: Node> World<N> {
                 link_states: &link_states,
                 actions: &mut actions,
                 stats: &mut self.stats,
+                pool: &mut self.pool,
             };
             f(&mut self.nodes[id.0], &mut ctx);
         }
@@ -360,6 +389,7 @@ impl<N: Node> World<N> {
                     let Some(dst) = l.peer_of(from) else {
                         self.stats.frames_dropped += 1;
                         self.link_counters[link.0].dropped.inc();
+                        self.pool.recycle(frame);
                         continue;
                     };
                     // The direction already carrying a frame means this one
@@ -392,6 +422,9 @@ impl<N: Node> World<N> {
                                     .field("bytes", frame.len()),
                                 );
                             }
+                            // The buffer of a link-dropped frame goes
+                            // straight back to the pool.
+                            self.pool.recycle(frame);
                         }
                     }
                 }
@@ -618,6 +651,60 @@ mod tests {
         assert!(snap.gauge("world.queue_depth_hwm").unwrap() >= 1);
         // The drop and the link-down transition both left trace events.
         assert!(snap.events_recorded >= 2);
+    }
+
+    #[test]
+    fn pool_recycles_through_node_ctx() {
+        /// Echoes each frame from a pooled buffer and recycles the original.
+        struct PooledEcho;
+        impl Node for PooledEcho {
+            fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, link: LinkId, frame: Vec<u8>) {
+                let mut reply = ctx.alloc_frame(frame.len());
+                reply.extend_from_slice(&frame);
+                ctx.recycle_frame(frame);
+                ctx.send(link, reply);
+            }
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+                let link = ctx.links()[0];
+                let mut frame = ctx.alloc_frame(5);
+                frame.extend_from_slice(b"probe");
+                ctx.send(link, frame);
+            }
+        }
+        let tele = Telemetry::quiet();
+        let mut w = World::new(1);
+        let a = w.add_node(PooledEcho);
+        let b = w.add_node(PooledEcho);
+        w.add_link(a, b, LinkQuality::with_latency(SimDuration::from_millis(1)));
+        w.set_telemetry(tele.clone());
+        // Each probe ping-pongs forever; stop after a few round trips.
+        w.schedule_timer(SimTime::ZERO, a, 0);
+        w.run_until(SimTime::from_nanos(10_000_000));
+        let snap = tele.snapshot();
+        // First alloc misses; every echo after the first reuses the buffer
+        // its predecessor recycled.
+        assert!(snap.counter("pool.frame.hit").unwrap() >= 8);
+        assert!(snap.counter("pool.frame.recycled").unwrap() >= 8);
+        assert!(w.pool().free_count() >= 1);
+    }
+
+    #[test]
+    fn pool_reclaims_link_dropped_frames() {
+        let mut w = World::new(1);
+        let client = w.add_node(Echo::new(false));
+        let server = w.add_node(Echo::new(true));
+        let link = w.add_link(
+            client,
+            server,
+            LinkQuality::with_latency(SimDuration::from_millis(10)),
+        );
+        w.set_link_state(link, false);
+        w.run_to_completion();
+        // The 5 ms probe was dropped by the downed link; its buffer must be
+        // back in the pool rather than freed.
+        assert_eq!(w.stats().frames_dropped, 1);
+        assert_eq!(w.pool().free_count(), 1);
+        assert_eq!(w.pool().outstanding(), 0);
     }
 
     #[test]

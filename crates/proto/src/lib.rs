@@ -23,6 +23,9 @@
 //! * [`udp`] — UDP/SCION, the transport the PAN socket API exposes.
 //! * [`encap`] — the IP-UDP "Layer 2.5" underlay encapsulation (§4.3.1)
 //!   that lets SCION packets traverse unmodified intra-AS IP networks.
+//! * [`wire`] — zero-copy packet views ([`wire::PacketView`]) and in-place
+//!   mutation cursors ([`wire::WireCursor`]) over raw frames, the substrate
+//!   of the border-router forwarding fast path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,11 +37,13 @@ pub mod path;
 pub mod scmp;
 pub mod trace;
 pub mod udp;
+pub mod wire;
 
 pub use addr::{Asn, HostAddr, IsdAsn, IsdNumber};
 pub use packet::ScionPacket;
 pub use path::{HopField, InfoField, PathMeta, ScionPath};
 pub use trace::TraceContext;
+pub use wire::{HeaderOffsets, PacketView, WireCursor};
 
 /// Errors produced while parsing or building wire formats.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -75,7 +75,8 @@ pub enum PathType {
 }
 
 impl PathType {
-    fn to_u8(self) -> u8 {
+    /// Wire value of the discriminator.
+    pub fn to_u8(self) -> u8 {
         match self {
             PathType::Empty => 0,
             PathType::Scion => 1,
@@ -83,7 +84,8 @@ impl PathType {
         }
     }
 
-    fn from_u8(v: u8) -> Result<Self, ProtoError> {
+    /// Parses the wire value of the discriminator.
+    pub fn from_u8(v: u8) -> Result<Self, ProtoError> {
         match v {
             0 => Ok(PathType::Empty),
             1 => Ok(PathType::Scion),

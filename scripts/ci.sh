@@ -19,10 +19,24 @@ cargo build --workspace --no-default-features
 echo "==> cargo test -q -p sciera-telemetry --no-default-features"
 cargo test -q -p sciera-telemetry --no-default-features
 
+# The differential fast-path proptest must hold in both feature configs.
+echo "==> cargo test -q --test prop_fastpath --no-default-features"
+cargo test -q --test prop_fastpath --no-default-features
+
+# Benchmarks must at least compile; the A/B harness is run manually.
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+# The dataplane and wire-format crates carry the forwarding hot path: hold
+# them to the allocation-hygiene lints as hard errors.
+echo "==> cargo clippy -p scion-dataplane -p scion-proto (hot-path lints)"
+cargo clippy -p scion-dataplane -p scion-proto -- \
+    -D warnings -D clippy::redundant_clone -D clippy::needless_collect
 
 echo "==> ci OK"
