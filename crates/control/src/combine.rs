@@ -14,12 +14,13 @@
 //! The multiplicative effect of this enumeration over SCIERA's segment mix
 //! is exactly what yields the large path counts of Fig. 8.
 
+use std::collections::BTreeSet;
+
 use sciera_telemetry::Telemetry;
 use scion_proto::addr::IsdAsn;
 
 use crate::fullpath::{Direction, FullPath, PathKind, SegmentUse};
-use crate::segment::PathSegment;
-use crate::store::SegmentStore;
+use crate::store::{BucketDep, SegmentHandle, SegmentStore};
 
 /// [`combine_paths`] wrapped with telemetry: wall-clock duration of the
 /// combination lands in the `control.combine_ns` histogram and the result
@@ -56,89 +57,40 @@ pub fn combine_paths(
     dst: IsdAsn,
     max_paths: usize,
 ) -> Vec<FullPath> {
-    if src == dst {
-        return Vec::new();
-    }
-    let mut out: Vec<FullPath> = Vec::new();
-    let mut push = |p: Result<FullPath, crate::ControlError>| {
-        if let Ok(p) = p {
-            out.push(p);
-        }
-    };
+    combine_paths_recorded(store, src, dst, max_paths, false).paths
+}
 
-    let src_ups: Vec<&PathSegment> = store.up_segments(src);
-    let dst_downs: Vec<&PathSegment> = store.down_segments(dst);
-    let src_is_core = src_ups.is_empty();
-    let dst_is_core = dst_downs.is_empty();
+/// Raw (pre-finalization) combination output of one (up, down) segment
+/// pair, kept by the memoizer so a core-bucket change recombines only the
+/// pairs that consulted that bucket.
+#[derive(Debug, Clone)]
+pub(crate) struct PairRaw {
+    pub up_id: [u8; 32],
+    pub down_id: [u8; 32],
+    /// The core bucket this pair consulted (`None` for a same-core join,
+    /// which depends only on the two segments themselves).
+    pub core_dep: Option<BucketDep>,
+    pub paths: Vec<FullPath>,
+}
 
-    match (src_is_core, dst_is_core) {
-        (true, true) => {
-            for cs in store.core_between(src, dst) {
-                push(FullPath::assemble(
-                    src,
-                    dst,
-                    PathKind::SingleSegment,
-                    vec![SegmentUse::whole(cs.clone(), Direction::AgainstCons)],
-                ));
-            }
-        }
-        (true, false) => {
-            for d in &dst_downs {
-                if d.origin() == src {
-                    push(FullPath::assemble(
-                        src,
-                        dst,
-                        PathKind::SingleSegment,
-                        vec![SegmentUse::whole((*d).clone(), Direction::Cons)],
-                    ));
-                } else {
-                    for cs in store.core_between(src, d.origin()) {
-                        push(FullPath::assemble(
-                            src,
-                            dst,
-                            PathKind::CoreEnd,
-                            vec![
-                                SegmentUse::whole(cs.clone(), Direction::AgainstCons),
-                                SegmentUse::whole((*d).clone(), Direction::Cons),
-                            ],
-                        ));
-                    }
-                }
-            }
-        }
-        (false, true) => {
-            for u in &src_ups {
-                if u.origin() == dst {
-                    push(FullPath::assemble(
-                        src,
-                        dst,
-                        PathKind::SingleSegment,
-                        vec![SegmentUse::whole((*u).clone(), Direction::AgainstCons)],
-                    ));
-                } else {
-                    for cs in store.core_between(u.origin(), dst) {
-                        push(FullPath::assemble(
-                            src,
-                            dst,
-                            PathKind::CoreEnd,
-                            vec![
-                                SegmentUse::whole((*u).clone(), Direction::AgainstCons),
-                                SegmentUse::whole(cs.clone(), Direction::AgainstCons),
-                            ],
-                        ));
-                    }
-                }
-            }
-        }
-        (false, false) => {
-            for u in &src_ups {
-                for d in &dst_downs {
-                    combine_pair(store, src, dst, u, d, &mut push);
-                }
-            }
-        }
-    }
+/// A combination result plus everything the memoizer needs to revalidate
+/// it: the exact set of store buckets consulted and, for the leaf-to-leaf
+/// shape, the per-pair raw output.
+#[derive(Debug, Clone)]
+pub(crate) struct CombineRecord {
+    pub paths: Vec<FullPath>,
+    /// Every bucket whose contents influenced `paths`, including empty
+    /// buckets (their emptiness decided the combination shape).
+    pub deps: Vec<BucketDep>,
+    /// Per-pair raw results, in (up-index, down-index) push order; `Some`
+    /// only for the leaf-to-leaf shape when `record_raw` was requested.
+    pub raw: Option<Vec<PairRaw>>,
+}
 
+/// Sorts, dedups by fingerprint and truncates a push buffer — the final
+/// step every combination (fresh or incremental) must share so results are
+/// byte-for-byte identical.
+pub(crate) fn finalize(mut out: Vec<FullPath>, max_paths: usize) -> Vec<FullPath> {
     // Dedup by fingerprint, shortest first; fingerprint breaks ties so the
     // "lowest path identifier" rule of §5.4 is reproducible.
     out.sort_by_key(|p| (p.len(), p.fingerprint()));
@@ -147,17 +99,171 @@ pub fn combine_paths(
     out
 }
 
-/// All combinations of one up and one down segment.
-fn combine_pair(
+/// [`combine_paths`] with dependency (and optionally raw per-pair)
+/// recording. The plain entry point runs this with recording off, so there
+/// is exactly one combination code path.
+pub(crate) fn combine_paths_recorded(
     store: &SegmentStore,
     src: IsdAsn,
     dst: IsdAsn,
-    up: &PathSegment,
-    down: &PathSegment,
+    max_paths: usize,
+    record_raw: bool,
+) -> CombineRecord {
+    if src == dst {
+        return CombineRecord {
+            paths: Vec::new(),
+            deps: Vec::new(),
+            raw: None,
+        };
+    }
+    let mut out: Vec<FullPath> = Vec::new();
+    // The combination shape is decided by bucket emptiness, so the two
+    // endpoint buckets are dependencies even when empty.
+    let mut deps: BTreeSet<BucketDep> = BTreeSet::new();
+    deps.insert(BucketDep::UpDown(src));
+    deps.insert(BucketDep::UpDown(dst));
+
+    let src_ups = store.up_segment_handles(src);
+    let dst_downs = store.up_segment_handles(dst);
+    let src_is_core = src_ups.is_empty();
+    let dst_is_core = dst_downs.is_empty();
+    let mut raw: Option<Vec<PairRaw>> = None;
+
+    fn push_ok(out: &mut Vec<FullPath>, p: Result<FullPath, crate::ControlError>) {
+        if let Ok(p) = p {
+            out.push(p);
+        }
+    }
+
+    match (src_is_core, dst_is_core) {
+        (true, true) => {
+            deps.insert(BucketDep::Core { from: src, to: dst });
+            for cs in store.core_between_handles(src, dst) {
+                push_ok(
+                    &mut out,
+                    FullPath::assemble(
+                        src,
+                        dst,
+                        PathKind::SingleSegment,
+                        vec![SegmentUse::whole(cs.clone(), Direction::AgainstCons)],
+                    ),
+                );
+            }
+        }
+        (true, false) => {
+            for d in dst_downs {
+                if d.origin() == src {
+                    push_ok(
+                        &mut out,
+                        FullPath::assemble(
+                            src,
+                            dst,
+                            PathKind::SingleSegment,
+                            vec![SegmentUse::whole(d.clone(), Direction::Cons)],
+                        ),
+                    );
+                } else {
+                    deps.insert(BucketDep::Core {
+                        from: src,
+                        to: d.origin(),
+                    });
+                    for cs in store.core_between_handles(src, d.origin()) {
+                        push_ok(
+                            &mut out,
+                            FullPath::assemble(
+                                src,
+                                dst,
+                                PathKind::CoreEnd,
+                                vec![
+                                    SegmentUse::whole(cs.clone(), Direction::AgainstCons),
+                                    SegmentUse::whole(d.clone(), Direction::Cons),
+                                ],
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            for u in src_ups {
+                if u.origin() == dst {
+                    push_ok(
+                        &mut out,
+                        FullPath::assemble(
+                            src,
+                            dst,
+                            PathKind::SingleSegment,
+                            vec![SegmentUse::whole(u.clone(), Direction::AgainstCons)],
+                        ),
+                    );
+                } else {
+                    deps.insert(BucketDep::Core {
+                        from: u.origin(),
+                        to: dst,
+                    });
+                    for cs in store.core_between_handles(u.origin(), dst) {
+                        push_ok(
+                            &mut out,
+                            FullPath::assemble(
+                                src,
+                                dst,
+                                PathKind::CoreEnd,
+                                vec![
+                                    SegmentUse::whole(u.clone(), Direction::AgainstCons),
+                                    SegmentUse::whole(cs.clone(), Direction::AgainstCons),
+                                ],
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        (false, false) => {
+            let mut pairs: Vec<PairRaw> = Vec::new();
+            for u in src_ups {
+                for d in dst_downs {
+                    let start = out.len();
+                    let core_dep =
+                        combine_pair(store, src, dst, u, d, &mut |p| push_ok(&mut out, p));
+                    if let Some(dep) = core_dep {
+                        deps.insert(dep);
+                    }
+                    if record_raw {
+                        pairs.push(PairRaw {
+                            up_id: u.id(),
+                            down_id: d.id(),
+                            core_dep,
+                            paths: out[start..].to_vec(),
+                        });
+                    }
+                }
+            }
+            if record_raw {
+                raw = Some(pairs);
+            }
+        }
+    }
+
+    CombineRecord {
+        paths: finalize(out, max_paths),
+        deps: deps.into_iter().collect(),
+        raw,
+    }
+}
+
+/// All combinations of one up and one down segment. Returns the core
+/// bucket consulted for transit, if any.
+pub(crate) fn combine_pair(
+    store: &SegmentStore,
+    src: IsdAsn,
+    dst: IsdAsn,
+    up: &SegmentHandle,
+    down: &SegmentHandle,
     push: &mut impl FnMut(Result<FullPath, crate::ControlError>),
-) {
+) -> Option<BucketDep> {
     let cu = up.origin();
     let cd = down.origin();
+    let mut core_dep = None;
 
     // Same-core join.
     if cu == cd {
@@ -172,7 +278,8 @@ fn combine_pair(
         ));
     } else {
         // Core transit.
-        for cs in store.core_between(cu, cd) {
+        core_dep = Some(BucketDep::Core { from: cu, to: cd });
+        for cs in store.core_between_handles(cu, cd) {
             push(FullPath::assemble(
                 src,
                 dst,
@@ -253,6 +360,7 @@ fn combine_pair(
             }
         }
     }
+    core_dep
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use scion_proto::addr::IsdAsn;
 use scion_proto::path::{HopField, InfoField, ScionPath};
 
-use crate::segment::PathSegment;
+use crate::store::SegmentHandle;
 use crate::ControlError;
 
 /// Traversal direction of a segment use.
@@ -28,8 +28,10 @@ pub enum Direction {
 /// How one segment contributes to a full path.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SegmentUse {
-    /// The segment (owned copy; segments are immutable once registered).
-    pub segment: PathSegment,
+    /// The segment (shared interned handle; segments are immutable once
+    /// registered, so every path assembled from a store aliases the same
+    /// allocation instead of deep-copying entry lists).
+    pub segment: SegmentHandle,
     /// Traversal direction.
     pub dir: Direction,
     /// First used entry (construction-order index, inclusive).
@@ -44,8 +46,11 @@ pub struct SegmentUse {
 }
 
 impl SegmentUse {
-    /// A full-segment use with no truncation or peering.
-    pub fn whole(segment: PathSegment, dir: Direction) -> Self {
+    /// A full-segment use with no truncation or peering. Accepts either an
+    /// interned [`SegmentHandle`] (cheap, the hot path) or an owned
+    /// [`crate::segment::PathSegment`] (interned here).
+    pub fn whole(segment: impl Into<SegmentHandle>, dir: Direction) -> Self {
+        let segment = segment.into();
         let to_idx = segment.len() - 1;
         SegmentUse {
             segment,
@@ -367,7 +372,7 @@ pub fn shared_interfaces(a: &FullPath, b: &FullPath) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::segment::{AsSecrets, SegmentBuilder, SegmentType};
+    use crate::segment::{AsSecrets, PathSegment, SegmentBuilder, SegmentType};
     use scion_proto::addr::ia;
 
     /// Up segment: core 71-1 -> mid 71-10 -> leaf 71-100.
@@ -475,14 +480,14 @@ mod tests {
             PathKind::Shortcut,
             vec![
                 SegmentUse {
-                    segment: up,
+                    segment: up.into(),
                     dir: Direction::AgainstCons,
                     from_idx: 1,
                     to_idx: 2,
                     peer_with: None,
                 },
                 SegmentUse {
-                    segment: down,
+                    segment: down.into(),
                     dir: Direction::Cons,
                     from_idx: 1,
                     to_idx: 2,
@@ -504,14 +509,14 @@ mod tests {
             PathKind::Peering,
             vec![
                 SegmentUse {
-                    segment: up_segment(),
+                    segment: up_segment().into(),
                     dir: Direction::AgainstCons,
                     from_idx: 1,
                     to_idx: 2,
                     peer_with: Some(ia("71-20")),
                 },
                 SegmentUse {
-                    segment: down_segment(),
+                    segment: down_segment().into(),
                     dir: Direction::Cons,
                     from_idx: 1,
                     to_idx: 2,
@@ -544,7 +549,7 @@ mod tests {
             PathKind::Peering,
             vec![
                 SegmentUse {
-                    segment: up_segment(),
+                    segment: up_segment().into(),
                     dir: Direction::AgainstCons,
                     from_idx: 1,
                     to_idx: 2,

@@ -21,6 +21,9 @@
 //!   [`scion_proto::path::ScionPath`].
 //! * [`policy`] — path policies: hop-predicate sequences, AS/ISD ACLs, the
 //!   §4.9 no-commercial-transit rule, and preference sorting orders.
+//! * [`pathdb`] — the memoized path database: a bounded LRU over
+//!   combination results, invalidated purely by the store's generation
+//!   counter, with incremental recombination when only core buckets moved.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +32,7 @@ pub mod beacon;
 pub mod combine;
 pub mod fullpath;
 pub mod graph;
+pub mod pathdb;
 pub mod policy;
 pub mod segment;
 pub mod store;
@@ -37,8 +41,9 @@ pub use beacon::BeaconEngine;
 pub use combine::combine_paths;
 pub use fullpath::{FullPath, PathHop};
 pub use graph::{ControlGraph, LinkType};
+pub use pathdb::{PathDb, PathDbConfig};
 pub use segment::{AsEntry, PathSegment, SegmentType};
-pub use store::SegmentStore;
+pub use store::{BucketDep, SegmentHandle, SegmentStore};
 
 /// Errors from control-plane operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,591 @@
+//! Memoized path combination: the control-plane fast path.
+//!
+//! [`PathDb`] owns a [`SegmentStore`] and a bounded LRU of combined
+//! [`FullPath`] lists keyed on `(src, dst, policy fingerprint, max_paths)`.
+//! Soundness rests entirely on the store's generation counter:
+//!
+//! * Every store mutation (registration, expiry, interface invalidation)
+//!   bumps [`SegmentStore::generation`], so a cached entry stamped with an
+//!   older generation is *known possibly-stale* — there is no code path
+//!   that changes store contents without moving the counter.
+//! * A stale entry is not necessarily wrong: each entry also records the
+//!   per-bucket generations of every bucket its combination consulted
+//!   (including empty buckets, whose emptiness decided the combination
+//!   shape). If none of those moved, the entry is revalidated in place —
+//!   an unrelated mutation costs a handful of map probes, not a
+//!   recombination.
+//! * If only *core* buckets moved and the raw per-pair output was
+//!   retained, only the (up, down) pairs that consulted a changed core
+//!   bucket are recombined via [`combine_pair`]; untouched pairs reuse
+//!   their recorded raw paths and the shared finalize step reproduces the
+//!   exact fresh result (same push order, same sort/dedup/truncate).
+//! * Otherwise the entry is fully recombined — still through the single
+//!   [`combine_paths_recorded`] code path, so memoized and fresh results
+//!   are byte-for-byte identical by construction.
+//!
+//! Counters: `pathdb.cache.{hit,miss,evict,invalidate,revalidate,partial}`
+//! plus the `store.generation` gauge, surfaced on the operator console's
+//! `pathdb:` line and in the Prometheus exposition.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use sciera_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use scion_proto::addr::IsdAsn;
+
+use crate::combine::{combine_pair, combine_paths_recorded, finalize, CombineRecord, PairRaw};
+use crate::fullpath::FullPath;
+use crate::policy::PathPolicy;
+use crate::store::{BucketDep, SegmentStore};
+
+/// A stable fingerprint of a path policy, used in cache keys so queries
+/// under different policies never alias. The empty/default policy (and
+/// "no policy") fingerprint to 0.
+pub fn policy_fingerprint(policy: &PathPolicy) -> u64 {
+    if policy.sequence.is_none()
+        && policy.acl.rules.is_empty()
+        && policy.transit.commercial.is_empty()
+    {
+        return 0;
+    }
+    let encoded = serde_json::to_string(policy).unwrap_or_default();
+    let digest = scion_crypto::sha256::sha256(encoded.as_bytes());
+    u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
+}
+
+/// Sizing knobs for the memoizer.
+#[derive(Debug, Clone, Copy)]
+pub struct PathDbConfig {
+    /// Maximum cached (src, dst, policy, cap) entries; least recently used
+    /// entries are evicted beyond this.
+    pub capacity: usize,
+    /// Maximum total raw per-pair paths retained per entry for incremental
+    /// recombination; entries above this fall back to full recombination
+    /// when invalidated (bounding memory, never correctness).
+    pub raw_limit: usize,
+}
+
+impl Default for PathDbConfig {
+    fn default() -> Self {
+        PathDbConfig {
+            capacity: 512,
+            raw_limit: 4096,
+        }
+    }
+}
+
+type CacheKey = (IsdAsn, IsdAsn, u64, usize);
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Store generation at which this entry was last (re)validated.
+    generation: u64,
+    /// Bucket generations observed when the combination ran.
+    deps: Vec<(BucketDep, u64)>,
+    /// Finalized (and policy-filtered, if keyed with a policy) paths.
+    paths: Vec<FullPath>,
+    /// Raw per-pair output for incremental recombination (leaf-to-leaf
+    /// shape only, unfiltered, bounded by `raw_limit`).
+    raw: Option<Vec<PairRaw>>,
+    /// LRU clock value of the last touch.
+    last_used: u64,
+}
+
+/// The memoized path database.
+pub struct PathDb {
+    store: SegmentStore,
+    cfg: PathDbConfig,
+    entries: HashMap<CacheKey, Entry>,
+    tick: u64,
+    telemetry: Telemetry,
+    hits: Counter,
+    misses: Counter,
+    evicts: Counter,
+    invalidates: Counter,
+    revalidates: Counter,
+    partials: Counter,
+    generation_gauge: Gauge,
+    combine_ns: Histogram,
+    paths_combined: Counter,
+}
+
+impl PathDb {
+    /// Wraps `store` with a default-sized cache.
+    pub fn new(store: SegmentStore) -> Self {
+        Self::with_config(store, PathDbConfig::default())
+    }
+
+    /// Wraps `store` with explicit sizing.
+    pub fn with_config(store: SegmentStore, cfg: PathDbConfig) -> Self {
+        let telemetry = Telemetry::quiet();
+        let db = PathDb {
+            store,
+            cfg,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: telemetry.counter("pathdb.cache.hit"),
+            misses: telemetry.counter("pathdb.cache.miss"),
+            evicts: telemetry.counter("pathdb.cache.evict"),
+            invalidates: telemetry.counter("pathdb.cache.invalidate"),
+            revalidates: telemetry.counter("pathdb.cache.revalidate"),
+            partials: telemetry.counter("pathdb.cache.partial"),
+            generation_gauge: telemetry.gauge("store.generation"),
+            combine_ns: telemetry.histogram("control.combine_ns"),
+            paths_combined: telemetry.counter("control.paths_combined"),
+            telemetry,
+        };
+        db.generation_gauge.set(db.store.generation());
+        db
+    }
+
+    /// Re-registers the database's metrics on a shared telemetry handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.hits = telemetry.counter("pathdb.cache.hit");
+        self.misses = telemetry.counter("pathdb.cache.miss");
+        self.evicts = telemetry.counter("pathdb.cache.evict");
+        self.invalidates = telemetry.counter("pathdb.cache.invalidate");
+        self.revalidates = telemetry.counter("pathdb.cache.revalidate");
+        self.partials = telemetry.counter("pathdb.cache.partial");
+        self.generation_gauge = telemetry.gauge("store.generation");
+        self.combine_ns = telemetry.histogram("control.combine_ns");
+        self.paths_combined = telemetry.counter("control.paths_combined");
+        self.generation_gauge.set(self.store.generation());
+        self.telemetry = telemetry;
+    }
+
+    /// Read access to the wrapped store.
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+
+    /// Mutable access to the wrapped store. Safe by construction: every
+    /// content mutation bumps the store's generation, which is the only
+    /// validity signal cached entries rely on.
+    pub fn store_mut(&mut self) -> &mut SegmentStore {
+        &mut self.store
+    }
+
+    /// The wrapped store's current generation.
+    pub fn generation(&self) -> u64 {
+        self.store.generation()
+    }
+
+    /// Number of cached entries.
+    pub fn cached_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops every cached entry (the big hammer; normal operation never
+    /// needs it — generation checks handle staleness).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drops every cached entry containing a path that crosses interface
+    /// `ifid` of `ia` — the reaction to an SCMP `ExternalInterfaceDown`
+    /// observed by the prober. The store is untouched (the segments are
+    /// still validly signed; liveness is the data plane's concern), so the
+    /// next query recombines from current contents. Returns how many
+    /// entries were dropped.
+    pub fn invalidate_paths_crossing(&mut self, ia: IsdAsn, ifid: u16) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| !e.paths.iter().any(|p| p.interfaces().contains(&(ia, ifid))));
+        let dropped = before - self.entries.len();
+        self.invalidates.add(dropped as u64);
+        dropped
+    }
+
+    /// Memoized equivalent of
+    /// [`combine_paths`](crate::combine::combine_paths): byte-for-byte the
+    /// same result, served from cache when the store generation allows.
+    pub fn paths(&mut self, src: IsdAsn, dst: IsdAsn, max_paths: usize) -> Vec<FullPath> {
+        self.query(src, dst, max_paths, None)
+    }
+
+    /// Memoized combination followed by policy filtering; cached per
+    /// policy fingerprint, so distinct policies never alias. Equivalent to
+    /// `combine_paths(..)` + `policy.filter(..)`.
+    pub fn paths_filtered(
+        &mut self,
+        src: IsdAsn,
+        dst: IsdAsn,
+        max_paths: usize,
+        policy: &PathPolicy,
+    ) -> Vec<FullPath> {
+        self.query(src, dst, max_paths, Some(policy))
+    }
+
+    fn query(
+        &mut self,
+        src: IsdAsn,
+        dst: IsdAsn,
+        max_paths: usize,
+        policy: Option<&PathPolicy>,
+    ) -> Vec<FullPath> {
+        let start = std::time::Instant::now();
+        let gen = self.store.generation();
+        self.generation_gauge.set(gen);
+        let fp = policy.map(policy_fingerprint).unwrap_or(0);
+        let key = (src, dst, fp, max_paths);
+        self.tick += 1;
+        let tick = self.tick;
+
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_used = tick;
+            if e.generation == gen {
+                self.hits.inc();
+                let paths = e.paths.clone();
+                self.finish_query(start, &paths);
+                return paths;
+            }
+            // Stale generation: did any bucket we depend on actually move?
+            let changed: Vec<BucketDep> = e
+                .deps
+                .iter()
+                .filter(|(dep, g)| self.store.bucket_generation(*dep) != *g)
+                .map(|(dep, _)| *dep)
+                .collect();
+            if changed.is_empty() {
+                e.generation = gen;
+                e.deps
+                    .iter_mut()
+                    .for_each(|(dep, g)| *g = self.store.bucket_generation(*dep));
+                self.hits.inc();
+                self.revalidates.inc();
+                let paths = e.paths.clone();
+                self.finish_query(start, &paths);
+                return paths;
+            }
+            // A consulted bucket changed: the entry must be recombined.
+            self.invalidates.inc();
+            let only_core = changed
+                .iter()
+                .all(|dep| matches!(dep, BucketDep::Core { .. }));
+            let record = if only_core && e.raw.is_some() {
+                let partial = incremental_recombine(&self.store, src, dst, max_paths, e);
+                if partial.is_some() {
+                    self.partials.inc();
+                }
+                partial
+            } else {
+                None
+            };
+            let record = record
+                .unwrap_or_else(|| combine_paths_recorded(&self.store, src, dst, max_paths, true));
+            let paths = self.install(key, gen, tick, record, policy);
+            self.finish_query(start, &paths);
+            return paths;
+        }
+
+        self.misses.inc();
+        let record = combine_paths_recorded(&self.store, src, dst, max_paths, true);
+        self.evict_for(tick);
+        let paths = self.install(key, gen, tick, record, policy);
+        self.finish_query(start, &paths);
+        paths
+    }
+
+    /// Stores a fresh combination record as the entry for `key`, applying
+    /// the policy filter and the raw-retention bound. Returns the (cloned)
+    /// path list to hand to the caller.
+    fn install(
+        &mut self,
+        key: CacheKey,
+        gen: u64,
+        tick: u64,
+        record: CombineRecord,
+        policy: Option<&PathPolicy>,
+    ) -> Vec<FullPath> {
+        let CombineRecord {
+            mut paths,
+            deps,
+            raw,
+        } = record;
+        if let Some(p) = policy {
+            p.filter(&mut paths);
+        }
+        let raw = raw.filter(|pairs| {
+            pairs.iter().map(|p| p.paths.len()).sum::<usize>() <= self.cfg.raw_limit
+        });
+        let deps = deps
+            .into_iter()
+            .map(|dep| (dep, self.store.bucket_generation(dep)))
+            .collect();
+        self.entries.insert(
+            key,
+            Entry {
+                generation: gen,
+                deps,
+                paths: paths.clone(),
+                raw,
+                last_used: tick,
+            },
+        );
+        paths
+    }
+
+    /// Evicts the least-recently-used entry if the cache is full. O(n)
+    /// scan; n is the (small, bounded) cache capacity and eviction only
+    /// runs on insertion of a new key.
+    fn evict_for(&mut self, _tick: u64) {
+        if self.entries.len() < self.cfg.capacity {
+            return;
+        }
+        if let Some(oldest) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k)
+        {
+            self.entries.remove(&oldest);
+            self.evicts.inc();
+        }
+    }
+
+    fn finish_query(&self, start: std::time::Instant, paths: &[FullPath]) {
+        self.combine_ns.record(start.elapsed().as_nanos() as f64);
+        self.paths_combined.add(paths.len() as u64);
+    }
+}
+
+/// Recombines only the (up, down) pairs whose consulted core bucket moved,
+/// reusing recorded raw output for the rest. Returns `None` when the
+/// recorded raw state doesn't line up with the current buckets (shape
+/// change, missing pair) — the caller then recombines fully.
+///
+/// Precondition (checked by the caller): the entry's up/down bucket deps
+/// are unchanged, so the current up/down buckets are exactly the ones the
+/// raw output was recorded against, in the same order.
+fn incremental_recombine(
+    store: &SegmentStore,
+    src: IsdAsn,
+    dst: IsdAsn,
+    max_paths: usize,
+    entry: &Entry,
+) -> Option<CombineRecord> {
+    let old_raw = entry.raw.as_ref()?;
+    let old_gens: BTreeMap<BucketDep, u64> = entry.deps.iter().copied().collect();
+    let mut old_idx: HashMap<([u8; 32], [u8; 32]), &PairRaw> = HashMap::new();
+    for pr in old_raw {
+        old_idx.insert((pr.up_id, pr.down_id), pr);
+    }
+
+    let src_ups = store.up_segment_handles(src);
+    let dst_downs = store.up_segment_handles(dst);
+    if src_ups.is_empty() || dst_downs.is_empty() {
+        return None; // shape changed under us — recombine fully
+    }
+
+    let mut out: Vec<FullPath> = Vec::new();
+    let mut deps: BTreeSet<BucketDep> = BTreeSet::new();
+    deps.insert(BucketDep::UpDown(src));
+    deps.insert(BucketDep::UpDown(dst));
+    let mut pairs: Vec<PairRaw> = Vec::with_capacity(old_raw.len());
+
+    for u in src_ups {
+        for d in dst_downs {
+            let reusable = old_idx.get(&(u.id(), d.id())).filter(|pr| {
+                pr.core_dep.is_none_or(|dep| {
+                    store.bucket_generation(dep) == old_gens.get(&dep).copied().unwrap_or(0)
+                })
+            });
+            if let Some(pr) = reusable {
+                if let Some(dep) = pr.core_dep {
+                    deps.insert(dep);
+                }
+                out.extend(pr.paths.iter().cloned());
+                pairs.push((*pr).clone());
+            } else {
+                let start = out.len();
+                let core_dep = combine_pair(store, src, dst, u, d, &mut |p| {
+                    if let Ok(p) = p {
+                        out.push(p);
+                    }
+                });
+                if let Some(dep) = core_dep {
+                    deps.insert(dep);
+                }
+                pairs.push(PairRaw {
+                    up_id: u.id(),
+                    down_id: d.id(),
+                    core_dep,
+                    paths: out[start..].to_vec(),
+                });
+            }
+        }
+    }
+
+    Some(CombineRecord {
+        paths: finalize(out, max_paths),
+        deps: deps.into_iter().collect(),
+        raw: Some(pairs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beacon::{BeaconConfig, BeaconEngine};
+    use crate::combine::combine_paths;
+    use crate::graph::{ControlGraph, LinkType};
+    use crate::policy::{Acl, HopPredicate};
+    use scion_proto::addr::ia;
+
+    /// Two cores, two leaves each, plus a leaf peering link.
+    fn mesh() -> SegmentStore {
+        let mut g = ControlGraph::new();
+        g.add_as(ia("71-1"), true);
+        g.add_as(ia("71-2"), true);
+        g.add_as(ia("71-3"), true);
+        for (core, leaf) in [
+            ("71-1", "71-10"),
+            ("71-1", "71-11"),
+            ("71-2", "71-20"),
+            ("71-3", "71-30"),
+        ] {
+            g.add_as(ia(leaf), false);
+            g.connect(ia(core), ia(leaf), LinkType::Child).unwrap();
+        }
+        g.connect(ia("71-1"), ia("71-2"), LinkType::Core).unwrap();
+        g.connect(ia("71-2"), ia("71-3"), LinkType::Core).unwrap();
+        g.connect(ia("71-1"), ia("71-3"), LinkType::Core).unwrap();
+        g.connect(ia("71-10"), ia("71-20"), LinkType::Peer).unwrap();
+        BeaconEngine::new(&g, 1_700_000_000, BeaconConfig::default())
+            .run()
+            .unwrap()
+    }
+
+    fn assert_matches_fresh(db: &mut PathDb, src: &str, dst: &str) {
+        let memo = db.paths(ia(src), ia(dst), 100);
+        let fresh = combine_paths(db.store(), ia(src), ia(dst), 100);
+        assert_eq!(memo, fresh, "{src}->{dst} memoized != fresh");
+    }
+
+    #[test]
+    fn warm_queries_hit_and_match_fresh() {
+        let mut db = PathDb::new(mesh());
+        for _ in 0..3 {
+            assert_matches_fresh(&mut db, "71-10", "71-20");
+            assert_matches_fresh(&mut db, "71-10", "71-2");
+            assert_matches_fresh(&mut db, "71-1", "71-3");
+        }
+        assert_eq!(db.misses.get(), 3);
+        assert!(db.hits.get() >= 6, "hits: {}", db.hits.get());
+        assert_eq!(db.invalidates.get(), 0);
+    }
+
+    #[test]
+    fn store_mutation_flushes_affected_entries() {
+        let mut db = PathDb::new(mesh());
+        let before = db.paths(ia("71-10"), ia("71-20"), 100);
+        assert!(!before.is_empty());
+        // Kill the interface the core 71-2 uses toward leaf 71-20: every
+        // path via that child link dies.
+        let down = db.store().up_segment_handles(ia("71-20"))[0].clone();
+        let ifid = down.entries[0].hop.cons_egress;
+        assert!(db.store_mut().invalidate_interface(ia("71-2"), ifid) > 0);
+        let after = db.paths(ia("71-10"), ia("71-20"), 100);
+        let fresh = combine_paths(db.store(), ia("71-10"), ia("71-20"), 100);
+        assert_eq!(after, fresh);
+        assert_ne!(before, after, "mutation must change the result");
+        assert!(db.invalidates.get() >= 1);
+    }
+
+    #[test]
+    fn unrelated_mutation_revalidates_without_recombination() {
+        let mut db = PathDb::new(mesh());
+        db.paths(ia("71-10"), ia("71-20"), 100);
+        // Mutate a bucket the 10->20 combination never consults.
+        let seg30 = db.store().up_segment_handles(ia("71-30"))[0].clone();
+        let ifid = seg30.entries[0].hop.cons_egress;
+        assert!(db.store_mut().invalidate_interface(ia("71-3"), ifid) > 0);
+        let memo = db.paths(ia("71-10"), ia("71-20"), 100);
+        assert_eq!(
+            memo,
+            combine_paths(db.store(), ia("71-10"), ia("71-20"), 100)
+        );
+        assert_eq!(db.revalidates.get(), 1);
+        assert_eq!(db.invalidates.get(), 0);
+    }
+
+    #[test]
+    fn core_only_change_recombines_incrementally() {
+        let mut db = PathDb::new(mesh());
+        db.paths(ia("71-10"), ia("71-30"), 100);
+        // Registering a fresh core segment touches only core buckets; the
+        // 10->30 entry must recombine (possibly partially), not revalidate.
+        let seg = {
+            use crate::segment::{AsSecrets, SegmentBuilder, SegmentType};
+            let mut b = SegmentBuilder::originate(SegmentType::Core, 1_700_000_123, 7);
+            b.extend(&AsSecrets::derive(ia("71-3")), 0, 91, &[]);
+            b.extend(&AsSecrets::derive(ia("71-1")), 92, 0, &[]);
+            b.finish()
+        };
+        db.store_mut().register_core(seg);
+        let memo = db.paths(ia("71-10"), ia("71-30"), 100);
+        assert_eq!(
+            memo,
+            combine_paths(db.store(), ia("71-10"), ia("71-30"), 100)
+        );
+        assert_eq!(db.invalidates.get(), 1);
+        assert_eq!(db.partials.get(), 1, "expected incremental recombination");
+    }
+
+    #[test]
+    fn policy_keys_do_not_alias() {
+        let mut db = PathDb::new(mesh());
+        let deny_core2 = PathPolicy {
+            acl: Acl::default().deny("71-2".parse::<HopPredicate>().unwrap()),
+            ..Default::default()
+        };
+        let unfiltered = db.paths(ia("71-10"), ia("71-20"), 100);
+        let filtered = db.paths_filtered(ia("71-10"), ia("71-20"), 100, &deny_core2);
+        assert!(filtered.len() < unfiltered.len());
+        let mut expect = combine_paths(db.store(), ia("71-10"), ia("71-20"), 100);
+        deny_core2.filter(&mut expect);
+        assert_eq!(filtered, expect);
+        // Warm repeat of both keys.
+        assert_eq!(db.paths(ia("71-10"), ia("71-20"), 100), unfiltered);
+        assert_eq!(
+            db.paths_filtered(ia("71-10"), ia("71-20"), 100, &deny_core2),
+            filtered
+        );
+    }
+
+    #[test]
+    fn scmp_crossing_invalidation_drops_only_affected_entries() {
+        let mut db = PathDb::new(mesh());
+        let p1020 = db.paths(ia("71-10"), ia("71-20"), 100);
+        db.paths(ia("71-10"), ia("71-30"), 100);
+        assert_eq!(db.cached_entries(), 2);
+        // A dead interface at leaf 71-20 can only affect the 10->20 entry.
+        let (ia_down, ifid) = *p1020[0]
+            .interfaces()
+            .iter()
+            .find(|(a, _)| *a == ia("71-20"))
+            .unwrap();
+        assert_eq!(db.invalidate_paths_crossing(ia_down, ifid), 1);
+        assert_eq!(db.cached_entries(), 1);
+        // Unknown interfaces drop nothing; results still match fresh.
+        assert_eq!(db.invalidate_paths_crossing(ia("71-2"), 999), 0);
+        assert_matches_fresh(&mut db, "71-10", "71-20");
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_cache() {
+        let mut db = PathDb::with_config(
+            mesh(),
+            PathDbConfig {
+                capacity: 2,
+                raw_limit: 4096,
+            },
+        );
+        db.paths(ia("71-10"), ia("71-20"), 100);
+        db.paths(ia("71-10"), ia("71-30"), 100);
+        db.paths(ia("71-20"), ia("71-30"), 100);
+        assert_eq!(db.cached_entries(), 2);
+        assert_eq!(db.evicts.get(), 1);
+        // Evicted key recombines and still matches fresh.
+        assert_matches_fresh(&mut db, "71-10", "71-20");
+    }
+}

@@ -128,6 +128,24 @@ impl OperatorConsole {
             g("pool.frame.outstanding"),
         );
 
+        // Control-plane fast path: combination-cache effectiveness, the
+        // store generation the cache validates against, and beacon
+        // batching (offers per batched neighbor pass, verify-cache hits).
+        let _ = writeln!(
+            out,
+            "pathdb: {} hit / {} miss / {} evict / {} invalidate / {} revalidate — store gen {} — beacon batches: {} ({} beacons, verify {} hit / {} miss)",
+            c("pathdb.cache.hit"),
+            c("pathdb.cache.miss"),
+            c("pathdb.cache.evict"),
+            c("pathdb.cache.invalidate"),
+            c("pathdb.cache.revalidate"),
+            g("store.generation"),
+            c("beacon.batch.count"),
+            c("beacon.batch.beacons"),
+            c("beacon.batch.verify_hit"),
+            c("beacon.batch.verify_miss"),
+        );
+
         if let Some((t0, prev)) = &self.last {
             let dt = now.saturating_sub(*t0) as f64;
             let mut rates: Vec<CounterRate> = counter_rates(prev, &snap, dt)
@@ -188,6 +206,8 @@ mod tests {
         assert!(second.contains("churn events:"), "{second}");
         assert!(second.contains("fastpath:"), "{second}");
         assert!(second.contains("mac cache:"), "{second}");
+        assert!(second.contains("pathdb:"), "{second}");
+        assert!(second.contains("beacon batches:"), "{second}");
         assert!(
             second.contains("prober.echo_sent"),
             "echo counter moved between renders:\n{second}"
@@ -196,6 +216,10 @@ mod tests {
         let prom = console.prometheus();
         assert!(prom.contains("# TYPE sciera_prober_echo_sent counter"));
         assert!(prom.contains("sciera_health_rtt_ms{quantile=\"0.5\"}"));
+        // Path-DB cache counters and the store generation gauge are part
+        // of the exposition (paths were looked up by register_probe_pair).
+        assert!(prom.contains("sciera_pathdb_cache_miss"), "{prom}");
+        assert!(prom.contains("sciera_store_generation"), "{prom}");
     }
 
     #[test]

@@ -10,8 +10,8 @@ use sciera_topology::ases::{all_ases, AsInfo};
 use sciera_topology::links::{build_control_graph, BuiltTopology, PER_AS_OVERHEAD_MS};
 use scion_bootstrap::server::{BootstrapServer, TopologyDocument};
 use scion_control::beacon::{BeaconConfig, BeaconEngine};
-use scion_control::combine::combine_paths_traced;
 use scion_control::fullpath::FullPath;
+use scion_control::pathdb::PathDb;
 use scion_control::segment::AsSecrets;
 use scion_control::store::SegmentStore;
 use scion_cppki::ca::{CaService, ClientProfile};
@@ -119,6 +119,9 @@ pub struct SciEraNetwork {
     inner: Arc<Mutex<Inner>>,
     prober: Arc<Mutex<PathProber>>,
     health: Arc<Mutex<HealthBoard>>,
+    /// The memoized path database every lookup goes through (shared with
+    /// attached hosts); its cache counters land in `telemetry`.
+    pathdb: Arc<Mutex<PathDb>>,
 }
 
 impl SciEraNetwork {
@@ -254,9 +257,16 @@ impl SciEraNetwork {
             bootstrap_servers.insert(a.ia, srv);
         }
 
+        // The memoized path DB serves every lookup; the public `store`
+        // field stays as the read-only merged view. Nothing mutates either
+        // copy post-build, so they cannot diverge.
+        let mut pathdb = PathDb::new(store.clone());
+        pathdb.set_telemetry(telemetry.clone());
+
         let n_links = topo.links.len();
         SciEraNetwork {
             store,
+            pathdb: Arc::new(Mutex::new(pathdb)),
             secrets,
             trust,
             renewal,
@@ -286,15 +296,25 @@ impl SciEraNetwork {
     }
 
     /// Combined paths from `src` to `dst` honouring current link state.
+    /// Combination is memoized in the shared [`PathDb`]; administrative
+    /// link state is applied as a post-filter, so toggling links never
+    /// invalidates the cache.
     pub fn paths(&self, src: IsdAsn, dst: IsdAsn) -> Vec<FullPath> {
+        let paths = self.pathdb.lock().paths(src, dst, 200);
         let inner = self.inner.lock();
-        combine_paths_traced(&self.store, src, dst, 200, &self.telemetry)
+        paths
             .into_iter()
             .filter(|p| {
                 let down = |i: usize| inner.link_down[i];
                 inner.topo.path_alive(p, &down)
             })
             .collect()
+    }
+
+    /// The shared memoized path database (e.g. to plug into an end-host
+    /// daemon as its [`scion_daemon::daemon::PathProvider`]).
+    pub fn pathdb(&self) -> Arc<Mutex<PathDb>> {
+        Arc::clone(&self.pathdb)
     }
 
     /// Sets the administrative state of every link whose label contains
@@ -396,7 +416,13 @@ impl SciEraNetwork {
         let mut transport = NetEchoTransport { net: &self.inner };
         let mut prober = self.prober.lock();
         let mut board = self.health.lock();
-        prober.run_round(&mut transport, &mut board, now)
+        // Probe-confirmed dead interfaces flush every memoized path
+        // combination crossing them (the next lookup recombines from the
+        // unchanged store and re-applies live link state).
+        let mut sink = |ia: IsdAsn, ifid: u16| {
+            self.pathdb.lock().invalidate_paths_crossing(ia, ifid);
+        };
+        prober.run_round_with_sink(&mut transport, &mut board, now, &mut sink)
     }
 
     /// The operator console's health table, one row per probed path.
@@ -433,7 +459,7 @@ impl SciEraNetwork {
         HostHandle {
             addr,
             net: Arc::clone(&self.inner),
-            store: self.store.clone(),
+            pathdb: Arc::clone(&self.pathdb),
             telemetry: self.telemetry.clone(),
         }
     }
@@ -743,7 +769,7 @@ pub struct HostHandle {
     /// The host's SCION address.
     pub addr: ScionAddr,
     net: Arc<Mutex<Inner>>,
-    store: SegmentStore,
+    pathdb: Arc<Mutex<PathDb>>,
     telemetry: Telemetry,
 }
 
@@ -753,7 +779,7 @@ impl HostHandle {
         SimTransport {
             local: self.addr,
             net: Arc::clone(&self.net),
-            store: self.store.clone(),
+            pathdb: Arc::clone(&self.pathdb),
             telemetry: self.telemetry.clone(),
         }
     }
@@ -763,7 +789,7 @@ impl HostHandle {
 pub struct SimTransport {
     local: ScionAddr,
     net: Arc<Mutex<Inner>>,
-    store: SegmentStore,
+    pathdb: Arc<Mutex<PathDb>>,
     telemetry: Telemetry,
 }
 
@@ -805,8 +831,9 @@ impl scion_pan::socket::PanTransport for SimTransport {
     }
 
     fn lookup_paths(&mut self, dst: IsdAsn) -> Vec<FullPath> {
+        let paths = self.pathdb.lock().paths(self.local.ia, dst, 200);
         let inner = self.net.lock();
-        combine_paths_traced(&self.store, self.local.ia, dst, 200, &self.telemetry)
+        paths
             .into_iter()
             .filter(|p| {
                 let down = |i: usize| inner.link_down[i];

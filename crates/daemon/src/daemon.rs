@@ -28,6 +28,16 @@ where
     }
 }
 
+/// A shared memoized path database is a path provider: daemons plugged
+/// into the same `Arc` all hit one combination cache, and a store mutation
+/// (generation bump) transparently refreshes what they fetch.
+impl PathProvider for std::sync::Arc<Mutex<scion_control::pathdb::PathDb>> {
+    fn fetch_paths(&self, src: IsdAsn, dst: IsdAsn, _now: u64) -> Vec<FullPath> {
+        self.lock()
+            .paths(src, dst, scion_control::combine::DEFAULT_MAX_PATHS)
+    }
+}
+
 /// Daemon configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct DaemonConfig {
@@ -388,6 +398,43 @@ mod tests {
         assert_eq!(removed, 1);
         let removed_again = d.invalidate_interface(ia("71-1"), 2);
         assert_eq!(removed_again, 0);
+    }
+
+    #[test]
+    fn shared_pathdb_serves_as_provider() {
+        use scion_control::beacon::{BeaconConfig, BeaconEngine};
+        use scion_control::graph::{ControlGraph, LinkType};
+        use scion_control::pathdb::PathDb;
+        use std::sync::Arc;
+
+        let mut g = ControlGraph::new();
+        g.add_as(ia("71-1"), true);
+        g.add_as(ia("71-10"), false);
+        g.add_as(ia("71-11"), false);
+        g.connect(ia("71-1"), ia("71-10"), LinkType::Child).unwrap();
+        g.connect(ia("71-1"), ia("71-11"), LinkType::Child).unwrap();
+        let store = BeaconEngine::new(&g, 1_700_000_000, BeaconConfig::default())
+            .run()
+            .unwrap();
+        let db = Arc::new(Mutex::new(PathDb::new(store)));
+
+        let d = Daemon::new(
+            ia("71-10"),
+            UnderlayAddr::new([10, 0, 0, 2], 30252),
+            Arc::clone(&db),
+            DaemonConfig::default(),
+        );
+        let paths = d.paths(ia("71-11"), 1_700_000_100);
+        assert!(!paths.is_empty(), "pathdb-backed provider yields paths");
+        // A second daemon on the same Arc warms against the same cache.
+        let d2 = Daemon::new(
+            ia("71-10"),
+            UnderlayAddr::new([10, 0, 0, 3], 30252),
+            Arc::clone(&db),
+            DaemonConfig::default(),
+        );
+        assert_eq!(d2.paths(ia("71-11"), 1_700_000_100), paths);
+        assert!(db.lock().cached_entries() >= 1);
     }
 
     #[test]

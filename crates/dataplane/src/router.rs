@@ -850,14 +850,14 @@ mod tests {
             PathKind::Peering,
             vec![
                 SegmentUse {
-                    segment: up_segment(),
+                    segment: up_segment().into(),
                     dir: Direction::AgainstCons,
                     from_idx: 1,
                     to_idx: 2,
                     peer_with: Some(ia("71-20")),
                 },
                 SegmentUse {
-                    segment: down_segment(),
+                    segment: down_segment().into(),
                     dir: Direction::Cons,
                     from_idx: 1,
                     to_idx: 2,
@@ -889,14 +889,14 @@ mod tests {
             PathKind::Shortcut,
             vec![
                 SegmentUse {
-                    segment: up_segment(),
+                    segment: up_segment().into(),
                     dir: Direction::AgainstCons,
                     from_idx: 1,
                     to_idx: 2,
                     peer_with: None,
                 },
                 SegmentUse {
-                    segment: down,
+                    segment: down.into(),
                     dir: Direction::Cons,
                     from_idx: 1,
                     to_idx: 2,
@@ -1573,14 +1573,14 @@ mod fastpath_tests {
             PathKind::Peering,
             vec![
                 SegmentUse {
-                    segment: up,
+                    segment: up.into(),
                     dir: Direction::AgainstCons,
                     from_idx: 1,
                     to_idx: 2,
                     peer_with: Some(ia("71-20")),
                 },
                 SegmentUse {
-                    segment: down,
+                    segment: down.into(),
                     dir: Direction::Cons,
                     from_idx: 1,
                     to_idx: 2,

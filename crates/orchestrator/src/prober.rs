@@ -50,6 +50,22 @@ pub trait EchoTransport {
         -> EchoOutcome;
 }
 
+/// Consumer of dead-interface observations. The network wires this to the
+/// memoized path database so a probe-confirmed
+/// `ExternalInterfaceDown` immediately flushes every cached path
+/// combination crossing the dead interface — the control-plane mirror of
+/// the daemon's SCMP cache invalidation.
+pub trait InvalidationSink {
+    /// Called once per probe outcome that named a dead interface.
+    fn interface_down(&mut self, ia: IsdAsn, ifid: u16);
+}
+
+impl<F: FnMut(IsdAsn, u16)> InvalidationSink for F {
+    fn interface_down(&mut self, ia: IsdAsn, ifid: u16) {
+        self(ia, ifid)
+    }
+}
+
 /// Prober tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ProberConfig {
@@ -138,6 +154,19 @@ impl PathProber {
         board: &mut HealthBoard,
         now_unix: u64,
     ) -> Vec<ProbeResult> {
+        self.run_round_with_sink(transport, board, now_unix, &mut |_: IsdAsn, _: u16| {})
+    }
+
+    /// [`run_round`](Self::run_round) that additionally reports every
+    /// probe-confirmed dead interface to `sink` (e.g. the path database's
+    /// invalidation hook).
+    pub fn run_round_with_sink<T: EchoTransport, S: InvalidationSink>(
+        &mut self,
+        transport: &mut T,
+        board: &mut HealthBoard,
+        now_unix: u64,
+        sink: &mut S,
+    ) -> Vec<ProbeResult> {
         let mut results = Vec::new();
         for pair in &self.pairs {
             for path in &pair.paths {
@@ -152,6 +181,9 @@ impl PathProber {
                     }
                     EchoOutcome::ExtIfDown { ia, interface } => {
                         self.ext_if_down.inc();
+                        if let Ok(ifid) = u16::try_from(*interface) {
+                            sink.interface_down(*ia, ifid);
+                        }
                         if self.telemetry.enabled(Severity::Warn) {
                             self.telemetry.emit(
                                 Event::new(
@@ -246,6 +278,25 @@ mod tests {
         assert_eq!(snap.counter("prober.echo_lost"), Some(1));
         assert_eq!(snap.counter("prober.ext_if_down"), Some(1));
         assert_eq!(snap.histogram("prober.rtt_ms").unwrap().count, 1);
+    }
+
+    #[test]
+    fn dead_interfaces_reach_the_invalidation_sink() {
+        let tele = Telemetry::quiet();
+        let mut prober = PathProber::new(tele.clone(), ProberConfig::default());
+        prober.register(ia("71-100"), ia("71-1"), vec![test_path(), test_path()]);
+        let mut board = HealthBoard::new(tele);
+        let mut t = ScriptedTransport(vec![
+            EchoOutcome::Reply { rtt_ms: 3.0 },
+            EchoOutcome::ExtIfDown {
+                ia: ia("71-10"),
+                interface: 21,
+            },
+        ]);
+        let mut seen: Vec<(IsdAsn, u16)> = Vec::new();
+        let mut sink = |ia: IsdAsn, ifid: u16| seen.push((ia, ifid));
+        prober.run_round_with_sink(&mut t, &mut board, 1_700_000_000, &mut sink);
+        assert_eq!(seen, vec![(ia("71-10"), 21)]);
     }
 
     #[test]

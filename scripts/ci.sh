@@ -23,6 +23,11 @@ cargo test -q -p sciera-telemetry --no-default-features
 echo "==> cargo test -q --test prop_fastpath --no-default-features"
 cargo test -q --test prop_fastpath --no-default-features
 
+# Same for the memoized path-database proptest (the default-features run is
+# part of `cargo test -q` above).
+echo "==> cargo test -q --test prop_pathdb --no-default-features"
+cargo test -q --test prop_pathdb --no-default-features
+
 # Benchmarks must at least compile; the A/B harness is run manually.
 echo "==> cargo bench --no-run"
 cargo bench --no-run
@@ -33,10 +38,11 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-# The dataplane and wire-format crates carry the forwarding hot path: hold
-# them to the allocation-hygiene lints as hard errors.
-echo "==> cargo clippy -p scion-dataplane -p scion-proto (hot-path lints)"
-cargo clippy -p scion-dataplane -p scion-proto -- \
+# The dataplane and wire-format crates carry the forwarding hot path, and
+# the control crate the combination/beaconing hot path: hold them to the
+# allocation-hygiene lints as hard errors.
+echo "==> cargo clippy -p scion-dataplane -p scion-proto -p scion-control (hot-path lints)"
+cargo clippy -p scion-dataplane -p scion-proto -p scion-control -- \
     -D warnings -D clippy::redundant_clone -D clippy::needless_collect
 
 echo "==> ci OK"
