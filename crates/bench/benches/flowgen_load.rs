@@ -1,0 +1,54 @@
+//! Flow-level load-generator throughput: the cost of *producing* the
+//! traffic plane, so the sustained-Mpps figure in `BENCH_router.json` can
+//! be read knowing the generator is not the bottleneck.
+//!
+//! Measures schedule generation (Poisson arrivals + heavy-tailed sizing +
+//! per-flow pacing) in packets per second, and prints the mix the default
+//! configuration produces over a model hour.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion, Throughput};
+use sciera_flowgen::{FlowGen, FlowGenConfig};
+
+fn bench_flowgen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowgen");
+    let mut gen = FlowGen::new(FlowGenConfig::default());
+    let mut out = Vec::new();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("tick_default_mix", |b| {
+        b.iter(|| {
+            out.clear();
+            std::hint::black_box(gen.tick(&mut out))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flowgen);
+
+fn main() {
+    // Up to one model hour of the default mix (capped at 2M packets so
+    // the schedule stays in memory): report the generator's own packet
+    // rate and the elephant share.
+    let mut gen = FlowGen::new(FlowGenConfig::default());
+    let t = Instant::now();
+    let (schedule, report) = gen.generate(3_600, 2_000_000);
+    let dt = t.elapsed().as_secs_f64();
+    let elephant_share = if report.packets > 0 {
+        report.elephant_packets as f64 / report.packets as f64 * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "[flowgen_load] {} packets over {} model ticks in {dt:.2}s wall \
+         ({:.2} Mpkt/s generated, {} flows started, {:.1}% elephant bytes share by packets)",
+        report.packets,
+        report.ticks,
+        report.packets as f64 / dt / 1e6,
+        report.flows_started,
+        elephant_share,
+    );
+    assert_eq!(schedule.len() as u64, report.packets);
+    benches();
+}

@@ -128,6 +128,24 @@ impl OperatorConsole {
             g("pool.frame.outstanding"),
         );
 
+        // Batched traffic plane: pipeline throughput split (batched vs
+        // peeled-to-fallback frames), amortised MAC verification, and the
+        // flow generator's offered load.
+        let _ = writeln!(
+            out,
+            "batch: {} calls / {} frames / {} peeled — mac: {} batched / {} dedup — flowgen: {} flows ({} done), {} pkts ({} elephant), load {}%",
+            c("router.batch.calls"),
+            c("router.batch.frames"),
+            c("router.batch.peeled"),
+            c("router.batch.mac_batched"),
+            c("router.batch.mac_dedup"),
+            c("flowgen.flows.started"),
+            c("flowgen.flows.completed"),
+            c("flowgen.packets"),
+            c("flowgen.packets.elephant"),
+            g("flowgen.load_pct"),
+        );
+
         // Control-plane fast path: combination-cache effectiveness, the
         // store generation the cache validates against, and beacon
         // batching (offers per batched neighbor pass, verify-cache hits).
@@ -206,6 +224,8 @@ mod tests {
         assert!(second.contains("churn events:"), "{second}");
         assert!(second.contains("fastpath:"), "{second}");
         assert!(second.contains("mac cache:"), "{second}");
+        assert!(second.contains("batch:"), "{second}");
+        assert!(second.contains("flowgen:"), "{second}");
         assert!(second.contains("pathdb:"), "{second}");
         assert!(second.contains("beacon batches:"), "{second}");
         assert!(

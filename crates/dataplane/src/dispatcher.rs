@@ -17,11 +17,13 @@
 //!   many applications exist, every packet funnels through one dispatcher
 //!   thread.
 
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::thread;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use sciera_telemetry::{Counter, Event, Severity, Telemetry};
+use sciera_telemetry::{Counter, Event, Gauge, Severity, Telemetry};
 
 use scion_proto::encap::DISPATCHER_PORT;
 use scion_proto::packet::{L4Protocol, ScionPacket};
@@ -145,6 +147,138 @@ impl Dispatcher {
                 None
             }
         }
+    }
+}
+
+/// Default bound on queued frames per ingress shard.
+pub const DEFAULT_SHARD_CAPACITY: usize = 4096;
+
+/// Sharded per-interface ingress queues with round-robin batch drain.
+///
+/// The batched router pipeline wants its input grouped: every frame in one
+/// `process_batch` call shares an ingress interface, so the classify pass
+/// runs one ingress check and the MAC pass dedups within traffic that
+/// plausibly shares flows. `IngressShards` provides that grouping — one
+/// bounded FIFO per key (an interface, or `(AS, interface)` at the network
+/// level) — and a drain cursor that rotates across non-empty shards so a
+/// single busy interface cannot starve the others.
+///
+/// Bounded shards drop at enqueue (tail drop), mirroring a real NIC ring.
+#[derive(Debug, Clone)]
+pub struct IngressShards<K> {
+    shards: Vec<(K, VecDeque<Vec<u8>>)>,
+    index: HashMap<K, usize>,
+    /// Next shard the drain cursor will inspect.
+    cursor: usize,
+    capacity_per_shard: usize,
+    queued: usize,
+    enqueued: Counter,
+    dropped: Counter,
+    batches: Counter,
+    depth_watermark: Gauge,
+}
+
+impl<K: Eq + Hash + Clone> Default for IngressShards<K> {
+    fn default() -> Self {
+        IngressShards::new(DEFAULT_SHARD_CAPACITY)
+    }
+}
+
+impl<K: Eq + Hash + Clone> IngressShards<K> {
+    /// Creates an empty shard set holding at most `capacity_per_shard`
+    /// frames per key (minimum 1). Counters start on a quiet telemetry
+    /// handle; attach a shared one with [`IngressShards::set_telemetry`].
+    pub fn new(capacity_per_shard: usize) -> Self {
+        let quiet = Telemetry::quiet();
+        IngressShards {
+            shards: Vec::new(),
+            index: HashMap::new(),
+            cursor: 0,
+            capacity_per_shard: capacity_per_shard.max(1),
+            queued: 0,
+            enqueued: quiet.counter("dispatcher.shard.enqueued"),
+            dropped: quiet.counter("dispatcher.shard.dropped"),
+            batches: quiet.counter("dispatcher.shard.batches"),
+            depth_watermark: quiet.gauge("dispatcher.shard.depth_watermark"),
+        }
+    }
+
+    /// Re-registers the shard counters on a shared telemetry handle.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.enqueued = telemetry.counter("dispatcher.shard.enqueued");
+        self.dropped = telemetry.counter("dispatcher.shard.dropped");
+        self.batches = telemetry.counter("dispatcher.shard.batches");
+        self.depth_watermark = telemetry.gauge("dispatcher.shard.depth_watermark");
+        self.depth_watermark.set_max(self.queued as u64);
+    }
+
+    /// Queues one frame on the shard for `key`, creating the shard on first
+    /// use. Returns `false` (frame dropped) when the shard is full.
+    pub fn enqueue(&mut self, key: K, frame: Vec<u8>) -> bool {
+        let idx = match self.index.get(&key) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.shards.len();
+                self.shards.push((key.clone(), VecDeque::with_capacity(16)));
+                self.index.insert(key, idx);
+                idx
+            }
+        };
+        let queue = &mut self.shards[idx].1;
+        if queue.len() >= self.capacity_per_shard {
+            self.dropped.inc();
+            return false;
+        }
+        queue.push_back(frame);
+        self.queued += 1;
+        self.enqueued.inc();
+        self.depth_watermark.set_max(self.queued as u64);
+        true
+    }
+
+    /// Drains up to `max` frames from the next non-empty shard in
+    /// round-robin order into `out` (cleared first). Returns the shard's
+    /// key, or `None` when every shard is empty.
+    ///
+    /// The cursor always moves past the drained shard before returning, so
+    /// repeated calls rotate across all backlogged shards even when one of
+    /// them refills faster than it drains.
+    pub fn drain_next(&mut self, max: usize, out: &mut Vec<Vec<u8>>) -> Option<K> {
+        out.clear();
+        if self.queued == 0 || self.shards.is_empty() || max == 0 {
+            return None;
+        }
+        let n = self.shards.len();
+        for step in 0..n {
+            let idx = (self.cursor + step) % n;
+            let (key, queue) = &mut self.shards[idx];
+            if queue.is_empty() {
+                continue;
+            }
+            let take = queue.len().min(max);
+            out.extend(queue.drain(..take));
+            self.queued -= take;
+            self.batches.inc();
+            let key = key.clone();
+            self.cursor = (idx + 1) % n;
+            return Some(key);
+        }
+        None
+    }
+
+    /// Total frames currently queued across all shards.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Whether no frames are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Number of shards ever touched (including currently empty ones).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -316,6 +450,49 @@ mod tests {
         let mut pkt = udp_packet(8080);
         pkt.payload = vec![1, 2, 3]; // truncated UDP
         assert_eq!(d.dispatch(&pkt), None);
+    }
+
+    #[test]
+    fn ingress_shards_round_robin_fairness() {
+        let mut shards: IngressShards<u16> = IngressShards::new(64);
+        // Interface 1 is an elephant; 2 and 3 trickle.
+        for i in 0..30u8 {
+            shards.enqueue(1, vec![i]);
+        }
+        shards.enqueue(2, vec![100]);
+        shards.enqueue(3, vec![200]);
+        assert_eq!(shards.queued(), 32);
+        assert_eq!(shards.shard_count(), 3);
+
+        let mut out = Vec::new();
+        let mut order = Vec::new();
+        while let Some(key) = shards.drain_next(8, &mut out) {
+            order.push((key, out.len()));
+        }
+        // The busy shard never locks out the quiet ones: they both drain
+        // within the first full rotation.
+        assert_eq!(order, vec![(1, 8), (2, 1), (3, 1), (1, 8), (1, 8), (1, 6)]);
+        assert!(shards.is_empty());
+        assert_eq!(shards.drain_next(8, &mut out), None);
+    }
+
+    #[test]
+    fn ingress_shards_bound_and_telemetry() {
+        let tele = Telemetry::quiet();
+        let mut shards: IngressShards<u16> = IngressShards::new(2);
+        shards.set_telemetry(&tele);
+        assert!(shards.enqueue(7, vec![0]));
+        assert!(shards.enqueue(7, vec![1]));
+        assert!(!shards.enqueue(7, vec![2]), "full shard must tail-drop");
+        assert!(shards.enqueue(8, vec![3]), "other shards unaffected");
+        let mut out = Vec::new();
+        assert_eq!(shards.drain_next(16, &mut out), Some(7));
+        assert_eq!(out, vec![vec![0], vec![1]]);
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("dispatcher.shard.enqueued"), Some(3));
+        assert_eq!(snap.counter("dispatcher.shard.dropped"), Some(1));
+        assert_eq!(snap.counter("dispatcher.shard.batches"), Some(1));
+        assert_eq!(snap.gauge("dispatcher.shard.depth_watermark"), Some(3));
     }
 
     #[test]

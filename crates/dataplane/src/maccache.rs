@@ -25,9 +25,82 @@
 //! cheap comparison in the router, performed before the cache is consulted.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use sciera_telemetry::{Counter, Telemetry};
 use scion_crypto::mac::HopMacInput;
+
+/// An FNV/Fx-style multiply-xor hasher for [`MacCacheKey`] lookups.
+///
+/// SipHash's flooding resistance buys nothing here: the only keys that ever
+/// *enter* the map carry MACs that passed AES-CMAC verification, so an
+/// attacker cannot choose colliding residents, and lookups with garbage keys
+/// just miss — costing exactly the verification the router would do without
+/// a cache. A two-instruction mix per word keeps the key hash off the
+/// warm-path profile.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; shared with the router's per-batch
+/// MAC-deduplication map.
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// Default number of verification results a router remembers.
 pub const DEFAULT_MAC_CACHE_CAPACITY: usize = 4096;
@@ -83,7 +156,7 @@ struct Entry {
 /// on any legitimate hot path.
 #[derive(Debug, Clone)]
 pub struct MacCache {
-    map: HashMap<MacCacheKey, usize>,
+    map: HashMap<MacCacheKey, usize, FxBuildHasher>,
     /// Slab of list nodes; indices are stable once allocated.
     entries: Vec<Entry>,
     /// Most-recently-used entry, or `NONE` when empty.
@@ -104,7 +177,7 @@ impl MacCache {
         let capacity = capacity.max(1);
         let quiet = Telemetry::quiet();
         MacCache {
-            map: HashMap::with_capacity(capacity),
+            map: HashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
             entries: Vec::with_capacity(capacity),
             head: NONE,
             tail: NONE,
@@ -144,6 +217,22 @@ impl MacCache {
             self.push_front(idx);
             return;
         }
+        self.remember_missed(key);
+    }
+
+    /// [`MacCache::remember`] for a key the caller has just seen
+    /// [`MacCache::check`] miss on.
+    ///
+    /// The miss path used to hash the key three times — the failed lookup,
+    /// `remember`'s own duplicate probe, and the insert. The router always
+    /// calls `remember` immediately after a miss-then-verify, so the
+    /// duplicate probe re-proves what the miss already established; this
+    /// entry point skips it, leaving one hash for the insert.
+    pub fn remember_missed(&mut self, key: MacCacheKey) {
+        debug_assert!(
+            !self.map.contains_key(&key),
+            "remember_missed on a resident key"
+        );
         let idx = if self.entries.len() < self.capacity {
             self.entries.push(Entry {
                 key,
@@ -320,6 +409,22 @@ mod tests {
         c.remember(key(3)); // evicts 2 (LRU), not 1
         assert!(c.check(&key(1)));
         assert!(!c.check(&key(2)));
+    }
+
+    #[test]
+    fn remember_missed_matches_remember() {
+        let mut a = MacCache::new(3);
+        let mut b = MacCache::new(3);
+        for n in 0..6 {
+            assert!(!a.check(&key(n)));
+            a.remember_missed(key(n));
+            assert!(!b.check(&key(n)));
+            b.remember(key(n));
+        }
+        for n in 0..6 {
+            assert_eq!(a.check(&key(n)), b.check(&key(n)), "key {n}");
+        }
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

@@ -25,7 +25,9 @@ use scion_proto::scmp::ScmpMessage;
 use scion_proto::trace::TraceContext;
 use scion_proto::wire::{HeaderOffsets, WireCursor};
 
-use crate::maccache::{MacCache, MacCacheKey, DEFAULT_MAC_CACHE_CAPACITY};
+use std::collections::HashMap;
+
+use crate::maccache::{FxBuildHasher, MacCache, MacCacheKey, DEFAULT_MAC_CACHE_CAPACITY};
 
 /// Why a packet was dropped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +107,16 @@ struct RouterMetrics {
     /// Frames handed to the reference decode path (trace extension,
     /// one-hop path, trailing bytes, or malformed input).
     fastpath_fallback: Counter,
+    /// `process_batch` invocations.
+    batch_calls: Counter,
+    /// Frames submitted across all `process_batch` invocations.
+    batch_frames: Counter,
+    /// Frames peeled out of a batch onto the fallback path.
+    batch_peeled: Counter,
+    /// Hop MACs verified through the batched CMAC entry point.
+    batch_mac_batched: Counter,
+    /// First-hop MAC checks satisfied by another frame of the same batch.
+    batch_mac_dedup: Counter,
 }
 
 impl RouterMetrics {
@@ -120,6 +132,11 @@ impl RouterMetrics {
             drop_unsupported_path: telemetry.counter("router.drop.unsupported_path"),
             fastpath_hit: telemetry.counter("router.fastpath.hit"),
             fastpath_fallback: telemetry.counter("router.fastpath.fallback"),
+            batch_calls: telemetry.counter("router.batch.calls"),
+            batch_frames: telemetry.counter("router.batch.frames"),
+            batch_peeled: telemetry.counter("router.batch.peeled"),
+            batch_mac_batched: telemetry.counter("router.batch.mac_batched"),
+            batch_mac_dedup: telemetry.counter("router.batch.mac_dedup"),
             telemetry,
         }
     }
@@ -136,6 +153,39 @@ impl RouterMetrics {
     }
 }
 
+/// How the classification pass of [`BorderRouter::process_batch`] routed
+/// one frame.
+#[derive(Debug, Clone, Copy)]
+enum BatchClass {
+    /// Peeled out of the batch: hop-by-hop extension, unlocatable header,
+    /// trailing bytes, non-canonical encoding or one-hop path — exactly the
+    /// frames `process_frame_at` hands to the reference fallback.
+    Peeled,
+    /// Canonical frame committed to in-place processing, with the MAC
+    /// pass's verdict for its current hop (`None` when the MAC pass did not
+    /// settle it — empty paths, expired hops).
+    Inline(HeaderOffsets, Option<bool>),
+}
+
+/// Scratch storage reused across [`BorderRouter::process_batch`] calls so
+/// steady-state batches allocate nothing.
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
+    classes: Vec<BatchClass>,
+    /// Index into `uniq` for each frame whose current hop entered the MAC
+    /// pass (parallel to `classes`).
+    uniq_ref: Vec<Option<usize>>,
+    /// One entry per *distinct* cache key in the batch: the key, its MAC
+    /// input, the claimed MAC and the verdict once known.
+    uniq: Vec<(MacCacheKey, HopMacInput, [u8; 6], Option<bool>)>,
+    /// cache key → index into `uniq`, cleared per batch.
+    dedup: HashMap<MacCacheKey, usize, FxBuildHasher>,
+    pending_inputs: Vec<HopMacInput>,
+    pending_macs: Vec<[u8; 6]>,
+    pending_uniq: Vec<usize>,
+    verdicts: Vec<bool>,
+}
+
 /// Per-AS border router state.
 #[derive(Clone)]
 pub struct BorderRouter {
@@ -148,6 +198,7 @@ pub struct BorderRouter {
     pub dropped: u64,
     metrics: RouterMetrics,
     mac_cache: MacCache,
+    batch: BatchScratch,
 }
 
 impl BorderRouter {
@@ -161,6 +212,7 @@ impl BorderRouter {
             dropped: 0,
             metrics: RouterMetrics::register(Telemetry::quiet()),
             mac_cache: MacCache::new(DEFAULT_MAC_CACHE_CAPACITY),
+            batch: BatchScratch::default(),
         }
     }
 
@@ -295,9 +347,22 @@ impl BorderRouter {
         {
             return self.process_frame_fallback(frame, ingress_ifid, now, sim_ns);
         }
+        self.process_canonical_frame(frame, off, ingress_ifid, now, sim_ns, None)
+    }
 
-        // Committed to in-place processing: mirror of `process_at` for a
-        // packet without a trace context.
+    /// The committed in-place path shared by [`BorderRouter::process_frame_at`]
+    /// and the batch pipeline: mirror of `process_at` for a packet without a
+    /// trace context. `prefetched` carries the batch MAC pass's verdict for
+    /// the frame's current hop, `None` when it must be verified here.
+    fn process_canonical_frame(
+        &mut self,
+        frame: &mut [u8],
+        off: HeaderOffsets,
+        ingress_ifid: u16,
+        now: u64,
+        sim_ns: u64,
+        prefetched: Option<bool>,
+    ) -> Result<FrameDecision, FrameError> {
         self.processed += 1;
         self.metrics.fastpath_hit.inc();
         let mut cursor = WireCursor::from_offsets(frame, off);
@@ -315,6 +380,7 @@ impl BorderRouter {
                 &mut cursor,
                 ingress_ifid,
                 now,
+                prefetched,
             ),
             PathType::OneHop => unreachable!("one-hop frames fall back above"),
         };
@@ -336,6 +402,202 @@ impl BorderRouter {
                 self.dropped += 1;
                 self.on_drop(&e, None, sim_ns);
                 Err(FrameError::Drop(e))
+            }
+        }
+    }
+
+    /// Processes a batch of frames arriving on `ingress_ifid` through the
+    /// staged pipeline. See [`BorderRouter::process_batch_at`].
+    pub fn process_batch(
+        &mut self,
+        frames: &mut [Vec<u8>],
+        ingress_ifid: u16,
+        now: u64,
+    ) -> Vec<Result<FrameDecision, FrameError>> {
+        self.process_batch_at(frames, ingress_ifid, now, now.saturating_mul(1_000_000_000))
+    }
+
+    /// The batched forwarding pipeline: stages N frames through three
+    /// passes instead of running each frame to completion alone.
+    ///
+    /// 1. **Classify** — locate and validate every header once; frames the
+    ///    fast path cannot handle in place (hop-by-hop extension, one-hop
+    ///    path, trailing bytes, non-canonical encoding, unlocatable header)
+    ///    are peeled out for the reference fallback.
+    /// 2. **MAC verify** — run the per-frame hop verification over every
+    ///    remaining frame (expiry check, un-chaining `seg_id` write — each
+    ///    frame's own bytes only), probe the MAC cache per frame,
+    ///    deduplicate identical verification keys among the misses, and
+    ///    verify the distinct misses together through the batched CMAC
+    ///    entry point. All MACs checked by one router share its hop key —
+    ///    hence one key epoch — which is what makes grouping them under the
+    ///    same precomputed subkeys sound.
+    /// 3. **Rewrite** — run each frame through the committed in-place path
+    ///    (chain `seg_id`, ingress check, pointer advance); the prefetched
+    ///    verdict makes the verify step a single branch. Peeled frames run
+    ///    the reference fallback here, in arrival order.
+    ///
+    /// Per-frame observable behaviour — verdicts, output bytes, `processed`
+    /// / `dropped` and every shared `router.*` counter — is identical to
+    /// calling [`BorderRouter::process_frame_at`] on each frame in order;
+    /// only the fast-path-internal `router.maccache.*` / `router.batch.*`
+    /// families may differ (the batch pass checks each distinct key once).
+    pub fn process_batch_at(
+        &mut self,
+        frames: &mut [Vec<u8>],
+        ingress_ifid: u16,
+        now: u64,
+        sim_ns: u64,
+    ) -> Vec<Result<FrameDecision, FrameError>> {
+        self.metrics.batch_calls.inc();
+        self.metrics.batch_frames.add(frames.len() as u64);
+        let mut scratch = std::mem::take(&mut self.batch);
+
+        // Pass 1: classify / peel.
+        scratch.classes.clear();
+        for frame in frames.iter() {
+            let class = if HeaderOffsets::has_hbh_ext(frame) {
+                BatchClass::Peeled
+            } else {
+                match HeaderOffsets::locate(frame) {
+                    Ok(off)
+                        if off.is_exact_length(frame)
+                            && off.is_canonical(frame)
+                            && off.path_type() != PathType::OneHop =>
+                    {
+                        BatchClass::Inline(off, None)
+                    }
+                    _ => BatchClass::Peeled,
+                }
+            };
+            scratch.classes.push(class);
+        }
+
+        // Pass 2: batched MAC verification.
+        self.batch_mac_pass(frames, &mut scratch, now);
+
+        // Pass 3: committed rewrite / fallback, in arrival order.
+        let mut out = Vec::with_capacity(frames.len());
+        for (frame, class) in frames.iter_mut().zip(scratch.classes.iter()) {
+            out.push(match *class {
+                BatchClass::Peeled => {
+                    self.metrics.batch_peeled.inc();
+                    self.process_frame_fallback(frame, ingress_ifid, now, sim_ns)
+                }
+                BatchClass::Inline(off, prefetched) => {
+                    self.process_canonical_frame(frame, off, ingress_ifid, now, sim_ns, prefetched)
+                }
+            });
+        }
+        self.batch = scratch;
+        out
+    }
+
+    /// Pass 2 of [`BorderRouter::process_batch_at`]: settle the MAC verdict
+    /// for every inline SCION frame's current hop, performing the same
+    /// per-frame verification effects (expiry gate, un-chaining `seg_id`
+    /// write) in the same order the sequential path would. Cache misses are
+    /// deduplicated within the batch and verified together through
+    /// [`HopKey::verify_batch`] over the key's precomputed CMAC subkeys;
+    /// successes are inserted with the already-built key (no re-hash, no
+    /// re-probe).
+    fn batch_mac_pass(&mut self, frames: &mut [Vec<u8>], scratch: &mut BatchScratch, now: u64) {
+        scratch.uniq_ref.clear();
+        scratch.uniq_ref.resize(frames.len(), None);
+        scratch.uniq.clear();
+        scratch.dedup.clear();
+        for (i, frame) in frames.iter_mut().enumerate() {
+            let BatchClass::Inline(off, _) = scratch.classes[i] else {
+                continue;
+            };
+            if off.path_type() != PathType::Scion {
+                continue;
+            }
+            let mut cursor = WireCursor::from_offsets(frame, off);
+            let info = cursor.current_info();
+            let hf = cursor.current_hop();
+            if hf.expiry_unix(info.timestamp) < now {
+                continue; // pass 3 drops it before looking at the MAC
+            }
+            let is_peer_hop = info.peering && Self::frame_at_segment_cons_start(&cursor);
+            let mac2 = u16::from_be_bytes([hf.mac[0], hf.mac[1]]);
+            // This is the per-frame verify, relocated: the expiry check ran
+            // above, and the against-construction un-chaining write happens
+            // here and now (it touches only this frame's own `seg_id`, so
+            // frames in the batch stay independent). A prefetched verdict
+            // tells pass 3 the frame is already past verification.
+            let beta = if info.cons_dir || is_peer_hop {
+                info.seg_id
+            } else {
+                let unchained = info.seg_id ^ mac2;
+                cursor.set_seg_id(cursor.curr_inf(), unchained);
+                unchained
+            };
+            let input = HopMacInput {
+                beta,
+                timestamp: info.timestamp,
+                exp_time: hf.exp_time,
+                cons_ingress: hf.cons_ingress,
+                cons_egress: hf.cons_egress,
+            };
+            let key = MacCacheKey::new(&input, hf.mac, self.hop_key.epoch());
+            // Warm path: a cache hit settles the verdict with the same
+            // single probe the per-frame path pays — the dedup map never
+            // enters the picture. Only cache misses (the cold path, where
+            // a CMAC is on the line) pay for in-batch deduplication.
+            if self.mac_cache.check(&key) {
+                if let BatchClass::Inline(_, prefetched) = &mut scratch.classes[i] {
+                    *prefetched = Some(true);
+                }
+                continue;
+            }
+            let idx = match scratch.dedup.get(&key) {
+                Some(&idx) => {
+                    self.metrics.batch_mac_dedup.inc();
+                    idx
+                }
+                None => {
+                    let idx = scratch.uniq.len();
+                    scratch.uniq.push((key, input, hf.mac, None));
+                    scratch.dedup.insert(key, idx);
+                    idx
+                }
+            };
+            scratch.uniq_ref[i] = Some(idx);
+        }
+
+        // One batched CMAC run over everything the cache could not settle.
+        scratch.pending_inputs.clear();
+        scratch.pending_macs.clear();
+        scratch.pending_uniq.clear();
+        for (idx, (_, input, mac, verdict)) in scratch.uniq.iter().enumerate() {
+            if verdict.is_none() {
+                scratch.pending_inputs.push(*input);
+                scratch.pending_macs.push(*mac);
+                scratch.pending_uniq.push(idx);
+            }
+        }
+        if !scratch.pending_inputs.is_empty() {
+            self.hop_key.verify_batch(
+                &scratch.pending_inputs,
+                &scratch.pending_macs,
+                &mut scratch.verdicts,
+            );
+            self.metrics
+                .batch_mac_batched
+                .add(scratch.pending_inputs.len() as u64);
+            for (&idx, &ok) in scratch.pending_uniq.iter().zip(scratch.verdicts.iter()) {
+                scratch.uniq[idx].3 = Some(ok);
+                if ok {
+                    self.mac_cache.remember_missed(scratch.uniq[idx].0);
+                }
+            }
+        }
+
+        for (i, uniq_idx) in scratch.uniq_ref.iter().enumerate() {
+            let Some(idx) = uniq_idx else { continue };
+            if let BatchClass::Inline(_, prefetched) = &mut scratch.classes[i] {
+                *prefetched = scratch.uniq[*idx].3;
             }
         }
     }
@@ -371,14 +633,18 @@ impl BorderRouter {
 
     /// In-place mirror of `BorderRouter::process_scion_path`, operating
     /// on the wire cursor and consulting the MAC verification cache.
+    /// `prefetched` short-circuits the *current* hop's MAC check with the
+    /// batch pass's verdict; the rare segment-crossing second hop always
+    /// verifies inline.
     fn process_scion_frame(
         hop_key: &HopKey,
         cache: &mut MacCache,
         cursor: &mut WireCursor<'_>,
         ingress_ifid: u16,
         now: u64,
+        prefetched: Option<bool>,
     ) -> Result<Option<u16>, DropReason> {
-        Self::verify_hop_in_frame(hop_key, cache, cursor, now)?;
+        Self::verify_hop_in_frame_with(hop_key, cache, cursor, now, prefetched)?;
 
         if ingress_ifid != 0 {
             let info = cursor.current_info();
@@ -459,6 +725,27 @@ impl BorderRouter {
         cursor: &mut WireCursor<'_>,
         now: u64,
     ) -> Result<(), DropReason> {
+        Self::verify_hop_in_frame_with(hop_key, cache, cursor, now, None)
+    }
+
+    /// [`BorderRouter::verify_hop_in_frame`] with an optional verdict from
+    /// the batch MAC pass. A prefetched verdict means the batch pass already
+    /// performed this function's entire effect — including the un-chaining
+    /// `seg_id` write — so the short-circuit must not touch the frame again.
+    fn verify_hop_in_frame_with(
+        hop_key: &HopKey,
+        cache: &mut MacCache,
+        cursor: &mut WireCursor<'_>,
+        now: u64,
+        prefetched: Option<bool>,
+    ) -> Result<(), DropReason> {
+        if let Some(ok) = prefetched {
+            // The batch MAC pass already ran this whole function's work for
+            // the current hop — expiry check, un-chaining `seg_id` write,
+            // cache probe / batched CMAC — so the verdict is final and the
+            // frame bytes are already in the post-verification state.
+            return if ok { Ok(()) } else { Err(DropReason::BadMac) };
+        }
         let info = cursor.current_info();
         let hf = cursor.current_hop();
         if hf.expiry_unix(info.timestamp) < now {
@@ -488,7 +775,7 @@ impl BorderRouter {
         if !hop_key.verify(&input, &hf.mac) {
             return Err(DropReason::BadMac);
         }
-        cache.remember(key);
+        cache.remember_missed(key);
         Ok(())
     }
 
@@ -1336,6 +1623,116 @@ mod fastpath_tests {
         }
         let delivered = ScionPacket::decode(&frame).unwrap();
         assert_eq!(delivered.payload, b"payload");
+    }
+
+    /// A mixed batch — valid frames (with duplicates), a corrupted frame,
+    /// a trailing-byte frame, garbage and a traced packet — must match the
+    /// per-frame fast path frame for frame: verdicts, output bytes,
+    /// `processed`/`dropped` and every shared `router.*` counter.
+    #[test]
+    fn process_batch_matches_per_frame_path() {
+        let tele_seq = Telemetry::quiet();
+        let tele_batch = Telemetry::quiet();
+        let mut r_seq = router("71-100");
+        r_seq.set_telemetry(tele_seq.clone());
+        let mut r_batch = router("71-100");
+        r_batch.set_telemetry(tele_batch.clone());
+
+        let valid = packet_with(full_transit_path().to_dataplane().unwrap())
+            .encode()
+            .unwrap();
+        let mut traced_pkt = packet_with(full_transit_path().to_dataplane().unwrap());
+        traced_pkt.trace = Some(TraceContext::root(7));
+        let traced = traced_pkt.encode().unwrap();
+        let mut trailing = valid.clone();
+        trailing.push(0xaa);
+        let mut corrupt = valid.clone();
+        let n = corrupt.len();
+        corrupt[n - 8] ^= 0x20; // inside the *last* hop's MAC: forwarded here
+        let garbage = vec![0x5au8; 40];
+
+        let mut frames_seq = vec![
+            valid.clone(),
+            valid.clone(),
+            corrupt,
+            trailing,
+            garbage,
+            traced,
+            valid.clone(),
+        ];
+        let mut frames_batch = frames_seq.clone();
+
+        let want: Vec<_> = frames_seq
+            .iter_mut()
+            .map(|f| r_seq.process_frame(f, 0, NOW))
+            .collect();
+        let got = r_batch.process_batch(&mut frames_batch, 0, NOW);
+        assert_eq!(got, want, "verdicts diverged");
+        assert_eq!(frames_batch, frames_seq, "output bytes diverged");
+        assert_eq!(r_batch.processed, r_seq.processed);
+        assert_eq!(r_batch.dropped, r_seq.dropped);
+
+        let shared = |t: &Telemetry| {
+            t.snapshot()
+                .counters
+                .into_iter()
+                .filter(|(name, _)| {
+                    name.starts_with("router.")
+                        && !name.starts_with("router.maccache.")
+                        && !name.starts_with("router.batch.")
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shared(&tele_batch), shared(&tele_seq), "counter parity");
+
+        let snap = tele_batch.snapshot();
+        assert_eq!(snap.counter("router.batch.calls"), Some(1));
+        assert_eq!(snap.counter("router.batch.frames"), Some(7));
+        // Trailing-byte, garbage and traced frames peel to the fallback.
+        assert_eq!(snap.counter("router.batch.peeled"), Some(3));
+        // Three frames share the first valid frame's hop signature (the
+        // corruption sits in a later hop), so one batched CMAC settles all.
+        assert_eq!(snap.counter("router.batch.mac_dedup"), Some(3));
+        assert_eq!(snap.counter("router.batch.mac_batched"), Some(1));
+    }
+
+    /// Batched BadMac and Expired verdicts match the per-frame path, and
+    /// failed verifications never enter the MAC cache.
+    #[test]
+    fn process_batch_bad_mac_and_expired_match_per_frame() {
+        // Wrong hop key: every valid frame fails its MAC.
+        let wrong = secrets("71-99");
+        let mut r_seq = BorderRouter::new(ia("71-100"), wrong.hop_key.clone());
+        let mut r_batch = BorderRouter::new(ia("71-100"), wrong.hop_key);
+        let valid = packet_with(full_transit_path().to_dataplane().unwrap())
+            .encode()
+            .unwrap();
+        let mut frames_seq = vec![valid.clone(), valid.clone()];
+        let mut frames_batch = frames_seq.clone();
+        let want: Vec<_> = frames_seq
+            .iter_mut()
+            .map(|f| r_seq.process_frame(f, 0, NOW))
+            .collect();
+        let got = r_batch.process_batch(&mut frames_batch, 0, NOW);
+        assert_eq!(got, want);
+        assert!(matches!(got[0], Err(FrameError::Drop(DropReason::BadMac))));
+        assert_eq!(frames_batch, frames_seq);
+        assert_eq!(r_batch.mac_cache_len(), 0, "failed MACs must not be cached");
+
+        // Expired hops drop in pass 3 without entering the MAC pass.
+        let mut r_seq = router("71-100");
+        let mut r_batch = router("71-100");
+        let too_late = 1_700_000_000u64 + 60_000;
+        let mut frames_seq = vec![valid.clone(), valid];
+        let mut frames_batch = frames_seq.clone();
+        let want: Vec<_> = frames_seq
+            .iter_mut()
+            .map(|f| r_seq.process_frame(f, 0, too_late))
+            .collect();
+        let got = r_batch.process_batch(&mut frames_batch, 0, too_late);
+        assert_eq!(got, want);
+        assert!(matches!(got[0], Err(FrameError::Drop(DropReason::Expired))));
+        assert_eq!(frames_batch, frames_seq);
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! Flow-level load generation for the traffic plane.
+//!
+//! The deployment the paper describes carries traffic from millions of
+//! endhosts, and its performance claims only mean something under that kind
+//! of mix — not under a synthetic single-packet loop. This crate models the
+//! *flow arrival process* of a large endhost population and turns it into a
+//! packet schedule the batched router pipeline can be driven with:
+//!
+//! * **Heavy-tailed flow sizes.** Flow sizes in packets follow a truncated
+//!   Pareto distribution: most flows are mice of a few packets, a small
+//!   fraction carries most of the bytes — the classic elephant/mice split
+//!   measured in every backbone trace.
+//! * **Diurnal load.** The flow arrival rate swings sinusoidally over a
+//!   model day around the configured mean, peaking at `peak_hour` — the
+//!   deployment's evening peak.
+//! * **Hercules bulk transfers as the elephant class.** A configurable
+//!   fraction of flows model Science-DMZ bulk transfers: their size and
+//!   pacing rate come from the Hercules AIMD multipath simulation
+//!   (`scion_hercules::simulate_transfer`), so the largest flows in the mix
+//!   behave like the paper's 100 Gbps file-transfer workload instead of an
+//!   arbitrary constant.
+//!
+//! Every flow is pinned to one of `templates` pre-encoded packet templates
+//! (a (source, destination, path) triple owned by the caller), which is how
+//! the schedule stays decoupled from frame encoding: the generator emits
+//! `(template, elephant)` pairs, the harness clones template bytes into
+//! pool buffers and feeds them to the routers.
+//!
+//! Everything is deterministic for a given seed.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sciera_telemetry::{Counter, Gauge, Telemetry};
+use scion_hercules::{simulate_transfer, PathProfile, CHUNK_SIZE};
+
+/// Seconds per model day.
+const DAY_S: f64 = 86_400.0;
+
+/// Configuration of the flow-level generator.
+#[derive(Debug, Clone)]
+pub struct FlowGenConfig {
+    /// Modelled endhost population.
+    pub endhosts: u64,
+    /// Mean new flows per endhost per model day (averaged over the diurnal
+    /// cycle).
+    pub flows_per_host_per_day: f64,
+    /// Pareto tail index `α` of the flow-size distribution. `1 < α < 2`
+    /// gives the heavy tail (finite mean, diverging variance) backbone
+    /// traces show.
+    pub pareto_shape: f64,
+    /// Minimum flow size in packets (the Pareto scale `x_m`).
+    pub min_flow_pkts: u64,
+    /// Truncation bound on flow size in packets.
+    pub max_flow_pkts: u64,
+    /// Packets an ordinary (mouse) flow emits per tick — TCP-window-ish
+    /// pacing so a flow's packets spread over several batches.
+    pub mice_pkts_per_tick: u64,
+    /// Fraction of flows that are Hercules bulk transfers.
+    pub elephant_fraction: f64,
+    /// Bytes per bulk transfer.
+    pub elephant_file_bytes: u64,
+    /// Path profiles the bulk transfers run over; empty disables elephants.
+    pub elephant_paths: Vec<PathProfile>,
+    /// Diurnal swing around the mean arrival rate, `0.0..1.0`.
+    pub diurnal_amplitude: f64,
+    /// Model hour (0–24) of peak load.
+    pub peak_hour: f64,
+    /// Number of distinct packet templates flows are pinned to.
+    pub templates: u32,
+    /// RNG seed; equal seeds give equal schedules.
+    pub seed: u64,
+}
+
+impl Default for FlowGenConfig {
+    fn default() -> Self {
+        FlowGenConfig {
+            endhosts: 1_000_000,
+            flows_per_host_per_day: 50.0,
+            pareto_shape: 1.3,
+            min_flow_pkts: 2,
+            max_flow_pkts: 20_000,
+            mice_pkts_per_tick: 32,
+            // 2 in 10⁴ flows are bulk transfers; at ~224k packets per
+            // 256 MiB transfer vs ~9 packets per mouse, that puts ~84% of
+            // packets in the elephant class — the backbone-trace split.
+            elephant_fraction: 0.0002,
+            elephant_file_bytes: 256 * 1024 * 1024,
+            elephant_paths: vec![
+                PathProfile {
+                    rtt_ms: 18.0,
+                    bandwidth_mbps: 1_000.0,
+                    loss: 0.0002,
+                },
+                PathProfile {
+                    rtt_ms: 25.0,
+                    bandwidth_mbps: 400.0,
+                    loss: 0.0005,
+                },
+            ],
+            diurnal_amplitude: 0.35,
+            peak_hour: 20.0,
+            templates: 64,
+            seed: 0x5c1e_7a01,
+        }
+    }
+}
+
+/// One scheduled packet: which template to instantiate and whether it
+/// belongs to the elephant class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowPkt {
+    /// Index into the caller's template table, `< config.templates`.
+    pub template: u32,
+    /// Whether the owning flow is a Hercules bulk transfer.
+    pub elephant: bool,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    template: u32,
+    remaining_pkts: u64,
+    pkts_per_tick: u64,
+    elephant: bool,
+}
+
+/// Aggregate outcome of a generation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowGenReport {
+    /// Flows started.
+    pub flows_started: u64,
+    /// Flows that emitted their last packet.
+    pub flows_completed: u64,
+    /// Packets scheduled.
+    pub packets: u64,
+    /// Packets belonging to elephant flows.
+    pub elephant_packets: u64,
+    /// Model ticks (seconds) covered.
+    pub ticks: u64,
+}
+
+/// The flow-level load generator. One [`FlowGen::tick`] advances model time
+/// by one second and appends that second's packets to the caller's buffer.
+#[derive(Debug, Clone)]
+pub struct FlowGen {
+    cfg: FlowGenConfig,
+    rng: StdRng,
+    active: Vec<ActiveFlow>,
+    now_s: u64,
+    /// Packets per bulk transfer, from the Hercules chunk count.
+    elephant_pkts: u64,
+    /// Bulk-transfer pacing in packets per tick, from the Hercules goodput.
+    elephant_pkts_per_tick: u64,
+    flows_started: Counter,
+    flows_completed: Counter,
+    packets: Counter,
+    elephant_packets: Counter,
+    active_gauge: Gauge,
+    load_pct: Gauge,
+}
+
+impl FlowGen {
+    /// Creates a generator. Metrics start on a quiet telemetry handle;
+    /// attach a shared one with [`FlowGen::set_telemetry`].
+    pub fn new(cfg: FlowGenConfig) -> Self {
+        let (elephant_pkts, elephant_pkts_per_tick) = if cfg.elephant_paths.is_empty()
+            || cfg.elephant_fraction <= 0.0
+        {
+            (0, 0)
+        } else {
+            let report = simulate_transfer(&cfg.elephant_paths, cfg.elephant_file_bytes, cfg.seed);
+            let chunks = cfg.elephant_file_bytes.div_ceil(CHUNK_SIZE as u64).max(1);
+            let per_tick = (chunks as f64 / report.duration_s.max(1.0)).ceil() as u64;
+            (chunks, per_tick.max(1))
+        };
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let quiet = Telemetry::quiet();
+        FlowGen {
+            cfg,
+            rng,
+            active: Vec::new(),
+            now_s: 0,
+            elephant_pkts,
+            elephant_pkts_per_tick,
+            flows_started: quiet.counter("flowgen.flows.started"),
+            flows_completed: quiet.counter("flowgen.flows.completed"),
+            packets: quiet.counter("flowgen.packets"),
+            elephant_packets: quiet.counter("flowgen.packets.elephant"),
+            active_gauge: quiet.gauge("flowgen.active_flows"),
+            load_pct: quiet.gauge("flowgen.load_pct"),
+        }
+    }
+
+    /// Re-registers the generator's metrics on a shared telemetry handle.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.flows_started = telemetry.counter("flowgen.flows.started");
+        self.flows_completed = telemetry.counter("flowgen.flows.completed");
+        self.packets = telemetry.counter("flowgen.packets");
+        self.elephant_packets = telemetry.counter("flowgen.packets.elephant");
+        self.active_gauge = telemetry.gauge("flowgen.active_flows");
+        self.load_pct = telemetry.gauge("flowgen.load_pct");
+    }
+
+    /// Diurnal load multiplier at model time `t_s`: `1 + A·cos(...)`,
+    /// peaking at `peak_hour` and bottoming out half a day away.
+    pub fn load_factor(&self, t_s: u64) -> f64 {
+        let phase = (t_s as f64 / DAY_S - self.cfg.peak_hour / 24.0) * std::f64::consts::TAU;
+        1.0 + self.cfg.diurnal_amplitude * phase.cos()
+    }
+
+    /// Mean flow arrivals per second before the diurnal factor.
+    pub fn base_arrival_rate(&self) -> f64 {
+        self.cfg.endhosts as f64 * self.cfg.flows_per_host_per_day / DAY_S
+    }
+
+    /// Flows currently mid-emission.
+    pub fn active_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Current model time in seconds (number of ticks taken).
+    pub fn now_s(&self) -> u64 {
+        self.now_s
+    }
+
+    /// Advances one model second: spawns Poisson flow arrivals at the
+    /// current diurnal rate, lets every active flow emit its paced packets
+    /// into `out` (appended), and retires completed flows. Returns the
+    /// number of packets emitted this tick.
+    pub fn tick(&mut self, out: &mut Vec<FlowPkt>) -> u64 {
+        let load = self.load_factor(self.now_s);
+        self.now_s += 1;
+        self.load_pct.set((load * 100.0).round() as u64);
+        let lambda = self.base_arrival_rate() * load;
+        let arrivals = poisson(&mut self.rng, lambda);
+        for _ in 0..arrivals {
+            self.spawn_flow();
+        }
+        self.flows_started.add_saturating(arrivals);
+
+        let mut emitted = 0u64;
+        let mut elephant_emitted = 0u64;
+        let mut completed = 0u64;
+        self.active.retain_mut(|flow| {
+            let burst = flow.pkts_per_tick.min(flow.remaining_pkts);
+            for _ in 0..burst {
+                out.push(FlowPkt {
+                    template: flow.template,
+                    elephant: flow.elephant,
+                });
+            }
+            emitted += burst;
+            if flow.elephant {
+                elephant_emitted += burst;
+            }
+            flow.remaining_pkts -= burst;
+            if flow.remaining_pkts == 0 {
+                completed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.packets.add_saturating(emitted);
+        self.elephant_packets.add_saturating(elephant_emitted);
+        self.flows_completed.add_saturating(completed);
+        self.active_gauge.set(self.active.len() as u64);
+        emitted
+    }
+
+    /// Runs up to `ticks` model seconds, stopping early once `max_packets`
+    /// are scheduled, and returns the schedule plus aggregate report.
+    pub fn generate(&mut self, ticks: u64, max_packets: usize) -> (Vec<FlowPkt>, FlowGenReport) {
+        let mut schedule = Vec::new();
+        let mut report = FlowGenReport::default();
+        let started_before = self.flows_started.get();
+        let completed_before = self.flows_completed.get();
+        for _ in 0..ticks {
+            report.packets += self.tick(&mut schedule);
+            report.ticks += 1;
+            if schedule.len() >= max_packets {
+                schedule.truncate(max_packets);
+                report.packets = schedule.len() as u64;
+                break;
+            }
+        }
+        report.flows_started = self.flows_started.get() - started_before;
+        report.flows_completed = self.flows_completed.get() - completed_before;
+        report.elephant_packets = schedule.iter().filter(|p| p.elephant).count() as u64;
+        (schedule, report)
+    }
+
+    fn spawn_flow(&mut self) {
+        let template = self.rng.gen_range(0..self.cfg.templates.max(1));
+        let elephant = self.elephant_pkts > 0 && self.rng.gen_bool(self.cfg.elephant_fraction);
+        let (remaining_pkts, pkts_per_tick) = if elephant {
+            (self.elephant_pkts, self.elephant_pkts_per_tick)
+        } else {
+            (
+                truncated_pareto(
+                    &mut self.rng,
+                    self.cfg.pareto_shape,
+                    self.cfg.min_flow_pkts.max(1),
+                    self.cfg.max_flow_pkts,
+                ),
+                self.cfg.mice_pkts_per_tick.max(1),
+            )
+        };
+        self.active.push(ActiveFlow {
+            template,
+            remaining_pkts,
+            pkts_per_tick,
+            elephant,
+        });
+    }
+}
+
+/// Samples a Pareto(α, x_m) variate truncated at `max`.
+fn truncated_pareto(rng: &mut StdRng, shape: f64, min: u64, max: u64) -> u64 {
+    // Inverse CDF of the unbounded Pareto, then truncate: keeps the body
+    // exact and only clips the extreme tail at the configured bound.
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let x = min as f64 * u.powf(-1.0 / shape.max(0.1));
+    (x as u64).clamp(min, max.max(min))
+}
+
+/// Samples a Poisson(λ) variate: Knuth's product-of-uniforms for small λ,
+/// a rounded normal approximation (λ + √λ·Z) for large λ.
+fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 64.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Box–Muller standard normal.
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FlowGenConfig {
+        FlowGenConfig {
+            endhosts: 20_000,
+            flows_per_host_per_day: 100.0,
+            elephant_fraction: 0.05,
+            elephant_file_bytes: 4 * 1024 * 1024,
+            templates: 8,
+            ..FlowGenConfig::default()
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let (a, ra) = FlowGen::new(small_cfg()).generate(30, 100_000);
+        let (b, rb) = FlowGen::new(small_cfg()).generate(30, 100_000);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        let (c, _) = FlowGen::new(FlowGenConfig {
+            seed: 999,
+            ..small_cfg()
+        })
+        .generate(30, 100_000);
+        assert_ne!(a, c, "different seeds must give different schedules");
+    }
+
+    #[test]
+    fn flow_sizes_are_heavy_tailed_and_bounded() {
+        let cfg = FlowGenConfig {
+            elephant_fraction: 0.0,
+            min_flow_pkts: 2,
+            max_flow_pkts: 5_000,
+            ..small_cfg()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let sizes: Vec<u64> = (0..20_000)
+            .map(|_| truncated_pareto(&mut rng, cfg.pareto_shape, 2, 5_000))
+            .collect();
+        assert!(sizes.iter().all(|&s| (2..=5_000).contains(&s)));
+        let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+        let max = *sizes.iter().max().unwrap();
+        // Mice dominate the count…
+        let small = sizes.iter().filter(|&&s| s <= 10).count();
+        assert!(small * 2 > sizes.len(), "body must be mice: {small}");
+        // …while the tail reaches far beyond the mean.
+        assert!(
+            max as f64 > 20.0 * mean,
+            "no heavy tail: max {max}, mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn diurnal_factor_peaks_at_peak_hour() {
+        let gen = FlowGen::new(small_cfg());
+        let peak = gen.load_factor(20 * 3600);
+        let trough = gen.load_factor(8 * 3600);
+        assert!(peak > 1.3 && peak <= 1.36, "peak {peak}");
+        assert!(trough < 0.7, "trough {trough}");
+        let flat = FlowGen::new(FlowGenConfig {
+            diurnal_amplitude: 0.0,
+            ..small_cfg()
+        });
+        assert_eq!(flat.load_factor(0), 1.0);
+        assert_eq!(flat.load_factor(43_200), 1.0);
+    }
+
+    #[test]
+    fn elephants_come_from_hercules_and_pace_slower() {
+        let cfg = small_cfg();
+        let gen = FlowGen::new(cfg.clone());
+        let chunks = cfg.elephant_file_bytes.div_ceil(CHUNK_SIZE as u64);
+        assert_eq!(gen.elephant_pkts, chunks);
+        assert!(gen.elephant_pkts_per_tick > 0);
+        // A transfer longer than a tick must be paced across ticks, not
+        // dumped whole: check with the default 256 MiB bulk size.
+        let big = FlowGen::new(FlowGenConfig::default());
+        let big_chunks = FlowGenConfig::default()
+            .elephant_file_bytes
+            .div_ceil(CHUNK_SIZE as u64);
+        assert!(big.elephant_pkts_per_tick < big_chunks);
+
+        let (schedule, report) = FlowGen::new(cfg).generate(60, 2_000_000);
+        assert!(report.elephant_packets > 0, "no elephants in the mix");
+        assert!(
+            report.elephant_packets < report.packets,
+            "elephants must not be the whole mix"
+        );
+        assert!(schedule.iter().any(|p| p.elephant));
+        assert!(schedule.iter().any(|p| !p.elephant));
+    }
+
+    #[test]
+    fn disabling_elephants_empties_the_class() {
+        let (schedule, report) = FlowGen::new(FlowGenConfig {
+            elephant_fraction: 0.0,
+            ..small_cfg()
+        })
+        .generate(30, 500_000);
+        assert_eq!(report.elephant_packets, 0);
+        assert!(schedule.iter().all(|p| !p.elephant));
+    }
+
+    #[test]
+    fn templates_stay_in_range_and_telemetry_moves() {
+        let tele = Telemetry::quiet();
+        let mut gen = FlowGen::new(small_cfg());
+        gen.set_telemetry(&tele);
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            gen.tick(&mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|p| p.template < small_cfg().templates));
+        let snap = tele.snapshot();
+        assert!(snap.counter("flowgen.flows.started").unwrap_or(0) > 0);
+        assert_eq!(snap.counter("flowgen.packets"), Some(out.len() as u64));
+        assert!(snap.gauge("flowgen.active_flows").is_some());
+        assert!(snap.gauge("flowgen.load_pct").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &lambda in &[0.5, 5.0, 40.0, 200.0] {
+            let n = 4_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "λ={lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn generate_respects_packet_cap() {
+        let (schedule, report) = FlowGen::new(small_cfg()).generate(10_000, 5_000);
+        assert_eq!(schedule.len(), 5_000);
+        assert_eq!(report.packets, 5_000);
+        assert!(report.ticks < 10_000, "cap must stop the run early");
+    }
+}

@@ -31,6 +31,8 @@ pub struct FramePool {
     discarded: Counter,
     free_gauge: Gauge,
     outstanding_gauge: Gauge,
+    /// Highest `outstanding` ever observed — how deep a burst actually got.
+    high_watermark: Gauge,
 }
 
 impl Default for FramePool {
@@ -55,6 +57,7 @@ impl FramePool {
             discarded: quiet.counter("pool.frame.discarded"),
             free_gauge: quiet.gauge("pool.frame.free"),
             outstanding_gauge: quiet.gauge("pool.frame.outstanding"),
+            high_watermark: quiet.gauge("pool.frame.high_watermark"),
         }
     }
 
@@ -66,8 +69,10 @@ impl FramePool {
         self.discarded = telemetry.counter("pool.frame.discarded");
         self.free_gauge = telemetry.gauge("pool.frame.free");
         self.outstanding_gauge = telemetry.gauge("pool.frame.outstanding");
+        self.high_watermark = telemetry.gauge("pool.frame.high_watermark");
         self.free_gauge.set(self.free.len() as u64);
         self.outstanding_gauge.set(self.outstanding);
+        self.high_watermark.set_max(self.outstanding);
     }
 
     /// Takes a cleared buffer with at least `len_hint` capacity — recycled
@@ -75,6 +80,7 @@ impl FramePool {
     pub fn alloc(&mut self, len_hint: usize) -> Vec<u8> {
         self.outstanding += 1;
         self.outstanding_gauge.set(self.outstanding);
+        self.high_watermark.set_max(self.outstanding);
         match self.free.pop() {
             Some(mut buf) => {
                 self.hits.inc();
@@ -90,18 +96,62 @@ impl FramePool {
         }
     }
 
+    /// Takes `n` cleared buffers of at least `len_hint` capacity, appending
+    /// them to `out`. One gauge/counter update covers the whole batch — the
+    /// per-buffer bookkeeping of [`FramePool::alloc`] amortised across the
+    /// batched router pipeline's input.
+    pub fn alloc_batch(&mut self, n: usize, len_hint: usize, out: &mut Vec<Vec<u8>>) {
+        out.reserve(n);
+        let reused = self.free.len().min(n);
+        for mut buf in self.free.drain(self.free.len() - reused..) {
+            buf.clear();
+            buf.reserve(len_hint);
+            out.push(buf);
+        }
+        for _ in reused..n {
+            out.push(Vec::with_capacity(len_hint));
+        }
+        self.outstanding += n as u64;
+        self.outstanding_gauge.set(self.outstanding);
+        self.high_watermark.set_max(self.outstanding);
+        self.free_gauge.set(self.free.len() as u64);
+        self.hits.add(reused as u64);
+        self.misses.add((n - reused) as u64);
+    }
+
     /// Returns a buffer to the pool; discarded (freed) when the freelist is
     /// already at capacity.
     pub fn recycle(&mut self, buf: Vec<u8>) {
         self.outstanding = self.outstanding.saturating_sub(1);
         self.outstanding_gauge.set(self.outstanding);
         if self.free.len() < self.capacity && buf.capacity() > 0 {
-            self.recycled.inc();
+            self.recycled.inc_saturating();
             self.free.push(buf);
             self.free_gauge.set(self.free.len() as u64);
         } else {
-            self.discarded.inc();
+            self.discarded.inc_saturating();
         }
+    }
+
+    /// Returns a batch of buffers to the pool with one gauge/counter update,
+    /// keeping what fits under the capacity bound and freeing the rest —
+    /// [`FramePool::recycle`] amortised over a drained batch.
+    pub fn recycle_batch<I: IntoIterator<Item = Vec<u8>>>(&mut self, bufs: I) {
+        let mut recycled = 0u64;
+        let mut discarded = 0u64;
+        for buf in bufs {
+            if self.free.len() < self.capacity && buf.capacity() > 0 {
+                recycled += 1;
+                self.free.push(buf);
+            } else {
+                discarded += 1;
+            }
+        }
+        self.outstanding = self.outstanding.saturating_sub(recycled + discarded);
+        self.outstanding_gauge.set(self.outstanding);
+        self.free_gauge.set(self.free.len() as u64);
+        self.recycled.add_saturating(recycled);
+        self.discarded.add_saturating(discarded);
     }
 
     /// Number of buffers currently in the freelist.
@@ -156,6 +206,51 @@ mod tests {
         assert_eq!(snap.counter("pool.frame.discarded"), Some(2));
         assert_eq!(snap.gauge("pool.frame.free"), Some(2));
         assert_eq!(snap.gauge("pool.frame.outstanding"), Some(0));
+    }
+
+    #[test]
+    fn batch_alloc_recycle_amortises_and_tracks_watermark() {
+        let tele = Telemetry::quiet();
+        let mut p = FramePool::new(4);
+        p.set_telemetry(&tele);
+
+        let mut bufs = Vec::new();
+        p.alloc_batch(6, 32, &mut bufs);
+        assert_eq!(bufs.len(), 6);
+        assert!(bufs.iter().all(|b| b.is_empty() && b.capacity() >= 32));
+        assert_eq!(p.outstanding(), 6);
+
+        p.recycle_batch(bufs.drain(..));
+        assert_eq!(p.outstanding(), 0);
+        assert_eq!(p.free_count(), 4, "capacity bound still applies");
+
+        // A second batch reuses the freelist before hitting the allocator.
+        p.alloc_batch(5, 16, &mut bufs);
+        assert_eq!(p.free_count(), 0);
+
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("pool.frame.miss"), Some(6 + 1));
+        assert_eq!(snap.counter("pool.frame.hit"), Some(4));
+        assert_eq!(snap.counter("pool.frame.recycled"), Some(4));
+        assert_eq!(snap.counter("pool.frame.discarded"), Some(2));
+        assert_eq!(snap.gauge("pool.frame.high_watermark"), Some(6));
+        assert_eq!(snap.gauge("pool.frame.outstanding"), Some(5));
+    }
+
+    #[test]
+    fn high_watermark_survives_drain() {
+        let tele = Telemetry::quiet();
+        let mut p = FramePool::new(8);
+        p.set_telemetry(&tele);
+        let a = p.alloc(8);
+        let b = p.alloc(8);
+        let c = p.alloc(8);
+        p.recycle(a);
+        p.recycle(b);
+        p.recycle(c);
+        let snap = tele.snapshot();
+        assert_eq!(snap.gauge("pool.frame.outstanding"), Some(0));
+        assert_eq!(snap.gauge("pool.frame.high_watermark"), Some(3));
     }
 
     #[test]

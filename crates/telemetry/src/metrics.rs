@@ -31,6 +31,32 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds one, saturating at `u64::MAX`. See [`Counter::add_saturating`].
+    #[inline]
+    pub fn inc_saturating(&self) {
+        self.add_saturating(1);
+    }
+
+    /// Adds `n`, saturating at `u64::MAX` instead of wrapping.
+    ///
+    /// `fetch_add` wraps on overflow, which would make a counter that ran
+    /// for long enough appear to reset — poison for rate computations over
+    /// sustained-load runs. Saturation pins it at the ceiling instead, an
+    /// unambiguous "overflowed" signal. Costs a CAS loop; use it for
+    /// counters fed by long unattended runs, not per-packet hot paths.
+    #[inline]
+    pub fn add_saturating(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while let Err(seen) = self.0.compare_exchange_weak(
+            cur,
+            cur.saturating_add(n),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            cur = seen;
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -494,6 +520,18 @@ mod tests {
         assert_eq!(fleet.counter("only_node").get(), 1);
         assert_eq!(fleet.gauge("hwm").get(), 9);
         assert_eq!(fleet.histogram("rtt").count(), 1);
+    }
+
+    #[test]
+    fn counter_saturating_add_pins_at_max() {
+        let c = Counter::default();
+        c.add_saturating(7);
+        c.inc_saturating();
+        assert_eq!(c.get(), 8);
+        c.add_saturating(u64::MAX - 3);
+        assert_eq!(c.get(), u64::MAX, "must saturate, not wrap");
+        c.inc_saturating();
+        assert_eq!(c.get(), u64::MAX);
     }
 
     #[test]

@@ -28,6 +28,11 @@ cargo test -q --test prop_fastpath --no-default-features
 echo "==> cargo test -q --test prop_pathdb --no-default-features"
 cargo test -q --test prop_pathdb --no-default-features
 
+# And for the batched-pipeline differential proptest: the batch engine
+# must match the sequential engine with tracing compiled out too.
+echo "==> cargo test -q --test prop_batch --no-default-features"
+cargo test -q --test prop_batch --no-default-features
+
 # Benchmarks must at least compile; the A/B harness is run manually.
 echo "==> cargo bench --no-run"
 cargo bench --no-run
@@ -38,11 +43,12 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-# The dataplane and wire-format crates carry the forwarding hot path, and
-# the control crate the combination/beaconing hot path: hold them to the
+# The dataplane and wire-format crates carry the forwarding hot path, the
+# control crate the combination/beaconing hot path, and netsim the frame
+# pool + dispatch loop under the batched pipeline: hold them to the
 # allocation-hygiene lints as hard errors.
-echo "==> cargo clippy -p scion-dataplane -p scion-proto -p scion-control (hot-path lints)"
-cargo clippy -p scion-dataplane -p scion-proto -p scion-control -- \
+echo "==> cargo clippy -p scion-dataplane -p scion-proto -p scion-control -p netsim (hot-path lints)"
+cargo clippy -p scion-dataplane -p scion-proto -p scion-control -p netsim -- \
     -D warnings -D clippy::redundant_clone -D clippy::needless_collect
 
 echo "==> ci OK"

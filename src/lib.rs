@@ -31,6 +31,7 @@
 
 pub use netsim;
 pub use sciera_core as core;
+pub use sciera_flowgen as flowgen;
 pub use sciera_measure as measure;
 pub use sciera_telemetry as telemetry;
 pub use sciera_topology as topology;
