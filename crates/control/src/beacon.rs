@@ -92,6 +92,8 @@ pub struct BeaconEngine<'g> {
     /// signature-chain verification per unique beacon per epoch.
     verified: HashMap<([u8; 32], u32), u64>,
     verify_tick: u64,
+    /// Propagation rounds the last [`BeaconEngine::run`] needed to converge.
+    last_rounds: usize,
     /// Epoch of the hop keys behind `secrets` (cache key component; a key
     /// rotation would bump it and naturally invalidate the cache).
     key_epoch: u32,
@@ -133,6 +135,7 @@ impl<'g> BeaconEngine<'g> {
             dirty_down: BTreeSet::new(),
             verified: HashMap::new(),
             verify_tick: 0,
+            last_rounds: 0,
             key_epoch,
             originated: telemetry.counter("beacon.originated"),
             propagated: telemetry.counter("beacon.propagated"),
@@ -163,6 +166,7 @@ impl<'g> BeaconEngine<'g> {
     /// once per unique (beacon ID, key epoch) — repeat offers of the same
     /// beacon hit the cache.
     fn verify_cached(&mut self, seg: &PathSegment) -> bool {
+        let _prof = self.telemetry.prof_scope("beacon.verify");
         let key = (seg.id(), self.key_epoch);
         self.verify_tick += 1;
         if let Some(t) = self.verified.get_mut(&key) {
@@ -231,6 +235,7 @@ impl<'g> BeaconEngine<'g> {
     /// Runs origination and propagation to a fixed point, then registers
     /// all segments into a fresh [`SegmentStore`].
     pub fn run(&mut self) -> Result<SegmentStore, ControlError> {
+        let _prof = self.telemetry.prof_scope("beacon.run");
         self.graph.validate()?;
         self.originate();
         let mut rounds_run = 0usize;
@@ -241,6 +246,7 @@ impl<'g> BeaconEngine<'g> {
                 break;
             }
         }
+        self.last_rounds = rounds_run;
         let store = self.register();
         if self.telemetry.enabled(Severity::Info) {
             self.telemetry.emit(
@@ -258,8 +264,15 @@ impl<'g> BeaconEngine<'g> {
         Ok(store)
     }
 
+    /// Propagation rounds the last [`BeaconEngine::run`] took to reach its
+    /// fixed point (0 before any run).
+    pub fn last_rounds(&self) -> usize {
+        self.last_rounds
+    }
+
     /// Core ASes originate beacons to all core and child neighbours.
     fn originate(&mut self) {
+        let _prof = self.telemetry.prof_scope("beacon.originate");
         let cores = self.graph.core_ases();
         for core in cores {
             let node = self.graph.as_node(core).unwrap();
@@ -304,6 +317,7 @@ impl<'g> BeaconEngine<'g> {
 
     /// One synchronous propagation round. Returns whether anything changed.
     fn propagate_round(&mut self) -> bool {
+        let _prof = self.telemetry.prof_scope("beacon.propagate");
         let mut changed = false;
         changed |= self.propagate_kind(true);
         changed |= self.propagate_kind(false);
@@ -437,6 +451,7 @@ impl<'g> BeaconEngine<'g> {
 
     /// Terminates retained beacons and registers segments.
     fn register(&self) -> SegmentStore {
+        let _prof = self.telemetry.prof_scope("beacon.register");
         let mut store = SegmentStore::new();
         // Core segments: every core AS terminates its retained core beacons.
         for ((holder, _origin), beacons) in &self.core_beacons {

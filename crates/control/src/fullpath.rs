@@ -161,6 +161,16 @@ pub struct FullPath {
 }
 
 impl FullPath {
+    /// Approximate resident size of this path in bytes: the struct plus the
+    /// heap behind its use and hop vectors. Segment bodies are shared
+    /// interned handles and intentionally not counted — the store owns them
+    /// (see `SegmentStore::approx_bytes`).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<FullPath>()
+            + self.uses.capacity() * std::mem::size_of::<SegmentUse>()
+            + self.hops.capacity() * std::mem::size_of::<PathHop>()
+    }
+
     /// Builds a path from segment uses, deriving and validating the AS-level
     /// hop sequence (adjacent uses must join at the same AS).
     pub fn assemble(

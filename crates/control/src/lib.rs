@@ -41,7 +41,7 @@ pub use beacon::BeaconEngine;
 pub use combine::combine_paths;
 pub use fullpath::{FullPath, PathHop};
 pub use graph::{ControlGraph, LinkType};
-pub use pathdb::{PathDb, PathDbConfig};
+pub use pathdb::{lock_pathdb, PathDb, PathDbConfig};
 pub use segment::{AsEntry, PathSegment, SegmentType};
 pub use store::{BucketDep, SegmentHandle, SegmentStore};
 

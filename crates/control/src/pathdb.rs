@@ -106,6 +106,10 @@ pub struct PathDb {
     generation_gauge: Gauge,
     combine_ns: Histogram,
     paths_combined: Counter,
+    entries_gauge: Gauge,
+    cache_bytes_gauge: Gauge,
+    store_segments_gauge: Gauge,
+    store_bytes_gauge: Gauge,
 }
 
 impl PathDb {
@@ -131,6 +135,10 @@ impl PathDb {
             generation_gauge: telemetry.gauge("store.generation"),
             combine_ns: telemetry.histogram("control.combine_ns"),
             paths_combined: telemetry.counter("control.paths_combined"),
+            entries_gauge: telemetry.gauge("pathdb.cache.entries"),
+            cache_bytes_gauge: telemetry.gauge("pathdb.cache.bytes"),
+            store_segments_gauge: telemetry.gauge("store.segments"),
+            store_bytes_gauge: telemetry.gauge("store.interned_bytes"),
             telemetry,
         };
         db.generation_gauge.set(db.store.generation());
@@ -148,8 +156,49 @@ impl PathDb {
         self.generation_gauge = telemetry.gauge("store.generation");
         self.combine_ns = telemetry.histogram("control.combine_ns");
         self.paths_combined = telemetry.counter("control.paths_combined");
+        self.entries_gauge = telemetry.gauge("pathdb.cache.entries");
+        self.cache_bytes_gauge = telemetry.gauge("pathdb.cache.bytes");
+        self.store_segments_gauge = telemetry.gauge("store.segments");
+        self.store_bytes_gauge = telemetry.gauge("store.interned_bytes");
         self.generation_gauge.set(self.store.generation());
         self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle this database records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Approximate resident bytes of the cache itself: finalized paths plus
+    /// retained raw recombination state. Interned segment bodies are the
+    /// store's (see [`SegmentStore::approx_bytes`]).
+    pub fn approx_cache_bytes(&self) -> usize {
+        self.entries
+            .values()
+            .map(|e| {
+                std::mem::size_of::<Entry>()
+                    + e.paths.iter().map(|p| p.approx_bytes()).sum::<usize>()
+                    + e.raw.as_ref().map_or(0, |pairs| {
+                        pairs
+                            .iter()
+                            .map(|pr| {
+                                std::mem::size_of_val(pr)
+                                    + pr.paths.iter().map(|p| p.approx_bytes()).sum::<usize>()
+                            })
+                            .sum()
+                    })
+            })
+            .sum()
+    }
+
+    /// Refreshes the resource gauges (`pathdb.cache.entries/bytes`,
+    /// `store.segments/interned_bytes`). O(cache + store) — meant for
+    /// console renders and sweep snapshots, not the per-query hot path.
+    pub fn record_resource_gauges(&self) {
+        self.entries_gauge.set(self.entries.len() as u64);
+        self.cache_bytes_gauge.set(self.approx_cache_bytes() as u64);
+        self.store_segments_gauge.set(self.store.len() as u64);
+        self.store_bytes_gauge.set(self.store.approx_bytes() as u64);
     }
 
     /// Read access to the wrapped store.
@@ -222,6 +271,7 @@ impl PathDb {
         max_paths: usize,
         policy: Option<&PathPolicy>,
     ) -> Vec<FullPath> {
+        let _prof = self.telemetry.prof_scope("pathdb.query");
         let start = std::time::Instant::now();
         let gen = self.store.generation();
         self.generation_gauge.set(gen);
@@ -262,6 +312,7 @@ impl PathDb {
                 .iter()
                 .all(|dep| matches!(dep, BucketDep::Core { .. }));
             let record = if only_core && e.raw.is_some() {
+                let _c = self.telemetry.prof_scope("pathdb.recombine");
                 let partial = incremental_recombine(&self.store, src, dst, max_paths, e);
                 if partial.is_some() {
                     self.partials.inc();
@@ -270,15 +321,20 @@ impl PathDb {
             } else {
                 None
             };
-            let record = record
-                .unwrap_or_else(|| combine_paths_recorded(&self.store, src, dst, max_paths, true));
+            let record = record.unwrap_or_else(|| {
+                let _c = self.telemetry.prof_scope("pathdb.combine");
+                combine_paths_recorded(&self.store, src, dst, max_paths, true)
+            });
             let paths = self.install(key, gen, tick, record, policy);
             self.finish_query(start, &paths);
             return paths;
         }
 
         self.misses.inc();
-        let record = combine_paths_recorded(&self.store, src, dst, max_paths, true);
+        let record = {
+            let _c = self.telemetry.prof_scope("pathdb.combine");
+            combine_paths_recorded(&self.store, src, dst, max_paths, true)
+        };
         self.evict_for(tick);
         let paths = self.install(key, gen, tick, record, policy);
         self.finish_query(start, &paths);
@@ -346,6 +402,38 @@ impl PathDb {
         self.combine_ns.record(start.elapsed().as_nanos() as f64);
         self.paths_combined.add(paths.len() as u64);
     }
+}
+
+/// Acquires the shared `Arc<Mutex<PathDb>>` hot lock with wait accounting.
+///
+/// Every component that shares the path database behind a mutex (the
+/// network's `paths()`, the daemon's `PathProvider`, host transports, probe
+/// sinks) should acquire it through this helper. With the `profile` feature
+/// on, an uncontended acquisition costs one `try_lock`; a contended one
+/// records the wait into the `pathdb.lock.wait_ns` histogram, bumps
+/// `pathdb.lock.contended`, and attributes the wait to the profiler as a
+/// `pathdb.lock_wait` leaf — so lock pressure shows up by name in the ranked
+/// self-time table instead of silently inflating its callers. With the
+/// feature off this is exactly `m.lock()`.
+pub fn lock_pathdb(m: &parking_lot::Mutex<PathDb>) -> parking_lot::MutexGuard<'_, PathDb> {
+    #[cfg(feature = "profile")]
+    {
+        if let Some(guard) = m.try_lock() {
+            guard.telemetry.counter("pathdb.lock.acquired").inc();
+            return guard;
+        }
+        let start = std::time::Instant::now();
+        let guard = m.lock();
+        let wait_ns = start.elapsed().as_nanos() as u64;
+        let tele = &guard.telemetry;
+        tele.counter("pathdb.lock.acquired").inc();
+        tele.counter("pathdb.lock.contended").inc();
+        tele.histogram("pathdb.lock.wait_ns").record(wait_ns as f64);
+        tele.prof_leaf_ns("pathdb.lock_wait", wait_ns);
+        guard
+    }
+    #[cfg(not(feature = "profile"))]
+    m.lock()
 }
 
 /// Recombines only the (up, down) pairs whose consulted core bucket moved,

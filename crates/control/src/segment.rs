@@ -118,6 +118,19 @@ impl PathSegment {
         self.entries.iter().any(|e| e.ia == ia)
     }
 
+    /// Approximate resident size of the segment in bytes: the struct plus
+    /// the heap behind its entry and peer vectors. An estimate for the
+    /// segment-store memory gauge, not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<PathSegment>()
+            + self.entries.capacity() * std::mem::size_of::<AsEntry>()
+            + self
+                .entries
+                .iter()
+                .map(|e| e.peers.capacity() * std::mem::size_of::<PeerEntry>())
+                .sum::<usize>()
+    }
+
     /// Position of `ia` in the segment.
     pub fn position_of(&self, ia: IsdAsn) -> Option<usize> {
         self.entries.iter().position(|e| e.ia == ia)

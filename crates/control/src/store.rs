@@ -197,6 +197,15 @@ impl SegmentStore {
         self.len() == 0
     }
 
+    /// Approximate bytes of interned segment data resident in the store:
+    /// the sum of every registered segment's [`PathSegment::approx_bytes`].
+    /// Each segment is interned once, so handles held elsewhere share the
+    /// same allocation and are not double counted. O(segments) — call it
+    /// from snapshot/console paths, not per query.
+    pub fn approx_bytes(&self) -> usize {
+        self.all_segments().map(|s| s.approx_bytes()).sum()
+    }
+
     /// Drops segments whose hop fields have expired by `now` (Unix secs).
     pub fn expire(&mut self, now: u64) -> usize {
         self.remove_where(|s| s.expiry() <= now)

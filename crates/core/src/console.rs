@@ -20,6 +20,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use sciera_telemetry::{counter_rates, prometheus_text, CounterRate, Telemetry, TelemetrySnapshot};
+use scion_control::pathdb::{lock_pathdb, PathDb};
 use scion_orchestrator::health::HealthBoard;
 
 use crate::network::Inner;
@@ -27,11 +28,15 @@ use crate::network::Inner;
 /// How many counter-rate lines a render shows at most.
 const MAX_RATE_LINES: usize = 12;
 
+/// How many profiler hotspots the `hotspots:` line shows at most.
+const MAX_HOTSPOTS: usize = 5;
+
 /// A live operator view over one network's telemetry and health board.
 pub struct OperatorConsole {
     telemetry: Telemetry,
     health: Arc<Mutex<HealthBoard>>,
     net: Arc<Mutex<Inner>>,
+    pathdb: Arc<Mutex<PathDb>>,
     /// The previous render's snapshot (JSON round-tripped) and sim time.
     last: Option<(u64, TelemetrySnapshot)>,
 }
@@ -41,18 +46,31 @@ impl OperatorConsole {
         telemetry: Telemetry,
         health: Arc<Mutex<HealthBoard>>,
         net: Arc<Mutex<Inner>>,
+        pathdb: Arc<Mutex<PathDb>>,
     ) -> Self {
         OperatorConsole {
             telemetry,
             health,
             net,
+            pathdb,
             last: None,
         }
     }
 
-    /// Prometheus text exposition of the current metrics registry.
+    /// Prometheus text exposition of the current metrics registry,
+    /// including the scale-observatory resource gauges and (in `profile`
+    /// builds) the `profile.self_ns.*` self-time gauges.
     pub fn prometheus(&self) -> String {
+        self.refresh_observatory();
         prometheus_text(&self.telemetry.snapshot())
+    }
+
+    /// Pushes point-in-time resource state (PathDb/segment-store
+    /// footprints) and the profiler's self-time tree into the metrics
+    /// registry so snapshots and expositions carry them.
+    fn refresh_observatory(&self) {
+        lock_pathdb(&self.pathdb).record_resource_gauges();
+        self.telemetry.publish_profile();
     }
 
     /// The current telemetry snapshot as JSON — the archival format that
@@ -78,6 +96,7 @@ impl OperatorConsole {
     /// first call — there is nothing to diff yet).
     pub fn render(&mut self) -> String {
         let now = self.net.lock().now_unix;
+        self.refresh_observatory();
         let snap = self.telemetry.snapshot();
         let (rows, churn) = {
             let board = self.health.lock();
@@ -164,6 +183,38 @@ impl OperatorConsole {
             c("beacon.batch.verify_miss"),
         );
 
+        // Scale observatory: resource footprints (current and
+        // peak-since-snapshot where tracked) plus the profiler's top
+        // self-time scopes. With the `profile` feature off the hotspots
+        // line reports that attribution is compiled out.
+        let _ = writeln!(
+            out,
+            "scale: pathdb {} entries / {} B — store {} segments / {} B — shard depth {} (peak {}) — pool hwm {}",
+            g("pathdb.cache.entries"),
+            g("pathdb.cache.bytes"),
+            g("store.segments"),
+            g("store.interned_bytes"),
+            g("dispatcher.shard.depth"),
+            g("dispatcher.shard.depth.peak"),
+            g("pool.frame.high_watermark"),
+        );
+        let report = self.telemetry.profile_report();
+        let ranked = report.ranked_self_time();
+        if ranked.is_empty() {
+            let _ = writeln!(
+                out,
+                "hotspots: (none — build with --features profile for self-time attribution)"
+            );
+        } else {
+            let tops = ranked
+                .iter()
+                .take(MAX_HOTSPOTS)
+                .map(|(name, ns)| format!("{name} {:.1}ms", *ns as f64 / 1e6))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "hotspots: {tops}");
+        }
+
         if let Some((t0, prev)) = &self.last {
             let dt = now.saturating_sub(*t0) as f64;
             let mut rates: Vec<CounterRate> = counter_rates(prev, &snap, dt)
@@ -228,6 +279,14 @@ mod tests {
         assert!(second.contains("flowgen:"), "{second}");
         assert!(second.contains("pathdb:"), "{second}");
         assert!(second.contains("beacon batches:"), "{second}");
+        assert!(second.contains("scale: pathdb"), "{second}");
+        assert!(second.contains("hotspots:"), "{second}");
+        if cfg!(feature = "profile") {
+            assert!(
+                !second.contains("hotspots: (none"),
+                "profiled build attributes self time:\n{second}"
+            );
+        }
         assert!(
             second.contains("prober.echo_sent"),
             "echo counter moved between renders:\n{second}"
@@ -240,6 +299,9 @@ mod tests {
         // of the exposition (paths were looked up by register_probe_pair).
         assert!(prom.contains("sciera_pathdb_cache_miss"), "{prom}");
         assert!(prom.contains("sciera_store_generation"), "{prom}");
+        // Scale-observatory resource gauges ride the same exposition.
+        assert!(prom.contains("sciera_pathdb_cache_entries"), "{prom}");
+        assert!(prom.contains("sciera_store_interned_bytes"), "{prom}");
     }
 
     #[test]

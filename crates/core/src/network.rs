@@ -321,7 +321,7 @@ impl SciEraNetwork {
     /// link state is applied as a post-filter, so toggling links never
     /// invalidates the cache.
     pub fn paths(&self, src: IsdAsn, dst: IsdAsn) -> Vec<FullPath> {
-        let paths = self.pathdb.lock().paths(src, dst, 200);
+        let paths = scion_control::lock_pathdb(&self.pathdb).paths(src, dst, 200);
         let inner = self.inner.lock();
         paths
             .into_iter()
@@ -441,7 +441,7 @@ impl SciEraNetwork {
         // combination crossing them (the next lookup recombines from the
         // unchanged store and re-applies live link state).
         let mut sink = |ia: IsdAsn, ifid: u16| {
-            self.pathdb.lock().invalidate_paths_crossing(ia, ifid);
+            scion_control::lock_pathdb(&self.pathdb).invalidate_paths_crossing(ia, ifid);
         };
         prober.run_round_with_sink(&mut transport, &mut board, now, &mut sink)
     }
@@ -468,6 +468,7 @@ impl SciEraNetwork {
             self.telemetry.clone(),
             Arc::clone(&self.health),
             Arc::clone(&self.inner),
+            Arc::clone(&self.pathdb),
         )
     }
 
@@ -993,7 +994,7 @@ impl scion_pan::socket::PanTransport for SimTransport {
     }
 
     fn lookup_paths(&mut self, dst: IsdAsn) -> Vec<FullPath> {
-        let paths = self.pathdb.lock().paths(self.local.ia, dst, 200);
+        let paths = scion_control::lock_pathdb(&self.pathdb).paths(self.local.ia, dst, 200);
         let inner = self.net.lock();
         paths
             .into_iter()

@@ -33,8 +33,7 @@ where
 /// (generation bump) transparently refreshes what they fetch.
 impl PathProvider for std::sync::Arc<Mutex<scion_control::pathdb::PathDb>> {
     fn fetch_paths(&self, src: IsdAsn, dst: IsdAsn, _now: u64) -> Vec<FullPath> {
-        self.lock()
-            .paths(src, dst, scion_control::combine::DEFAULT_MAX_PATHS)
+        scion_control::lock_pathdb(self).paths(src, dst, scion_control::combine::DEFAULT_MAX_PATHS)
     }
 }
 

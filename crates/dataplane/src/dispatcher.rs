@@ -176,6 +176,7 @@ pub struct IngressShards<K> {
     dropped: Counter,
     batches: Counter,
     depth_watermark: Gauge,
+    depth: Gauge,
 }
 
 impl<K: Eq + Hash + Clone> Default for IngressShards<K> {
@@ -200,6 +201,7 @@ impl<K: Eq + Hash + Clone> IngressShards<K> {
             dropped: quiet.counter("dispatcher.shard.dropped"),
             batches: quiet.counter("dispatcher.shard.batches"),
             depth_watermark: quiet.gauge("dispatcher.shard.depth_watermark"),
+            depth: quiet.gauge("dispatcher.shard.depth"),
         }
     }
 
@@ -209,7 +211,9 @@ impl<K: Eq + Hash + Clone> IngressShards<K> {
         self.dropped = telemetry.counter("dispatcher.shard.dropped");
         self.batches = telemetry.counter("dispatcher.shard.batches");
         self.depth_watermark = telemetry.gauge("dispatcher.shard.depth_watermark");
+        self.depth = telemetry.gauge("dispatcher.shard.depth");
         self.depth_watermark.set_max(self.queued as u64);
+        self.depth.set(self.queued as u64);
     }
 
     /// Queues one frame on the shard for `key`, creating the shard on first
@@ -233,6 +237,7 @@ impl<K: Eq + Hash + Clone> IngressShards<K> {
         self.queued += 1;
         self.enqueued.inc();
         self.depth_watermark.set_max(self.queued as u64);
+        self.depth.set(self.queued as u64);
         true
     }
 
@@ -258,6 +263,7 @@ impl<K: Eq + Hash + Clone> IngressShards<K> {
             let take = queue.len().min(max);
             out.extend(queue.drain(..take));
             self.queued -= take;
+            self.depth.set(self.queued as u64);
             self.batches.inc();
             let key = key.clone();
             self.cursor = (idx + 1) % n;

@@ -449,6 +449,7 @@ impl BorderRouter {
         now: u64,
         sim_ns: u64,
     ) -> Vec<Result<FrameDecision, FrameError>> {
+        let _prof = self.metrics.telemetry.prof_scope("router.batch");
         self.metrics.batch_calls.inc();
         self.metrics.batch_frames.add(frames.len() as u64);
         let mut scratch = std::mem::take(&mut self.batch);

@@ -19,6 +19,9 @@
 //!   mechanisms).
 //! * [`survey`] — §5.6 operator survey: the synthetic respondent table and
 //!   the aggregate statistics the paper reports.
+//! * [`scale`] — the scale observatory: synthetic-topology sweeps
+//!   (100 → 5000 ASes) through beaconing, the path database and the
+//!   router data plane, with per-subsystem self-time attribution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod bootstrapx;
 pub mod campaign;
 pub mod paths;
 pub mod resilience;
+pub mod scale;
 pub mod survey;
 
 pub use campaign::{Campaign, CampaignConfig, MeasurementStore};

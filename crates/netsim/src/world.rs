@@ -226,6 +226,7 @@ pub struct World<N: Node> {
     link_counters: Vec<LinkCounters>,
     events_counter: Counter,
     queue_depth_hwm: Gauge,
+    queue_depth: Gauge,
 }
 
 impl<N: Node> World<N> {
@@ -235,6 +236,7 @@ impl<N: Node> World<N> {
         let telemetry = Telemetry::quiet();
         let events_counter = telemetry.counter("world.events_processed");
         let queue_depth_hwm = telemetry.gauge("world.queue_depth_hwm");
+        let queue_depth = telemetry.gauge("world.queue_depth");
         World {
             nodes: Vec::new(),
             links: Vec::new(),
@@ -250,6 +252,7 @@ impl<N: Node> World<N> {
             link_counters: Vec::new(),
             events_counter,
             queue_depth_hwm,
+            queue_depth,
         }
     }
 
@@ -258,6 +261,7 @@ impl<N: Node> World<N> {
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.events_counter = telemetry.counter("world.events_processed");
         self.queue_depth_hwm = telemetry.gauge("world.queue_depth_hwm");
+        self.queue_depth = telemetry.gauge("world.queue_depth");
         self.pool.set_telemetry(&telemetry);
         self.link_counters = (0..self.links.len())
             .map(|i| LinkCounters::register(&telemetry, LinkId(i)))
@@ -349,7 +353,9 @@ impl<N: Node> World<N> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Event { at, seq, kind }));
-        self.queue_depth_hwm.set_max(self.queue.len() as u64);
+        let depth = self.queue.len() as u64;
+        self.queue_depth.set(depth);
+        self.queue_depth_hwm.set_max(depth);
     }
 
     fn dispatch_start(&mut self) {
@@ -441,12 +447,16 @@ impl<N: Node> World<N> {
     /// processed in this call.
     pub fn run_until(&mut self, until: SimTime) -> u64 {
         self.dispatch_start();
+        // One scope per drain call, not per event: the loop body below is
+        // the event-loop dispatch cost the scale observatory attributes.
+        let _prof = self.telemetry.prof_scope("sim.dispatch");
         let mut processed = 0u64;
         while let Some(Reverse(ev)) = self.queue.peek() {
             if ev.at > until {
                 break;
             }
             let Reverse(ev) = self.queue.pop().unwrap();
+            self.queue_depth.set(self.queue.len() as u64);
             self.now = ev.at;
             self.stats.events_processed += 1;
             self.events_counter.inc();

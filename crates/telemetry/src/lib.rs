@@ -22,6 +22,7 @@
 mod event;
 pub mod export;
 mod metrics;
+pub mod profiler;
 mod recorder;
 mod snapshot;
 pub mod spans;
@@ -29,6 +30,7 @@ pub mod spans;
 pub use event::{Event, Severity};
 pub use export::{counter_rates, prometheus_text, CounterRate};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use profiler::{ProfScope, ProfileEntry, ProfileReport, Profiler};
 pub use recorder::FlightRecorder;
 pub use snapshot::{HistogramSnapshot, TelemetrySnapshot};
 pub use spans::{hop_latencies, reconstruct_trace, validate_chain, TraceHop};
@@ -44,6 +46,7 @@ struct Inner {
     recorder: FlightRecorder,
     min_severity: AtomicU8,
     trace_seq: AtomicU64,
+    profiler: Profiler,
 }
 
 /// Shared observability handle: metrics registry + event tracing + flight
@@ -81,6 +84,7 @@ impl Telemetry {
                 recorder: FlightRecorder::new(4096),
                 min_severity: AtomicU8::new(min as u8),
                 trace_seq: AtomicU64::new(0),
+                profiler: Profiler::new(),
             }),
         }
     }
@@ -95,6 +99,7 @@ impl Telemetry {
                 recorder: FlightRecorder::new(4096),
                 min_severity: AtomicU8::new(SEVERITY_OFF),
                 trace_seq: AtomicU64::new(0),
+                profiler: Profiler::new(),
             }),
         }
     }
@@ -164,6 +169,55 @@ impl Telemetry {
     /// are not copied — the fleet view is a metrics aggregate.
     pub fn merge_from(&self, other: &Telemetry) {
         self.inner.metrics.merge_from(&other.inner.metrics);
+    }
+
+    /// Whether the `profile` feature is compiled in on this build.
+    #[inline]
+    pub fn profiling_enabled(&self) -> bool {
+        cfg!(feature = "profile")
+    }
+
+    /// Enters a named profiler scope on the calling thread; the returned
+    /// guard exits it on drop. With the `profile` feature off this is a
+    /// zero-sized no-op.
+    #[inline]
+    #[must_use = "a profiler scope measures until it is dropped"]
+    pub fn prof_scope(&self, name: &'static str) -> ProfScope {
+        self.inner.profiler.scope(name)
+    }
+
+    /// Attributes an externally measured duration (e.g. a lock wait) as a
+    /// leaf under the calling thread's current profiler scope.
+    #[inline]
+    pub fn prof_leaf_ns(&self, name: &'static str, ns: u64) {
+        self.inner.profiler.record_leaf(name, ns);
+    }
+
+    /// The shared profiler (no-op with the `profile` feature off).
+    pub fn profiler(&self) -> &Profiler {
+        &self.inner.profiler
+    }
+
+    /// A flattening of the current profile tree (empty with `profile` off).
+    pub fn profile_report(&self) -> ProfileReport {
+        self.inner.profiler.report()
+    }
+
+    /// Clears the profile tree, e.g. between sweep phases.
+    pub fn reset_profile(&self) {
+        self.inner.profiler.reset();
+    }
+
+    /// Publishes the aggregate self-time table as `profile.self_ns.*` gauges
+    /// so snapshots, the console and the Prometheus exposition carry it.
+    pub fn publish_profile(&self) {
+        self.inner.profiler.publish(&self.inner.metrics);
+    }
+
+    /// Restarts peak tracking on every registered gauge (see
+    /// [`Gauge::reset_peak`]).
+    pub fn reset_gauge_peaks(&self) {
+        self.inner.metrics.reset_gauge_peaks();
     }
 
     /// The underlying metrics registry.
@@ -271,6 +325,41 @@ mod tests {
         let snap = tele.snapshot();
         assert_eq!(snap.events_recorded, 0);
         assert_eq!(snap.counters, vec![("c".to_string(), 1)]);
+    }
+
+    #[test]
+    #[cfg(feature = "profile")]
+    fn publish_profile_surfaces_self_time_gauges() {
+        let tele = Telemetry::quiet();
+        assert!(tele.profiling_enabled());
+        {
+            let _s = tele.prof_scope("beacon.run");
+            tele.prof_leaf_ns("pathdb.lock_wait", 42);
+        }
+        tele.publish_profile();
+        let snap = tele.snapshot();
+        assert_eq!(snap.gauge("profile.self_ns.pathdb.lock_wait"), Some(42));
+        assert!(snap.gauge("profile.self_ns.beacon.run").is_some());
+        tele.reset_profile();
+        assert!(tele.profile_report().is_empty());
+    }
+
+    #[test]
+    #[cfg(not(feature = "profile"))]
+    fn profile_feature_off_compiles_to_noops() {
+        let tele = Telemetry::quiet();
+        assert!(!tele.profiling_enabled());
+        {
+            let _s = tele.prof_scope("beacon.run");
+            tele.prof_leaf_ns("pathdb.lock_wait", 42);
+        }
+        tele.publish_profile();
+        assert!(tele.profile_report().is_empty());
+        assert!(tele
+            .snapshot()
+            .gauges
+            .iter()
+            .all(|(n, _)| !n.starts_with("profile.self_ns.")));
     }
 
     #[test]

@@ -63,26 +63,53 @@ impl Counter {
     }
 }
 
-/// Last-value / high-water gauge. Cloning shares the underlying cell.
+#[derive(Default, Debug)]
+struct GaugeCell {
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// Last-value gauge with a resettable peak. Cloning shares the underlying
+/// cell.
+///
+/// Every write also raises `peak`, the highest value seen since the last
+/// [`Gauge::reset_peak`]. A sweep that snapshots between phases therefore
+/// captures the maximum the gauge reached inside each window, not just
+/// whatever it happened to read last — the difference between "the queue was
+/// empty when we looked" and "the queue spiked to 40k mid-phase".
 #[derive(Clone, Default, Debug)]
-pub struct Gauge(Arc<AtomicU64>);
+pub struct Gauge(Arc<GaugeCell>);
 
 impl Gauge {
-    /// Overwrites the value.
+    /// Overwrites the value (and raises the peak if `v` exceeds it).
     #[inline]
     pub fn set(&self, v: u64) {
-        self.0.store(v, Ordering::Relaxed);
+        self.0.value.store(v, Ordering::Relaxed);
+        self.0.peak.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Raises the value to `v` if higher (high-water mark).
     #[inline]
     pub fn set_max(&self, v: u64) {
-        self.0.fetch_max(v, Ordering::Relaxed);
+        self.0.value.fetch_max(v, Ordering::Relaxed);
+        self.0.peak.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value seen since the last [`Gauge::reset_peak`].
+    pub fn peak(&self) -> u64 {
+        self.0.peak.load(Ordering::Relaxed)
+    }
+
+    /// Restarts peak tracking from the current value.
+    pub fn reset_peak(&self) {
+        self.0
+            .peak
+            .store(self.0.value.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 }
 
@@ -382,15 +409,29 @@ impl MetricsRegistry {
             self.counter(name).add(c.get());
         }
         for (name, g) in other.gauges.read().iter() {
-            self.gauge(name).set_max(g.get());
+            let dst = self.gauge(name);
+            dst.set_max(g.get());
+            dst.0.peak.fetch_max(g.peak(), Ordering::Relaxed);
         }
         for (name, h) in other.histograms.read().iter() {
             self.histogram(name).merge(h);
         }
     }
 
+    /// Restarts peak tracking on every registered gauge (see
+    /// [`Gauge::reset_peak`]). A sweep calls this at the start of each
+    /// measurement window so the `<name>.peak` snapshot entries report the
+    /// window's maxima.
+    pub fn reset_gauge_peaks(&self) {
+        for g in self.gauges.read().values() {
+            g.reset_peak();
+        }
+    }
+
     /// Point-in-time snapshot of every registered metric (event counts are
-    /// filled in by `Telemetry::snapshot`).
+    /// filled in by `Telemetry::snapshot`). Each gauge contributes two
+    /// entries: `<name>` with the current value and `<name>.peak` with the
+    /// highest value since the last [`MetricsRegistry::reset_gauge_peaks`].
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
             counters: self
@@ -403,7 +444,7 @@ impl MetricsRegistry {
                 .gauges
                 .read()
                 .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
+                .flat_map(|(k, v)| [(k.clone(), v.get()), (format!("{k}.peak"), v.peak())])
                 .collect(),
             histograms: self
                 .histograms
@@ -545,6 +586,52 @@ mod tests {
         assert_eq!(reg.gauge("g").get(), 9);
         let snap = reg.snapshot();
         assert_eq!(snap.counters, vec![("a".to_string(), 2)]);
-        assert_eq!(snap.gauges, vec![("g".to_string(), 9)]);
+        assert_eq!(
+            snap.gauges,
+            vec![("g".to_string(), 9), ("g.peak".to_string(), 9)]
+        );
+    }
+
+    #[test]
+    fn gauge_peak_survives_lower_sets_until_reset() {
+        let g = Gauge::default();
+        g.set(40);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.peak(), 40, "peak must keep the maximum, not the last set");
+        g.reset_peak();
+        assert_eq!(
+            g.peak(),
+            3,
+            "reset restarts tracking from the current value"
+        );
+        g.set(10);
+        g.set(5);
+        assert_eq!(g.peak(), 10);
+    }
+
+    #[test]
+    fn registry_snapshot_reports_peaks_and_reset_clears_them() {
+        let reg = MetricsRegistry::new();
+        let q = reg.gauge("depth");
+        q.set(100);
+        q.set(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("depth"), Some(1));
+        assert_eq!(snap.gauge("depth.peak"), Some(100));
+        reg.reset_gauge_peaks();
+        assert_eq!(reg.snapshot().gauge("depth.peak"), Some(1));
+    }
+
+    #[test]
+    fn merge_from_folds_gauge_peaks() {
+        let fleet = MetricsRegistry::new();
+        let node = MetricsRegistry::new();
+        let g = node.gauge("depth");
+        g.set(77);
+        g.set(2);
+        fleet.merge_from(&node);
+        assert_eq!(fleet.gauge("depth").get(), 2);
+        assert_eq!(fleet.gauge("depth").peak(), 77);
     }
 }

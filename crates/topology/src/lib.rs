@@ -32,10 +32,12 @@ pub mod ases;
 pub mod geo;
 pub mod ip;
 pub mod links;
+pub mod synth;
 pub mod timeline;
 
 pub use ases::{all_ases, AsInfo, Region};
 pub use geo::{fiber_rtt_ms, Pop};
 pub use ip::IpBaseline;
 pub use links::{build_control_graph, link_inventory, LinkSpec};
+pub use synth::{synthesize, SynthConfig};
 pub use timeline::{deployment_timeline, nsps, pops_table1};

@@ -19,6 +19,25 @@ cargo build --workspace --no-default-features
 echo "==> cargo test -q -p sciera-telemetry --no-default-features"
 cargo test -q -p sciera-telemetry --no-default-features
 
+# Scale-observatory matrix: the `profile` feature (off by default) must
+# build through the facade's forwarding chain, and the telemetry crate's
+# tests must pass with the profiler compiled in. (`--workspace` would
+# fail here: member crates without a `profile` feature reject the flag,
+# so the facade package drives the forwarding.)
+echo "==> cargo build --features profile (profiler compiled in)"
+cargo build --features profile
+
+echo "==> cargo test -q -p sciera-telemetry --features profile"
+cargo test -q -p sciera-telemetry --features profile
+
+# The profiler attribution proptest must hold in all three configs: the
+# default run is part of `cargo test -q` above.
+echo "==> cargo test -q --test prop_profiler --features profile"
+cargo test -q --test prop_profiler --features profile
+
+echo "==> cargo test -q --test prop_profiler --no-default-features"
+cargo test -q --test prop_profiler --no-default-features
+
 # The differential fast-path proptest must hold in both feature configs.
 echo "==> cargo test -q --test prop_fastpath --no-default-features"
 cargo test -q --test prop_fastpath --no-default-features
@@ -37,6 +56,21 @@ cargo test -q --test prop_batch --no-default-features
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+# Profiler-off overhead guard: the disabled scale-observatory plumbing
+# (no-op ProfScope on the router batch path, lock_pathdb over the shared
+# PathDb mutex) must stay within measurement noise of the raw paths.
+echo "==> cargo bench -p sciera-bench --bench profiler_overhead"
+cargo bench -p sciera-bench --bench profiler_overhead
+
+# Bounded smoke sweep: one N=100 point through the full scale pipeline
+# (synthesis -> beaconing -> PathDb -> router load -> sim stage), written
+# to target/ so it never clobbers the committed BENCH_scale.json.
+echo "==> scale_sweep smoke (N=100)"
+# Absolute output path: cargo runs the bench binary from crates/bench.
+SCIERA_SCALE_NS=100 SCIERA_SCALE_OUT="$PWD/target/scale_smoke.json" \
+    cargo bench -p sciera-bench --bench scale_sweep
+test -s target/scale_smoke.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -44,11 +78,12 @@ echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
 # The dataplane and wire-format crates carry the forwarding hot path, the
-# control crate the combination/beaconing hot path, and netsim the frame
-# pool + dispatch loop under the batched pipeline: hold them to the
-# allocation-hygiene lints as hard errors.
-echo "==> cargo clippy -p scion-dataplane -p scion-proto -p scion-control -p netsim (hot-path lints)"
-cargo clippy -p scion-dataplane -p scion-proto -p scion-control -p netsim -- \
+# control crate the combination/beaconing hot path, netsim the frame
+# pool + dispatch loop under the batched pipeline, and topology the
+# synthetic-generator inner loops the scale sweep leans on: hold them to
+# the allocation-hygiene lints as hard errors.
+echo "==> cargo clippy -p scion-dataplane -p scion-proto -p scion-control -p netsim -p sciera-topology (hot-path lints)"
+cargo clippy -p scion-dataplane -p scion-proto -p scion-control -p netsim -p sciera-topology -- \
     -D warnings -D clippy::redundant_clone -D clippy::needless_collect
 
 echo "==> ci OK"
