@@ -24,7 +24,7 @@ fn point_json(p: &ScalePoint) -> String {
         None => "null".to_string(),
     };
     format!(
-        "    {{\n      \"n_ases\": {}, \"links\": {},\n      \"gen_ms\": {:.1}, \"convergence_ms\": {:.1}, \"beacon_rounds\": {},\n      \"segments\": {}, \"store_bytes\": {}, \"pathdb_bytes\": {},\n      \"queries\": {}, \"hit_rate\": {:.4}, \"queries_per_sec\": {:.0},\n      \"router_ops\": {}, \"delivered\": {}, \"dropped\": {}, \"router_ns_per_op\": {:.0},\n      \"sim_events\": {},\n      \"bottleneck\": {},\n      \"self_time\": [{}]\n    }}",
+        "    {{\n      \"n_ases\": {}, \"links\": {},\n      \"gen_ms\": {:.1}, \"convergence_ms\": {:.1}, \"beacon_rounds\": {},\n      \"segments\": {}, \"store_bytes\": {}, \"pathdb_bytes\": {},\n      \"queries\": {}, \"query_pairs\": {}, \"hit_rate\": {:.4}, \"hit_rate_cold\": {:.4}, \"hit_rate_warm\": {:.4}, \"queries_per_sec\": {:.0},\n      \"router_ops\": {}, \"delivered\": {}, \"dropped\": {}, \"router_ns_per_op\": {:.0},\n      \"sim_events\": {},\n      \"bottleneck\": {},\n      \"self_time\": [{}]\n    }}",
         p.n_ases,
         p.links,
         p.gen_ms,
@@ -34,7 +34,10 @@ fn point_json(p: &ScalePoint) -> String {
         p.store_bytes,
         p.pathdb_bytes,
         p.queries,
+        p.query_pairs,
         p.hit_rate,
+        p.hit_rate_cold,
+        p.hit_rate_warm,
         p.queries_per_sec,
         p.router_ops,
         p.delivered,
@@ -67,12 +70,15 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ");
         println!(
-            "scale_sweep: N={:<5} links={:<6} converge={:>8.1}ms ({} rounds)  hit={:.2}  {:>8.0} q/s  router {:>5.0} ns/op  store {:>9}B  hotspots: {}",
+            "scale_sweep: N={:<5} links={:<6} converge={:>8.1}ms ({} rounds)  hit={:.2} (cold {:.2} / warm {:.2}, {} pairs)  {:>8.0} q/s  router {:>5.0} ns/op  store {:>9}B  hotspots: {}",
             p.n_ases,
             p.links,
             p.convergence_ms,
             p.beacon_rounds,
             p.hit_rate,
+            p.hit_rate_cold,
+            p.hit_rate_warm,
+            p.query_pairs,
             p.queries_per_sec,
             p.router_ns_per_op,
             p.store_bytes,

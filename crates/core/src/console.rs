@@ -198,6 +198,22 @@ impl OperatorConsole {
             g("dispatcher.shard.depth.peak"),
             g("pool.frame.high_watermark"),
         );
+        // Path-dynamics observatory: campaign progress, live path count,
+        // churn emitted by the current campaign, and the most recent
+        // failover gap the engine closed. All zeros until a
+        // `sciera_measure::dynamics` campaign runs over this network.
+        let _ = writeln!(
+            out,
+            "dynamics: epoch {} ({} done) — {} live paths — churn {} total ({} last epoch) — {} events injected — last failover gap {}ms",
+            g("dynamics.epoch"),
+            c("dynamics.epochs"),
+            g("dynamics.live_paths"),
+            c("dynamics.churn_records"),
+            g("dynamics.churn_last_epoch"),
+            c("dynamics.events_injected"),
+            g("dynamics.last_failover_gap_ms"),
+        );
+
         let report = self.telemetry.profile_report();
         let ranked = report.ranked_self_time();
         if ranked.is_empty() {
@@ -257,6 +273,40 @@ mod tests {
     use scion_proto::addr::ia;
 
     #[test]
+    fn console_reports_dynamics_campaign_state() {
+        use sciera_measure::dynamics::{run_campaign, DynamicsConfig};
+        let mut net = SciEraNetwork::build(NetworkConfig::default());
+        let telemetry = net.telemetry();
+        let mut console = net.console();
+        let idle = console.render();
+        assert!(
+            idle.contains("dynamics: epoch 0 (0 done)"),
+            "quiet before any campaign:\n{idle}"
+        );
+
+        let cfg = DynamicsConfig {
+            epochs: 6,
+            kill_every: 2,
+            kill_duration: 1,
+            latency_every: 3,
+            ..DynamicsConfig::default()
+        };
+        let pairs = [(ia("71-225"), ia("71-2:0:3b"))];
+        let dataset = run_campaign(&mut net, &pairs, &cfg, &telemetry);
+        assert!(!dataset.paths.is_empty());
+
+        let live = console.render();
+        assert!(
+            live.contains("dynamics: epoch 5 (6 done)"),
+            "campaign progress surfaces:\n{live}"
+        );
+        assert!(!live.contains(" 0 live paths"), "{live}");
+        let prom = console.prometheus();
+        assert!(prom.contains("sciera_dynamics_live_paths"), "{prom}");
+        assert!(prom.contains("sciera_dynamics_epochs"), "{prom}");
+    }
+
+    #[test]
     fn console_renders_health_table_and_rates() {
         let net = SciEraNetwork::build(NetworkConfig::default());
         let n = net.register_probe_pair(ia("71-225"), ia("71-88"));
@@ -280,6 +330,8 @@ mod tests {
         assert!(second.contains("pathdb:"), "{second}");
         assert!(second.contains("beacon batches:"), "{second}");
         assert!(second.contains("scale: pathdb"), "{second}");
+        assert!(second.contains("dynamics: epoch"), "{second}");
+        assert!(second.contains("last failover gap"), "{second}");
         assert!(second.contains("hotspots:"), "{second}");
         if cfg!(feature = "profile") {
             assert!(

@@ -6,8 +6,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use netsim::FramePool;
+use sciera_measure::dynamics::DynamicsNet;
 use sciera_telemetry::{Event, Severity, Telemetry};
-use sciera_topology::ases::{all_ases, AsInfo};
+use sciera_topology::ases::as_info;
 use sciera_topology::links::{build_control_graph, BuiltTopology, PER_AS_OVERHEAD_MS};
 use scion_bootstrap::server::{BootstrapServer, TopologyDocument};
 use scion_control::beacon::{BeaconConfig, BeaconEngine};
@@ -115,6 +116,10 @@ pub(crate) struct Inner {
     topo: BuiltTopology,
     routers: BTreeMap<IsdAsn, BorderRouter>,
     link_down: Vec<bool>,
+    /// Build-time latency per link, so cost-change injections
+    /// (`set_link_latency_factor`) scale relative to nominal instead of
+    /// compounding.
+    nominal_latency_ms: Vec<f64>,
     pub(crate) now_unix: u64,
     /// Host inboxes keyed by (AS, host address bytes).
     inboxes: BTreeMap<ScionAddr, VecDeque<ScionPacket>>,
@@ -132,8 +137,10 @@ pub struct SciEraNetwork {
     /// Certificate renewal drivers per AS (the orchestrator would tick
     /// these in production).
     pub renewal: BTreeMap<IsdAsn, RenewalDriver>,
-    /// The ISD 71 CA (at GEANT).
-    pub ca71: CaService,
+    /// One CA per ISD, keyed by ISD number (ISD 71's lives at GEANT on
+    /// the SCIERA topology; synthetic topologies get one at the first
+    /// core of each ISD).
+    pub cas: BTreeMap<u16, CaService>,
     /// Bootstrap servers per AS.
     pub bootstrap_servers: BTreeMap<IsdAsn, BootstrapServer>,
     telemetry: Telemetry,
@@ -146,12 +153,30 @@ pub struct SciEraNetwork {
 }
 
 impl SciEraNetwork {
-    /// Builds the full deployment. Panics only on internal inconsistency —
-    /// the topology and PKI wiring are fixed data.
+    /// Builds the full deployment over the fixed SCIERA topology. Panics
+    /// only on internal inconsistency — the topology and PKI wiring are
+    /// fixed data.
     pub fn build(config: NetworkConfig) -> Self {
+        Self::build_from_topology(build_control_graph(), config)
+    }
+
+    /// Builds a full deployment — beaconing, per-ISD PKI, routers,
+    /// bootstrap servers, prober/health stack — over an arbitrary built
+    /// topology (e.g. a `sciera_topology::synth` one, for campaigns larger
+    /// than the 36-AS SCIERA deployment). ISDs and their core ASes are
+    /// derived from the graph; ASes present in the SCIERA inventory keep
+    /// their real client profiles, everyone else runs the open-source
+    /// stack.
+    pub fn build_from_topology(topo: BuiltTopology, config: NetworkConfig) -> Self {
         let telemetry = Telemetry::new();
-        let topo = build_control_graph();
         let now = config.now_unix;
+
+        // Deterministic AS inventory straight from the graph.
+        let mut nodes: Vec<(IsdAsn, bool)> = topo.graph.ases().map(|n| (n.ia, n.core)).collect();
+        nodes.sort_by_key(|(ia, _)| *ia);
+        let mut isds: Vec<u16> = nodes.iter().map(|(ia, _)| ia.isd.0).collect();
+        isds.sort_unstable();
+        isds.dedup();
 
         // --- Control plane: beaconing + segment registration.
         let mut engine = BeaconEngine::new(
@@ -169,12 +194,13 @@ impl SciEraNetwork {
         // --- PKI: one TRC per ISD, a CA per ISD, chains for every AS.
         let trust = TrustStore::new();
         let mut cas: BTreeMap<u16, CaService> = BTreeMap::new();
-        for isd in [71u16, 64] {
-            let cores: Vec<AsInfo> = all_ases()
-                .into_iter()
-                .filter(|a| a.ia.isd.0 == isd && a.core)
+        for &isd in &isds {
+            let core_ias: Vec<IsdAsn> = nodes
+                .iter()
+                .filter(|(ia, core)| ia.isd.0 == isd && *core)
+                .map(|(ia, _)| *ia)
                 .collect();
-            let core_ias: Vec<IsdAsn> = cores.iter().map(|a| a.ia).collect();
+            assert!(!core_ias.is_empty(), "ISD {isd} has no core AS");
             let root_keys: Vec<TrcKeyEntry> = core_ias
                 .iter()
                 .map(|&ia| TrcKeyEntry {
@@ -220,20 +246,22 @@ impl SciEraNetwork {
 
         // Issue and verify a chain for every AS; keep the renewal drivers.
         let mut renewal = BTreeMap::new();
-        for a in all_ases() {
-            let ca = cas.get_mut(&a.ia.isd.0).expect("CA per ISD");
-            let profile = if a.name.contains("KISTI") || a.ia.isd.0 == 64 {
-                // KREONET and the production network run Anapaya CORE
-                // (§4.5); everyone else runs the open-source stack.
-                ClientProfile::AnapayaCore
-            } else {
-                ClientProfile::OpenSource
+        for &(ia, _) in &nodes {
+            let ca = cas.get_mut(&ia.isd.0).expect("CA per ISD");
+            // KREONET and the production network run Anapaya CORE (§4.5);
+            // everyone else — including every synthetic AS, which has no
+            // inventory entry — runs the open-source stack.
+            let profile = match as_info(ia) {
+                Some(info) if info.name.contains("KISTI") || ia.isd.0 == 64 => {
+                    ClientProfile::AnapayaCore
+                }
+                _ => ClientProfile::OpenSource,
             };
-            let driver = bootstrap_driver(ca, a.ia, profile, now).expect("issuance succeeds");
+            let driver = bootstrap_driver(ca, ia, profile, now).expect("issuance succeeds");
             trust
                 .verify_chain(&driver.chain, now)
                 .expect("chain verifies against TRC");
-            renewal.insert(a.ia, driver);
+            renewal.insert(ia, driver);
         }
 
         // The control-plane signing keys of the simulation are the per-AS
@@ -260,22 +288,21 @@ impl SciEraNetwork {
 
         // --- Bootstrap servers: one per AS, serving a signed topology.
         let mut bootstrap_servers = BTreeMap::new();
-        for (i, a) in all_ases().iter().enumerate() {
+        for (i, &(ia, _)) in nodes.iter().enumerate() {
             let octet = (i as u8).wrapping_add(10);
             let doc = TopologyDocument {
-                ia: a.ia,
+                ia,
                 border_routers: vec![UnderlayAddr::new([10, octet, 0, 1], 30042)],
                 control_service: UnderlayAddr::new([10, octet, 0, 2], 30252),
                 timestamp: now,
                 mtu: 1472,
             };
-            let driver = &renewal[&a.ia];
+            let driver = &renewal[&ia];
             // The topology is signed with the AS certificate key held by
             // the renewal driver's chain; we reuse the simulation secret.
-            let as_key =
-                scion_crypto::sign::SigningKey::from_seed(format!("as-{}", a.ia).as_bytes());
+            let as_key = scion_crypto::sign::SigningKey::from_seed(format!("as-{ia}").as_bytes());
             let srv = BootstrapServer::new(doc, &as_key, driver.chain.clone(), Vec::new());
-            bootstrap_servers.insert(a.ia, srv);
+            bootstrap_servers.insert(ia, srv);
         }
 
         // The memoized path DB serves every lookup; the public `store`
@@ -285,13 +312,14 @@ impl SciEraNetwork {
         pathdb.set_telemetry(telemetry.clone());
 
         let n_links = topo.links.len();
+        let nominal_latency_ms: Vec<f64> = topo.links.iter().map(|l| l.spec.latency_ms).collect();
         SciEraNetwork {
             store,
             pathdb: Arc::new(Mutex::new(pathdb)),
             secrets,
             trust,
             renewal,
-            ca71: cas.remove(&71).expect("ISD 71 CA"),
+            cas,
             bootstrap_servers,
             prober: Arc::new(Mutex::new(PathProber::new(
                 telemetry.clone(),
@@ -303,6 +331,7 @@ impl SciEraNetwork {
                 topo,
                 routers,
                 link_down: vec![false; n_links],
+                nominal_latency_ms,
                 now_unix: now,
                 inboxes: BTreeMap::new(),
             })),
@@ -350,6 +379,64 @@ impl SciEraNetwork {
             }
         }
         n
+    }
+
+    /// Number of links in the topology (valid indices for the per-link
+    /// fault-injection methods below).
+    pub fn link_count(&self) -> usize {
+        self.inner.lock().topo.links.len()
+    }
+
+    /// Sets the administrative state of one link by index.
+    pub fn set_link_index(&self, index: usize, up: bool) {
+        let mut inner = self.inner.lock();
+        if index < inner.link_down.len() {
+            inner.link_down[index] = !up;
+        }
+    }
+
+    /// Scales one link's latency relative to its *nominal* (build-time)
+    /// value — the cost-change injection of the dynamics campaigns.
+    /// Repeated calls never compound; `1.0` restores nominal exactly.
+    pub fn set_link_latency_factor(&self, index: usize, factor: f64) {
+        let mut inner = self.inner.lock();
+        if index < inner.topo.links.len() && factor.is_finite() && factor > 0.0 {
+            let nominal = inner.nominal_latency_ms[index];
+            inner.topo.links[index].spec.latency_ms = nominal * factor;
+        }
+    }
+
+    /// Indices of the links `path` crosses, deduplicated and sorted.
+    pub fn path_links(&self, path: &FullPath) -> Vec<usize> {
+        let inner = self.inner.lock();
+        let mut out: Vec<usize> = path
+            .interfaces()
+            .into_iter()
+            .filter_map(|(ia, ifid)| inner.topo.link_index_of(ia, ifid))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Health-board verdict for one probed path: `(alive, down_reason)`,
+    /// or `None` if the path has never been probed.
+    pub fn path_state(
+        &self,
+        src: IsdAsn,
+        dst: IsdAsn,
+        fingerprint: &str,
+    ) -> Option<(bool, Option<String>)> {
+        let board = self.health.lock();
+        board
+            .path(src, dst, fingerprint)
+            .map(|p| (p.alive, p.down_reason.clone()))
+    }
+
+    /// The path database's current store generation — the control plane's
+    /// invalidation epoch, stamped onto exported dynamics records.
+    pub fn generation(&self) -> u64 {
+        scion_control::lock_pathdb(&self.pathdb).generation()
     }
 
     /// Current Unix time of the simulation.
@@ -427,6 +514,22 @@ impl SciEraNetwork {
         let n = paths.len();
         self.prober.lock().register(src, dst, paths);
         n
+    }
+
+    /// Like [`SciEraNetwork::register_probe_pair`] but snapshots at most
+    /// `max_paths` (shortest first — `paths` returns them ranked), and
+    /// returns the snapshot itself. Dynamics campaigns cap the probe set
+    /// so per-epoch cost stays bounded on large synthetic topologies.
+    pub fn register_probe_pair_capped(
+        &self,
+        src: IsdAsn,
+        dst: IsdAsn,
+        max_paths: usize,
+    ) -> Vec<FullPath> {
+        let mut paths = self.paths(src, dst);
+        paths.truncate(max_paths);
+        self.prober.lock().register(src, dst, paths.clone());
+        paths
     }
 
     /// Runs one SCMP echo campaign over every registered pair's path set,
@@ -909,6 +1012,61 @@ impl Inner {
     }
 }
 
+/// The assembled network is a [`DynamicsNet`]: the path-dynamics
+/// observatory (`sciera_measure::dynamics`) drives campaigns over it —
+/// probe rounds through the real prober/health stack, link kills and
+/// latency scalings through the per-index fault injection above.
+impl DynamicsNet for SciEraNetwork {
+    fn now_unix(&self) -> u64 {
+        SciEraNetwork::now_unix(self)
+    }
+
+    fn advance_time(&mut self, secs: u64) {
+        SciEraNetwork::advance_time(self, secs)
+    }
+
+    fn register_pair(&mut self, src: IsdAsn, dst: IsdAsn, max_paths: usize) -> Vec<FullPath> {
+        self.register_probe_pair_capped(src, dst, max_paths)
+    }
+
+    fn probe_round(&mut self) -> Vec<ProbeResult> {
+        SciEraNetwork::probe_round(self)
+    }
+
+    fn churn_events(&self) -> Vec<ChurnEvent> {
+        SciEraNetwork::churn_events(self)
+    }
+
+    fn path_state(
+        &self,
+        src: IsdAsn,
+        dst: IsdAsn,
+        fingerprint: &str,
+    ) -> Option<(bool, Option<String>)> {
+        SciEraNetwork::path_state(self, src, dst, fingerprint)
+    }
+
+    fn generation(&self) -> u64 {
+        SciEraNetwork::generation(self)
+    }
+
+    fn link_count(&self) -> usize {
+        SciEraNetwork::link_count(self)
+    }
+
+    fn path_links(&self, path: &FullPath) -> Vec<usize> {
+        SciEraNetwork::path_links(self, path)
+    }
+
+    fn set_link_up(&mut self, index: usize, up: bool) {
+        self.set_link_index(index, up)
+    }
+
+    fn set_link_latency_factor(&mut self, index: usize, factor: f64) {
+        SciEraNetwork::set_link_latency_factor(self, index, factor)
+    }
+}
+
 /// [`EchoTransport`] over the simulated data plane.
 struct NetEchoTransport<'a> {
     net: &'a Mutex<Inner>,
@@ -1009,6 +1167,7 @@ impl scion_pan::socket::PanTransport for SimTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sciera_topology::ases::all_ases;
     use scion_pan::socket::PanSocket;
     use scion_proto::addr::{ia, HostAddr};
 
@@ -1260,6 +1419,72 @@ mod tests {
         let driver = &net.renewal[&ia("71-2:0:42")];
         assert!(driver.certificate_valid(net.now_unix()));
         assert!(!driver.certificate_valid(net.now_unix() + 10 * 86_400));
+    }
+
+    #[test]
+    fn build_from_synthetic_topology_probes_and_injects_faults() {
+        use sciera_topology::synth::{synthesize, SynthConfig};
+        let topo = synthesize(&SynthConfig::sized(40));
+        let mut net = SciEraNetwork::build_from_topology(topo, NetworkConfig::default());
+        assert!(net.trust.verified_as_count() >= 40);
+        assert!(net.link_count() > 0);
+
+        // Pick a pair with at least two paths (synthetic graphs are meshy
+        // enough that leaf-to-leaf pairs have alternatives).
+        let ases: Vec<IsdAsn> = net.secrets.keys().copied().collect();
+        let (src, dst, paths) = ases
+            .iter()
+            .flat_map(|&s| ases.iter().map(move |&d| (s, d)))
+            .filter(|(s, d)| s != d)
+            .find_map(|(s, d)| {
+                let p = net.paths(s, d);
+                (p.len() >= 2).then_some((s, d, p))
+            })
+            .expect("some pair has multiple paths");
+
+        // The prober/health stack works over the synthetic deployment.
+        let snapshot = net.register_probe_pair_capped(src, dst, 4);
+        assert!(!snapshot.is_empty() && snapshot.len() <= 4);
+        assert!(snapshot.len() <= paths.len());
+        let results = SciEraNetwork::probe_round(&net);
+        assert_eq!(results.len(), snapshot.len());
+        let fp = snapshot[0].fingerprint();
+        let (alive, reason) = net.path_state(src, dst, &fp).expect("probed path known");
+        assert!(alive, "freshly probed path is alive ({reason:?})");
+
+        // Cost-change injection scales RTT relative to nominal and
+        // restores it exactly; factors never compound.
+        let links = net.path_links(&snapshot[0]);
+        assert!(!links.is_empty());
+        let rtt = |net: &SciEraNetwork| {
+            let inner = net.inner.lock();
+            let down = |i: usize| inner.link_down[i];
+            inner.topo.path_rtt_ms(&snapshot[0], &down).unwrap()
+        };
+        let nominal = rtt(&net);
+        net.set_link_latency_factor(links[0], 3.0);
+        net.set_link_latency_factor(links[0], 3.0);
+        assert!(rtt(&net) > nominal);
+        net.set_link_latency_factor(links[0], 1.0);
+        assert!((rtt(&net) - nominal).abs() < 1e-9);
+
+        // Kill every link of the first path by index: it must die and be
+        // SCMP-attributed; restore brings the path back.
+        for &li in &links {
+            DynamicsNet::set_link_up(&mut net, li, false);
+        }
+        SciEraNetwork::probe_round(&net);
+        let (alive, reason) = net.path_state(src, dst, &fp).unwrap();
+        assert!(!alive);
+        assert!(
+            reason.as_deref().unwrap_or("").contains("ext-if-down"),
+            "SCMP attribution expected, got {reason:?}"
+        );
+        for &li in &links {
+            DynamicsNet::set_link_up(&mut net, li, true);
+        }
+        SciEraNetwork::probe_round(&net);
+        assert!(net.path_state(src, dst, &fp).unwrap().0, "path revives");
     }
 
     #[test]

@@ -182,6 +182,34 @@ impl<P: PathProvider> Daemon<P> {
         live
     }
 
+    /// Like [`Daemon::paths`], but returns the paths ranked by a
+    /// caller-supplied score: `(bucket, cost)` ascending, ties broken by
+    /// hop count then fingerprint, so the order is total and
+    /// deterministic. This is the hook measurement-driven selection
+    /// plugs into — `scion_pan`'s adaptive policies score each path from
+    /// their rolling view of the path-dynamics dataset and the daemon
+    /// serves them pre-ranked, cache semantics unchanged.
+    pub fn paths_ranked<F>(&self, dst: IsdAsn, now: u64, score: F) -> Vec<FullPath>
+    where
+        F: Fn(&FullPath) -> (u8, f64),
+    {
+        let mut scored: Vec<((u8, f64, usize, String), FullPath)> = self
+            .paths(dst, now)
+            .into_iter()
+            .map(|p| {
+                let (bucket, cost) = score(&p);
+                ((bucket, cost, p.len(), p.fingerprint()), p)
+            })
+            .collect();
+        scored.sort_by(|(a, _), (b, _)| {
+            a.0.cmp(&b.0)
+                .then(a.1.partial_cmp(&b.1).unwrap_or(core::cmp::Ordering::Equal))
+                .then(a.2.cmp(&b.2))
+                .then(a.3.cmp(&b.3))
+        });
+        scored.into_iter().map(|(_, p)| p).collect()
+    }
+
     /// Drops all cached paths (on network migration, §4.2.1).
     pub fn flush_cache(&self) {
         self.cache.lock().clear();
@@ -434,6 +462,69 @@ mod tests {
         );
         assert_eq!(d2.paths(ia("71-11"), 1_700_000_100), paths);
         assert!(db.lock().cached_entries() >= 1);
+    }
+
+    #[test]
+    fn paths_ranked_orders_by_score_then_hops_then_fingerprint() {
+        use scion_control::beacon::{BeaconConfig, BeaconEngine};
+        use scion_control::graph::{ControlGraph, LinkType};
+        use scion_control::pathdb::PathDb;
+        use std::sync::Arc;
+
+        // Diamond: two cores, both parenting both leaves, so 71-10 → 71-11
+        // has one path through each core.
+        let mut g = ControlGraph::new();
+        g.add_as(ia("71-1"), true);
+        g.add_as(ia("71-2"), true);
+        g.add_as(ia("71-10"), false);
+        g.add_as(ia("71-11"), false);
+        g.connect(ia("71-1"), ia("71-2"), LinkType::Core).unwrap();
+        for leaf in ["71-10", "71-11"] {
+            g.connect(ia("71-1"), ia(leaf), LinkType::Child).unwrap();
+            g.connect(ia("71-2"), ia(leaf), LinkType::Child).unwrap();
+        }
+        let store = BeaconEngine::new(&g, 1_700_000_000, BeaconConfig::default())
+            .run()
+            .unwrap();
+        let db = Arc::new(Mutex::new(PathDb::new(store)));
+        let d = Daemon::new(
+            ia("71-10"),
+            UnderlayAddr::new([10, 0, 0, 2], 30252),
+            db,
+            DaemonConfig::default(),
+        );
+        let now = 1_700_000_100;
+        let plain = d.paths(ia("71-11"), now);
+        assert!(plain.len() >= 2, "diamond yields both paths");
+
+        // A measurement-driven score: paths through 71-2 are "measured
+        // fast", everything else lands in a worse bucket — regardless of
+        // hop count.
+        let through = |p: &FullPath, core: &str| p.ases().contains(&ia(core));
+        let ranked = d.paths_ranked(ia("71-11"), now, |p| {
+            if through(p, "71-2") {
+                (0, 5.0)
+            } else {
+                (1, 1.0)
+            }
+        });
+        assert_eq!(ranked.len(), plain.len(), "ranking only reorders");
+        assert!(through(&ranked[0], "71-2"), "best bucket first");
+        let split = ranked.iter().position(|p| !through(p, "71-2")).unwrap();
+        assert!(
+            ranked[split..].iter().all(|p| !through(p, "71-2")),
+            "buckets stay contiguous"
+        );
+        // Constant score degrades to hops-then-fingerprint: deterministic.
+        let tie = d.paths_ranked(ia("71-11"), now, |_| (0, 0.0));
+        let again = d.paths_ranked(ia("71-11"), now, |_| (0, 0.0));
+        assert_eq!(
+            tie.iter().map(|p| p.fingerprint()).collect::<Vec<_>>(),
+            again.iter().map(|p| p.fingerprint()).collect::<Vec<_>>()
+        );
+        for w in tie.windows(2) {
+            assert!(w[0].len() <= w[1].len(), "ties fall back to hop count");
+        }
     }
 
     #[test]

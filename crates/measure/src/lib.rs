@@ -22,6 +22,11 @@
 //! * [`scale`] — the scale observatory: synthetic-topology sweeps
 //!   (100 → 5000 ASes) through beaconing, the path database and the
 //!   router data plane, with per-subsystem self-time attribution.
+//! * [`dynamics`] — the path-dynamics observatory: long-horizon campaigns
+//!   with injected link-kill and cost-change events, an ML-ready JSONL
+//!   time-series dataset (per-path epochs plus a churn stream), and
+//!   closed-loop replay of adaptive selection policies against the
+//!   static baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,9 +34,14 @@
 pub mod analysis;
 pub mod bootstrapx;
 pub mod campaign;
+pub mod dynamics;
 pub mod paths;
 pub mod resilience;
 pub mod scale;
 pub mod survey;
 
 pub use campaign::{Campaign, CampaignConfig, MeasurementStore};
+pub use dynamics::{
+    replay_policies, run_campaign as run_dynamics_campaign, DynamicsConfig, DynamicsDataset,
+    DynamicsNet, DynamicsSummary, PolicyOutcome,
+};

@@ -92,10 +92,22 @@ pub struct ScalePoint {
     pub store_bytes: usize,
     /// Approximate resident bytes of the PathDb cache after the workload.
     pub pathdb_bytes: usize,
-    /// PathDb queries issued.
+    /// PathDb queries issued (warm phase; the cold phase adds one query
+    /// per pool pair on top).
     pub queries: usize,
-    /// PathDb cache hit rate over the workload (0..=1).
+    /// Distinct (src, dst) pairs in the query pool — scales with N, so
+    /// the cache-pressure regime changes across the sweep.
+    pub query_pairs: usize,
+    /// PathDb cache hit rate over the whole workload (0..=1).
     pub hit_rate: f64,
+    /// Hit rate of the cold pass (every pool pair queried once, first
+    /// touch). Near zero by construction; above it only when distinct
+    /// pairs share combination work.
+    pub hit_rate_cold: f64,
+    /// Hit rate of the warm pass (random re-queries over the pool). Falls
+    /// away from 1.0 once the pool outgrows the LRU capacity and the
+    /// cache starts churning — the regime change the sweep looks for.
+    pub hit_rate_warm: f64,
     /// PathDb queries per second (wall clock, behind the shared mutex).
     pub queries_per_sec: f64,
     /// Router operations (frames × hops) processed.
@@ -220,34 +232,63 @@ pub fn run_point(n: usize, cfg: &ScaleConfig) -> ScalePoint {
     } else {
         leaves
     };
-    let pool: Vec<(IsdAsn, IsdAsn)> = (0..cfg.pair_pool.max(1))
-        .map(|_| {
-            let a = endpoints[rng.below(endpoints.len())];
-            let b = endpoints[rng.below(endpoints.len())];
-            (a, b)
-        })
-        .filter(|(a, b)| a != b)
-        .collect();
-    let pool = if pool.is_empty() {
-        vec![(endpoints[0], endpoints[endpoints.len() - 1])]
-    } else {
-        pool
+    // The pool of distinct pairs scales with the topology (at least half
+    // the AS count), so the cache-pressure regime actually changes across
+    // the sweep: small N re-queries a pool the LRU holds entirely, large
+    // N overflows the 2048-entry capacity and churns. A fixed pool would
+    // make the hit rate a constant arithmetic artefact of
+    // (queries, pair_pool) — the same number at every N.
+    let pool_target = cfg.pair_pool.max(n / 2);
+    let mut seen_pairs = std::collections::BTreeSet::new();
+    let mut pool: Vec<(IsdAsn, IsdAsn)> = Vec::new();
+    let mut draws = 0usize;
+    while pool.len() < pool_target && draws < pool_target.saturating_mul(8) {
+        draws += 1;
+        let a = endpoints[rng.below(endpoints.len())];
+        let b = endpoints[rng.below(endpoints.len())];
+        if a != b && seen_pairs.insert((a, b)) {
+            pool.push((a, b));
+        }
+    }
+    if pool.is_empty() {
+        pool.push((endpoints[0], endpoints[endpoints.len() - 1]));
+    }
+
+    let cache_counts = || {
+        let snap = telemetry.snapshot();
+        (
+            snap.counter("pathdb.cache.hit").unwrap_or(0),
+            snap.counter("pathdb.cache.miss").unwrap_or(0),
+        )
+    };
+    let rate = |(h0, m0): (u64, u64), (h1, m1): (u64, u64)| {
+        let (dh, dm) = (h1 - h0, m1 - m0);
+        if dh + dm > 0 {
+            dh as f64 / (dh + dm) as f64
+        } else {
+            0.0
+        }
     };
 
+    // Cold pass: every pool pair once, first touch.
+    let before = cache_counts();
+    for &(src, dst) in &pool {
+        let _ = lock_pathdb(&db).paths(src, dst, 32);
+    }
+    let after_cold = cache_counts();
+
+    // Warm pass: random re-queries over the pool (the measured workload).
     let t0 = Instant::now();
     for _ in 0..cfg.queries {
         let (src, dst) = pool[rng.below(pool.len())];
         let _ = lock_pathdb(&db).paths(src, dst, 32);
     }
     let query_secs = t0.elapsed().as_secs_f64();
-    let snap = telemetry.snapshot();
-    let hits = snap.counter("pathdb.cache.hit").unwrap_or(0);
-    let misses = snap.counter("pathdb.cache.miss").unwrap_or(0);
-    let hit_rate = if hits + misses > 0 {
-        hits as f64 / (hits + misses) as f64
-    } else {
-        0.0
-    };
+    let after_warm = cache_counts();
+
+    let hit_rate_cold = rate(before, after_cold);
+    let hit_rate_warm = rate(after_cold, after_warm);
+    let hit_rate = rate(before, after_warm);
     let queries_per_sec = if query_secs > 0.0 {
         cfg.queries as f64 / query_secs
     } else {
@@ -400,7 +441,10 @@ pub fn run_point(n: usize, cfg: &ScaleConfig) -> ScalePoint {
         store_bytes,
         pathdb_bytes,
         queries: cfg.queries,
+        query_pairs: pool.len(),
         hit_rate,
+        hit_rate_cold,
+        hit_rate_warm,
         queries_per_sec,
         router_ops,
         delivered,
@@ -446,8 +490,25 @@ mod tests {
         assert!(p.queries_per_sec > 0.0);
         assert!(
             p.hit_rate > 0.0 && p.hit_rate < 1.0,
-            "warm pool over 12 pairs must mix hits and misses: {}",
+            "cold misses + warm hits must mix: {}",
             p.hit_rate
+        );
+        assert!(p.query_pairs >= 12, "pool scales with N: {}", p.query_pairs);
+        assert!(
+            p.hit_rate_cold < p.hit_rate_warm,
+            "first touches miss, re-queries hit: cold {} vs warm {}",
+            p.hit_rate_cold,
+            p.hit_rate_warm
+        );
+        assert!(
+            p.hit_rate_cold < 0.5,
+            "cold pass is first-touch dominated: {}",
+            p.hit_rate_cold
+        );
+        assert!(
+            p.hit_rate_warm > 0.9,
+            "a pool the LRU holds entirely stays warm: {}",
+            p.hit_rate_warm
         );
         assert!(p.delivered > 0, "some frames must arrive end-to-end");
         assert!(p.router_ns_per_op > 0.0);

@@ -267,6 +267,39 @@ impl PathSelector {
     pub fn live_count(&self) -> usize {
         self.ranked().len()
     }
+
+    /// Usable paths ranked by an adaptive (measurement-driven) policy
+    /// instead of the static preference order: policy filtering and the
+    /// SCMP dead-list still apply, then `policy` orders what remains by
+    /// the rolling statistics in `view`. The selector's own
+    /// [`Preference`](scion_control::policy::Preference) is ignored for
+    /// this ranking.
+    pub fn adaptive_ranked(
+        &self,
+        policy: &crate::adaptive::AdaptivePolicy,
+        view: &crate::adaptive::PathStatsView,
+    ) -> Vec<&FullPath> {
+        let usable: Vec<&FullPath> = self
+            .candidates
+            .iter()
+            .filter(|p| self.policy.permits(p))
+            .filter(|p| !self.dead.contains(&p.fingerprint()))
+            .collect();
+        let cands: Vec<crate::adaptive::Candidate> = usable
+            .iter()
+            .map(|p| crate::adaptive::Candidate::of(p))
+            .collect();
+        policy
+            .rank(view, &cands)
+            .into_iter()
+            .map(|c| {
+                *usable
+                    .iter()
+                    .find(|p| p.fingerprint() == c.fingerprint)
+                    .expect("ranked candidate came from usable")
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

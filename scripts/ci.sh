@@ -52,6 +52,12 @@ cargo test -q --test prop_pathdb --no-default-features
 echo "==> cargo test -q --test prop_batch --no-default-features"
 cargo test -q --test prop_batch --no-default-features
 
+# The path-dynamics dataset exporter proptest (JSONL round-trip, epoch
+# monotonicity, churn/board 1:1, seeded byte-replay) must hold in both
+# feature configs.
+echo "==> cargo test -q --test prop_dynamics --no-default-features"
+cargo test -q --test prop_dynamics --no-default-features
+
 # Benchmarks must at least compile; the A/B harness is run manually.
 echo "==> cargo bench --no-run"
 cargo bench --no-run
@@ -70,6 +76,19 @@ echo "==> scale_sweep smoke (N=100)"
 SCIERA_SCALE_NS=100 SCIERA_SCALE_OUT="$PWD/target/scale_smoke.json" \
     cargo bench -p sciera-bench --bench scale_sweep
 test -s target/scale_smoke.json
+
+# Dynamics-campaign smoke: a short seeded campaign over a 40-AS synthetic
+# deployment. The bench itself asserts schema validity and byte-for-byte
+# seeded replay; outputs go to target/ so the committed
+# BENCH_dynamics.json (full 200-epoch run) is never clobbered.
+echo "==> dynamics_campaign smoke (24 epochs, 40 ASes)"
+SCIERA_DYN_EPOCHS=24 SCIERA_DYN_ASES=40 SCIERA_DYN_PAIRS=3 \
+    SCIERA_DYN_OUT="$PWD/target/dynamics_smoke" \
+    SCIERA_DYN_BENCH_OUT="$PWD/target/dynamics_smoke/bench.json" \
+    cargo bench -p sciera-bench --bench dynamics_campaign
+test -s target/dynamics_smoke/paths.jsonl
+test -s target/dynamics_smoke/events.jsonl
+test -s target/dynamics_smoke/bench.json
 
 echo "==> cargo fmt --check"
 cargo fmt --check

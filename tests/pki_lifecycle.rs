@@ -12,7 +12,10 @@ use sciera::topology::ases::all_ases;
 #[test]
 fn ninety_days_of_certificate_renewal_across_all_ases() {
     let net = SciEraNetwork::build(NetworkConfig::default());
-    let mut ca = net.ca71;
+    let mut ca = {
+        let mut cas = net.cas;
+        cas.remove(&71).expect("ISD 71 CA")
+    };
     let mut drivers = net.renewal;
     let start = 1_700_000_000u64;
     let mut renewals = 0u64;
@@ -120,7 +123,10 @@ fn ca_interoperates_with_both_stacks() {
     // §4.5's headline: one CA serving Anapaya CORE and open-source CSRs.
     use sciera::cppki::ca::{ClientProfile, CsrRequest};
     let net = SciEraNetwork::build(NetworkConfig::default());
-    let mut ca = net.ca71;
+    let mut ca = {
+        let mut cas = net.cas;
+        cas.remove(&71).expect("ISD 71 CA")
+    };
     let now = 1_700_000_000u64;
     for (seed, profile) in [
         ("interop-os", ClientProfile::OpenSource),
