@@ -1,0 +1,105 @@
+//! Interleaved A/B guard: single-threaded lookups through the
+//! epoch-snapshot [`EpochPathDb`] must stay within measurement noise of
+//! the mutex `Arc<Mutex<PathDb>>` design it replaced. The snapshot
+//! database buys lock-free concurrent reads with an extra published-
+//! pointer read, a shard-hash and an `Arc` bump per warm lookup; this
+//! guard pins that machinery to "free at K=1" so the concurrency win
+//! never comes at the cost of the sequential deployments the rest of the
+//! repo measures. Rounds interleave (mutex, epoch, mutex, epoch, …) so
+//! frequency scaling and cache pollution bias neither side.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::black_box;
+use parking_lot::Mutex;
+use scion_control::beacon::{BeaconConfig, BeaconEngine};
+use scion_control::epoch::{EpochConfig, EpochPathDb};
+use scion_control::pathdb::PathDb;
+use scion_proto::addr::IsdAsn;
+
+/// Epoch/mutex warm-lookup time ratio above which the guard fails.
+const MAX_RATIO: f64 = 1.5;
+const ROUNDS: usize = 21;
+const QUERIES_PER_ROUND: usize = 400;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn setup() -> (Arc<Mutex<PathDb>>, EpochPathDb, Vec<(IsdAsn, IsdAsn)>) {
+    let built = sciera_topology::synth::synthesize(&sciera_topology::synth::SynthConfig::sized(60));
+    let store = BeaconEngine::new(&built.graph, 1_700_000_000, BeaconConfig::default())
+        .run()
+        .expect("synthetic topology beacons");
+    let mutex_db = Arc::new(Mutex::new(PathDb::new(store.clone())));
+    let epoch_db = EpochPathDb::with_config(store, EpochConfig::for_topology(60));
+
+    let leaves: Vec<IsdAsn> = built
+        .graph
+        .ases()
+        .filter(|a| !a.core)
+        .map(|a| a.ia)
+        .collect();
+    let pairs: Vec<(IsdAsn, IsdAsn)> = leaves
+        .iter()
+        .zip(leaves.iter().rev())
+        .filter(|(a, b)| a != b)
+        .take(8)
+        .map(|(a, b)| (*a, *b))
+        .collect();
+    (mutex_db, epoch_db, pairs)
+}
+
+fn time_mutex(db: &Arc<Mutex<PathDb>>, pairs: &[(IsdAsn, IsdAsn)]) -> f64 {
+    let start = Instant::now();
+    for i in 0..QUERIES_PER_ROUND {
+        let (src, dst) = pairs[i % pairs.len()];
+        black_box(db.lock().paths(src, dst, 16));
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn time_epoch(db: &EpochPathDb, pairs: &[(IsdAsn, IsdAsn)]) -> f64 {
+    let start = Instant::now();
+    for i in 0..QUERIES_PER_ROUND {
+        let (src, dst) = pairs[i % pairs.len()];
+        black_box(db.paths(src, dst, 16));
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let (mutex_db, epoch_db, pairs) = setup();
+
+    // Differential sanity before timing anything: identical answers.
+    for &(s, d) in &pairs {
+        assert_eq!(
+            mutex_db.lock().paths(s, d, 16),
+            epoch_db.paths(s, d, 16),
+            "epoch and mutex databases diverged for {s}->{d}"
+        );
+    }
+
+    // Warm-up: both caches fully hot.
+    time_mutex(&mutex_db, &pairs);
+    time_epoch(&epoch_db, &pairs);
+
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let m = time_mutex(&mutex_db, &pairs);
+        let e = time_epoch(&epoch_db, &pairs);
+        ratios.push(e / m);
+    }
+    let ratio = median(ratios);
+    println!(
+        "epoch_overhead: epoch/mutex warm-lookup A/B {ratio:.4} \
+         (median of {ROUNDS} rounds, limit {MAX_RATIO})"
+    );
+    assert!(
+        ratio < MAX_RATIO,
+        "epoch-snapshot lookups cost {ratio:.4}x over the mutex design at K=1 — \
+         the snapshot machinery is no longer within noise"
+    );
+}

@@ -6,15 +6,23 @@
 //! `combine_paths` per query, (B) the memoized [`PathDb`] with a warm
 //! cache, and (C) the `PathDb` immediately after a store invalidation
 //! (segments crossing one core interface removed and re-registered, so
-//! every cached entry is generation-stale and affected pairs must
-//! recombine). Interleaving the batches (A,B,C,A,B,C,…) rather than
+//! every cached entry is generation-stale and must be triaged against
+//! the bucket content fingerprints). Interleaving the batches
+//! (A,B,C,A,B,C,…) rather than
 //! running each variant in one block keeps frequency scaling and cache
 //! pollution from biasing one side. Results land in `BENCH_control.json`
 //! at the repo root.
+//!
+//! The same run also executes the concurrency SLO sweep
+//! ([`sciera_measure::slo`]): p50/p99 lookup latency through the
+//! epoch-snapshot database at K ∈ {1, 8, 64} concurrent clients while a
+//! writer thread runs link-kill storms. Those lines land in
+//! `BENCH_control.json` too.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, BatchSize, Criterion};
+use sciera_measure::slo::{run_slo, SloConfig, SloPoint};
 use sciera_topology::links::build_control_graph;
 use scion_control::beacon::{BeaconConfig, BeaconEngine};
 use scion_control::combine::combine_paths;
@@ -95,9 +103,14 @@ fn setup() -> (PathDb, Vec<(IsdAsn, IsdAsn)>) {
 
 /// The invalidation the cold variant applies each iteration: kill one core
 /// interface (removing every segment crossing it), then re-register the
-/// setup-time segment set. Contents end up identical but the store and the
-/// touched core buckets carry new generations, so every cached entry is
-/// stale: affected pairs recombine, the rest revalidate in place.
+/// setup-time segment set. Contents end up identical but the store carries
+/// a new generation, so every cached entry is stale and must be triaged.
+/// The per-bucket content fingerprints detect the restore — each touched
+/// bucket's fingerprint returns to its pre-kill value — so entries
+/// revalidate in place instead of recombining; the cold figure measures
+/// the store mutation plus that triage sweep. (A mutation that genuinely
+/// changes bucket contents still recombines — the differential tests and
+/// proptests pin that path.)
 struct Invalidation {
     ia: IsdAsn,
     ifid: u16,
@@ -208,11 +221,23 @@ fn ab_compare(rounds: usize, iters: usize) -> (f64, f64, f64, usize) {
     (median(ref_ns), median(warm_ns), median(cold_ns), queries)
 }
 
-fn emit_json(reference: f64, warm: f64, cold: f64, rounds: usize, batch: usize) {
+fn emit_json(reference: f64, warm: f64, cold: f64, rounds: usize, batch: usize, slo: &[SloPoint]) {
+    let slo_lines: Vec<String> = slo
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"clients\": {}, \"lookups\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                 \"max_ns\": {}, \"storms\": {}, \"publishes\": {}}}",
+                p.clients, p.lookups, p.p50_ns, p.p99_ns, p.max_ns, p.storms, p.publishes
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"control_pathdb\",\n  \"reference_ns_per_query\": {reference:.1},\n  \"pathdb_warm_ns_per_query\": {warm:.1},\n  \"pathdb_cold_ns_per_query\": {cold:.1},\n  \"speedup_warm\": {:.2},\n  \"speedup_cold\": {:.2},\n  \"rounds\": {rounds},\n  \"batch\": {batch}\n}}\n",
+        "{{\n  \"bench\": \"control_pathdb\",\n  \"reference_ns_per_query\": {reference:.1},\n  \"pathdb_warm_ns_per_query\": {warm:.1},\n  \"pathdb_cold_ns_per_query\": {cold:.1},\n  \"speedup_warm\": {:.2},\n  \"speedup_cold\": {:.2},\n  \"rounds\": {rounds},\n  \"batch\": {batch},\n  \"parallel_feature\": {},\n  \"slo\": [\n{}\n  ]\n}}\n",
         reference / warm,
         reference / cold,
+        cfg!(feature = "parallel"),
+        slo_lines.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_control.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -228,6 +253,13 @@ fn emit_json(reference: f64, warm: f64, cold: f64, rounds: usize, batch: usize) 
         "  pathdb cold  {cold:>9.1} ns/query  ({:.2}x)",
         reference / cold
     );
+    eprintln!("[pathops] concurrency SLO (epoch db, link-kill storm writer):");
+    for p in slo {
+        eprintln!(
+            "  K={:<3} p50 {:>8} ns  p99 {:>9} ns  max {:>10} ns  ({} storms, {} publishes)",
+            p.clients, p.p50_ns, p.p99_ns, p.max_ns, p.storms, p.publishes
+        );
+    }
 }
 
 fn bench_pathops(c: &mut Criterion) {
@@ -269,6 +301,7 @@ criterion_group!(benches, bench_pathops);
 
 fn main() {
     let (reference, warm, cold, batch) = ab_compare(15, 4);
-    emit_json(reference, warm, cold, 15, batch);
+    let slo = run_slo(&SloConfig::default());
+    emit_json(reference, warm, cold, 15, batch, &slo);
     benches();
 }

@@ -91,8 +91,9 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"scale_sweep\",\n  \"profile_feature\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"scale_sweep\",\n  \"profile_feature\": {},\n  \"parallel_feature\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
         cfg!(feature = "profile"),
+        cfg!(feature = "parallel"),
         body
     );
     let path = std::env::var("SCIERA_SCALE_OUT")

@@ -195,6 +195,79 @@ impl<'g> BeaconEngine<'g> {
         ok
     }
 
+    /// Computes verification verdicts for a propagation batch's unique
+    /// not-yet-cached beacons in parallel: each beacon's signature-chain
+    /// and hop-MAC check is independent (pure over the segment and the
+    /// secrets table), so the batch fans out over the worker pool, where
+    /// workers use [`PathSegment::verify_batched`] to funnel each entry's
+    /// MACs through `HopKey::verify_batch`. Nothing is mutated here: the
+    /// sequential filter loop consumes the verdict map through
+    /// [`Self::verify_batch_resolved`], which replays the cache inserts,
+    /// LRU ticks and hit/miss counters in candidate order, so cache state
+    /// and metrics are identical with the feature on or off.
+    #[cfg(feature = "parallel")]
+    fn batch_verdicts(
+        &self,
+        candidates: &[(IsdAsn, ReceivedBeacon)],
+    ) -> HashMap<([u8; 32], u32), bool> {
+        let mut todo: Vec<&PathSegment> = Vec::new();
+        let mut keys_of: Vec<([u8; 32], u32)> = Vec::new();
+        for (_, rb) in candidates {
+            let key = (rb.segment.id(), self.key_epoch);
+            if self.verified.contains_key(&key) || keys_of.contains(&key) {
+                continue;
+            }
+            keys_of.push(key);
+            todo.push(&rb.segment);
+        }
+        if todo.len() < 2 {
+            return HashMap::new(); // nothing to fan out; verify_cached handles it
+        }
+        let _prof = self.telemetry.prof_scope("beacon.verify");
+        let secrets = &self.secrets;
+        let keys = |ia: IsdAsn| secrets.get(&ia).map(|s| s.signing.verifying_key());
+        let hops = |ia: IsdAsn| secrets.get(&ia).map(|s| s.hop_key.clone());
+        let verdicts = crate::pool::WorkerPool::default()
+            .map(&todo, |seg| seg.verify_batched(&keys, &hops).is_ok());
+        keys_of.into_iter().zip(verdicts).collect()
+    }
+
+    /// Resolves one candidate against a precomputed verdict map, with the
+    /// exact bookkeeping `verify_cached` would have done: a cached beacon
+    /// counts a hit; a verdict-map beacon counts a miss, enters the cache
+    /// on success (at this call's LRU tick) and stays uncached on failure
+    /// (so repeats re-count misses, like sequential re-verification).
+    #[cfg(feature = "parallel")]
+    fn verify_batch_resolved(
+        &mut self,
+        seg: &PathSegment,
+        verdicts: &HashMap<([u8; 32], u32), bool>,
+    ) -> bool {
+        let key = (seg.id(), self.key_epoch);
+        if self.verified.contains_key(&key) {
+            return self.verify_cached(seg); // hit path, counts itself
+        }
+        let Some(&ok) = verdicts.get(&key) else {
+            return self.verify_cached(seg);
+        };
+        self.verify_tick += 1;
+        self.verify_misses.inc();
+        if ok {
+            if self.verified.len() >= VERIFIED_CACHE_CAP {
+                if let Some(oldest) = self
+                    .verified
+                    .iter()
+                    .min_by_key(|(_, t)| **t)
+                    .map(|(k, _)| *k)
+                {
+                    self.verified.remove(&oldest);
+                }
+            }
+            self.verified.insert(key, self.verify_tick);
+        }
+        ok
+    }
+
     /// Access to the derived secrets (the data plane needs the hop keys).
     pub fn secrets(&self) -> &BTreeMap<IsdAsn, AsSecrets> {
         &self.secrets
@@ -376,7 +449,7 @@ impl<'g> BeaconEngine<'g> {
             // Snapshot the dirty slots and pre-filter once per batch:
             // length/loop checks plus a single signature-chain
             // verification per unique beacon (cached across rounds).
-            let mut offer: Vec<(IsdAsn, ReceivedBeacon)> = Vec::new();
+            let mut candidates: Vec<(IsdAsn, ReceivedBeacon)> = Vec::new();
             for origin in origins {
                 let map = if core_kind {
                     &self.core_beacons
@@ -396,12 +469,25 @@ impl<'g> BeaconEngine<'g> {
                         self.filtered.inc();
                         continue; // loop prevention
                     }
-                    if !self.verify_cached(&rb.segment) {
-                        self.filtered.inc();
-                        continue;
-                    }
-                    offer.push((origin, rb));
+                    candidates.push((origin, rb));
                 }
+            }
+            // Verify the batch's not-yet-cached beacons over the worker
+            // pool, then resolve the verdicts in candidate order so cache
+            // state and counters replay the sequential path exactly.
+            #[cfg(feature = "parallel")]
+            let verdicts = self.batch_verdicts(&candidates);
+            let mut offer: Vec<(IsdAsn, ReceivedBeacon)> = Vec::new();
+            for (origin, rb) in candidates {
+                #[cfg(feature = "parallel")]
+                let ok = self.verify_batch_resolved(&rb.segment, &verdicts);
+                #[cfg(not(feature = "parallel"))]
+                let ok = self.verify_cached(&rb.segment);
+                if !ok {
+                    self.filtered.inc();
+                    continue;
+                }
+                offer.push((origin, rb));
             }
             if offer.is_empty() {
                 continue;

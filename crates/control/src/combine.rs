@@ -15,6 +15,7 @@
 //! is exactly what yields the large path counts of Fig. 8.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use sciera_telemetry::Telemetry;
 use scion_proto::addr::IsdAsn;
@@ -70,7 +71,9 @@ pub(crate) struct PairRaw {
     /// The core bucket this pair consulted (`None` for a same-core join,
     /// which depends only on the two segments themselves).
     pub core_dep: Option<BucketDep>,
-    pub paths: Vec<FullPath>,
+    /// Shared so incremental recombination can carry an untouched pair
+    /// into the next record with an `Arc` bump instead of a deep clone.
+    pub paths: Arc<Vec<FullPath>>,
 }
 
 /// A combination result plus everything the memoizer needs to revalidate
@@ -90,13 +93,19 @@ pub(crate) struct CombineRecord {
 /// Sorts, dedups by fingerprint and truncates a push buffer — the final
 /// step every combination (fresh or incremental) must share so results are
 /// byte-for-byte identical.
-pub(crate) fn finalize(mut out: Vec<FullPath>, max_paths: usize) -> Vec<FullPath> {
+pub(crate) fn finalize(out: Vec<FullPath>, max_paths: usize) -> Vec<FullPath> {
     // Dedup by fingerprint, shortest first; fingerprint breaks ties so the
-    // "lowest path identifier" rule of §5.4 is reproducible.
-    out.sort_by_key(|p| (p.len(), p.fingerprint()));
-    out.dedup_by_key(|p| p.fingerprint());
-    out.truncate(max_paths);
-    out
+    // "lowest path identifier" rule of §5.4 is reproducible. The
+    // fingerprint hashes every hop, so decorate once per path rather than
+    // recomputing it per comparison (sort) and per element (dedup).
+    let mut keyed: Vec<((usize, [u8; 8]), FullPath)> = out
+        .into_iter()
+        .map(|p| ((p.len(), p.fingerprint_key()), p))
+        .collect();
+    keyed.sort_by_key(|a| a.0);
+    keyed.dedup_by(|a, b| a.0 .1 == b.0 .1);
+    keyed.truncate(max_paths);
+    keyed.into_iter().map(|(_, p)| p).collect()
 }
 
 /// [`combine_paths`] with dependency (and optionally raw per-pair)
@@ -233,7 +242,7 @@ pub(crate) fn combine_paths_recorded(
                             up_id: u.id(),
                             down_id: d.id(),
                             core_dep,
-                            paths: out[start..].to_vec(),
+                            paths: Arc::new(out[start..].to_vec()),
                         });
                     }
                 }

@@ -297,6 +297,14 @@ impl FullPath {
     /// A short stable fingerprint (hex) identifying the path by its
     /// interface sequence — the paper's "path identifier".
     pub fn fingerprint(&self) -> String {
+        scion_crypto::sha256::to_hex(&self.fingerprint_key())
+    }
+
+    /// The raw 8-byte digest behind [`Self::fingerprint`]. Fixed-width
+    /// lowercase hex is order-preserving, so sorting by this key equals
+    /// sorting by the hex string without allocating it — the combinator's
+    /// sort/dedup step leans on that.
+    pub fn fingerprint_key(&self) -> [u8; 8] {
         let mut bytes = Vec::with_capacity(self.hops.len() * 12);
         for h in &self.hops {
             bytes.extend_from_slice(&h.ia.to_u64().to_be_bytes());
@@ -304,7 +312,9 @@ impl FullPath {
             bytes.extend_from_slice(&h.egress.to_be_bytes());
         }
         let d = scion_crypto::sha256::sha256(&bytes);
-        scion_crypto::sha256::to_hex(&d[..8])
+        let mut key = [0u8; 8];
+        key.copy_from_slice(&d[..8]);
+        key
     }
 
     /// Earliest expiry over all used segments (Unix seconds).

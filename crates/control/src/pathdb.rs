@@ -9,11 +9,13 @@
 //!   older generation is *known possibly-stale* — there is no code path
 //!   that changes store contents without moving the counter.
 //! * A stale entry is not necessarily wrong: each entry also records the
-//!   per-bucket generations of every bucket its combination consulted
-//!   (including empty buckets, whose emptiness decided the combination
-//!   shape). If none of those moved, the entry is revalidated in place —
-//!   an unrelated mutation costs a handful of map probes, not a
-//!   recombination.
+//!   content fingerprint ([`SegmentStore::bucket_fingerprint`]) of every
+//!   bucket its combination consulted (including empty buckets, whose
+//!   emptiness decided the combination shape). If none of those
+//!   fingerprints differ, the consulted contents are identical and the
+//!   entry is revalidated in place — an unrelated mutation, or one that
+//!   removed and then restored the same segments, costs a handful of map
+//!   probes, not a recombination.
 //! * If only *core* buckets moved and the raw per-pair output was
 //!   retained, only the (up, down) pairs that consulted a changed core
 //!   bucket are recombined via [`combine_pair`]; untouched pairs reuse
@@ -79,7 +81,7 @@ type CacheKey = (IsdAsn, IsdAsn, u64, usize);
 struct Entry {
     /// Store generation at which this entry was last (re)validated.
     generation: u64,
-    /// Bucket generations observed when the combination ran.
+    /// Bucket content fingerprints observed when the combination ran.
     deps: Vec<(BucketDep, u64)>,
     /// Finalized (and policy-filtered, if keyed with a policy) paths.
     paths: Vec<FullPath>,
@@ -288,18 +290,16 @@ impl PathDb {
                 self.finish_query(start, &paths);
                 return paths;
             }
-            // Stale generation: did any bucket we depend on actually move?
+            // Stale generation: did the contents of any bucket we depend
+            // on actually change?
             let changed: Vec<BucketDep> = e
                 .deps
                 .iter()
-                .filter(|(dep, g)| self.store.bucket_generation(*dep) != *g)
+                .filter(|(dep, f)| self.store.bucket_fingerprint(*dep) != *f)
                 .map(|(dep, _)| *dep)
                 .collect();
             if changed.is_empty() {
                 e.generation = gen;
-                e.deps
-                    .iter_mut()
-                    .for_each(|(dep, g)| *g = self.store.bucket_generation(*dep));
                 self.hits.inc();
                 self.revalidates.inc();
                 let paths = e.paths.clone();
@@ -311,9 +311,9 @@ impl PathDb {
             let only_core = changed
                 .iter()
                 .all(|dep| matches!(dep, BucketDep::Core { .. }));
-            let record = if only_core && e.raw.is_some() {
+            let record = if let (true, Some(raw)) = (only_core, e.raw.as_deref()) {
                 let _c = self.telemetry.prof_scope("pathdb.recombine");
-                let partial = incremental_recombine(&self.store, src, dst, max_paths, e);
+                let partial = incremental_recombine(&self.store, src, dst, max_paths, &e.deps, raw);
                 if partial.is_some() {
                     self.partials.inc();
                 }
@@ -365,7 +365,7 @@ impl PathDb {
         });
         let deps = deps
             .into_iter()
-            .map(|dep| (dep, self.store.bucket_generation(dep)))
+            .map(|dep| (dep, self.store.bucket_fingerprint(dep)))
             .collect();
         self.entries.insert(
             key,
@@ -443,16 +443,17 @@ pub fn lock_pathdb(m: &parking_lot::Mutex<PathDb>) -> parking_lot::MutexGuard<'_
 ///
 /// Precondition (checked by the caller): the entry's up/down bucket deps
 /// are unchanged, so the current up/down buckets are exactly the ones the
-/// raw output was recorded against, in the same order.
-fn incremental_recombine(
+/// raw output was recorded against, in the same order. Shared with the
+/// epoch-snapshot database, which carries the same `(deps, raw)` state.
+pub(crate) fn incremental_recombine(
     store: &SegmentStore,
     src: IsdAsn,
     dst: IsdAsn,
     max_paths: usize,
-    entry: &Entry,
+    old_deps: &[(BucketDep, u64)],
+    old_raw: &[PairRaw],
 ) -> Option<CombineRecord> {
-    let old_raw = entry.raw.as_ref()?;
-    let old_gens: BTreeMap<BucketDep, u64> = entry.deps.iter().copied().collect();
+    let old_fps: BTreeMap<BucketDep, u64> = old_deps.iter().copied().collect();
     let mut old_idx: HashMap<([u8; 32], [u8; 32]), &PairRaw> = HashMap::new();
     for pr in old_raw {
         old_idx.insert((pr.up_id, pr.down_id), pr);
@@ -474,7 +475,7 @@ fn incremental_recombine(
         for d in dst_downs {
             let reusable = old_idx.get(&(u.id(), d.id())).filter(|pr| {
                 pr.core_dep.is_none_or(|dep| {
-                    store.bucket_generation(dep) == old_gens.get(&dep).copied().unwrap_or(0)
+                    store.bucket_fingerprint(dep) == old_fps.get(&dep).copied().unwrap_or(0)
                 })
             });
             if let Some(pr) = reusable {
@@ -482,7 +483,7 @@ fn incremental_recombine(
                     deps.insert(dep);
                 }
                 out.extend(pr.paths.iter().cloned());
-                pairs.push((*pr).clone());
+                pairs.push((*pr).clone()); // Arc bump, not a deep path clone
             } else {
                 let start = out.len();
                 let core_dep = combine_pair(store, src, dst, u, d, &mut |p| {
@@ -497,7 +498,7 @@ fn incremental_recombine(
                     up_id: u.id(),
                     down_id: d.id(),
                     core_dep,
-                    paths: out[start..].to_vec(),
+                    paths: std::sync::Arc::new(out[start..].to_vec()),
                 });
             }
         }

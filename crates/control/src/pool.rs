@@ -1,0 +1,129 @@
+//! Bounded `std::thread` worker pool for the control plane's two measured
+//! hotspots (`beacon.verify`, `pathdb.combine`).
+//!
+//! The pool is deliberately minimal: no channels, no queues, no `'static`
+//! job bounds. [`WorkerPool::map`] fans a borrowed slice out over
+//! [`std::thread::scope`] workers in contiguous chunks and concatenates
+//! the per-chunk results in chunk order, so the output `Vec` is
+//! **index-for-index identical** to a sequential `items.iter().map(f)` —
+//! the property the differential proptests pin. Workers borrow the input
+//! and the closure directly (scoped threads), so there is nothing to
+//! clone, nothing to send, and nothing left running after `map` returns.
+//!
+//! Sizing heuristic: one worker per available core, clamped to
+//! `[1, MAX_POOL_THREADS]`. Beacon verification and path recombination
+//! are CPU-bound with sub-millisecond work items, so threads beyond the
+//! physical core count only add scheduling noise, and a low cap keeps the
+//! pool polite when the simulator itself is running router threads. The
+//! `SCIERA_POOL_THREADS` environment variable overrides the heuristic
+//! (a value of `1` forces the sequential path, useful for A/B runs).
+
+/// Upper clamp of the sizing heuristic: beyond this, chunk scheduling
+/// overhead outweighs the parallel win for the control plane's work-item
+/// sizes (measured on the scale observatory's N=1000..5000 sweeps).
+pub const MAX_POOL_THREADS: usize = 8;
+
+/// A bounded fork-join pool over scoped threads.
+///
+/// Construction is free (the struct only records the thread budget);
+/// threads are spawned per [`map`](Self::map) call and joined before it
+/// returns. For the control plane's call sites — dozens-to-thousands of
+/// independent CMAC verifications or (up, down) recombinations per call —
+/// spawn cost is well under the sequential work it displaces.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new(Self::default_threads())
+    }
+}
+
+impl WorkerPool {
+    /// A pool with an explicit thread budget (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The sizing heuristic: `SCIERA_POOL_THREADS` if set, else the
+    /// available hardware parallelism clamped to `[1, MAX_POOL_THREADS]`.
+    pub fn default_threads() -> usize {
+        if let Ok(v) = std::env::var("SCIERA_POOL_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, 64);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, MAX_POOL_THREADS)
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel over contiguous chunks, and
+    /// returns the results **in input order** — byte-for-byte the same
+    /// `Vec` a sequential map would produce. With a budget of 1 (or 0/1
+    /// items) no thread is spawned at all.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(self.threads);
+        let mut out: Vec<R> = Vec::with_capacity(items.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|c| {
+                    let f = &f;
+                    s.spawn(move || c.iter().map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            // Join in spawn order: chunk order == input order.
+            for h in handles {
+                out.extend(h.join().expect("pool worker panicked"));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 7, 8, 16] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.map(&items, |x| x * 3 + 1), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_take_the_sequential_path() {
+        let pool = WorkerPool::new(8);
+        assert_eq!(pool.map(&[] as &[u32], |x| *x), Vec::<u32>::new());
+        assert_eq!(pool.map(&[42u32], |x| *x + 1), vec![43]);
+    }
+
+    #[test]
+    fn budget_is_clamped_to_at_least_one() {
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+        assert!(WorkerPool::default_threads() >= 1);
+    }
+}

@@ -10,10 +10,14 @@
 //! segment body, dedup is an O(1) hash-set probe on the segment ID, and
 //! every downstream consumer (the combinator, the daemon, benches) shares
 //! the same allocation. Every mutation bumps a monotonic generation
-//! counter — the sole invalidation signal the memoized path database
-//! ([`crate::pathdb::PathDb`]) relies on — plus a per-bucket generation so
-//! the combiner can tell *which* segment buckets changed and recombine
-//! only those.
+//! counter — the staleness signal the memoized path database
+//! ([`crate::pathdb::PathDb`]) relies on — plus, per bucket, a generation
+//! (when it last changed) and a content *fingerprint* (an
+//! order-insensitive hash of the member segment IDs). The fingerprint is
+//! what cached entries are validated against: unlike the generation it
+//! returns to its old value when contents are restored, so a
+//! kill-and-re-register cycle revalidates in place instead of forcing a
+//! recombination.
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
@@ -24,6 +28,23 @@ use crate::segment::{PathSegment, SegmentType};
 
 /// A shared, immutable handle to a registered segment.
 pub type SegmentHandle = Arc<PathSegment>;
+
+/// Folds a 32-byte segment ID into its contribution to the bucket content
+/// fingerprint: XOR the four words together, then run a splitmix64-style
+/// finalizer so structurally-similar IDs decorrelate. Contributions are
+/// combined with wrapping addition, so the bucket fingerprint is
+/// order-insensitive and removing a segment subtracts exactly what
+/// registering it added.
+fn id_mix(id: &[u8; 32]) -> u64 {
+    let mut x = 0u64;
+    for c in id.chunks_exact(8) {
+        x ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+    }
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// Identifies one segment bucket a combination consulted, in *traversal*
 /// orientation (the arguments of the accessor that was called, not the
@@ -60,6 +81,14 @@ pub struct SegmentStore {
     core_gen: BTreeMap<(IsdAsn, IsdAsn), u64>,
     /// Generation at which each up/down bucket last changed.
     up_down_gen: BTreeMap<IsdAsn, u64>,
+    /// Content fingerprint of each core bucket: the wrapping sum of its
+    /// members' [`id_mix`] contributions (0 = empty). Unlike the
+    /// generation, a fingerprint returns to its old value when contents
+    /// are restored — a kill-and-re-register cycle is *detectably* a
+    /// content no-op.
+    core_fp: BTreeMap<(IsdAsn, IsdAsn), u64>,
+    /// Content fingerprint of each up/down bucket.
+    up_down_fp: BTreeMap<IsdAsn, u64>,
 }
 
 impl SegmentStore {
@@ -82,6 +111,23 @@ impl SegmentStore {
             BucketDep::UpDown(leaf) => self.up_down_gen.get(&leaf).copied().unwrap_or(0),
             // core_between(from, to) reads the (to, from) construction key.
             BucketDep::Core { from, to } => self.core_gen.get(&(to, from)).copied().unwrap_or(0),
+        }
+    }
+
+    /// The content fingerprint of the bucket behind `dep`: an
+    /// order-insensitive hash of the member segment IDs (0 when empty or
+    /// never written). Equal fingerprints mean equal contents (up to a
+    /// negligible 64-bit collision), even across mutations that moved the
+    /// generation and back — the signal the memoized databases use to
+    /// revalidate entries whose consulted buckets were restored rather
+    /// than changed. Order-insensitivity is sound because the combiner's
+    /// shared `finalize` step sorts by a content key, so equal bucket
+    /// *sets* produce byte-identical results regardless of bucket order.
+    pub fn bucket_fingerprint(&self, dep: BucketDep) -> u64 {
+        match dep {
+            BucketDep::UpDown(leaf) => self.up_down_fp.get(&leaf).copied().unwrap_or(0),
+            // core_between(from, to) reads the (to, from) construction key.
+            BucketDep::Core { from, to } => self.core_fp.get(&(to, from)).copied().unwrap_or(0),
         }
     }
 
@@ -108,6 +154,8 @@ impl SegmentStore {
         }
         self.generation += 1;
         self.core_gen.insert(key, self.generation);
+        let fp = self.core_fp.entry(key).or_default();
+        *fp = fp.wrapping_add(id_mix(&id));
         self.core.entry(key).or_default().push(seg.clone());
         seg
     }
@@ -133,6 +181,8 @@ impl SegmentStore {
         }
         self.generation += 1;
         self.up_down_gen.insert(key, self.generation);
+        let fp = self.up_down_fp.entry(key).or_default();
+        *fp = fp.wrapping_add(id_mix(&id));
         self.up_down.entry(key).or_default().push(seg.clone());
         seg
     }
@@ -235,30 +285,40 @@ impl SegmentStore {
         let next_gen = self.generation + 1;
         for (key, v) in self.core.iter_mut() {
             let before = v.len();
+            let mut removed_mix = 0u64;
             v.retain(|s| {
                 let drop = pred(s);
                 if drop {
-                    self.core_ids.remove(&s.id());
+                    let id = s.id();
+                    self.core_ids.remove(&id);
+                    removed_mix = removed_mix.wrapping_add(id_mix(&id));
                 }
                 !drop
             });
             if v.len() != before {
                 removed += before - v.len();
                 self.core_gen.insert(*key, next_gen);
+                let fp = self.core_fp.entry(*key).or_default();
+                *fp = fp.wrapping_sub(removed_mix);
             }
         }
         for (key, v) in self.up_down.iter_mut() {
             let before = v.len();
+            let mut removed_mix = 0u64;
             v.retain(|s| {
                 let drop = pred(s);
                 if drop {
-                    self.up_down_ids.remove(&s.id());
+                    let id = s.id();
+                    self.up_down_ids.remove(&id);
+                    removed_mix = removed_mix.wrapping_add(id_mix(&id));
                 }
                 !drop
             });
             if v.len() != before {
                 removed += before - v.len();
                 self.up_down_gen.insert(*key, next_gen);
+                let fp = self.up_down_fp.entry(*key).or_default();
+                *fp = fp.wrapping_sub(removed_mix);
             }
         }
         if removed > 0 {
@@ -392,6 +452,45 @@ mod tests {
         );
         assert_eq!(
             store.bucket_generation(BucketDep::Core {
+                from: ia("71-2"),
+                to: ia("71-1"),
+            }),
+            0
+        );
+    }
+
+    #[test]
+    fn bucket_fingerprints_track_content_not_history() {
+        let mut store = SegmentStore::new();
+        let dep = BucketDep::UpDown(ia("71-10"));
+        assert_eq!(store.bucket_fingerprint(dep), 0);
+        let h = store.register_up_down(up_seg("71-1", "71-10", 100));
+        let one = store.bucket_fingerprint(dep);
+        assert_ne!(one, 0);
+        store.register_up_down(up_seg("71-1", "71-10", 200));
+        let two = store.bucket_fingerprint(dep);
+        assert_ne!(two, one, "adding a segment must change the fingerprint");
+        // Remove then restore the first segment: the generation keeps
+        // moving but the fingerprint returns to the two-segment value.
+        let gen = store.generation();
+        let ifid = h.entries[0].hop.cons_egress;
+        assert_eq!(store.invalidate_interface(ia("71-1"), ifid), 2);
+        assert_eq!(store.bucket_fingerprint(dep), 0);
+        store.register_up_down_handle(h);
+        store.register_up_down(up_seg("71-1", "71-10", 200));
+        assert!(store.generation() > gen);
+        assert_eq!(store.bucket_fingerprint(dep), two);
+        // Core buckets are oriented like core_between's arguments.
+        store.register_core(core_seg("71-2", "71-1", 100));
+        assert_ne!(
+            store.bucket_fingerprint(BucketDep::Core {
+                from: ia("71-1"),
+                to: ia("71-2"),
+            }),
+            0
+        );
+        assert_eq!(
+            store.bucket_fingerprint(BucketDep::Core {
                 from: ia("71-2"),
                 to: ia("71-1"),
             }),

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use sciera_telemetry::{counter_rates, prometheus_text, CounterRate, Telemetry, TelemetrySnapshot};
-use scion_control::pathdb::{lock_pathdb, PathDb};
+use scion_control::epoch::EpochPathDb;
 use scion_orchestrator::health::HealthBoard;
 
 use crate::network::Inner;
@@ -36,7 +36,7 @@ pub struct OperatorConsole {
     telemetry: Telemetry,
     health: Arc<Mutex<HealthBoard>>,
     net: Arc<Mutex<Inner>>,
-    pathdb: Arc<Mutex<PathDb>>,
+    pathdb: EpochPathDb,
     /// The previous render's snapshot (JSON round-tripped) and sim time.
     last: Option<(u64, TelemetrySnapshot)>,
 }
@@ -46,7 +46,7 @@ impl OperatorConsole {
         telemetry: Telemetry,
         health: Arc<Mutex<HealthBoard>>,
         net: Arc<Mutex<Inner>>,
-        pathdb: Arc<Mutex<PathDb>>,
+        pathdb: EpochPathDb,
     ) -> Self {
         OperatorConsole {
             telemetry,
@@ -69,7 +69,7 @@ impl OperatorConsole {
     /// footprints) and the profiler's self-time tree into the metrics
     /// registry so snapshots and expositions carry them.
     fn refresh_observatory(&self) {
-        lock_pathdb(&self.pathdb).record_resource_gauges();
+        self.pathdb.record_resource_gauges();
         self.telemetry.publish_profile();
     }
 

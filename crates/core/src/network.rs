@@ -12,8 +12,8 @@ use sciera_topology::ases::as_info;
 use sciera_topology::links::{build_control_graph, BuiltTopology, PER_AS_OVERHEAD_MS};
 use scion_bootstrap::server::{BootstrapServer, TopologyDocument};
 use scion_control::beacon::{BeaconConfig, BeaconEngine};
+use scion_control::epoch::EpochPathDb;
 use scion_control::fullpath::FullPath;
-use scion_control::pathdb::PathDb;
 use scion_control::segment::AsSecrets;
 use scion_control::store::SegmentStore;
 use scion_cppki::ca::{CaService, ClientProfile};
@@ -147,9 +147,10 @@ pub struct SciEraNetwork {
     inner: Arc<Mutex<Inner>>,
     prober: Arc<Mutex<PathProber>>,
     health: Arc<Mutex<HealthBoard>>,
-    /// The memoized path database every lookup goes through (shared with
-    /// attached hosts); its cache counters land in `telemetry`.
-    pathdb: Arc<Mutex<PathDb>>,
+    /// The epoch-snapshot path database every lookup goes through (shared
+    /// with attached hosts — the handle itself is the shared state, no
+    /// outer mutex); its cache counters land in `telemetry`.
+    pathdb: EpochPathDb,
 }
 
 impl SciEraNetwork {
@@ -305,17 +306,17 @@ impl SciEraNetwork {
             bootstrap_servers.insert(ia, srv);
         }
 
-        // The memoized path DB serves every lookup; the public `store`
-        // field stays as the read-only merged view. Nothing mutates either
-        // copy post-build, so they cannot diverge.
-        let mut pathdb = PathDb::new(store.clone());
+        // The epoch-snapshot path DB serves every lookup; the public
+        // `store` field stays as the read-only merged view. Nothing
+        // mutates either copy post-build, so they cannot diverge.
+        let pathdb = EpochPathDb::new(store.clone());
         pathdb.set_telemetry(telemetry.clone());
 
         let n_links = topo.links.len();
         let nominal_latency_ms: Vec<f64> = topo.links.iter().map(|l| l.spec.latency_ms).collect();
         SciEraNetwork {
             store,
-            pathdb: Arc::new(Mutex::new(pathdb)),
+            pathdb,
             secrets,
             trust,
             renewal,
@@ -346,11 +347,12 @@ impl SciEraNetwork {
     }
 
     /// Combined paths from `src` to `dst` honouring current link state.
-    /// Combination is memoized in the shared [`PathDb`]; administrative
-    /// link state is applied as a post-filter, so toggling links never
-    /// invalidates the cache.
+    /// Combination is memoized in the shared [`EpochPathDb`] (lookups run
+    /// against the published snapshot, concurrently with any writer);
+    /// administrative link state is applied as a post-filter, so toggling
+    /// links never invalidates the cache.
     pub fn paths(&self, src: IsdAsn, dst: IsdAsn) -> Vec<FullPath> {
-        let paths = scion_control::lock_pathdb(&self.pathdb).paths(src, dst, 200);
+        let paths = self.pathdb.paths(src, dst, 200);
         let inner = self.inner.lock();
         paths
             .into_iter()
@@ -362,9 +364,10 @@ impl SciEraNetwork {
     }
 
     /// The shared memoized path database (e.g. to plug into an end-host
-    /// daemon as its [`scion_daemon::daemon::PathProvider`]).
-    pub fn pathdb(&self) -> Arc<Mutex<PathDb>> {
-        Arc::clone(&self.pathdb)
+    /// daemon as its [`scion_daemon::daemon::PathProvider`]). The handle
+    /// is a cheap clone of the shared epoch-snapshot state.
+    pub fn pathdb(&self) -> EpochPathDb {
+        self.pathdb.clone()
     }
 
     /// Sets the administrative state of every link whose label contains
@@ -436,7 +439,7 @@ impl SciEraNetwork {
     /// The path database's current store generation — the control plane's
     /// invalidation epoch, stamped onto exported dynamics records.
     pub fn generation(&self) -> u64 {
-        scion_control::lock_pathdb(&self.pathdb).generation()
+        self.pathdb.generation()
     }
 
     /// Current Unix time of the simulation.
@@ -544,7 +547,7 @@ impl SciEraNetwork {
         // combination crossing them (the next lookup recombines from the
         // unchanged store and re-applies live link state).
         let mut sink = |ia: IsdAsn, ifid: u16| {
-            scion_control::lock_pathdb(&self.pathdb).invalidate_paths_crossing(ia, ifid);
+            self.pathdb.invalidate_paths_crossing(ia, ifid);
         };
         prober.run_round_with_sink(&mut transport, &mut board, now, &mut sink)
     }
@@ -571,7 +574,7 @@ impl SciEraNetwork {
             self.telemetry.clone(),
             Arc::clone(&self.health),
             Arc::clone(&self.inner),
-            Arc::clone(&self.pathdb),
+            self.pathdb.clone(),
         )
     }
 
@@ -630,7 +633,7 @@ impl SciEraNetwork {
         HostHandle {
             addr,
             net: Arc::clone(&self.inner),
-            pathdb: Arc::clone(&self.pathdb),
+            pathdb: self.pathdb.clone(),
             telemetry: self.telemetry.clone(),
         }
     }
@@ -1090,7 +1093,7 @@ pub struct HostHandle {
     /// The host's SCION address.
     pub addr: ScionAddr,
     net: Arc<Mutex<Inner>>,
-    pathdb: Arc<Mutex<PathDb>>,
+    pathdb: EpochPathDb,
     telemetry: Telemetry,
 }
 
@@ -1100,7 +1103,7 @@ impl HostHandle {
         SimTransport {
             local: self.addr,
             net: Arc::clone(&self.net),
-            pathdb: Arc::clone(&self.pathdb),
+            pathdb: self.pathdb.clone(),
             telemetry: self.telemetry.clone(),
         }
     }
@@ -1110,7 +1113,7 @@ impl HostHandle {
 pub struct SimTransport {
     local: ScionAddr,
     net: Arc<Mutex<Inner>>,
-    pathdb: Arc<Mutex<PathDb>>,
+    pathdb: EpochPathDb,
     telemetry: Telemetry,
 }
 
@@ -1152,7 +1155,7 @@ impl scion_pan::socket::PanTransport for SimTransport {
     }
 
     fn lookup_paths(&mut self, dst: IsdAsn) -> Vec<FullPath> {
-        let paths = scion_control::lock_pathdb(&self.pathdb).paths(self.local.ia, dst, 200);
+        let paths = self.pathdb.paths(self.local.ia, dst, 200);
         let inner = self.net.lock();
         paths
             .into_iter()

@@ -37,6 +37,15 @@ impl PathProvider for std::sync::Arc<Mutex<scion_control::pathdb::PathDb>> {
     }
 }
 
+/// The epoch-snapshot path database is a path provider too: the handle is
+/// itself the shared state, lookups run against the published snapshot and
+/// never contend with a concurrent writer publishing a new generation.
+impl PathProvider for scion_control::epoch::EpochPathDb {
+    fn fetch_paths(&self, src: IsdAsn, dst: IsdAsn, _now: u64) -> Vec<FullPath> {
+        self.paths(src, dst, scion_control::combine::DEFAULT_MAX_PATHS)
+    }
+}
+
 /// Daemon configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct DaemonConfig {
@@ -462,6 +471,43 @@ mod tests {
         );
         assert_eq!(d2.paths(ia("71-11"), 1_700_000_100), paths);
         assert!(db.lock().cached_entries() >= 1);
+    }
+
+    #[test]
+    fn epoch_pathdb_serves_as_provider() {
+        use scion_control::beacon::{BeaconConfig, BeaconEngine};
+        use scion_control::epoch::EpochPathDb;
+        use scion_control::graph::{ControlGraph, LinkType};
+
+        let mut g = ControlGraph::new();
+        g.add_as(ia("71-1"), true);
+        g.add_as(ia("71-10"), false);
+        g.add_as(ia("71-11"), false);
+        g.connect(ia("71-1"), ia("71-10"), LinkType::Child).unwrap();
+        g.connect(ia("71-1"), ia("71-11"), LinkType::Child).unwrap();
+        let store = BeaconEngine::new(&g, 1_700_000_000, BeaconConfig::default())
+            .run()
+            .unwrap();
+        let db = EpochPathDb::new(store);
+
+        let d = Daemon::new(
+            ia("71-10"),
+            UnderlayAddr::new([10, 0, 0, 2], 30252),
+            db.clone(),
+            DaemonConfig::default(),
+        );
+        let paths = d.paths(ia("71-11"), 1_700_000_100);
+        assert!(!paths.is_empty(), "epoch provider yields paths");
+        // A second daemon on a clone of the handle shares the same
+        // snapshot cache — the clone IS the shared state.
+        let d2 = Daemon::new(
+            ia("71-10"),
+            UnderlayAddr::new([10, 0, 0, 3], 30252),
+            db.clone(),
+            DaemonConfig::default(),
+        );
+        assert_eq!(d2.paths(ia("71-11"), 1_700_000_100), paths);
+        assert!(db.cached_entries() >= 1);
     }
 
     #[test]

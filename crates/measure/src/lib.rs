@@ -22,6 +22,9 @@
 //! * [`scale`] — the scale observatory: synthetic-topology sweeps
 //!   (100 → 5000 ASes) through beaconing, the path database and the
 //!   router data plane, with per-subsystem self-time attribution.
+//! * [`slo`] — the concurrency SLO observatory: p50/p99 lookup latency
+//!   under K concurrent clients while a writer runs link-kill storms
+//!   against the epoch-snapshot path database.
 //! * [`dynamics`] — the path-dynamics observatory: long-horizon campaigns
 //!   with injected link-kill and cost-change events, an ML-ready JSONL
 //!   time-series dataset (per-path epochs plus a churn stream), and
@@ -38,6 +41,7 @@ pub mod dynamics;
 pub mod paths;
 pub mod resilience;
 pub mod scale;
+pub mod slo;
 pub mod survey;
 
 pub use campaign::{Campaign, CampaignConfig, MeasurementStore};

@@ -9,10 +9,11 @@
 //!    ([`sciera_topology::synth`]),
 //! 2. runs full beaconing to convergence and records wall time, rounds
 //!    and segment-store footprint,
-//! 3. drives a query workload through the shared
-//!    [`PathDb`](scion_control::pathdb::PathDb) behind its `Arc<Mutex<_>>`
-//!    (the production locking discipline, including lock-wait
-//!    accounting), recording hit rate and throughput,
+//! 3. drives a query workload through the shared epoch-snapshot
+//!    [`EpochPathDb`](scion_control::epoch::EpochPathDb) with a
+//!    topology-proportional sharded cache (the production concurrency
+//!    discipline, including publish-latency accounting), recording hit
+//!    rate and throughput,
 //! 4. pushes a frame workload through real border routers over the
 //!    generated links — the same inject/drain/process-batch/forward loop
 //!    the deployment simulation uses,
@@ -24,16 +25,13 @@
 //! off every step still runs — the self-time table is simply empty —
 //! so the harness doubles as a scaling smoke test in CI.
 
-use std::sync::Arc;
 use std::time::Instant;
-
-use parking_lot::Mutex;
 
 use netsim::{FramePool, LinkId, LinkQuality, Node, NodeCtx, SimDuration, World};
 use sciera_telemetry::Telemetry;
 use sciera_topology::synth::{synthesize, SynthConfig};
 use scion_control::beacon::{BeaconConfig, BeaconEngine};
-use scion_control::pathdb::{lock_pathdb, PathDb, PathDbConfig};
+use scion_control::epoch::{EpochConfig, EpochPathDb};
 use scion_dataplane::dispatcher::{IngressShards, DEFAULT_SHARD_CAPACITY};
 use scion_dataplane::router::{BorderRouter, FrameDecision};
 use scion_proto::addr::{HostAddr, IsdAsn, ScionAddr};
@@ -210,16 +208,13 @@ pub fn run_point(n: usize, cfg: &ScaleConfig) -> ScalePoint {
     let store_bytes = store.approx_bytes();
     let secrets = engine.secrets().clone();
 
-    // ---- Stage 3: PathDb query workload over the shared mutex --------
-    let mut db = PathDb::with_config(
-        store,
-        PathDbConfig {
-            capacity: 2048,
-            raw_limit: 4096,
-        },
-    );
+    // ---- Stage 3: PathDb query workload over the shared snapshot -----
+    // Topology-proportional capacity: the old fixed 2048-entry LRU
+    // thrashed once the pair pool (≥ N/2) outgrew it, collapsing N=5000
+    // to three-digit q/s. `for_topology` sizes the sharded cache so the
+    // warm working set actually fits at every sweep point.
+    let db = EpochPathDb::with_config(store, EpochConfig::for_topology(n));
     db.set_telemetry(telemetry.clone());
-    let db = Arc::new(Mutex::new(db));
 
     let leaves: Vec<IsdAsn> = topo
         .graph
@@ -233,11 +228,11 @@ pub fn run_point(n: usize, cfg: &ScaleConfig) -> ScalePoint {
         leaves
     };
     // The pool of distinct pairs scales with the topology (at least half
-    // the AS count), so the cache-pressure regime actually changes across
-    // the sweep: small N re-queries a pool the LRU holds entirely, large
-    // N overflows the 2048-entry capacity and churns. A fixed pool would
-    // make the hit rate a constant arithmetic artefact of
-    // (queries, pair_pool) — the same number at every N.
+    // the AS count), so the combine workload actually grows across the
+    // sweep; the cache capacity grows with it (`for_topology`), so the
+    // warm pass measures steady-state lookup throughput rather than LRU
+    // churn. A fixed pool would make the hit rate a constant arithmetic
+    // artefact of (queries, pair_pool) — the same number at every N.
     let pool_target = cfg.pair_pool.max(n / 2);
     let mut seen_pairs = std::collections::BTreeSet::new();
     let mut pool: Vec<(IsdAsn, IsdAsn)> = Vec::new();
@@ -270,18 +265,19 @@ pub fn run_point(n: usize, cfg: &ScaleConfig) -> ScalePoint {
         }
     };
 
-    // Cold pass: every pool pair once, first touch.
+    // Cold pass: every pool pair once, first touch. `prefetch` combines
+    // the misses over the worker pool when `parallel` is on and falls
+    // back to the sequential loop otherwise — same installed entries
+    // either way.
     let before = cache_counts();
-    for &(src, dst) in &pool {
-        let _ = lock_pathdb(&db).paths(src, dst, 32);
-    }
+    db.prefetch(&pool, 32);
     let after_cold = cache_counts();
 
     // Warm pass: random re-queries over the pool (the measured workload).
     let t0 = Instant::now();
     for _ in 0..cfg.queries {
         let (src, dst) = pool[rng.below(pool.len())];
-        let _ = lock_pathdb(&db).paths(src, dst, 32);
+        let _ = db.paths(src, dst, 32);
     }
     let query_secs = t0.elapsed().as_secs_f64();
     let after_warm = cache_counts();
@@ -301,7 +297,7 @@ pub fn run_point(n: usize, cfg: &ScaleConfig) -> ScalePoint {
     // inject/drain/batch/forward engine over the generated links.
     let mut templates: Vec<(IsdAsn, Vec<u8>)> = Vec::new();
     for (src, dst) in pool.iter().take(32) {
-        let paths = lock_pathdb(&db).paths(*src, *dst, 4);
+        let paths = db.paths(*src, *dst, 4);
         let Some(dp) = paths.first().and_then(|p| p.to_dataplane().ok()) else {
             continue;
         };
@@ -418,9 +414,8 @@ pub fn run_point(n: usize, cfg: &ScaleConfig) -> ScalePoint {
 
     // ---- Read the observatory back -----------------------------------
     let pathdb_bytes = {
-        let guard = lock_pathdb(&db);
-        guard.record_resource_gauges();
-        guard.approx_cache_bytes()
+        db.record_resource_gauges();
+        db.approx_cache_bytes()
     };
     telemetry.publish_profile();
     let report = telemetry.profile_report();

@@ -38,14 +38,35 @@ cargo test -q --test prop_profiler --features profile
 echo "==> cargo test -q --test prop_profiler --no-default-features"
 cargo test -q --test prop_profiler --no-default-features
 
+# Parallel-control-plane matrix: the `parallel` feature (off by default;
+# worker-pool beacon verification and prefetch combination) must build
+# through the facade's forwarding chain and keep the control crate's own
+# tests green with the pool engaged.
+echo "==> cargo build --features parallel (worker pool compiled in)"
+cargo build --features parallel
+
+echo "==> cargo test -q -p scion-control --features parallel"
+cargo test -q -p scion-control --features parallel
+
+# The epoch-snapshot concurrency stress test (N readers + 1 writer, every
+# result validated against the store generation it was served from) must
+# hold in both configs; the default run is part of `cargo test -q` above.
+echo "==> cargo test -q --test concurrency --features parallel"
+cargo test -q --test concurrency --features parallel
+
 # The differential fast-path proptest must hold in both feature configs.
 echo "==> cargo test -q --test prop_fastpath --no-default-features"
 cargo test -q --test prop_fastpath --no-default-features
 
-# Same for the memoized path-database proptest (the default-features run is
-# part of `cargo test -q` above).
+# Same for the memoized path-database proptests (mutex and epoch): the
+# default-features run is part of `cargo test -q` above, the parallel run
+# pins the worker-pool path byte-for-byte against the single-threaded
+# reference.
 echo "==> cargo test -q --test prop_pathdb --no-default-features"
 cargo test -q --test prop_pathdb --no-default-features
+
+echo "==> cargo test -q --test prop_pathdb --features parallel"
+cargo test -q --test prop_pathdb --features parallel
 
 # And for the batched-pipeline differential proptest: the batch engine
 # must match the sequential engine with tracing compiled out too.
@@ -67,6 +88,12 @@ cargo bench --no-run
 # PathDb mutex) must stay within measurement noise of the raw paths.
 echo "==> cargo bench -p sciera-bench --bench profiler_overhead"
 cargo bench -p sciera-bench --bench profiler_overhead
+
+# Epoch-snapshot overhead guard: at K=1 (single-threaded mode) the
+# snapshot design's extra machinery — published-pointer read, shard hash,
+# Arc bump — must stay within noise of the mutex design it replaced.
+echo "==> cargo bench -p sciera-bench --bench epoch_overhead"
+cargo bench -p sciera-bench --bench epoch_overhead
 
 # Bounded smoke sweep: one N=100 point through the full scale pipeline
 # (synthesis -> beaconing -> PathDb -> router load -> sim stage), written

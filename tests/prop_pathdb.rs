@@ -9,9 +9,11 @@ use proptest::prelude::*;
 
 use sciera::control::beacon::{BeaconConfig, BeaconEngine};
 use sciera::control::combine::combine_paths;
+use sciera::control::epoch::EpochPathDb;
 use sciera::control::graph::{ControlGraph, LinkType};
 use sciera::control::pathdb::PathDb;
 use sciera::control::segment::{PathSegment, SegmentType};
+use sciera::control::store::SegmentStore;
 use sciera::prelude::*;
 
 /// A random two-tier topology: cores in a ring plus random extra core
@@ -103,16 +105,21 @@ fn build(t: &RandomTopo) -> Option<ControlGraph> {
     Some(g)
 }
 
-/// Registers one pooled segment into the database's store.
-fn register(db: &mut PathDb, seg: &PathSegment) {
+/// Registers one pooled segment into a store.
+fn register_into(store: &mut SegmentStore, seg: &PathSegment) {
     match seg.seg_type {
         SegmentType::Core => {
-            db.store_mut().register_core(seg.clone());
+            store.register_core(seg.clone());
         }
         SegmentType::UpDown => {
-            db.store_mut().register_up_down(seg.clone());
+            store.register_up_down(seg.clone());
         }
     }
+}
+
+/// Registers one pooled segment into the database's store.
+fn register(db: &mut PathDb, seg: &PathSegment) {
+    register_into(db.store_mut(), seg);
 }
 
 proptest! {
@@ -182,6 +189,100 @@ proptest! {
             prop_assert_eq!(&memoized, &again, "warm hit unstable for {}->{}", s, d);
             let fresh = combine_paths(db.store(), s, d, 64);
             prop_assert_eq!(memoized, fresh, "final divergence for {}->{}", s, d);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The epoch-snapshot database must track the mutex reference exactly:
+    /// under the same interleaving of registrations, kills and queries on
+    /// stores that start identical, every [`EpochPathDb`] query equals both
+    /// the fresh combinator against its own published snapshot AND the
+    /// mutex [`PathDb`]'s answer byte-for-byte. Built with the `parallel`
+    /// feature the epoch side fans prefetch combination over the worker
+    /// pool, so running this test in both configs pins the parallel path
+    /// against the single-threaded reference.
+    #[test]
+    fn epoch_pathdb_matches_mutex_reference_under_mutation(
+        topo in arb_topo(),
+        ops in arb_ops(),
+        final_picks in prop::collection::vec((any::<u8>(), any::<u8>()), 4),
+    ) {
+        let Some(graph) = build(&topo) else {
+            return Ok(()); // degenerate spec: nothing to check
+        };
+        let sparse = BeaconEngine::new(&graph, 1_700_000_000, BeaconConfig {
+            candidates_per_origin: 2,
+            ..Default::default()
+        })
+        .run()
+        .expect("sparse beaconing converges");
+        let rich = BeaconEngine::new(&graph, 1_700_000_000, BeaconConfig {
+            candidates_per_origin: 8,
+            ..Default::default()
+        })
+        .run()
+        .expect("rich beaconing converges");
+        let pool: Vec<PathSegment> = rich.all_segments().cloned().collect();
+        prop_assume!(!pool.is_empty());
+
+        let edb = EpochPathDb::new(sparse.clone());
+        let mut mdb = PathDb::new(sparse);
+        let all: Vec<IsdAsn> = graph.ases().map(|a| a.ia).collect();
+
+        for op in &ops {
+            match *op {
+                Op::Register(i) => {
+                    let seg = &pool[i as usize % pool.len()];
+                    edb.mutate_store(|s| register_into(s, seg));
+                    register(&mut mdb, seg);
+                }
+                Op::Kill(a, b) => {
+                    let node = graph.as_node(all[a as usize % all.len()]).unwrap();
+                    if !node.interfaces.is_empty() {
+                        let ifid = node.interfaces[b as usize % node.interfaces.len()].id;
+                        edb.mutate_store(|s| s.invalidate_interface(node.ia, ifid));
+                        mdb.store_mut().invalidate_interface(node.ia, ifid);
+                    }
+                }
+                Op::Query(s, d) => {
+                    let (s, d) = (all[s as usize % all.len()], all[d as usize % all.len()]);
+                    if s == d {
+                        continue;
+                    }
+                    let memoized = edb.paths(s, d, 64);
+                    let snap = edb.snapshot();
+                    let fresh = combine_paths(snap.store(), s, d, 64);
+                    prop_assert_eq!(&memoized, &fresh, "epoch != fresh for {}->{}", s, d);
+                    let mutex_ref = mdb.paths(s, d, 64);
+                    prop_assert_eq!(memoized, mutex_ref, "epoch != mutex for {}->{}", s, d);
+                }
+            }
+        }
+        // Final prefetch sweep: warm the remaining pairs in one batch (the
+        // worker-pool path under `parallel`), then compare each byte-for-byte
+        // against the sequential mutex reference.
+        let pairs: Vec<(IsdAsn, IsdAsn)> = final_picks
+            .iter()
+            .map(|&(s, d)| (all[s as usize % all.len()], all[d as usize % all.len()]))
+            .filter(|(s, d)| s != d)
+            .collect();
+        edb.prefetch(&pairs, 64);
+        for &(s, d) in &pairs {
+            let memoized = edb.paths(s, d, 64);
+            prop_assert_eq!(
+                &memoized,
+                &mdb.paths(s, d, 64),
+                "prefetched epoch != mutex for {}->{}", s, d
+            );
+            let snap = edb.snapshot();
+            prop_assert_eq!(
+                memoized,
+                combine_paths(snap.store(), s, d, 64),
+                "prefetched epoch != fresh for {}->{}", s, d
+            );
         }
     }
 }
