@@ -1,0 +1,76 @@
+//! Interleaved A/B guard: parallel beacon propagation must be within
+//! noise of the sequential walk at N=100, where per-round batches are too
+//! small for the worker pool to win and the two-phase pipeline's snapshot
+//! and precompute machinery is pure overhead. The parallel path buys its
+//! ≥3× cut at N≥1000; this guard pins what it is allowed to cost at the
+//! bottom of the sweep. Rounds interleave (seq, par, seq, par, …) so
+//! frequency scaling and cache pollution bias neither side.
+//!
+//! With the `parallel` feature disabled the flag is inert, both sides run
+//! the sequential walk, and the guard degenerates to a determinism check
+//! with a trivially satisfied ratio.
+
+use std::time::Instant;
+
+use criterion::black_box;
+use sciera_topology::synth::{synthesize, SynthConfig};
+use scion_control::beacon::{BeaconConfig, BeaconEngine};
+
+/// Parallel/sequential full-beaconing time ratio above which the guard
+/// fails.
+const MAX_RATIO: f64 = 1.5;
+const ROUNDS: usize = 15;
+const N_ASES: usize = 100;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn config(parallel: bool) -> BeaconConfig {
+    BeaconConfig {
+        parallel_propagation: parallel,
+        ..BeaconConfig::default()
+    }
+}
+
+/// One full beaconing run; returns (seconds, sorted registered ids).
+fn run_once(graph: &scion_control::graph::ControlGraph, parallel: bool) -> (f64, Vec<[u8; 32]>) {
+    let start = Instant::now();
+    let store = BeaconEngine::new(graph, 1_700_000_000, config(parallel))
+        .run()
+        .expect("synthetic topology beacons");
+    let secs = start.elapsed().as_secs_f64();
+    let mut ids: Vec<[u8; 32]> = store.all_segments().map(|s| s.id()).collect();
+    ids.sort();
+    (secs, black_box(ids))
+}
+
+fn main() {
+    let built = synthesize(&SynthConfig::sized(N_ASES));
+
+    // Differential sanity before timing anything: identical output.
+    let (_, ids_seq) = run_once(&built.graph, false);
+    let (_, ids_par) = run_once(&built.graph, true);
+    assert_eq!(
+        ids_seq, ids_par,
+        "parallel propagation changed the registered segments at N={N_ASES}"
+    );
+
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let (seq, _) = run_once(&built.graph, false);
+        let (par, _) = run_once(&built.graph, true);
+        ratios.push(par / seq);
+    }
+    let ratio = median(ratios);
+    println!(
+        "propagate_overhead: parallel/sequential beaconing A/B {ratio:.4} at N={N_ASES} \
+         (median of {ROUNDS} rounds, limit {MAX_RATIO})"
+    );
+    assert!(
+        ratio < MAX_RATIO,
+        "parallel propagation costs {ratio:.4}x over sequential at N={N_ASES} — \
+         the pipeline overhead is no longer within noise at small N"
+    );
+}

@@ -24,24 +24,73 @@
 //! received beacon's signature chain is verified once per unique beacon
 //! via a bounded verified-beacon cache keyed on (beacon ID, key epoch) —
 //! the control-plane analogue of the data plane's MAC-verification cache.
+//!
+//! A propagation round is a **two-phase pipeline**: phase one snapshots
+//! every offering holder's immutable inputs (retained candidate beacons,
+//! secrets handle, peer links, outbound interfaces) before any slot is
+//! mutated, phase two commits extensions against that snapshot in
+//! deterministic holder order. Because the snapshot is taken up front, the
+//! per-holder extension work — loop/length filtering plus the CMAC hop
+//! MAC and entry signature of [`CowSegment::extend`] — is pure, and with
+//! `--features parallel` (plus [`BeaconConfig::parallel_propagation`]) it
+//! fans out over the worker pool while the commit stays sequential, so
+//! parallel and sequential builds produce byte-identical beacon state.
+//! Beacons themselves use the copy-on-extend [`CowSegment`]
+//! representation: offering a beacon to a neighbor appends one hop node
+//! and shares the entire prefix, instead of deep-copying the segment per
+//! offer, and the retain sort reads cached ids instead of re-hashing.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use sciera_telemetry::{Counter, Event, Severity, Telemetry};
 use scion_proto::addr::IsdAsn;
 
 use crate::graph::{ControlGraph, LinkType};
-use crate::segment::{AsSecrets, PathSegment, SegmentBuilder, SegmentType};
+use crate::segment::{AsSecrets, CowSegment, SegmentBuilder, SegmentType};
 use crate::store::SegmentStore;
 use crate::ControlError;
 
 /// A beacon as received by an AS: the segment so far (ending with the
-/// sender's entry) plus the local ingress interface it arrived on.
+/// sender's entry) plus the local ingress interface it arrived on. Clone
+/// is cheap — the copy-on-extend segment shares its entry chain.
 #[derive(Debug, Clone)]
 struct ReceivedBeacon {
-    segment: PathSegment,
+    segment: CowSegment,
     ingress_ifid: u16,
 }
+
+/// One outbound interface of a propagation batch's holder.
+struct OutIntf {
+    id: u16,
+    neighbor: IsdAsn,
+    neighbor_ifid: u16,
+}
+
+/// One candidate beacon of a propagation batch: a retained slot entry of
+/// the batch's holder, snapshotted at round start.
+struct Candidate {
+    origin: IsdAsn,
+    rb: ReceivedBeacon,
+    /// Survived the length/loop pre-filter (verification still pending).
+    pre_ok: bool,
+}
+
+/// Everything one holder contributes to a propagation round: immutable
+/// compute-phase inputs, consumed in deterministic order by the
+/// sequential commit phase.
+struct HolderBatch {
+    secrets: Arc<AsSecrets>,
+    peers: Vec<(IsdAsn, u16, u16)>,
+    out_ifs: Vec<OutIntf>,
+    cands: Vec<Candidate>,
+}
+
+/// Extensions precomputed by the parallel phase, indexed
+/// `[batch][candidate]`: `None` rows were skipped (verdict unknown at
+/// snapshot time), per-interface `None`s inside a row are offers proven
+/// retain-losers against the round snapshot.
+type PrecomputedExt = Vec<Vec<Option<Vec<Option<CowSegment>>>>>;
 
 /// Beaconing configuration.
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +107,13 @@ pub struct BeaconConfig {
     /// round and reaches the same fixed point; it exists for differential
     /// testing.
     pub delta_propagation: bool,
+    /// With the `parallel` feature: fan a round's verification and
+    /// extension compute (candidate filtering + CMAC hop signing) over
+    /// the worker pool, committing results sequentially in deterministic
+    /// holder order. `false` forces the sequential reference path even in
+    /// parallel builds — the in-binary A/B switch the overhead bench and
+    /// the differential proptest use. No effect without the feature.
+    pub parallel_propagation: bool,
 }
 
 impl Default for BeaconConfig {
@@ -67,6 +123,7 @@ impl Default for BeaconConfig {
             max_len: 12,
             rounds: 12,
             delta_propagation: true,
+            parallel_propagation: true,
         }
     }
 }
@@ -74,10 +131,66 @@ impl Default for BeaconConfig {
 /// Bound on the verified-beacon cache (beacon ID + key epoch entries).
 const VERIFIED_CACHE_CAP: usize = 4096;
 
+/// Bounded LRU over verified beacon ids: a hash map for O(1) probes plus
+/// a tick-ordered index so eviction pops the oldest entry in O(log n).
+/// Ticks are unique per probe, so the evicted entry is exactly the one a
+/// full min-scan would choose — this replaced an O(cache) scan per
+/// insert that dominated propagation once the cache saturated.
+#[derive(Default)]
+struct VerifiedCache {
+    map: HashMap<([u8; 32], u32), u64>,
+    order: BTreeMap<u64, ([u8; 32], u32)>,
+    tick: u64,
+}
+
+impl VerifiedCache {
+    /// Consumes one LRU tick without probing (the parallel resolution
+    /// path's stand-in for the probe `verify_cached` would have made).
+    fn advance(&mut self) {
+        self.tick += 1;
+    }
+
+    /// Probes for `key`, refreshing its recency on a hit. Consumes a tick
+    /// either way, exactly like the sequential probe-then-insert flow.
+    fn touch(&mut self, key: &([u8; 32], u32)) -> bool {
+        self.advance();
+        let tick = self.tick;
+        let Some(t) = self.map.get_mut(key) else {
+            return false;
+        };
+        let old = std::mem::replace(t, tick);
+        self.order.remove(&old);
+        self.order.insert(tick, *key);
+        true
+    }
+
+    /// Membership probe without recency bookkeeping (the parallel
+    /// phases peek at the cache without perturbing LRU order).
+    #[cfg(feature = "parallel")]
+    fn contains(&self, key: &([u8; 32], u32)) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key` at the current tick, evicting the oldest entry when
+    /// the cache is at capacity. Callers only insert absent keys (they
+    /// probe first), so map and order stay 1:1.
+    fn insert(&mut self, key: ([u8; 32], u32)) {
+        if self.map.len() >= VERIFIED_CACHE_CAP {
+            if let Some((_, oldest)) = self.order.pop_first() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, self.tick);
+        self.order.insert(self.tick, key);
+    }
+}
+
 /// The beaconing engine.
 pub struct BeaconEngine<'g> {
     graph: &'g ControlGraph,
-    secrets: BTreeMap<IsdAsn, AsSecrets>,
+    /// Per-AS secrets behind `Arc`: a propagation batch holds a refcount
+    /// bump instead of a deep key copy per holder per round.
+    secrets: BTreeMap<IsdAsn, Arc<AsSecrets>>,
     config: BeaconConfig,
     timestamp: u32,
     /// Core beacons held at each core AS, keyed by origin.
@@ -88,10 +201,9 @@ pub struct BeaconEngine<'g> {
     dirty_core: BTreeSet<(IsdAsn, IsdAsn)>,
     /// Down slots changed since they were last offered to neighbors.
     dirty_down: BTreeSet<(IsdAsn, IsdAsn)>,
-    /// Verified-beacon cache: (beacon ID, key epoch) → LRU tick. One
+    /// Verified-beacon cache: (beacon ID, key epoch) → LRU entry. One
     /// signature-chain verification per unique beacon per epoch.
-    verified: HashMap<([u8; 32], u32), u64>,
-    verify_tick: u64,
+    verified: VerifiedCache,
     /// Propagation rounds the last [`BeaconEngine::run`] needed to converge.
     last_rounds: usize,
     /// Epoch of the hop keys behind `secrets` (cache key component; a key
@@ -106,6 +218,10 @@ pub struct BeaconEngine<'g> {
     batch_beacons: Counter,
     verify_hits: Counter,
     verify_misses: Counter,
+    #[cfg(feature = "parallel")]
+    par_holders: Counter,
+    #[cfg(feature = "parallel")]
+    par_extensions: Counter,
 }
 
 impl<'g> BeaconEngine<'g> {
@@ -113,16 +229,15 @@ impl<'g> BeaconEngine<'g> {
     /// deterministically (the simulation stand-in for each AS holding its
     /// own keys).
     pub fn new(graph: &'g ControlGraph, timestamp: u32, config: BeaconConfig) -> Self {
-        let secrets = graph
+        let secrets: BTreeMap<IsdAsn, Arc<AsSecrets>> = graph
             .ases()
-            .map(|a| (a.ia, AsSecrets::derive(a.ia)))
+            .map(|a| (a.ia, Arc::new(AsSecrets::derive(a.ia))))
             .collect();
         let telemetry = Telemetry::quiet();
-        let secrets: BTreeMap<IsdAsn, AsSecrets> = secrets;
         let key_epoch = secrets
             .values()
             .next()
-            .map(|s: &AsSecrets| s.hop_key.epoch())
+            .map(|s| s.hop_key.epoch())
             .unwrap_or(1);
         BeaconEngine {
             graph,
@@ -133,8 +248,7 @@ impl<'g> BeaconEngine<'g> {
             down_beacons: BTreeMap::new(),
             dirty_core: BTreeSet::new(),
             dirty_down: BTreeSet::new(),
-            verified: HashMap::new(),
-            verify_tick: 0,
+            verified: VerifiedCache::default(),
             last_rounds: 0,
             key_epoch,
             originated: telemetry.counter("beacon.originated"),
@@ -145,6 +259,10 @@ impl<'g> BeaconEngine<'g> {
             batch_beacons: telemetry.counter("beacon.batch.beacons"),
             verify_hits: telemetry.counter("beacon.batch.verify_hit"),
             verify_misses: telemetry.counter("beacon.batch.verify_miss"),
+            #[cfg(feature = "parallel")]
+            par_holders: telemetry.counter("beacon.propagate.par.holders"),
+            #[cfg(feature = "parallel")]
+            par_extensions: telemetry.counter("beacon.propagate.par.extensions"),
             telemetry,
         }
     }
@@ -159,18 +277,22 @@ impl<'g> BeaconEngine<'g> {
         self.batch_beacons = telemetry.counter("beacon.batch.beacons");
         self.verify_hits = telemetry.counter("beacon.batch.verify_hit");
         self.verify_misses = telemetry.counter("beacon.batch.verify_miss");
+        #[cfg(feature = "parallel")]
+        {
+            self.par_holders = telemetry.counter("beacon.propagate.par.holders");
+            self.par_extensions = telemetry.counter("beacon.propagate.par.extensions");
+        }
         self.telemetry = telemetry;
     }
 
     /// Verifies a received beacon's signature chain and hop MACs, at most
     /// once per unique (beacon ID, key epoch) — repeat offers of the same
-    /// beacon hit the cache.
-    fn verify_cached(&mut self, seg: &PathSegment) -> bool {
+    /// beacon hit the cache. The cache probe reads the beacon's cached id
+    /// (O(1)); the segment is materialized only on a miss.
+    fn verify_cached(&mut self, seg: &CowSegment) -> bool {
         let _prof = self.telemetry.prof_scope("beacon.verify");
         let key = (seg.id(), self.key_epoch);
-        self.verify_tick += 1;
-        if let Some(t) = self.verified.get_mut(&key) {
-            *t = self.verify_tick;
+        if self.verified.touch(&key) {
             self.verify_hits.inc();
             return true;
         }
@@ -178,47 +300,40 @@ impl<'g> BeaconEngine<'g> {
         let secrets = &self.secrets;
         let keys = |ia: IsdAsn| secrets.get(&ia).map(|s| s.signing.verifying_key());
         let hops = |ia: IsdAsn| secrets.get(&ia).map(|s| s.hop_key.clone());
-        let ok = seg.verify(&keys, &hops).is_ok();
+        let ok = seg.materialize().verify(&keys, &hops).is_ok();
         if ok {
-            if self.verified.len() >= VERIFIED_CACHE_CAP {
-                if let Some(oldest) = self
-                    .verified
-                    .iter()
-                    .min_by_key(|(_, t)| **t)
-                    .map(|(k, _)| *k)
-                {
-                    self.verified.remove(&oldest);
-                }
-            }
-            self.verified.insert(key, self.verify_tick);
+            self.verified.insert(key);
         }
         ok
     }
 
-    /// Computes verification verdicts for a propagation batch's unique
-    /// not-yet-cached beacons in parallel: each beacon's signature-chain
-    /// and hop-MAC check is independent (pure over the segment and the
-    /// secrets table), so the batch fans out over the worker pool, where
-    /// workers use [`PathSegment::verify_batched`] to funnel each entry's
+    /// Computes verification verdicts for a round's unique not-yet-cached
+    /// beacons in parallel: each beacon's signature-chain and hop-MAC
+    /// check is independent (pure over the segment and the secrets
+    /// table), so the whole round's worth fans out over the worker pool,
+    /// where workers materialize the chain once and funnel each entry's
     /// MACs through `HopKey::verify_batch`. Nothing is mutated here: the
-    /// sequential filter loop consumes the verdict map through
+    /// sequential commit consumes the verdict map through
     /// [`Self::verify_batch_resolved`], which replays the cache inserts,
     /// LRU ticks and hit/miss counters in candidate order, so cache state
-    /// and metrics are identical with the feature on or off.
+    /// and metrics are identical with parallelism on or off.
     #[cfg(feature = "parallel")]
-    fn batch_verdicts(
-        &self,
-        candidates: &[(IsdAsn, ReceivedBeacon)],
-    ) -> HashMap<([u8; 32], u32), bool> {
-        let mut todo: Vec<&PathSegment> = Vec::new();
+    fn round_verdicts(&self, batches: &[HolderBatch]) -> HashMap<([u8; 32], u32), bool> {
+        let mut todo: Vec<CowSegment> = Vec::new();
         let mut keys_of: Vec<([u8; 32], u32)> = Vec::new();
-        for (_, rb) in candidates {
-            let key = (rb.segment.id(), self.key_epoch);
-            if self.verified.contains_key(&key) || keys_of.contains(&key) {
-                continue;
+        let mut queued: std::collections::HashSet<[u8; 32]> = std::collections::HashSet::new();
+        for b in batches {
+            for c in &b.cands {
+                if !c.pre_ok {
+                    continue;
+                }
+                let key = (c.rb.segment.id(), self.key_epoch);
+                if self.verified.contains(&key) || !queued.insert(key.0) {
+                    continue;
+                }
+                keys_of.push(key);
+                todo.push(c.rb.segment.clone());
             }
-            keys_of.push(key);
-            todo.push(&rb.segment);
         }
         if todo.len() < 2 {
             return HashMap::new(); // nothing to fan out; verify_cached handles it
@@ -227,8 +342,9 @@ impl<'g> BeaconEngine<'g> {
         let secrets = &self.secrets;
         let keys = |ia: IsdAsn| secrets.get(&ia).map(|s| s.signing.verifying_key());
         let hops = |ia: IsdAsn| secrets.get(&ia).map(|s| s.hop_key.clone());
-        let verdicts = crate::pool::WorkerPool::default()
-            .map(&todo, |seg| seg.verify_batched(&keys, &hops).is_ok());
+        let verdicts = crate::pool::WorkerPool::default().map(&todo, |seg| {
+            seg.materialize().verify_batched(&keys, &hops).is_ok()
+        });
         keys_of.into_iter().zip(verdicts).collect()
     }
 
@@ -240,37 +356,51 @@ impl<'g> BeaconEngine<'g> {
     #[cfg(feature = "parallel")]
     fn verify_batch_resolved(
         &mut self,
-        seg: &PathSegment,
+        seg: &CowSegment,
         verdicts: &HashMap<([u8; 32], u32), bool>,
     ) -> bool {
         let key = (seg.id(), self.key_epoch);
-        if self.verified.contains_key(&key) {
+        if self.verified.contains(&key) {
             return self.verify_cached(seg); // hit path, counts itself
         }
         let Some(&ok) = verdicts.get(&key) else {
             return self.verify_cached(seg);
         };
-        self.verify_tick += 1;
+        // Attribute the bookkeeping where the sequential path would: this
+        // is the resolution half of a verification, not propagation work.
+        let _prof = self.telemetry.prof_scope("beacon.verify");
+        self.verified.advance();
         self.verify_misses.inc();
         if ok {
-            if self.verified.len() >= VERIFIED_CACHE_CAP {
-                if let Some(oldest) = self
-                    .verified
-                    .iter()
-                    .min_by_key(|(_, t)| **t)
-                    .map(|(k, _)| *k)
-                {
-                    self.verified.remove(&oldest);
-                }
-            }
-            self.verified.insert(key, self.verify_tick);
+            self.verified.insert(key);
         }
         ok
     }
 
     /// Access to the derived secrets (the data plane needs the hop keys).
-    pub fn secrets(&self) -> &BTreeMap<IsdAsn, AsSecrets> {
+    /// Cloning the map bumps refcounts; the keys themselves are shared.
+    pub fn secrets(&self) -> &BTreeMap<IsdAsn, Arc<AsSecrets>> {
         &self.secrets
+    }
+
+    /// Test/diagnostic access to the retained beacon state: every
+    /// (core?, holder, origin) slot with its beacon ids in retained
+    /// order. Differential harnesses compare this across propagation
+    /// modes.
+    #[doc(hidden)]
+    pub fn slot_digest(&self) -> Vec<(bool, IsdAsn, IsdAsn, Vec<[u8; 32]>)> {
+        let mut out = Vec::new();
+        for (core_kind, map) in [(true, &self.core_beacons), (false, &self.down_beacons)] {
+            for ((holder, origin), slot) in map {
+                out.push((
+                    core_kind,
+                    *holder,
+                    *origin,
+                    slot.iter().map(|b| b.segment.id()).collect(),
+                ));
+            }
+        }
+        out
     }
 
     fn beta_for(origin: IsdAsn, seq: u16) -> u16 {
@@ -303,6 +433,25 @@ impl<'g> BeaconEngine<'g> {
             slot.truncate(k);
         }
         true
+    }
+
+    /// Whether a beacon with `(len, id)` would survive [`Self::retain`]
+    /// into `slot`. Every insert goes through `retain`, so the slot is
+    /// always sorted by `(len, id)` and the competition is a duplicate
+    /// probe plus one comparison against the current worst — which lets
+    /// the engine skip the MAC, signature and chain node of an extension
+    /// that would lose the slot anyway. Exact, not heuristic: `retain`
+    /// of a non-duplicate beacon strictly better than the worst of a
+    /// full slot always succeeds, and slots only ever improve.
+    fn would_retain(slot: &[ReceivedBeacon], len: usize, id: [u8; 32], k: usize) -> bool {
+        if slot.iter().any(|b| b.segment.id() == id) {
+            return false;
+        }
+        if slot.len() < k {
+            return true;
+        }
+        let worst = &slot[slot.len() - 1];
+        (len, id) < (worst.segment.len(), worst.segment.id())
     }
 
     /// Runs origination and propagation to a fixed point, then registers
@@ -372,7 +521,7 @@ impl<'g> BeaconEngine<'g> {
                 };
                 b.extend(&secrets, 0, intf.id, &peers);
                 let rb = ReceivedBeacon {
-                    segment: b.finish(),
+                    segment: CowSegment::from_segment(&b.finish()),
                     ingress_ifid: intf.neighbor_ifid,
                 };
                 let slot = store.entry((intf.neighbor, core)).or_default();
@@ -419,18 +568,24 @@ impl<'g> BeaconEngine<'g> {
             };
             map.keys().copied().collect()
         };
-        // Group by holder: per-AS state (secrets, peer links, neighbor
-        // list) is computed once per batch, not once per beacon.
-        let mut by_holder: BTreeMap<IsdAsn, Vec<IsdAsn>> = BTreeMap::new();
-        for (holder, origin) in dirty {
-            by_holder.entry(holder).or_default().push(origin);
-        }
         let out_type = if core_kind {
             LinkType::Core
         } else {
             LinkType::Child
         };
-        let mut changed = false;
+        // Phase 1 — snapshot. Group dirty slots by holder and capture each
+        // holder's immutable round inputs (secrets handle, peer links,
+        // outbound interfaces, retained candidate beacons) *before* any
+        // slot is mutated. Every mode commits against this snapshot, so an
+        // earlier holder's same-round offers are never visible to a later
+        // holder — the synchronous formulation of the module doc, and the
+        // property that makes the compute phase pure. Candidate clones are
+        // refcount bumps (copy-on-extend chains), not entry copies.
+        let mut by_holder: BTreeMap<IsdAsn, Vec<IsdAsn>> = BTreeMap::new();
+        for (holder, origin) in dirty {
+            by_holder.entry(holder).or_default().push(origin);
+        }
+        let mut batches: Vec<HolderBatch> = Vec::new();
         for (holder, origins) in by_holder {
             let Some(node) = self.graph.as_node(holder) else {
                 continue;
@@ -440,86 +595,168 @@ impl<'g> BeaconEngine<'g> {
             if core_kind && !node.core {
                 continue;
             }
-            let secrets = self.secrets.get(&holder).unwrap().clone();
+            let secrets = Arc::clone(self.secrets.get(&holder).unwrap());
             let peers = if core_kind {
                 Vec::new()
             } else {
                 self.peer_links_of(holder)
             };
-            // Snapshot the dirty slots and pre-filter once per batch:
-            // length/loop checks plus a single signature-chain
-            // verification per unique beacon (cached across rounds).
-            let mut candidates: Vec<(IsdAsn, ReceivedBeacon)> = Vec::new();
+            let out_ifs: Vec<OutIntf> = node
+                .interfaces_of_type(out_type)
+                .map(|i| OutIntf {
+                    id: i.id,
+                    neighbor: i.neighbor,
+                    neighbor_ifid: i.neighbor_ifid,
+                })
+                .collect();
+            let map = if core_kind {
+                &self.core_beacons
+            } else {
+                &self.down_beacons
+            };
+            let mut cands: Vec<Candidate> = Vec::new();
             for origin in origins {
-                let map = if core_kind {
-                    &self.core_beacons
-                } else {
-                    &self.down_beacons
+                let Some(slot) = map.get(&(holder, origin)) else {
+                    continue;
                 };
-                let beacons = match map.get(&(holder, origin)) {
-                    Some(slot) => slot.clone(),
-                    None => continue,
-                };
-                for rb in beacons {
-                    if rb.segment.len() >= self.config.max_len {
-                        self.filtered.inc();
-                        continue;
-                    }
-                    if rb.segment.contains(holder) {
-                        self.filtered.inc();
-                        continue; // loop prevention
-                    }
-                    candidates.push((origin, rb));
+                for rb in slot {
+                    let pre_ok =
+                        rb.segment.len() < self.config.max_len && !rb.segment.contains(holder); // loop prevention
+                    cands.push(Candidate {
+                        origin,
+                        rb: rb.clone(),
+                        pre_ok,
+                    });
                 }
             }
-            // Verify the batch's not-yet-cached beacons over the worker
-            // pool, then resolve the verdicts in candidate order so cache
-            // state and counters replay the sequential path exactly.
-            #[cfg(feature = "parallel")]
-            let verdicts = self.batch_verdicts(&candidates);
-            let mut offer: Vec<(IsdAsn, ReceivedBeacon)> = Vec::new();
-            for (origin, rb) in candidates {
-                #[cfg(feature = "parallel")]
-                let ok = self.verify_batch_resolved(&rb.segment, &verdicts);
-                #[cfg(not(feature = "parallel"))]
-                let ok = self.verify_cached(&rb.segment);
-                if !ok {
+            if cands.is_empty() {
+                continue;
+            }
+            batches.push(HolderBatch {
+                secrets,
+                peers,
+                out_ifs,
+                cands,
+            });
+        }
+        // Phases 2+3 (parallel builds, runtime-switchable) — fan the
+        // round's uncached verifications and then its extension compute
+        // across the worker pool. Both are pure over the snapshot; the
+        // verdict map and the precomputed extensions are consumed by the
+        // sequential commit below, which replays cache bookkeeping and
+        // counters in exactly the order the sequential path would.
+        #[cfg(feature = "parallel")]
+        let (verdicts, mut precomputed) = if self.config.parallel_propagation {
+            let verdicts = self.round_verdicts(&batches);
+            let ext = self.precompute_extensions(core_kind, &batches, &verdicts);
+            (verdicts, Some(ext))
+        } else {
+            (HashMap::new(), None)
+        };
+        #[cfg(not(feature = "parallel"))]
+        let mut precomputed: Option<PrecomputedExt> = None;
+        // Phase 4 — sequential commit in deterministic holder order:
+        // verification resolution, retain, dirty-set inserts and counters.
+        let mut changed = false;
+        for (bi, batch) in batches.iter().enumerate() {
+            let mut ok_flags: Vec<bool> = Vec::with_capacity(batch.cands.len());
+            for c in &batch.cands {
+                if !c.pre_ok {
                     self.filtered.inc();
+                    ok_flags.push(false);
                     continue;
                 }
-                offer.push((origin, rb));
+                #[cfg(feature = "parallel")]
+                let ok = if precomputed.is_some() {
+                    self.verify_batch_resolved(&c.rb.segment, &verdicts)
+                } else {
+                    self.verify_cached(&c.rb.segment)
+                };
+                #[cfg(not(feature = "parallel"))]
+                let ok = self.verify_cached(&c.rb.segment);
+                if !ok {
+                    self.filtered.inc();
+                }
+                ok_flags.push(ok);
             }
-            if offer.is_empty() {
+            if !ok_flags.iter().any(|&v| v) {
                 continue;
             }
             // One pass per neighbor: every offerable beacon of this
             // holder crosses the interface in a single batch.
-            for intf in node.interfaces_of_type(out_type) {
+            for (ii, intf) in batch.out_ifs.iter().enumerate() {
                 let mut offered = 0u64;
-                for (origin, rb) in &offer {
-                    if rb.segment.contains(intf.neighbor) {
+                for (ci, c) in batch.cands.iter().enumerate() {
+                    if !ok_flags[ci] {
+                        continue;
+                    }
+                    if c.rb.segment.contains(intf.neighbor) {
                         self.filtered.inc();
                         continue;
                     }
                     offered += 1;
-                    // Rebuild the extension from the received beacon.
-                    let mut extended = rb.segment.clone();
-                    let mut builder = SegmentBuilderResume {
-                        segment: &mut extended,
-                    };
-                    builder.extend(&secrets, rb.ingress_ifid, intf.id, &peers);
-                    let new_rb = ReceivedBeacon {
-                        segment: extended,
-                        ingress_ifid: intf.neighbor_ifid,
-                    };
                     let (store, dirty) = if core_kind {
                         (&mut self.core_beacons, &mut self.dirty_core)
                     } else {
                         (&mut self.down_beacons, &mut self.dirty_down)
                     };
-                    let slot = store.entry((intf.neighbor, *origin)).or_default();
-                    if Self::retain(slot, new_rb, self.config.candidates_per_origin) {
-                        dirty.insert((intf.neighbor, *origin));
+                    let k = self.config.candidates_per_origin;
+                    let slot = store.entry((intf.neighbor, c.origin)).or_default();
+                    // Settle the retain competition from the extension's
+                    // id alone — cached on the precomputed segment, or
+                    // predicted via `extended_id` on the inline path — so
+                    // a losing offer never pays for a MAC, signature or
+                    // chain node.
+                    let extended = match precomputed.as_mut().map(|p| &mut p[bi][ci]) {
+                        // Precomputed row: a per-interface `None` marks an
+                        // offer already proven a loser against the round
+                        // snapshot. Slots only improve during commit, so
+                        // it loses here too.
+                        Some(Some(row)) => match row[ii].take() {
+                            None => {
+                                self.filtered.inc();
+                                continue;
+                            }
+                            Some(seg) => {
+                                if !Self::would_retain(slot, seg.len(), seg.id(), k) {
+                                    self.filtered.inc();
+                                    continue;
+                                }
+                                seg
+                            }
+                        },
+                        // Sequential path, or a candidate whose verdict
+                        // the parallel phase couldn't predict: probe with
+                        // the predicted id, extend inline on a win — same
+                        // helper, same bytes.
+                        _ => {
+                            let ext_id = c.rb.segment.extended_id(
+                                batch.secrets.ia,
+                                c.rb.ingress_ifid,
+                                intf.id,
+                            );
+                            if !Self::would_retain(slot, c.rb.segment.len() + 1, ext_id, k) {
+                                self.filtered.inc();
+                                continue;
+                            }
+                            let seg = c.rb.segment.extend(
+                                &batch.secrets,
+                                c.rb.ingress_ifid,
+                                intf.id,
+                                &batch.peers,
+                            );
+                            debug_assert_eq!(seg.id(), ext_id);
+                            seg
+                        }
+                    };
+                    let new_rb = ReceivedBeacon {
+                        segment: extended,
+                        ingress_ifid: intf.neighbor_ifid,
+                    };
+                    let retained = Self::retain(slot, new_rb, k);
+                    debug_assert!(retained, "would_retain admitted a losing beacon");
+                    if retained {
+                        dirty.insert((intf.neighbor, c.origin));
                         self.propagated.inc();
                         changed = true;
                     } else {
@@ -533,6 +770,103 @@ impl<'g> BeaconEngine<'g> {
             }
         }
         changed
+    }
+
+    /// Computes every predicted-verifiable candidate's extension toward
+    /// every outbound interface over the worker pool; returns
+    /// `out[batch][candidate]` rows. A missing row (`None`) means the
+    /// candidate's verdict was unknown at snapshot time — the commit
+    /// settles it inline; inside a row, a per-interface `None` marks an
+    /// offer proven a retain-loser against the round snapshot (or a
+    /// loop), which monotonicity upgrades to a commit-time verdict. Pure:
+    /// works only on the round snapshot, the predicted verdicts and the
+    /// shared per-AS secrets, so chunk scheduling cannot affect any
+    /// result the commit phase keeps.
+    #[cfg(feature = "parallel")]
+    fn precompute_extensions(
+        &self,
+        core_kind: bool,
+        batches: &[HolderBatch],
+        verdicts: &HashMap<([u8; 32], u32), bool>,
+    ) -> PrecomputedExt {
+        // Predicted verdict per candidate: cached, or freshly computed by
+        // round_verdicts. Verification is deterministic, so a `true` here
+        // always matches the commit phase's resolution; an unknown (the
+        // small-round fallback) just means the commit extends inline.
+        let predicted: Vec<Vec<bool>> = batches
+            .iter()
+            .map(|b| {
+                b.cands
+                    .iter()
+                    .map(|c| {
+                        c.pre_ok && {
+                            let key = (c.rb.segment.id(), self.key_epoch);
+                            self.verified.contains(&key)
+                                || verdicts.get(&key).copied().unwrap_or(false)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let work: Vec<(&HolderBatch, &Vec<bool>)> = batches.iter().zip(predicted.iter()).collect();
+        let map = if core_kind {
+            &self.core_beacons
+        } else {
+            &self.down_beacons
+        };
+        let k = self.config.candidates_per_origin;
+        let out = crate::pool::WorkerPool::default().map(&work, |(b, pred)| {
+            b.cands
+                .iter()
+                .zip(pred.iter())
+                .map(|(c, &ok)| {
+                    if !ok {
+                        // Verdict unknown or false at snapshot time: no
+                        // row — the commit phase settles this candidate
+                        // inline if its verification resolves true.
+                        return None;
+                    }
+                    let row = b
+                        .out_ifs
+                        .iter()
+                        .map(|i| {
+                            if c.rb.segment.contains(i.neighbor) {
+                                return None;
+                            }
+                            // Settle the retain competition against the
+                            // round snapshot: slots only improve during
+                            // commit, so a loser here is a loser there —
+                            // its MAC, signature and chain node are never
+                            // computed. (A snapshot winner may still lose
+                            // at commit; the commit phase re-checks.)
+                            let ext_id =
+                                c.rb.segment
+                                    .extended_id(b.secrets.ia, c.rb.ingress_ifid, i.id);
+                            if let Some(slot) = map.get(&(i.neighbor, c.origin)) {
+                                if !Self::would_retain(slot, c.rb.segment.len() + 1, ext_id, k) {
+                                    return None;
+                                }
+                            }
+                            Some(
+                                c.rb.segment
+                                    .extend(&b.secrets, c.rb.ingress_ifid, i.id, &b.peers),
+                            )
+                        })
+                        .collect();
+                    Some(row)
+                })
+                .collect()
+        });
+        self.par_holders.add(batches.len() as u64);
+        self.par_extensions.add(
+            out.iter()
+                .flatten()
+                .filter_map(|row: &Option<Vec<Option<CowSegment>>>| row.as_ref())
+                .flatten()
+                .filter(|o: &&Option<CowSegment>| o.is_some())
+                .count() as u64,
+        );
+        out
     }
 
     /// Terminates retained beacons and registers segments.
@@ -552,10 +886,11 @@ impl<'g> BeaconEngine<'g> {
                 if rb.segment.contains(*holder) {
                     continue;
                 }
-                let mut seg = rb.segment.clone();
-                let mut builder = SegmentBuilderResume { segment: &mut seg };
-                builder.extend(secrets, rb.ingress_ifid, 0, &[]);
-                store.register_core(seg);
+                // Materialize the chain into the flat form the store
+                // holds, then append the terminal entry.
+                let mut b = SegmentBuilder::from_segment(rb.segment.materialize());
+                b.extend(secrets, rb.ingress_ifid, 0, &[]);
+                store.register_core(b.finish());
                 self.registered.inc();
             }
         }
@@ -573,45 +908,13 @@ impl<'g> BeaconEngine<'g> {
                 if rb.segment.contains(*holder) {
                     continue;
                 }
-                let mut seg = rb.segment.clone();
-                let mut builder = SegmentBuilderResume { segment: &mut seg };
-                builder.extend(secrets, rb.ingress_ifid, 0, &peers);
-                store.register_up_down(seg);
+                let mut b = SegmentBuilder::from_segment(rb.segment.materialize());
+                b.extend(secrets, rb.ingress_ifid, 0, &peers);
+                store.register_up_down(b.finish());
                 self.registered.inc();
             }
         }
         store
-    }
-}
-
-/// Extends an existing segment in place (the receiving-AS half of beacon
-/// extension). Logically part of [`SegmentBuilder`], split out because the
-/// engine resumes from cloned segments.
-struct SegmentBuilderResume<'a> {
-    segment: &'a mut PathSegment,
-}
-
-impl SegmentBuilderResume<'_> {
-    fn extend(
-        &mut self,
-        secrets: &AsSecrets,
-        cons_ingress: u16,
-        cons_egress: u16,
-        peer_links: &[(IsdAsn, u16, u16)],
-    ) {
-        // Reuse SegmentBuilder's logic by temporary move.
-        let seg = std::mem::replace(
-            self.segment,
-            PathSegment {
-                seg_type: self.segment.seg_type,
-                timestamp: self.segment.timestamp,
-                beta0: self.segment.beta0,
-                entries: Vec::new(),
-            },
-        );
-        let mut b = SegmentBuilder::from_segment(seg);
-        b.extend(secrets, cons_ingress, cons_egress, peer_links);
-        *self.segment = b.finish();
     }
 }
 
@@ -635,7 +938,7 @@ mod tests {
         g
     }
 
-    fn run(g: &ControlGraph) -> (SegmentStore, BTreeMap<IsdAsn, AsSecrets>) {
+    fn run(g: &ControlGraph) -> (SegmentStore, BTreeMap<IsdAsn, Arc<AsSecrets>>) {
         let mut engine = BeaconEngine::new(g, 1_700_000_000, BeaconConfig::default());
         let store = engine.run().unwrap();
         (store, engine.secrets().clone())
@@ -822,6 +1125,41 @@ mod tests {
             );
             assert!(!delta.is_empty());
             assert_eq!(delta, exhaustive, "shape {i} diverged");
+        }
+    }
+
+    /// Parallel-build-only: the runtime flag must not change one byte of
+    /// the outcome — registered segments, retained slots, or rounds.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_flag_is_byte_for_byte_invisible() {
+        for g in [diamond()] {
+            let mut seq_engine = BeaconEngine::new(
+                &g,
+                1_700_000_000,
+                BeaconConfig {
+                    parallel_propagation: false,
+                    ..Default::default()
+                },
+            );
+            let seq_store = seq_engine.run().unwrap();
+            let mut par_engine = BeaconEngine::new(
+                &g,
+                1_700_000_000,
+                BeaconConfig {
+                    parallel_propagation: true,
+                    ..Default::default()
+                },
+            );
+            let par_store = par_engine.run().unwrap();
+            let ids = |s: &SegmentStore| {
+                let mut v: Vec<[u8; 32]> = s.all_segments().map(|seg| seg.id()).collect();
+                v.sort();
+                v
+            };
+            assert_eq!(ids(&seq_store), ids(&par_store));
+            assert_eq!(seq_engine.slot_digest(), par_engine.slot_digest());
+            assert_eq!(seq_engine.last_rounds(), par_engine.last_rounds());
         }
     }
 

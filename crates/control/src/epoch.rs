@@ -66,6 +66,17 @@ pub struct EpochConfig {
     ///
     /// [`PathDbConfig::raw_limit`]: crate::pathdb::PathDbConfig::raw_limit
     pub raw_limit: usize,
+    /// Admission control: cache-miss combinations in flight at once
+    /// across all readers. `0` (the default) disables the gate. A bounded
+    /// budget keeps a miss storm from convoying every reader thread into
+    /// combine work at once — the daemon's overload answer is to queue
+    /// briefly or shed, not to melt.
+    pub max_inflight: usize,
+    /// Admission control: queries allowed to queue for a combination
+    /// permit before further ones shed (served an empty, uncached answer
+    /// the client retries). Only meaningful when
+    /// [`max_inflight`](Self::max_inflight) is non-zero.
+    pub max_waiters: usize,
 }
 
 impl Default for EpochConfig {
@@ -74,6 +85,8 @@ impl Default for EpochConfig {
             shards: 16,
             capacity: 4096,
             raw_limit: 4096,
+            max_inflight: 0,
+            max_waiters: 64,
         }
     }
 }
@@ -161,6 +174,9 @@ struct Metrics {
     cache_bytes_gauge: Gauge,
     store_segments_gauge: Gauge,
     store_bytes_gauge: Gauge,
+    shed: Counter,
+    admission_waits: Counter,
+    inflight_gauge: Gauge,
 }
 
 impl Metrics {
@@ -181,8 +197,45 @@ impl Metrics {
             cache_bytes_gauge: telemetry.gauge("pathdb.cache.bytes"),
             store_segments_gauge: telemetry.gauge("store.segments"),
             store_bytes_gauge: telemetry.gauge("store.interned_bytes"),
+            shed: telemetry.counter("pathdb.shed"),
+            admission_waits: telemetry.counter("pathdb.admission.wait"),
+            inflight_gauge: telemetry.gauge("pathdb.inflight"),
             telemetry,
         }
+    }
+}
+
+/// The admission gate's shared state: combinations in flight and queries
+/// queued for a permit. Guarded by a `std::sync` mutex + condvar pair
+/// (waiters must block on a condition; the vendored `parking_lot` shim
+/// has no condvar). The gate lock nests inside nothing — it is acquired
+/// with no other database lock held.
+#[derive(Default)]
+struct GateState {
+    inflight: usize,
+    waiting: usize,
+}
+
+#[derive(Default)]
+struct AdmissionGate {
+    state: std::sync::Mutex<GateState>,
+    cv: std::sync::Condvar,
+}
+
+/// RAII combination permit: releasing returns the budget slot and wakes
+/// one queued waiter.
+struct AdmissionPermit<'a> {
+    db: &'a EpochPathDb,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let m = self.db.m();
+        let gate = &self.db.inner.gate;
+        let mut st = gate.state.lock().expect("admission gate poisoned");
+        st.inflight -= 1;
+        m.inflight_gauge.set(st.inflight as u64);
+        gate.cv.notify_one();
     }
 }
 
@@ -195,6 +248,7 @@ struct Inner {
     master: Mutex<SegmentStore>,
     shards: Vec<Mutex<Shard>>,
     metrics: RwLock<Arc<Metrics>>,
+    gate: AdmissionGate,
 }
 
 /// The epoch-snapshot path database. `Clone` is an `Arc` bump — clones
@@ -217,6 +271,8 @@ impl EpochPathDb {
             shards: cfg.shards.max(1),
             capacity: cfg.capacity.max(1),
             raw_limit: cfg.raw_limit,
+            max_inflight: cfg.max_inflight,
+            max_waiters: cfg.max_waiters,
         };
         let metrics = Metrics::new(Telemetry::quiet());
         metrics.generation_gauge.set(store.generation());
@@ -233,6 +289,7 @@ impl EpochPathDb {
                     .map(|_| Mutex::new(Shard::default()))
                     .collect(),
                 metrics: RwLock::new(Arc::new(metrics)),
+                gate: AdmissionGate::default(),
                 cfg,
             }),
         }
@@ -449,6 +506,34 @@ impl EpochPathDb {
         m.store_bytes_gauge.set(snap.store.approx_bytes() as u64);
     }
 
+    /// Acquires a cache-miss combination permit. Returns `Ok(Some(_))`
+    /// when admission is enabled and a budget slot was obtained (possibly
+    /// after queueing on the condvar), `Ok(None)` when admission is
+    /// disabled (`max_inflight == 0`), and `Err(())` when both the budget
+    /// and the waiter queue are full — the caller sheds.
+    fn admit(&self, m: &Metrics) -> Result<Option<AdmissionPermit<'_>>, ()> {
+        let max = self.inner.cfg.max_inflight;
+        if max == 0 {
+            return Ok(None);
+        }
+        let gate = &self.inner.gate;
+        let mut st = gate.state.lock().expect("admission gate poisoned");
+        if st.inflight >= max {
+            if st.waiting >= self.inner.cfg.max_waiters {
+                return Err(());
+            }
+            st.waiting += 1;
+            m.admission_waits.inc();
+            while st.inflight >= max {
+                st = gate.cv.wait(st).expect("admission gate poisoned");
+            }
+            st.waiting -= 1;
+        }
+        st.inflight += 1;
+        m.inflight_gauge.set(st.inflight as u64);
+        Ok(Some(AdmissionPermit { db: self }))
+    }
+
     fn shard_of(&self, key: &CacheKey) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
@@ -523,6 +608,20 @@ impl EpochPathDb {
                 m.misses.inc();
             }
         }
+
+        // A combine is the expensive, unbounded part of a miss; it must
+        // hold one of the bounded in-flight permits. When the budget and
+        // the wait queue are both exhausted the query sheds: an empty,
+        // *uncached* answer the client retries later, instead of another
+        // thread piling onto combine work mid-storm. Warm hits above
+        // never touch the gate.
+        let _permit = match self.admit(&m) {
+            Ok(p) => p,
+            Err(()) => {
+                m.shed.inc();
+                return (Arc::new(Vec::new()), gen);
+            }
+        };
 
         // Combine against the snapshot with no locks held.
         let record = incr
@@ -761,7 +860,7 @@ mod tests {
             EpochConfig {
                 shards: 1,
                 capacity: 2,
-                raw_limit: 4096,
+                ..Default::default()
             },
         );
         db.paths(ia("71-10"), ia("71-20"), 100);
@@ -769,6 +868,69 @@ mod tests {
         db.paths(ia("71-20"), ia("71-30"), 100);
         assert_eq!(db.cached_entries(), 2);
         assert_matches_fresh(&db, "71-10", "71-20");
+    }
+
+    #[test]
+    fn admission_disabled_by_default_never_sheds() {
+        let db = EpochPathDb::new(mesh());
+        db.paths(ia("71-10"), ia("71-20"), 100);
+        db.paths(ia("71-10"), ia("71-30"), 100);
+        assert_eq!(db.m().shed.get(), 0);
+        assert_eq!(db.m().admission_waits.get(), 0);
+    }
+
+    #[test]
+    fn exhausted_budget_with_full_queue_sheds_without_caching() {
+        let db = EpochPathDb::with_config(
+            mesh(),
+            EpochConfig {
+                max_inflight: 1,
+                max_waiters: 0,
+                ..Default::default()
+            },
+        );
+        // Hold the only permit, then query: budget exhausted and the
+        // queue full, so the miss sheds an empty, uncached answer.
+        let m = db.m();
+        let permit = db.admit(&m).unwrap();
+        assert!(permit.is_some());
+        let (served, gen) = db.paths_with_generation(ia("71-10"), ia("71-20"), 100);
+        assert!(served.is_empty(), "shed queries serve an empty answer");
+        assert_eq!(gen, db.generation());
+        assert_eq!(m.shed.get(), 1);
+        assert_eq!(db.cached_entries(), 0, "shed results must not be cached");
+        drop(permit);
+        // With the permit returned, the same query combines and caches.
+        assert!(!db.paths(ia("71-10"), ia("71-20"), 100).is_empty());
+        assert_eq!(db.cached_entries(), 1);
+        assert_eq!(m.shed.get(), 1);
+    }
+
+    #[test]
+    fn waiters_queue_until_the_budget_frees() {
+        let db = EpochPathDb::with_config(
+            mesh(),
+            EpochConfig {
+                max_inflight: 1,
+                max_waiters: 8,
+                ..Default::default()
+            },
+        );
+        let m = db.m();
+        let permit = db.admit(&m).unwrap();
+        let reader = {
+            let db = db.clone();
+            std::thread::spawn(move || db.paths(ia("71-10"), ia("71-20"), 100))
+        };
+        // The reader misses, reaches the gate, and queues.
+        while m.admission_waits.get() == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        drop(permit);
+        let paths = reader.join().unwrap();
+        assert!(!paths.is_empty(), "queued query completes once admitted");
+        assert_eq!(m.shed.get(), 0);
+        assert_eq!(db.cached_entries(), 1);
     }
 
     #[test]

@@ -129,8 +129,9 @@ pub(crate) struct Inner {
 pub struct SciEraNetwork {
     /// Registered path segments (the merged path-server view).
     pub store: SegmentStore,
-    /// Per-AS secrets (hop keys + signing keys).
-    pub secrets: BTreeMap<IsdAsn, AsSecrets>,
+    /// Per-AS secrets (hop keys + signing keys), shared with the beacon
+    /// engine via `Arc` rather than deep-copied.
+    pub secrets: BTreeMap<IsdAsn, Arc<AsSecrets>>,
     /// The end-host trust store, primed with both ISD TRCs and every AS's
     /// verified chain.
     pub trust: TrustStore,

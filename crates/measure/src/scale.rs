@@ -183,6 +183,7 @@ fn beacon_config_for(n: usize) -> BeaconConfig {
         max_len: 16,
         rounds: 24,
         delta_propagation: true,
+        parallel_propagation: true,
     }
 }
 

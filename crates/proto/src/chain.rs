@@ -1,0 +1,205 @@
+//! Persistent, structurally-shared append chains.
+//!
+//! [`Chain`] is an immutable cons list over [`std::sync::Arc`] nodes,
+//! newest element at the head. [`push`](Chain::push) returns a *new*
+//! chain whose prefix is shared with the original — one node allocation,
+//! two `Arc` bumps, no copying — which is exactly the shape beacon
+//! propagation needs: every AS that extends a path-construction beacon
+//! appends one entry to a prefix that tens of neighbors also extend.
+//! With a flat `Vec` representation each of those extensions deep-copies
+//! the whole prefix (O(segment-length) allocations per offer); with a
+//! chain they share it (O(1) per offer), and a flat view is materialized
+//! only when something needs one ([`Chain::collect_refs`]).
+//!
+//! The chain is deliberately minimal — push, length, reverse iteration,
+//! and an in-order reference collector — because its one consumer is the
+//! control plane's copy-on-extend segment
+//! (`scion_control::segment::CowSegment`). It lives here in the
+//! wire-format crate next to the path types it represents prefixes of.
+
+use std::sync::Arc;
+
+/// One element of a [`Chain`], holding the payload and the shared prefix.
+struct Node<T> {
+    item: T,
+    prev: Option<Arc<Node<T>>>,
+    /// Elements up to and including this node (cached so `len` is O(1)).
+    len: usize,
+}
+
+/// An immutable, structurally-shared append-only list.
+///
+/// `Clone` is two machine words and an `Arc` bump; [`push`](Self::push)
+/// allocates exactly one node and shares the entire prefix with the
+/// source chain.
+pub struct Chain<T> {
+    head: Option<Arc<Node<T>>>,
+}
+
+impl<T> Chain<T> {
+    /// The empty chain.
+    pub const fn new() -> Self {
+        Chain { head: None }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.head.as_ref().map_or(0, |n| n.len)
+    }
+
+    /// Whether the chain has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_none()
+    }
+
+    /// A new chain with `item` appended; `self` is untouched and shares
+    /// every existing node with the result.
+    pub fn push(&self, item: T) -> Chain<T> {
+        Chain {
+            head: Some(Arc::new(Node {
+                item,
+                prev: self.head.clone(),
+                len: self.len() + 1,
+            })),
+        }
+    }
+
+    /// The most recently pushed element.
+    pub fn last(&self) -> Option<&T> {
+        self.head.as_ref().map(|n| &n.item)
+    }
+
+    /// Iterates newest → oldest (reverse insertion order).
+    pub fn iter_rev(&self) -> IterRev<'_, T> {
+        IterRev {
+            node: self.head.as_deref(),
+        }
+    }
+
+    /// References to every element in insertion order (oldest first).
+    /// O(len) pointer chasing plus one `Vec` allocation — the
+    /// materialization step of the copy-on-extend discipline.
+    pub fn collect_refs(&self) -> Vec<&T> {
+        let mut out: Vec<&T> = Vec::with_capacity(self.len());
+        out.extend(self.iter_rev());
+        out.reverse();
+        out
+    }
+}
+
+impl<T> Default for Chain<T> {
+    fn default() -> Self {
+        Chain::new()
+    }
+}
+
+impl<T> Clone for Chain<T> {
+    fn clone(&self) -> Self {
+        Chain {
+            head: self.head.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Chain<T> {
+    /// Iterative teardown: unwind uniquely-owned nodes in a loop instead
+    /// of letting `Arc`'s recursive drop walk the prefix on the call
+    /// stack (a long uniquely-held chain would otherwise overflow it).
+    /// The first shared node ends the walk — its other owners keep the
+    /// rest of the prefix alive.
+    fn drop(&mut self) {
+        let mut cur = self.head.take();
+        while let Some(node) = cur {
+            match Arc::try_unwrap(node) {
+                Ok(mut n) => cur = n.prev.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Chain<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.collect_refs()).finish()
+    }
+}
+
+/// Newest-to-oldest iterator over a [`Chain`].
+pub struct IterRev<'a, T> {
+    node: Option<&'a Node<T>>,
+}
+
+impl<'a, T> Iterator for IterRev<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let n = self.node?;
+        self.node = n.prev.as_deref();
+        Some(&n.item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shares_the_prefix() {
+        let base = Chain::new().push(1).push(2);
+        let a = base.push(3);
+        let b = base.push(4);
+        assert_eq!(base.collect_refs(), vec![&1, &2]);
+        assert_eq!(a.collect_refs(), vec![&1, &2, &3]);
+        assert_eq!(b.collect_refs(), vec![&1, &2, &4]);
+        assert_eq!(base.len(), 2);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn empty_chain_basics() {
+        let c: Chain<u8> = Chain::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert!(c.last().is_none());
+        assert!(c.collect_refs().is_empty());
+        assert_eq!(c.iter_rev().count(), 0);
+    }
+
+    #[test]
+    fn last_and_reverse_iteration() {
+        let c = Chain::new().push("a").push("b").push("c");
+        assert_eq!(c.last(), Some(&"c"));
+        let rev: Vec<&&str> = c.iter_rev().collect();
+        assert_eq!(rev, vec![&"c", &"b", &"a"]);
+    }
+
+    #[test]
+    fn clone_is_shallow_and_independent() {
+        let a = Chain::new().push(10).push(20);
+        let b = a.clone();
+        let a2 = a.push(30);
+        assert_eq!(b.collect_refs(), vec![&10, &20]);
+        assert_eq!(a2.collect_refs(), vec![&10, &20, &30]);
+    }
+
+    #[test]
+    fn long_unique_chain_drops_without_recursion() {
+        // 200k nodes would overflow the stack under recursive drop.
+        let mut c = Chain::new();
+        for i in 0..200_000u32 {
+            c = c.push(i);
+        }
+        assert_eq!(c.len(), 200_000);
+        drop(c);
+    }
+
+    #[test]
+    fn shared_prefix_survives_sibling_drop() {
+        let base = Chain::new().push(1).push(2);
+        let a = base.push(3);
+        drop(base);
+        drop(a.clone());
+        assert_eq!(a.collect_refs(), vec![&1, &2, &3]);
+    }
+}

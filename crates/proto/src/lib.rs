@@ -26,11 +26,16 @@
 //! * [`wire`] — zero-copy packet views ([`wire::PacketView`]) and in-place
 //!   mutation cursors ([`wire::WireCursor`]) over raw frames, the substrate
 //!   of the border-router forwarding fast path.
+//! * [`chain`] — persistent structurally-shared append chains
+//!   ([`chain::Chain`]), the copy-on-extend substrate of beacon
+//!   propagation: extending a path prefix appends one node instead of
+//!   deep-copying the prefix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod chain;
 pub mod encap;
 pub mod packet;
 pub mod path;

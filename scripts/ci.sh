@@ -73,6 +73,16 @@ cargo test -q --test prop_pathdb --features parallel
 echo "==> cargo test -q --test prop_batch --no-default-features"
 cargo test -q --test prop_batch --no-default-features
 
+# Parallel-propagation differential proptest: the compute-parallel /
+# commit-sequential beaconing pipeline must be byte-for-byte invisible
+# (segments, retained slots, rounds, counters) in every feature config.
+# The default-features run is part of `cargo test -q` above.
+echo "==> cargo test -q --test prop_propagate --no-default-features"
+cargo test -q --test prop_propagate --no-default-features
+
+echo "==> cargo test -q --test prop_propagate --features parallel"
+cargo test -q --test prop_propagate --features parallel
+
 # The path-dynamics dataset exporter proptest (JSONL round-trip, epoch
 # monotonicity, churn/board 1:1, seeded byte-replay) must hold in both
 # feature configs.
@@ -95,14 +105,27 @@ cargo bench -p sciera-bench --bench profiler_overhead
 echo "==> cargo bench -p sciera-bench --bench epoch_overhead"
 cargo bench -p sciera-bench --bench epoch_overhead
 
-# Bounded smoke sweep: one N=100 point through the full scale pipeline
-# (synthesis -> beaconing -> PathDb -> router load -> sim stage), written
-# to target/ so it never clobbers the committed BENCH_scale.json.
-echo "==> scale_sweep smoke (N=100)"
+# Parallel-propagation overhead guard: at N=100 (batches too small for
+# the pool to win) the two-phase pipeline must stay within noise of the
+# sequential walk, and its output must be byte-identical.
+echo "==> cargo bench -p sciera-bench --bench propagate_overhead --features parallel"
+cargo bench -p sciera-bench --bench propagate_overhead --features parallel
+
+# Bounded smoke sweep: N=100 and N=1000 through the full scale pipeline
+# (synthesis -> beaconing -> PathDb -> router load -> sim stage) with the
+# profiler and the worker pool engaged, written to target/ so it never
+# clobbers the committed BENCH_scale.json. At N=1000 the parallel
+# pipeline must have dethroned `beacon.propagate` as the bottleneck —
+# that regression is exactly what this PR's tentpole removed.
+echo "==> scale_sweep smoke (N=100,1000; profile+parallel)"
 # Absolute output path: cargo runs the bench binary from crates/bench.
-SCIERA_SCALE_NS=100 SCIERA_SCALE_OUT="$PWD/target/scale_smoke.json" \
-    cargo bench -p sciera-bench --bench scale_sweep
+SCIERA_SCALE_NS=100,1000 SCIERA_SCALE_OUT="$PWD/target/scale_smoke.json" \
+    cargo bench -p sciera-bench --bench scale_sweep --features profile,parallel
 test -s target/scale_smoke.json
+if grep -q '"bottleneck": "beacon.propagate"' target/scale_smoke.json; then
+    echo "scale smoke: beacon.propagate is a bottleneck again" >&2
+    exit 1
+fi
 
 # Dynamics-campaign smoke: a short seeded campaign over a 40-AS synthetic
 # deployment. The bench itself asserts schema validity and byte-for-byte

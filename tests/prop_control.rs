@@ -128,7 +128,7 @@ fn build(t: &RandomTopo) -> Option<ControlGraph> {
 /// beacon engine's secrets; returns the AS route taken.
 fn walk(
     graph: &ControlGraph,
-    secrets: &std::collections::BTreeMap<IsdAsn, AsSecrets>,
+    secrets: &std::collections::BTreeMap<IsdAsn, std::sync::Arc<AsSecrets>>,
     mut pkt: ScionPacket,
 ) -> Result<Vec<IsdAsn>, String> {
     let mut current = pkt.src.ia;
